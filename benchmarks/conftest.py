@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.machine.summit import summit
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return summit()

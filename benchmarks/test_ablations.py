@@ -1,0 +1,138 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation switches off (or sweeps) one of the paper's design decisions
+and verifies the predicted consequence:
+
+* RK4 vs RK2 — "cost per time step approximately doubled" (Sec. 2);
+* GPU-direct — "we did not see any noticeable benefit" (Sec. 3.3);
+* Q pencils per all-to-all — the overlap/message-size trade-off (Sec. 4.1);
+* zero-copy vs memcpy2d unpack — the production choice (Sec. 4.2);
+* slab vs 2-D pencil decomposition — one vs two all-to-alls (Sec. 3.1);
+* asynchronous batching vs the basic synchronous algorithm (Sec. 3.4).
+"""
+
+import pytest
+
+from repro.core.config import Algorithm, RunConfig
+from repro.core.executor import simulate_step
+from repro.core.planner import MemoryPlanner
+
+
+def cfg(machine, nodes=1024, n=12288, **kw):
+    np_ = MemoryPlanner(machine).plan(n, nodes).npencils
+    defaults = dict(n=n, nodes=nodes, tasks_per_node=2, npencils=np_)
+    defaults.update(kw)
+    return RunConfig(**defaults)
+
+
+def test_ablation_rk4_doubles_cost(benchmark, machine):
+    base = cfg(machine, q_pencils_per_a2a=3)
+    rk2 = simulate_step(base, machine, trace=False).step_time
+    rk4 = benchmark(
+        simulate_step, base.with_(scheme="rk4"), machine, False
+    ).step_time
+    assert rk4 / rk2 == pytest.approx(2.0, rel=0.1)
+    benchmark.extra_info["rk4_over_rk2"] = round(rk4 / rk2, 3)
+
+
+def test_ablation_gpu_direct_no_benefit(benchmark, machine):
+    base = cfg(machine, q_pencils_per_a2a=3)
+    plain = simulate_step(base, machine, trace=False).step_time
+    direct = benchmark(
+        simulate_step, base.with_(gpu_direct=True), machine, False
+    ).step_time
+    assert abs(direct - plain) / plain < 0.10
+    benchmark.extra_info["gain_pct"] = round(100 * (plain - direct) / plain, 2)
+
+
+def test_ablation_q_sweep(benchmark, machine):
+    """Q = 1 vs 3 pencils per exchange at 1024 nodes: larger is better at
+    scale (the paper's case C result); record the whole sweep."""
+
+    def sweep():
+        return {
+            q: simulate_step(
+                cfg(machine, q_pencils_per_a2a=q), machine, trace=False
+            ).step_time
+            for q in (1, 3)
+        }
+
+    times = benchmark(sweep)
+    assert times[3] < times[1]
+    benchmark.extra_info["step_s_by_q"] = {k: round(v, 2) for k, v in times.items()}
+
+
+def test_ablation_unpack_strategy(benchmark, machine):
+    """Zero-copy unpack (production) vs memcpy2d chains: the zero-copy path
+    must not be slower overall."""
+    base = cfg(machine, q_pencils_per_a2a=3)
+    zc = simulate_step(base, machine, trace=False).step_time
+    chains = benchmark(
+        simulate_step, base.with_(zero_copy_unpack=False), machine, False
+    ).step_time
+    assert zc <= chains * 1.02
+    benchmark.extra_info["zero_copy_s"] = round(zc, 2)
+    benchmark.extra_info["memcpy2d_chain_s"] = round(chains, 2)
+
+
+def test_ablation_async_vs_sync_batching(benchmark, machine):
+    """The batched asynchronous algorithm vs the basic synchronous one at
+    the largest problem size (where batching matters most)."""
+    base = cfg(machine, nodes=3072, n=18432, q_pencils_per_a2a=4)
+    async_t = simulate_step(base, machine, trace=False).step_time
+    sync_t = benchmark(
+        simulate_step, base.with_(algorithm=Algorithm.SYNC_GPU), machine, False
+    ).step_time
+    assert sync_t > async_t
+    benchmark.extra_info["async_s"] = round(async_t, 2)
+    benchmark.extra_info["sync_s"] = round(sync_t, 2)
+
+
+def test_ablation_tasks_per_node(benchmark, machine):
+    """2 vs 6 tasks per node (Sec. 5.1): fewer, larger messages win."""
+
+    def sweep():
+        return {
+            tpn: simulate_step(
+                cfg(machine, tasks_per_node=tpn, q_pencils_per_a2a=1),
+                machine,
+                trace=False,
+            ).step_time
+            for tpn in (2, 6)
+        }
+
+    times = benchmark(sweep)
+    assert times[2] < times[6]
+    benchmark.extra_info["step_s_by_tpn"] = {
+        k: round(v, 2) for k, v in times.items()
+    }
+
+
+def test_ablation_functional_slab_vs_pencil_comms(benchmark):
+    """Functional layer: the slab path does half the all-to-alls of the
+    2-D pencil path for the same transform (Sec. 3.1's motivation),
+    measured on real data movement."""
+    import numpy as np
+
+    from repro.dist.pencil_fft import PencilDistributedFFT
+    from repro.dist.slab_fft import SlabDistributedFFT
+    from repro.dist.virtual_mpi import VirtualComm
+    from repro.spectral.grid import SpectralGrid
+
+    grid = SpectralGrid(24)
+    u = np.random.default_rng(0).standard_normal(grid.physical_shape)
+
+    def run_both():
+        slab_comm = VirtualComm(4)
+        slab = SlabDistributedFFT(grid, slab_comm)
+        slab.forward(slab.decomp.scatter_physical(u))
+        pencil_comm = VirtualComm(4)
+        pencil = PencilDistributedFFT(grid, pencil_comm, 2, 2)
+        pencil.forward(pencil.decomp.scatter_physical(u))
+        return slab_comm.stats, pencil_comm.stats
+
+    slab_stats, pencil_stats = benchmark(run_both)
+    # One exchange round for slabs; two rounds (row + col groups) for pencils.
+    assert slab_stats.count("alltoall") == 1
+    assert pencil_stats.count("alltoall") == 4  # 2 groups x 2 rounds
+    assert pencil_stats.total_bytes > slab_stats.total_bytes

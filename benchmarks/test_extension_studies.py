@@ -1,0 +1,50 @@
+"""Benchmarks for the extension studies built on top of the reproduction.
+
+These are acceptance benches for the forward-looking analyses DESIGN.md
+lists as extensions: the physics validation report, the density and
+resolution studies, the slab-vs-pencil comparison, and the exascale
+projection.
+"""
+
+from repro.experiments import validation
+from repro.experiments.decomposition_study import DecompositionStudy
+from repro.experiments.density_study import run as density_run
+from repro.experiments.projection import run as projection_run
+from repro.experiments.resolution_study import run as resolution_run
+
+
+def test_validation_report(benchmark):
+    report = benchmark.pedantic(validation.run, kwargs={"n": 16}, rounds=2,
+                                iterations=1)
+    assert report.all_passed
+
+
+def test_density_study(benchmark):
+    points = benchmark(density_run, 12288)
+    assert points["titan"].nodes > 10 * points["summit"].nodes
+    benchmark.extra_info["titan_nodes"] = points["titan"].nodes
+    benchmark.extra_info["summit_nodes"] = points["summit"].nodes
+
+
+def test_resolution_study(benchmark):
+    rows = benchmark.pedantic(resolution_run, rounds=2, iterations=1)
+    headline = next(r for r in rows if r.kmax_eta == 3.0)
+    assert headline.n == 18432 and headline.nodes == 3072
+    benchmark.extra_info["headline_step_s"] = round(headline.step_time_s, 2)
+
+
+def test_decomposition_study(benchmark):
+    study = DecompositionStudy()
+    comparisons = benchmark(study.sweep, 12288, [128, 512, 1024, 2048])
+    assert comparisons[0].slab_advantage > 1.0
+    benchmark.extra_info["advantages"] = {
+        c.nodes: round(c.slab_advantage, 2) for c in comparisons
+    }
+
+
+def test_exascale_projection(benchmark):
+    result = benchmark.pedantic(projection_run, args=(12288,), rounds=2,
+                                iterations=1)
+    assert result.speedup > 1.5
+    assert result.summit_network_bound_fraction > 0.5
+    benchmark.extra_info["speedup"] = round(result.speedup, 2)

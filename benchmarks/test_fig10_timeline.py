@@ -1,0 +1,29 @@
+"""Benchmark + reproduction of Fig. 10 (normalized timelines at 12288^3)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_timelines(benchmark):
+    result = benchmark(fig10.run)
+    # "The MPI time is immediately seen to be the major user of runtime."
+    for name in result.timings:
+        assert result.mpi_fraction(name) > 0.55, name
+    # "The same amount of data can be transposed faster when processed as
+    # one, larger, message" — slab beats pencil at this operating point.
+    assert (
+        result.timings["1_slab_per_a2a"].step_time
+        < result.timings["1_pencil_per_a2a"].step_time
+    )
+    # "The D2H packing section takes much longer" for 6 tasks/node.
+    assert result.d2h_time("6_tasks_per_node") > 1.5 * result.d2h_time(
+        "1_pencil_per_a2a"
+    )
+    # The rendering is well-formed and aligned to a common span.
+    text = result.render(width=80)
+    assert text.count("|") >= 8
+    benchmark.extra_info["mpi_fraction"] = {
+        name: round(result.mpi_fraction(name), 2) for name in result.timings
+    }
+    benchmark.extra_info["step_s"] = {
+        name: round(t.step_time, 2) for name, t in result.timings.items()
+    }

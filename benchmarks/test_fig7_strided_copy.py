@@ -1,0 +1,34 @@
+"""Benchmark + reproduction of Fig. 7 (strided copy strategies)."""
+
+from repro.cuda.memcpy import CopyStrategy
+from repro.experiments import fig7, paperdata
+
+
+def test_fig7_strided_copy_sweep(benchmark):
+    result = benchmark(fig7.run)
+    small = paperdata.FIG7_CHUNK_SIZES[0]
+    large = paperdata.FIG7_CHUNK_SIZES[-1]
+
+    # Claim 1: per-chunk cudaMemcpyAsync is much slower at small chunks.
+    slow = result.time_at(CopyStrategy.MEMCPY_ASYNC_PER_CHUNK, small)
+    zc = result.time_at(CopyStrategy.ZERO_COPY_KERNEL, small)
+    m2d = result.time_at(CopyStrategy.MEMCPY_2D_ASYNC, small)
+    assert slow > 10 * max(zc, m2d)
+
+    # Claim 2: zero-copy and memcpy2d give similar timings.
+    assert 0.1 < zc / m2d < 10.0
+
+    # Claim 3: finer granularity costs more, for every strategy.
+    for strategy in CopyStrategy:
+        series = sorted(result.series(strategy), key=lambda p: p.chunk_bytes)
+        times = [p.time_s for p in series]
+        assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+
+    # At large chunks the strategies converge.
+    times_large = [result.time_at(s, large) for s in CopyStrategy]
+    assert max(times_large) / min(times_large) < 2.0
+
+    benchmark.extra_info["ms_at_8_8KB"] = {
+        s.value: round(result.time_at(s, paperdata.FIG7_CHUNK_SIZES[2]) * 1e3, 2)
+        for s in CopyStrategy
+    }

@@ -1,0 +1,19 @@
+"""Benchmark + reproduction of Fig. 8 (zero-copy bandwidth vs thread blocks)."""
+
+from repro.experiments import fig8, paperdata
+
+
+def test_fig8_block_sweep(benchmark):
+    result = benchmark(fig8.run)
+    # Bandwidth grows with blocks, then saturates.
+    bws = [result.zero_copy_bw[b] for b in result.blocks]
+    assert all(a <= b * 1.001 for a, b in zip(bws, bws[1:]))
+    # Saturation at ~16 blocks (paper), i.e. a small fraction of the GPU.
+    assert abs(result.saturation_blocks - paperdata.FIG8_SATURATION_BLOCKS) <= 4
+    assert result.sm_fraction_at_saturation < 0.15
+    # Saturated bandwidth matches the cudaMemcpy2DAsync dashed line.
+    assert abs(result.zero_copy_bw[32] - result.memcpy2d_bw) / result.memcpy2d_bw < 0.15
+    benchmark.extra_info["saturation_blocks"] = result.saturation_blocks
+    benchmark.extra_info["bw_gb_s"] = {
+        b: round(result.zero_copy_bw[b] / 1e9, 1) for b in result.blocks
+    }

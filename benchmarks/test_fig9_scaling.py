@@ -1,0 +1,28 @@
+"""Benchmark + reproduction of Fig. 9 (time per step vs node count)."""
+
+from repro.experiments import fig9, paperdata
+
+
+def test_fig9_series(benchmark):
+    result = benchmark(fig9.run)
+    # The MPI-only skeleton is the lower envelope everywhere.
+    for nodes in result.node_counts:
+        floor = result.times["mpi_only"][nodes]
+        for series in ("gpu_a", "gpu_b", "gpu_c"):
+            assert result.times[series][nodes] > floor
+    # Time per (weak-scaled) step grows with node count for the best config.
+    ts = [result.times["gpu_c"][m] for m in result.node_counts]
+    assert all(a <= b for a, b in zip(ts, ts[1:]))
+    # 6 tasks/node is the slowest DNS configuration at every scale.
+    for nodes in result.node_counts:
+        assert result.times["gpu_a"][nodes] >= max(
+            result.times["gpu_b"][nodes], result.times["gpu_c"][nodes]
+        )
+    # The MPI-only floor sits in the paper's plotted range.
+    for nodes, paper_t in paperdata.FIG9_MPI_ONLY.items():
+        model_t = result.times["mpi_only"][nodes]
+        assert abs(model_t - paper_t) / paper_t < 0.5
+    benchmark.extra_info["series_s"] = {
+        s: {m: round(t, 2) for m, t in d.items()}
+        for s, d in result.times.items()
+    }

@@ -1,0 +1,75 @@
+"""Library performance benchmarks (regression guardrails).
+
+Unlike the table/figure benches, these measure the reproduction's own code:
+the real solver's step cost, distributed and out-of-core transforms, the
+DES executor's throughput, and the analytic predictor.  They keep the
+implementation honest (an accidental O(N^4) would show up here first) and
+document what laptop-scale throughput a user can expect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analytic import predict_step
+from repro.core.config import RunConfig
+from repro.core.executor import simulate_step
+from repro.dist.outofcore import OutOfCoreSlabFFT
+from repro.dist.slab_fft import SlabDistributedFFT
+from repro.dist.virtual_mpi import VirtualComm
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.initial import random_isotropic_field
+from repro.spectral.solver import NavierStokesSolver, SolverConfig
+
+
+@pytest.fixture(scope="module")
+def grid64():
+    return SpectralGrid(64)
+
+
+def test_perf_solver_step_64(benchmark, grid64):
+    """One RK2 step at 64^3 (9 FFT sets): the physics layer's unit cost."""
+    rng = np.random.default_rng(0)
+    solver = NavierStokesSolver(
+        grid64,
+        random_isotropic_field(grid64, rng, energy=1.0),
+        SolverConfig(nu=0.01, phase_shift=True),
+    )
+    result = benchmark(solver.step, 1e-4)
+    assert result.energy > 0
+
+
+def test_perf_distributed_fft_48(benchmark):
+    grid = SpectralGrid(48)
+    fft = SlabDistributedFFT(grid, VirtualComm(4))
+    u = np.random.default_rng(0).standard_normal(grid.physical_shape)
+    locals_ = fft.decomp.scatter_physical(u)
+    out = benchmark(fft.forward, locals_)
+    assert len(out) == 4
+
+
+def test_perf_out_of_core_fft_48(benchmark):
+    grid = SpectralGrid(48)
+    fft = OutOfCoreSlabFFT(grid, VirtualComm(4), npencils=4)
+    u = np.random.default_rng(0).standard_normal(grid.physical_shape)
+    locals_ = fft.decomp.scatter_physical(u)
+    out = benchmark(fft.forward, locals_)
+    assert len(out) == 4
+    assert fft.arena.in_use == 0
+
+
+def test_perf_des_step_simulation(benchmark, machine):
+    """The DES executor must stay interactive (~10 ms per simulated step)."""
+    cfg = RunConfig(n=12288, nodes=1024, tasks_per_node=2, npencils=3,
+                    q_pencils_per_a2a=1)
+    timing = benchmark(simulate_step, cfg, machine, False)
+    assert timing.step_time > 0
+    assert benchmark.stats["mean"] < 0.25  # seconds of wall time
+
+
+def test_perf_analytic_predictor(benchmark, machine):
+    """The closed-form model should be ~1000x cheaper than the DES."""
+    cfg = RunConfig(n=12288, nodes=1024, tasks_per_node=2, npencils=3,
+                    q_pencils_per_a2a=1)
+    est = benchmark(predict_step, cfg, machine)
+    assert est.step_time > 0
+    assert benchmark.stats["mean"] < 0.01

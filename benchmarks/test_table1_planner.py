@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of Table 1 (memory planning).
+
+Regenerates every row of the paper's Table 1 and the Sec. 3.5 node-count
+derivation; the benchmarked quantity is the planner itself.  Reproduced
+values are attached to the benchmark record via ``extra_info``.
+"""
+
+from repro.experiments import paperdata, table1
+
+
+def test_table1_rows(benchmark):
+    result = benchmark(table1.run)
+    for row, ref in zip(result.rows, paperdata.TABLE1):
+        assert row.npencils == ref.npencils
+        assert abs(row.memory_per_node_gib - ref.memory_per_node_gib) < 0.5
+        assert abs(row.pencil_gib - ref.pencil_gib) < 0.01
+    assert result.min_nodes_18432 == paperdata.MIN_NODES_18432
+    assert tuple(result.valid_nodes_18432) == paperdata.VALID_NODES_18432
+    benchmark.extra_info["rows"] = [
+        (r.nodes, r.n, round(r.memory_per_node_gib, 1), r.npencils)
+        for r in result.rows
+    ]

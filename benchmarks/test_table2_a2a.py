@@ -1,0 +1,35 @@
+"""Benchmark + reproduction of Table 2 (all-to-all effective bandwidth).
+
+Runs the standalone blocking all-to-all kernel through the discrete-event
+simulation for all twelve (case, node count) cells and compares with the
+paper's measured GB/s per node.
+"""
+
+from repro.experiments import paperdata, table2
+
+
+def test_table2_bandwidths(benchmark):
+    result = benchmark(table2.run)
+    # Analytic and DES paths agree.
+    assert result.max_analytic_vs_simulated_gap() < 0.05
+    # Non-anomalous cells within 15%.
+    for cell, row in zip(paperdata.TABLE2, result.comparisons):
+        if not cell.anomalous:
+            assert abs(row.error) < 0.15, row.format()
+    errs = [abs(r.error) for r in result.comparisons]
+    benchmark.extra_info["mean_abs_error_pct"] = round(
+        100 * sum(errs) / len(errs), 1
+    )
+    benchmark.extra_info["bandwidths_gb_s"] = {
+        f"{k[0]}@{k[1]}": round(v, 1) for k, v in result.analytic_bw.items()
+    }
+
+
+def test_table2_single_cell_kernel(benchmark, machine):
+    """Micro-benchmark: one DES all-to-all at the paper's case-C 1024 point."""
+    from repro.benchkit.a2a_kernel import StandaloneA2AKernel
+    from repro.machine.spec import MiB
+
+    kernel = StandaloneA2AKernel(machine, nodes=1024, tasks_per_node=2)
+    bw = benchmark(kernel.effective_bandwidth, 5.06 * MiB)
+    assert abs(bw / 1e9 - 25.0) / 25.0 < 0.15

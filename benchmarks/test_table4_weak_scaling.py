@@ -1,0 +1,35 @@
+"""Benchmark + reproduction of Table 4 (weak scaling) and Sec. 5.3 (strong)."""
+
+from repro.experiments import paperdata, table4
+
+
+def test_table4_weak_and_strong_scaling(benchmark):
+    result = benchmark(table4.run)
+    # Weak scaling declines monotonically with scale.
+    ws = [result.weak_scaling[m] for m in (128, 1024, 3072)]
+    assert all(a > b for a, b in zip(ws, ws[1:]))
+    # The summary claim: ~53% at 216x the grid points remains "respectable".
+    assert 45.0 < result.weak_scaling[3072] < 65.0
+    # Each rung within 20% of the paper's percentage.
+    for ref in paperdata.TABLE4[1:]:
+        model = result.weak_scaling[ref.nodes]
+        assert abs(model - ref.weak_scaling_pct) / ref.weak_scaling_pct < 0.20
+    # Strong scaling of the 6 t/n configuration is high (paper: 95.7%).
+    assert result.strong_scaling_pct > 75.0
+    benchmark.extra_info["weak_scaling_pct"] = {
+        m: round(v, 1) for m, v in result.weak_scaling.items()
+    }
+    benchmark.extra_info["strong_scaling_pct"] = round(result.strong_scaling_pct, 1)
+
+
+def test_eq4_formula():
+    """Paper Eq. 4 on the paper's own numbers reproduces its percentages."""
+    assert abs(
+        table4.weak_scaling_pct(3072, 16, 6.70, 6144, 128, 8.07) - 83.0
+    ) < 0.5
+    assert abs(
+        table4.weak_scaling_pct(3072, 16, 6.70, 12288, 1024, 10.14) - 66.1
+    ) < 0.5
+    assert abs(
+        table4.weak_scaling_pct(3072, 16, 6.70, 18432, 3072, 14.24) - 52.9
+    ) < 0.5

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Visualize the asynchronous pipeline: the paper's Fig. 10, interactively.
+
+Simulates one RK2 step of the 12288^3 problem on 1024 Summit nodes under
+four configurations and renders their activity timelines on a common,
+normalized span — the same comparison the paper reads off NVIDIA's visual
+profiler.  Look for:
+
+* MPI (M) filling almost the whole band in every configuration;
+* the slab-per-exchange band finishing earlier than the pencil-per-exchange
+  band despite *no* MPI/GPU overlap;
+* the 6 tasks/node band's stretched D2H (d) segments — the 3x pack-call
+  inflation of Sec. 5.2.
+
+Run:  python examples/async_pipeline_timeline.py [width]
+"""
+
+import sys
+
+from repro.experiments import fig10
+
+
+def main(width: int = 110) -> None:
+    result = fig10.run()
+    print(result.render(width=width))
+    print()
+    print(f"{'configuration':>20} {'s/step':>8} {'MPI %':>6} {'D2H s':>7}")
+    for name, timing in result.timings.items():
+        print(
+            f"{name:>20} {timing.step_time:8.2f} "
+            f"{100 * result.mpi_fraction(name):6.0f} "
+            f"{result.d2h_time(name):7.2f}"
+        )
+    print(
+        "\npaper Fig. 10 takeaways reproduced: MPI dominates; one slab per"
+        "\nexchange beats one pencil per exchange at this scale; 6 tasks/node"
+        "\npays a 3x finer pack granularity in the D2H sections."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 110)

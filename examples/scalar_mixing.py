@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Turbulent scalar mixing: passive scalars at several Schmidt numbers.
+
+The paper's governing equation is "of the advective-diffusive type", and
+the production lineage behind it (its Ref. [5]) simulates turbulent mixing
+at high Schmidt number on GPUs.  This example sustains scalar fluctuations
+with a uniform mean gradient and compares three Schmidt numbers carried by
+the *same* velocity field: higher Sc retains variance at smaller scales
+(the Batchelor regime the big machines exist to resolve).
+
+Run:  python examples/scalar_mixing.py [N] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.spectral import (
+    BandForcing,
+    ScalarMixingSolver,
+    SolverConfig,
+    SpectralGrid,
+    random_isotropic_field,
+)
+from repro.spectral.scalar import scalar_dissipation, scalar_spectrum, scalar_variance
+
+
+def main(n: int = 32, steps: int = 30) -> None:
+    nu = 0.02
+    grid = SpectralGrid(n)
+    rng = np.random.default_rng(11)
+    schmidts = (0.25, 1.0, 4.0)
+
+    solver = ScalarMixingSolver(
+        grid,
+        random_isotropic_field(grid, rng, energy=1.0, k_peak=3.0),
+        SolverConfig(nu=nu, scheme="rk2", phase_shift=False),
+        forcing=BandForcing(k_force=2.5, eps_inj=0.8),
+    )
+    for sc in schmidts:
+        solver.add_scalar(grid.zeros_spectral(), schmidt=sc, mean_gradient=1.0)
+
+    print(f"scalar mixing, N={n}^3, nu={nu}, mean gradient G=1, Sc={schmidts}")
+    print(
+        f"{'step':>5} {'t':>7} "
+        + " ".join(f"{f'var(Sc={sc:g})':>12}" for sc in schmidts)
+    )
+    dt = 0.5 * solver.flow.stable_dt(cfl=0.5)
+    for step in range(1, steps + 1):
+        result = solver.step(dt)
+        if step % 5 == 0:
+            variances = [
+                scalar_variance(s.theta_hat, grid) for s in solver.scalars
+            ]
+            print(
+                f"{step:5d} {result.time:7.3f} "
+                + " ".join(f"{v:12.5f}" for v in variances)
+            )
+
+    print("\nscalar statistics after the run:")
+    print(f"{'Sc':>6} {'variance':>10} {'chi':>10} {'peak k':>7}")
+    for s in solver.scalars:
+        d = s.diffusivity(nu)
+        k, e_k = scalar_spectrum(s.theta_hat, grid)
+        peak = int(k[np.argmax(e_k[1:]) + 1])
+        print(
+            f"{s.schmidt:6.2f} {scalar_variance(s.theta_hat, grid):10.5f} "
+            f"{scalar_dissipation(s.theta_hat, grid, d):10.5f} {peak:7d}"
+        )
+    print(
+        "\nhigher Schmidt numbers hold more variance and push it to higher"
+        "\nwavenumbers — the resolution-hungry regime that motivates"
+        "\nextreme-scale grids like the paper's 18432^3."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+    main(n, steps)

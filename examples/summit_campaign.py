@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Campaign planning on Summit: the paper's Sec. 3.5 + Sec. 5 workflow.
+
+Given a target problem size, this example answers the questions a
+simulation campaign has to answer before burning an INCITE allocation:
+
+1. how many nodes does the problem need, and which node counts are valid?
+2. how many pencils must each slab be cut into to fit the GPUs?
+3. which MPI configuration is fastest — 6 vs 2 tasks/node, pencil vs slab
+   per all-to-all — and what is the expected seconds/step?
+4. how far is that from the all-to-all lower bound (Fig. 9's dotted line)?
+
+Run:  python examples/summit_campaign.py [N]       (default 18432)
+"""
+
+import sys
+
+from repro.core import Algorithm, MemoryPlanner, RunConfig, simulate_step
+from repro.machine.spec import GiB
+from repro.machine.summit import summit
+
+
+def main(n: int = 18432) -> None:
+    machine = summit()
+    planner = MemoryPlanner(machine)
+
+    print(f"=== Campaign plan for a {n}^3 pseudo-spectral DNS on Summit ===\n")
+
+    min_nodes = planner.min_nodes(n)
+    valid = planner.valid_node_counts(n)
+    print(f"memory floor (D=25 variables, 448 GiB/node): {min_nodes} nodes")
+    print(f"valid node counts (load balance for 2 and 6 t/n): {valid}")
+    if not valid:
+        print("no valid node count on this machine — problem too large")
+        return
+
+    nodes = valid[-1] if len(valid) > 1 else valid[0]
+    plan = planner.plan(n, nodes)
+    print(f"\nchosen allocation: {nodes} nodes "
+          f"({100 * nodes / machine.total_nodes:.0f}% of the machine)")
+    print(f"  resident memory/node : {plan.memory_per_node_gib:7.1f} GiB")
+    print(f"  pencils per slab (np): {plan.npencils}")
+    print(f"  pencil size (1 var)  : {plan.pencil_gib:7.2f} GiB  "
+          f"(27 buffers x {planner.assume.gpu_overhead:.2f} overhead vs "
+          f"{machine.node.gpu_memory_bytes / GiB:.0f} GiB HBM)")
+
+    print("\nper-step time under each configuration (simulated):")
+    np_ = plan.npencils
+    configs = {
+        "sync CPU (2-D pencil baseline)": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=2, npencils=np_,
+            algorithm=Algorithm.CPU_BASELINE),
+        "async GPU, 6 t/n, 1 pencil/A2A": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=6, npencils=np_, q_pencils_per_a2a=1),
+        "async GPU, 2 t/n, 1 pencil/A2A": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=2, npencils=np_, q_pencils_per_a2a=1),
+        "async GPU, 2 t/n, 1 slab/A2A  ": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=2, npencils=np_, q_pencils_per_a2a=np_),
+        "MPI-only lower bound          ": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=2, npencils=np_, q_pencils_per_a2a=np_,
+            algorithm=Algorithm.MPI_ONLY),
+    }
+    times = {}
+    for label, cfg in configs.items():
+        timing = simulate_step(cfg, machine, trace=False)
+        times[label] = timing.step_time
+        print(f"  {label}: {timing.step_time:7.2f} s/step")
+
+    gpu_only = {k: v for k, v in times.items()
+                if "GPU" in k}
+    best = min(gpu_only, key=gpu_only.get)
+    cpu = times["sync CPU (2-D pencil baseline)"]
+    floor = times["MPI-only lower bound          "]
+    print(f"\nrecommendation: {best.strip()}")
+    print(f"  speedup over CPU baseline : {cpu / gpu_only[best]:.1f}x")
+    print(f"  headroom to network bound : "
+          f"{100 * (gpu_only[best] - floor) / gpu_only[best]:.0f}% "
+          f"(GPU work + non-overlapped movement)")
+    steps_per_hour = 3600.0 / gpu_only[best]
+    print(f"  throughput                : {steps_per_hour:.0f} steps/hour "
+          f"-> a 10k-step production run needs "
+          f"{10000 / steps_per_hour:.0f} wall-clock hours")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 18432)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build. ``python setup.py
+develop`` provides the legacy editable path; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

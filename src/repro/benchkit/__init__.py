@@ -1,0 +1,17 @@
+"""Standalone measurement kernels, mirroring the paper's Sec. 4 methodology.
+
+The paper isolates two subsystems with dedicated micro-benchmarks before
+analyzing the full DNS:
+
+* a standalone MPI kernel "which carries out communication operations
+  mimicking those in the DNS code but does not compute nor move data
+  between CPU and GPU" (Table 2) — :mod:`repro.benchkit.a2a_kernel`;
+* a strided-copy study comparing per-chunk ``cudaMemcpyAsync``, zero-copy
+  kernels and ``cudaMemcpy2DAsync`` (Figs. 7 and 8) —
+  :mod:`repro.benchkit.stride_kernel`.
+"""
+
+from repro.benchkit.a2a_kernel import StandaloneA2AKernel
+from repro.benchkit.stride_kernel import StridedCopyStudy, ZeroCopyBlockStudy
+
+__all__ = ["StandaloneA2AKernel", "StridedCopyStudy", "ZeroCopyBlockStudy"]

@@ -1,0 +1,74 @@
+"""Standalone blocking all-to-all kernel (the paper's Table 2 instrument).
+
+Runs a bare exchange through the discrete-event simulation — one socket's
+ranks posting blocking all-to-alls with no GPU traffic present — and reports
+the paper's effective-bandwidth metric (its Eq. 3)::
+
+    BW = 2 * P2P * P * tpn / time
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.machine.spec import MachineSpec
+from repro.mpi.simmpi import SimComm
+from repro.sim.engine import Engine
+from repro.sim.resources import LinkSet
+
+__all__ = ["StandaloneA2AKernel"]
+
+
+class StandaloneA2AKernel:
+    """Times blocking all-to-alls of a given per-peer size, DES-executed."""
+
+    def __init__(self, machine: MachineSpec, nodes: int, tasks_per_node: int):
+        machine.validate()
+        if nodes < 1 or tasks_per_node < 1:
+            raise ValueError("nodes and tasks_per_node must be positive")
+        self.machine = machine
+        self.nodes = nodes
+        self.tasks_per_node = tasks_per_node
+
+    @property
+    def ranks(self) -> int:
+        return self.nodes * self.tasks_per_node
+
+    def time_exchange(self, p2p_bytes: float, repeats: int = 1) -> float:
+        """Average wall time of one blocking all-to-all (simulated).
+
+        All ranks of one socket post concurrently, as in the real kernel;
+        bulk synchrony makes one socket representative of the machine.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        engine = Engine()
+        links = LinkSet(engine)
+        sockets = self.machine.sockets_per_node
+        dram = links.link("dram", self.machine.socket().dram_bw)
+        nic = links.link("nic", self.machine.network.injection_bw / sockets)
+        ranks_on_socket = max(1, self.tasks_per_node // sockets)
+
+        def rank_proc(r: int) -> Generator:
+            comm = SimComm(
+                engine,
+                links,
+                self.machine,
+                nodes=self.nodes,
+                tasks_per_node=self.tasks_per_node,
+                nic_link=nic,
+                dram_link=dram,
+                lane=f"r{r}.mpi",
+            )
+            for i in range(repeats):
+                yield from comm.alltoall(p2p_bytes, label=f"a2a[{i}]")
+
+        for r in range(ranks_on_socket):
+            engine.process(rank_proc(r), name=f"rank{r}")
+        engine.run()
+        return engine.now / repeats
+
+    def effective_bandwidth(self, p2p_bytes: float, repeats: int = 1) -> float:
+        """Paper Eq. 3: ``2 * P2P * P * tpn / time`` in bytes/second."""
+        time = self.time_exchange(p2p_bytes, repeats=repeats)
+        return 2.0 * p2p_bytes * self.ranks * self.tasks_per_node / time

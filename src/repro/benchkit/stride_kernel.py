@@ -1,0 +1,94 @@
+"""Strided-copy studies: the paper's Figs. 7 and 8.
+
+* :class:`StridedCopyStudy` moves a fixed total (216 MB in the paper) with
+  varying contiguous chunk sizes under the three strategies of Sec. 4.2.
+* :class:`ZeroCopyBlockStudy` sweeps the zero-copy kernel's thread-block
+  count against the ``cudaMemcpy2DAsync`` reference line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.memcpy import (
+    CopyStrategy,
+    StridedCopySpec,
+    strided_copy_time,
+)
+from repro.cuda.kernels import zero_copy_bandwidth
+from repro.machine.spec import GpuSpec
+from repro.machine.summit import summit_gpu
+
+__all__ = ["StridedCopyStudy", "StrideStudyPoint", "ZeroCopyBlockStudy"]
+
+
+@dataclass(frozen=True)
+class StrideStudyPoint:
+    """Timing of one (chunk size, strategy) combination."""
+
+    chunk_bytes: float
+    strategy: CopyStrategy
+    time_s: float
+
+    @property
+    def bandwidth(self) -> float:
+        return 0.0 if self.time_s == 0 else self.total_bytes_hint / self.time_s
+
+    total_bytes_hint: float = 0.0
+
+
+class StridedCopyStudy:
+    """Fig. 7: time to move a fixed total with strided access, by strategy."""
+
+    def __init__(self, gpu: GpuSpec | None = None, total_bytes: float = 216 * 1024**2):
+        if total_bytes <= 0:
+            raise ValueError("total size must be positive")
+        self.gpu = gpu or summit_gpu()
+        self.total_bytes = float(total_bytes)
+
+    def time(self, chunk_bytes: float, strategy: CopyStrategy) -> float:
+        spec = StridedCopySpec.from_total(self.total_bytes, chunk_bytes)
+        return strided_copy_time(spec, self.gpu, strategy)
+
+    def sweep(
+        self, chunk_sizes: list[float], strategies: list[CopyStrategy] | None = None
+    ) -> list[StrideStudyPoint]:
+        strategies = strategies or list(CopyStrategy)
+        return [
+            StrideStudyPoint(
+                chunk_bytes=c,
+                strategy=s,
+                time_s=self.time(c, s),
+                total_bytes_hint=self.total_bytes,
+            )
+            for c in chunk_sizes
+            for s in strategies
+        ]
+
+
+class ZeroCopyBlockStudy:
+    """Fig. 8: zero-copy bandwidth vs thread blocks vs the memcpy2d line."""
+
+    def __init__(self, gpu: GpuSpec | None = None):
+        self.gpu = gpu or summit_gpu()
+
+    def zero_copy_bw(self, blocks: int) -> float:
+        return zero_copy_bandwidth(blocks, self.gpu)
+
+    def memcpy2d_reference_bw(self, chunk_bytes: float = 64 * 1024) -> float:
+        """Sustained cudaMemcpy2DAsync bandwidth for largish chunks."""
+        spec = StridedCopySpec.from_total(256 * 1024**2, chunk_bytes)
+        t = strided_copy_time(spec, self.gpu, CopyStrategy.MEMCPY_2D_ASYNC)
+        return spec.total_bytes / t
+
+    def saturation_blocks(self, fraction: float = 0.95) -> int:
+        """Smallest block count reaching ``fraction`` of the saturated BW."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        target = fraction * self.zero_copy_bw(self.gpu.sms * 2)
+        blocks = 1
+        while self.zero_copy_bw(blocks) < target:
+            blocks += 1
+            if blocks > self.gpu.sms * 4:  # pragma: no cover - model guard
+                break
+        return blocks

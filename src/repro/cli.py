@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands expose the reproduction's main entry points:
+
+===============  ==========================================================
+``plan``         memory planning for a problem size (Table 1 / Sec. 3.5)
+``autotune``     rank the MPI configurations for one operating point
+``step``         simulate one DNS step of a chosen configuration
+``dns``          run the *real* solver at laptop scale, printing statistics
+``table1-4``     regenerate a paper table with paper-vs-model errors
+``fig7-10``      regenerate a paper figure
+``projection``   the exascale what-if study
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'19 asynchronous GPU pseudo-spectral DNS reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="memory planning (Table 1 / Sec. 3.5)")
+    p.add_argument("n", type=int, help="linear problem size N")
+    p.add_argument("--nodes", type=int, default=None)
+
+    p = sub.add_parser("autotune", help="rank MPI configurations")
+    p.add_argument("n", type=int)
+    p.add_argument("nodes", type=int)
+
+    p = sub.add_parser("step", help="simulate one DNS step")
+    p.add_argument("n", type=int)
+    p.add_argument("nodes", type=int)
+    p.add_argument("--tasks-per-node", type=int, default=2)
+    p.add_argument("--q", type=int, default=None,
+                   help="pencils per all-to-all (default: whole slab)")
+    p.add_argument("--algorithm", default="async_gpu",
+                   choices=["async_gpu", "sync_gpu", "cpu_baseline", "mpi_only"])
+    p.add_argument("--scheme", default="rk2", choices=["rk2", "rk4"])
+    p.add_argument("--timeline", action="store_true",
+                   help="print the activity timeline")
+    p.add_argument("--chrome-trace", metavar="PATH", default=None,
+                   help="write a chrome://tracing JSON file")
+
+    p = sub.add_parser("dns", help="run the real solver at laptop scale")
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--nu", type=float, default=0.02)
+    p.add_argument("--forced", action="store_true")
+
+    for name in ("table1", "table2", "table3", "table4"):
+        sub.add_parser(name, help=f"regenerate paper {name}")
+    for name in ("fig7", "fig8", "fig9", "fig10"):
+        sub.add_parser(name, help=f"regenerate paper {name}")
+
+    p = sub.add_parser("projection", help="exascale what-if study")
+    p.add_argument("--n", type=int, default=18432)
+
+    p = sub.add_parser("validation", help="physics validation checklist")
+    p.add_argument("--n", type=int, default=24)
+
+    p = sub.add_parser("density", help="Titan-vs-Summit node-density study")
+    p.add_argument("--n", type=int, default=12288)
+
+    p = sub.add_parser(
+        "resolution", help="physics targets -> grid sizes -> machine cost"
+    )
+    return parser
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.planner import MemoryPlanner
+    from repro.machine.summit import summit
+
+    machine = summit()
+    planner = MemoryPlanner(machine)
+    print(f"minimum nodes (D=25): {planner.min_nodes(args.n)}")
+    valid = planner.valid_node_counts(args.n)
+    print(f"valid node counts   : {valid}")
+    nodes = args.nodes if args.nodes is not None else (valid[-1] if valid else None)
+    if nodes is None:
+        print("problem does not fit on this machine")
+        return 1
+    row = planner.plan(args.n, nodes)
+    print(f"plan for {nodes} nodes: mem/node {row.memory_per_node_gib:.1f} GiB, "
+          f"np={row.npencils}, pencil {row.pencil_gib:.2f} GiB")
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from repro.core.autotuner import autotune
+    from repro.machine.summit import summit
+
+    print(autotune(summit(), args.n, args.nodes).report())
+    return 0
+
+
+def _cmd_step(args) -> int:
+    from repro.core.config import Algorithm, RunConfig
+    from repro.core.executor import simulate_step
+    from repro.core.planner import MemoryPlanner
+    from repro.core.timeline import render_timeline
+    from repro.machine.summit import summit
+
+    machine = summit()
+    np_ = MemoryPlanner(machine).plan(args.n, args.nodes).npencils
+    while args.n % np_ != 0:
+        np_ += 1
+    q = args.q if args.q is not None else np_
+    cfg = RunConfig(
+        n=args.n,
+        nodes=args.nodes,
+        tasks_per_node=args.tasks_per_node,
+        npencils=np_,
+        q_pencils_per_a2a=q,
+        algorithm=Algorithm(args.algorithm),
+        scheme=args.scheme,
+    )
+    timing = simulate_step(cfg, machine)
+    print(f"{cfg.label()}: {timing.step_time:.2f} s/step")
+    for cat, t in sorted(timing.breakdown.items()):
+        print(f"  {cat:>6}: {t:8.2f} s busy")
+    if args.timeline:
+        print(render_timeline(timing.tracer, width=100))
+    if args.chrome_trace:
+        from repro.core.trace_export import write_chrome_trace
+
+        path = write_chrome_trace(timing.tracer, args.chrome_trace)
+        print(f"chrome trace written to {path}")
+    return 0
+
+
+def _cmd_dns(args) -> int:
+    import numpy as np
+
+    from repro.spectral import (
+        BandForcing,
+        NavierStokesSolver,
+        SolverConfig,
+        SpectralGrid,
+        flow_statistics,
+        random_isotropic_field,
+    )
+
+    grid = SpectralGrid(args.n)
+    rng = np.random.default_rng(0)
+    forcing = BandForcing(k_force=2.5, eps_inj=1.0) if args.forced else None
+    solver = NavierStokesSolver(
+        grid,
+        random_isotropic_field(grid, rng, energy=1.0),
+        SolverConfig(nu=args.nu),
+        forcing=forcing,
+    )
+    for step in range(1, args.steps + 1):
+        result = solver.step(solver.stable_dt(cfl=0.5))
+        if step % max(1, args.steps // 10) == 0:
+            print(f"step {step:4d} t={result.time:.4f} E={result.energy:.5f} "
+                  f"eps={result.dissipation:.5f}")
+    print(flow_statistics(solver.u_hat, grid, args.nu))
+    return 0
+
+
+def _cmd_report(module_name: str) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    result = module.run()
+    if hasattr(result, "report"):
+        print(result.report())
+    elif hasattr(result, "render"):  # fig10
+        print(result.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "autotune":
+        return _cmd_autotune(args)
+    if args.command == "step":
+        return _cmd_step(args)
+    if args.command == "dns":
+        return _cmd_dns(args)
+    if args.command == "projection":
+        from repro.experiments.projection import run
+
+        print(run(args.n).report())
+        return 0
+    if args.command == "validation":
+        from repro.experiments.validation import run
+
+        report = run(n=args.n)
+        print(report.format())
+        return 0 if report.all_passed else 1
+    if args.command == "density":
+        from repro.experiments.density_study import report
+
+        print(report(args.n))
+        return 0
+    if args.command == "resolution":
+        from repro.experiments.resolution_study import run
+
+        for row in run():
+            print(row.format())
+        return 0
+    if args.command in {"table1", "table2", "table3", "table4",
+                        "fig7", "fig8", "fig9", "fig10"}:
+        return _cmd_report(args.command)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Closed-form step-time prediction (no discrete-event simulation).
+
+The DES executor gives the faithful answer; this module gives the *insight*:
+a per-substage breakdown of where the time must go, from the same cost
+models, composed analytically:
+
+* MPI — each exchange priced by the network model, serialized per rank;
+* GPU chain — the transfer-stream busy time (H2D + D2H of every stage, the
+  packs rate-limited by their call chains) and the compute-stream busy time,
+  overlapped within a stage by the Fig.-4 pipeline;
+* composition — overlapped configurations take ``max(MPI, GPU)`` per
+  substage, whole-slab configurations take ``MPI + stage residencies``.
+
+Useful for wide sweeps (thousands of configurations per second) and as an
+independent check that the DES's behaviour follows from the cost models
+rather than from simulation artifacts: the tests require the two to agree
+within a stated band across the paper's operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Algorithm, RunConfig
+from repro.core.costs import CostModel
+from repro.machine.network import AllToAllModel
+from repro.machine.spec import MachineSpec
+
+__all__ = ["AnalyticStepEstimate", "predict_step"]
+
+
+@dataclass(frozen=True)
+class AnalyticStepEstimate:
+    """Per-step totals (seconds) and the composed estimate."""
+
+    config: RunConfig
+    mpi_time: float
+    h2d_time: float
+    d2h_time: float
+    compute_time: float
+    step_time: float
+
+    @property
+    def gpu_transfer_time(self) -> float:
+        return self.h2d_time + self.d2h_time
+
+    @property
+    def mpi_fraction(self) -> float:
+        return self.mpi_time / self.step_time if self.step_time else 0.0
+
+    def report(self) -> str:
+        return (
+            f"{self.config.label()}: {self.step_time:.2f} s/step "
+            f"(MPI {self.mpi_time:.2f}, H2D {self.h2d_time:.2f}, "
+            f"D2H {self.d2h_time:.2f}, FFT {self.compute_time:.2f})"
+        )
+
+
+def _effective_rate(nbytes: float, link_rate: float, cap: float | None) -> float:
+    rate = link_rate
+    if cap is not None:
+        rate = min(rate, cap)
+    return rate
+
+
+def predict_step(config: RunConfig, machine: MachineSpec) -> AnalyticStepEstimate:
+    """Closed-form estimate of one DNS step for a GPU configuration.
+
+    Only the GPU algorithms are supported (the CPU baseline is already an
+    analytic chain inside the executor).
+    """
+    if config.algorithm not in (Algorithm.ASYNC_GPU, Algorithm.SYNC_GPU):
+        raise ValueError("analytic model covers the GPU algorithms only")
+    cost = CostModel(config, machine)
+    model = AllToAllModel(machine)
+    cal = machine.network.calibration
+    plans = cost.stage_plans()
+
+    # -- MPI per substage: every exchange serialized on the communicator.
+    mpi_substage = 0.0
+    for plan in plans:
+        exchange = cost.exchange_after(plan.name)
+        if exchange is None:
+            continue
+        blocking = config.whole_slab_per_a2a or config.algorithm is Algorithm.SYNC_GPU
+        timing = model.timing(
+            exchange.p2p_bytes, config.nodes, config.tasks_per_node,
+            blocking=blocking,
+        )
+        t = timing.time
+        if not blocking:
+            t = timing.latency + (timing.time - timing.latency) / cal.overlap_efficiency(
+                config.nodes
+            )
+        mpi_substage += t * config.a2a_groups
+
+    # -- GPU streams per substage, per GPU (symmetric).
+    gpu = machine.gpu()
+    nvlink = gpu.nvlink_bw
+    np_ = config.npencils
+    h2d = d2h = fft = 0.0
+    residency = 0.0  # non-overlappable pipeline fill per stage
+    for plan in plans:
+        h2d_rate = _effective_rate(plan.h2d_bytes, nvlink, plan.h2d_max_rate)
+        d2h_rate = _effective_rate(plan.d2h_bytes, nvlink, plan.d2h_max_rate)
+        t_h2d = np_ * (plan.h2d_setup + plan.h2d_bytes / h2d_rate)
+        t_d2h = np_ * (plan.d2h_setup + plan.d2h_bytes / d2h_rate)
+        t_fft = np_ * plan.compute_time
+        h2d += t_h2d
+        d2h += t_d2h
+        fft += t_fft
+        # Stage span >= transfer-stream busy time plus one pencil's compute
+        # (fill); compute hides behind transfers otherwise.
+        residency += max(t_h2d + t_d2h, t_fft) + plan.compute_time
+
+    substages = config.substages
+    if config.algorithm is Algorithm.SYNC_GPU:
+        # Fully serial: every pencil's chain plus the exchanges.
+        serial = sum(
+            np_ * (p.h2d_setup + p.h2d_bytes / _effective_rate(p.h2d_bytes, nvlink, p.h2d_max_rate)
+                   + p.compute_time
+                   + p.d2h_setup + p.d2h_bytes / _effective_rate(p.d2h_bytes, nvlink, p.d2h_max_rate))
+            for p in plans
+        )
+        step = substages * (serial + mpi_substage)
+    elif config.whole_slab_per_a2a:
+        # No MPI/GPU overlap: exchanges and stage residencies alternate.
+        step = substages * (mpi_substage + residency)
+    else:
+        # Overlapped: per substage the longer of (serialized MPI, GPU chain),
+        # plus the fill of the first stage that cannot be hidden.
+        step = substages * max(mpi_substage, residency)
+        step += substages * 0.2 * min(mpi_substage, residency)  # imperfect overlap
+
+    return AnalyticStepEstimate(
+        config=config,
+        mpi_time=substages * mpi_substage,
+        h2d_time=substages * h2d,
+        d2h_time=substages * d2h,
+        compute_time=substages * fft,
+        step_time=step,
+    )

@@ -1,0 +1,102 @@
+"""Configuration autotuner: pick the fastest run configuration for a problem.
+
+Automates the paper's Sec. 4/5 exploration — 6 vs 2 tasks per node and the
+number of pencils per all-to-all (Q from 1 to np) — by simulating one step
+of every candidate and ranking them.  The paper's own conclusion (2 t/n
+with whole-slab exchanges beyond 16 nodes) falls out of the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RunConfig
+from repro.core.executor import simulate_step
+from repro.core.planner import MemoryPlanner
+from repro.machine.spec import MachineSpec
+
+__all__ = ["AutotuneResult", "CandidateTiming", "autotune"]
+
+
+@dataclass(frozen=True)
+class CandidateTiming:
+    config: RunConfig
+    step_time: float
+    mpi_time: float
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Ranked candidates (fastest first)."""
+
+    candidates: list[CandidateTiming]
+
+    @property
+    def best(self) -> CandidateTiming:
+        return self.candidates[0]
+
+    def report(self) -> str:
+        lines = [f"{'configuration':<34} {'s/step':>8} {'MPI s':>8}"]
+        for c in self.candidates:
+            marker = "  <-- best" if c is self.best else ""
+            lines.append(
+                f"{c.label:<34} {c.step_time:8.2f} {c.mpi_time:8.2f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def _divisors_of(np_: int) -> list[int]:
+    return [q for q in range(1, np_ + 1) if np_ % q == 0]
+
+
+def autotune(
+    machine: MachineSpec,
+    n: int,
+    nodes: int,
+    tasks_per_node_options: tuple[int, ...] = (2, 6),
+    scheme: str = "rk2",
+    trace: bool = True,
+) -> AutotuneResult:
+    """Sweep (tasks/node) x (Q pencils per all-to-all); rank by step time.
+
+    The pencil count np comes from the memory planner (it is a constraint,
+    not a free knob); Q sweeps over the divisors of np.
+    """
+    planner = MemoryPlanner(machine)
+    np_ = planner.plan(n, nodes).npencils
+    # The batching requires np to divide N.
+    while n % np_ != 0:
+        np_ += 1
+
+    candidates: list[CandidateTiming] = []
+    for tpn in tasks_per_node_options:
+        if n % (nodes * tpn) != 0:
+            continue  # load-balance constraint (integer slab thickness)
+        for q in _divisors_of(np_):
+            cfg = RunConfig(
+                n=n,
+                nodes=nodes,
+                tasks_per_node=tpn,
+                npencils=np_,
+                q_pencils_per_a2a=q,
+                scheme=scheme,  # type: ignore[arg-type]
+            )
+            timing = simulate_step(cfg, machine, trace=trace)
+            candidates.append(
+                CandidateTiming(
+                    config=cfg,
+                    step_time=timing.step_time,
+                    mpi_time=timing.mpi_time,
+                )
+            )
+    if not candidates:
+        raise ValueError(
+            f"no valid configuration for N={n} on {nodes} nodes "
+            f"with tasks/node in {tasks_per_node_options}"
+        )
+    candidates.sort(key=lambda c: c.step_time)
+    return AutotuneResult(candidates=candidates)

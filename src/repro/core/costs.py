@@ -1,0 +1,278 @@
+"""Prices the pencil-granularity operations of the simulated DNS step.
+
+Bridges the configuration (:class:`~repro.core.config.RunConfig`) to the
+hardware cost models (:mod:`repro.cuda`, :mod:`repro.machine.network`):
+how many bytes a pencil H2D copy moves, how many ``cudaMemcpy2DAsync`` calls
+the pack needs, how long the batched FFTs run, and the exchange shape of
+each all-to-all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import RunConfig
+from repro.cuda.cufft import CufftPlan
+from repro.cuda.kernels import pointwise_kernel_time, zero_copy_bandwidth
+from repro.machine.spec import GpuSpec, MachineSpec
+from repro.mpi.costmodel import ExchangeShape, slab_exchange_shape
+
+__all__ = ["CostModel", "StageKind", "StagePlan"]
+
+#: Thread blocks granted to the zero-copy unpack kernel (paper Fig. 8 shows
+#: ~16 blocks suffice to saturate while leaving the SMs to compute kernels).
+ZERO_COPY_BLOCKS = 16
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Per-pencil, per-GPU costs of one pipeline stage.
+
+    All byte counts are per pencil per GPU; times are seconds.
+    """
+
+    name: str
+    nv_in: int
+    nv_out: int
+    h2d_bytes: float
+    h2d_setup: float
+    h2d_max_rate: float | None
+    compute_time: float
+    d2h_bytes: float
+    d2h_setup: float
+    d2h_max_rate: float | None
+
+
+class StageKind:
+    """The three pipeline stages of one RK substage (see executor docs)."""
+
+    FOURIER_Y = "stageA"  # iFFT y on velocities (Fourier side)
+    PHYSICAL_ZX = "stageB"  # iFFT z, irFFT x, products, rFFT x, FFT z (fused)
+    FOURIER_Y_BACK = "stageC"  # FFT y on products + RK update
+
+
+class CostModel:
+    """All operation prices for one (config, machine) pair."""
+
+    def __init__(self, config: RunConfig, machine: MachineSpec):
+        self.config = config
+        self.machine = machine
+        self.gpu: GpuSpec = machine.gpu()
+        self.gpus_per_rank = config.gpus_per_rank(machine)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def pencil_points_per_gpu(self) -> float:
+        """Grid points of one pencil's share on one GPU (per variable)."""
+        c = self.config
+        return c.n**3 / (c.ranks * c.npencils * self.gpus_per_rank)
+
+    def pencil_bytes_gpu(self, nv: int) -> float:
+        """Bytes of ``nv`` variables of one pencil on one GPU."""
+        return 4.0 * nv * self.pencil_points_per_gpu
+
+    @property
+    def planes_per_gpu(self) -> int:
+        """z-planes of the slab handled by each GPU (Fig. 5 vertical split)."""
+        c = self.config
+        return max(1, math.ceil(c.slab_thickness / self.gpus_per_rank))
+
+    @property
+    def contiguous_chunk_bytes(self) -> float:
+        """Contiguous extent of a strided pencil copy: an x-line fragment.
+
+        For the y-side stages the slab is split along x into ``np`` pieces,
+        so the contiguous run is ``4 * N / np`` bytes (18 KB for the paper's
+        18432^3 / np=4 example, Sec. 4.2).
+        """
+        c = self.config
+        return 4.0 * c.n / c.npencils
+
+    # -- strided copies ----------------------------------------------------------
+
+    def _chain_rate(self, nbytes: float, calls: float) -> float:
+        """Sustained rate of a cudaMemcpy2DAsync chain limited by API issue.
+
+        The host issues ``calls`` API calls while the copy engine executes
+        previously issued ones, so the chain pipelines: the effective rate
+        is capped at ``bytes / (calls * per-call overhead)`` rather than the
+        overhead adding serially to the wire time.
+        """
+        issue_time = calls * self.gpu.pack_call_overhead
+        if issue_time <= 0:
+            return float("inf")
+        return nbytes / issue_time
+
+    def h2d_copy(self, nv: int) -> tuple[float, float | None]:
+        """(setup, max_rate) for the memcpy2d chain bringing a pencil in.
+
+        One API call per (variable, z-plane); the copy engine walks the
+        strided rows at ``copy_engine_row_overhead`` each (charged as a
+        fixed setup since row-walk and wire time overlap poorly for the
+        small rows involved).
+        """
+        calls = nv * self.planes_per_gpu
+        rows = self.pencil_bytes_gpu(nv) / self.contiguous_chunk_bytes
+        setup = rows * self.gpu.copy_engine_row_overhead
+        return setup, self._chain_rate(self.pencil_bytes_gpu(nv), calls)
+
+    def d2h_pack(self, nv: int) -> tuple[float, float | None]:
+        """(setup, max_rate) for the packed (strided) D2H before an A2A.
+
+        The pack must produce one contiguous block per destination rank, so
+        the number of 2-D copies is proportional to the rank count: one call
+        per (variable, destination, z-plane) — the effect that makes packing
+        3x more expensive per GPU at 6 tasks/node (paper Sec. 5.2).
+        """
+        calls = nv * self.config.ranks * self.planes_per_gpu
+        rows = self.pencil_bytes_gpu(nv) / self.contiguous_chunk_bytes
+        setup = rows * self.gpu.copy_engine_row_overhead
+        return setup, self._chain_rate(self.pencil_bytes_gpu(nv), calls)
+
+    def unpack_h2d(self, nv: int) -> tuple[float, float | None]:
+        """(setup, max_rate) for the post-exchange H2D unpack.
+
+        With the zero-copy kernel (production choice) the complexly strided
+        unpack is a single kernel reading pinned host memory, rate-limited
+        by its thread-block budget; otherwise it is a long memcpy2d chain
+        like the pack.
+        """
+        if self.config.zero_copy_unpack:
+            rate = zero_copy_bandwidth(ZERO_COPY_BLOCKS, self.gpu)
+            return (self.gpu.kernel_launch_overhead, rate)
+        return self.d2h_pack(nv)
+
+    # -- GPU compute ------------------------------------------------------------
+
+    def fft_time(self, nv: int, axes: int, real_axes: int = 0, strided: bool = True) -> float:
+        """Batched 1-D FFT sweeps over a pencil: ``axes`` c2c + ``real_axes`` r2c."""
+        n = self.config.n
+        batch = max(1, int(round(nv * self.pencil_points_per_gpu / n)))
+        total = 0.0
+        if axes:
+            plan = CufftPlan(n=n, batch=batch, real=False, strided=strided)
+            total += axes * plan.time(self.gpu)
+        if real_axes:
+            plan = CufftPlan(n=n, batch=batch, real=True, strided=False)
+            total += real_axes * plan.time(self.gpu)
+        return total
+
+    def products_time(self) -> float:
+        """Forming the six nonlinear products u_i u_j in physical space."""
+        read = self.pencil_bytes_gpu(self.config.nv_velocity)
+        written = self.pencil_bytes_gpu(self.config.nv_products)
+        return pointwise_kernel_time(read, written, self.gpu)
+
+    def rk_update_time(self) -> float:
+        """Assembling -i k_j (u_i u_j), projection, integrating factor, axpy."""
+        nv = self.config.nv_products + 2 * self.config.nv_velocity
+        read = self.pencil_bytes_gpu(nv)
+        written = self.pencil_bytes_gpu(self.config.nv_velocity)
+        return pointwise_kernel_time(read, written, self.gpu)
+
+    # -- the three pipeline stages -------------------------------------------------
+
+    def stage_plans(self) -> list[StagePlan]:
+        """The per-substage pipeline: stage A -> (A2A) -> B -> (A2A) -> C."""
+        c = self.config
+        nv_v, nv_p = c.nv_velocity, c.nv_products
+        unpack_setup_v, unpack_rate_v = self.unpack_h2d(nv_v)
+        unpack_setup_p, unpack_rate_p = self.unpack_h2d(nv_p)
+        h2d_setup_v, h2d_rate_v = self.h2d_copy(nv_v)
+        pack_setup_v, pack_rate_v = self.d2h_pack(nv_v)
+        pack_setup_p, pack_rate_p = self.d2h_pack(nv_p)
+        # Stage C's D2H writes the updated coefficients back contiguously-ish
+        # (no per-destination split), so it costs like an H2D chain.
+        out_setup_v, out_rate_v = self.h2d_copy(nv_v)
+        return [
+            StagePlan(
+                name=StageKind.FOURIER_Y,
+                nv_in=nv_v,
+                nv_out=nv_v,
+                h2d_bytes=self.pencil_bytes_gpu(nv_v),
+                h2d_setup=h2d_setup_v,
+                h2d_max_rate=h2d_rate_v,
+                compute_time=self.fft_time(nv_v, axes=1),
+                d2h_bytes=self.pencil_bytes_gpu(nv_v),
+                d2h_setup=pack_setup_v,
+                d2h_max_rate=pack_rate_v,
+            ),
+            StagePlan(
+                name=StageKind.PHYSICAL_ZX,
+                nv_in=nv_v,
+                nv_out=nv_p,
+                h2d_bytes=self.pencil_bytes_gpu(nv_v),
+                h2d_setup=unpack_setup_v,
+                h2d_max_rate=unpack_rate_v,
+                compute_time=(
+                    self.fft_time(nv_v, axes=1)  # iFFT z
+                    + self.fft_time(nv_v, axes=0, real_axes=1)  # irFFT x
+                    + self.products_time()
+                    + self.fft_time(nv_p, axes=0, real_axes=1)  # rFFT x
+                    + self.fft_time(nv_p, axes=1)  # FFT z
+                ),
+                d2h_bytes=self.pencil_bytes_gpu(nv_p),
+                d2h_setup=pack_setup_p,
+                d2h_max_rate=pack_rate_p,
+            ),
+            StagePlan(
+                name=StageKind.FOURIER_Y_BACK,
+                nv_in=nv_p,
+                nv_out=nv_v,
+                h2d_bytes=self.pencil_bytes_gpu(nv_p),
+                h2d_setup=unpack_setup_p,
+                h2d_max_rate=unpack_rate_p,
+                compute_time=self.fft_time(nv_p, axes=1) + self.rk_update_time(),
+                d2h_bytes=self.pencil_bytes_gpu(nv_v),
+                d2h_setup=out_setup_v,
+                d2h_max_rate=out_rate_v,
+            ),
+        ]
+
+    # -- all-to-all shapes ---------------------------------------------------------
+
+    def exchange_after(self, stage_name: str) -> ExchangeShape | None:
+        """The all-to-all following a stage (None after the final stage)."""
+        c = self.config
+        if stage_name == StageKind.FOURIER_Y:
+            nv = c.nv_velocity
+        elif stage_name == StageKind.PHYSICAL_ZX:
+            nv = c.nv_products
+        else:
+            return None
+        return slab_exchange_shape(
+            n=c.n,
+            nodes=c.nodes,
+            tasks_per_node=c.tasks_per_node,
+            npencils=c.npencils,
+            nv=nv,
+            q=c.q_pencils_per_a2a,
+        )
+
+    # -- CPU baseline ----------------------------------------------------------------
+
+    def cpu_substage_compute_time(self) -> float:
+        """Threaded CPU FFT sweeps for one RK substage on one rank.
+
+        27 variable-sweeps per substage (3 velocities x 3 axes inverse plus
+        6 products x 3 axes forward), priced at the socket's sustained FFT
+        rate over the usable cores.
+        """
+        c = self.config
+        socket = self.machine.socket()
+        cores = c.usable_cores_per_node(self.machine) / c.tasks_per_node
+        points_per_rank = c.n**3 / c.ranks
+        sweeps = 3 * (c.nv_velocity + c.nv_products)
+        flops = sweeps * 5.0 * points_per_rank * math.log2(c.n)
+        rate = cores * socket.core_flops * socket.cpu_fft_efficiency
+        return flops / rate
+
+    def cpu_substage_pack_time(self) -> float:
+        """Host-side pack/unpack/reorder traffic for one substage."""
+        c = self.config
+        socket = self.machine.socket()
+        nv_total = 2 * (c.nv_velocity + c.nv_products)  # pack+unpack per transpose pair
+        volume = nv_total * c.slab_bytes_per_variable
+        return volume / socket.memcpy_bw

@@ -1,0 +1,438 @@
+"""Simulates one DNS time step on the machine model (paper Figs. 2, 4, 5).
+
+Because the workload is bulk-synchronous and load-balanced (every rank owns
+an identical slab), it suffices to simulate one *socket* — its DRAM channel,
+NIC share, and three GPUs — with the global all-to-alls priced by the
+calibrated network model.  This is the same reasoning the paper applies when
+reading per-rank profiler timelines (Fig. 10).
+
+One RK substage is modelled as three pipeline stages separated by two
+all-to-all transposes::
+
+    stage A  (Fourier y):   per pencil: H2D, iFFT y, packed D2H
+      -- all-to-all #1 (3 velocity components) --
+    stage B  (physical zx): per pencil: unpack H2D, iFFT z, irFFT x,
+                            form the 6 products u_i u_j, rFFT x, FFT z,
+                            packed D2H
+      -- all-to-all #2 (6 nonlinear products) --
+    stage C  (Fourier y):   per pencil: unpack H2D, FFT y, RK update, D2H
+
+In the asynchronous algorithm each GPU's host thread enqueues pencil
+operations into a *transfer* and a *compute* CUDA stream with events
+enforcing the cross-stream dependencies, exactly as the paper's Fig. 4; an
+all-to-all for a group of Q pencils is posted the moment the group's packed
+D2H completes on every GPU of the rank.  RK2 runs two substages; RK4 four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.config import Algorithm, RunConfig
+from repro.core.costs import CostModel, StagePlan
+from repro.cuda.runtime import CudaDevice, CudaEvent
+from repro.machine.network import AllToAllModel
+from repro.machine.spec import MachineSpec
+from repro.mpi.simmpi import SimComm
+from repro.sim.engine import AllOf, Engine, Signal, Timeout
+from repro.sim.resources import LinkSet, TokenPool
+from repro.sim.trace import Tracer
+
+__all__ = ["StepSimulation", "StepTiming", "simulate_step"]
+
+#: Concurrent pencils in flight per GPU (27 buffers / 9 per working set).
+PENCILS_IN_FLIGHT = 3
+
+
+@dataclass
+class StepTiming:
+    """Result of simulating one DNS step."""
+
+    config: RunConfig
+    step_time: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    tracer: Optional[Tracer] = None
+
+    @property
+    def mpi_time(self) -> float:
+        return self.breakdown.get("mpi", 0.0)
+
+    @property
+    def gpu_busy_time(self) -> float:
+        return sum(
+            self.breakdown.get(cat, 0.0) for cat in ("h2d", "d2h", "fft", "kernel")
+        )
+
+
+class StepSimulation:
+    """One-socket discrete-event simulation of a DNS step."""
+
+    def __init__(
+        self,
+        config: RunConfig,
+        machine: MachineSpec,
+        trace: bool = True,
+    ):
+        self.config = config
+        self.machine = machine
+        self.cost = CostModel(config, machine)
+        self.engine = Engine()
+        self.links = LinkSet(self.engine)
+        self.tracer = Tracer() if trace else Tracer()
+        self.tracer.enabled = trace
+
+        socket = machine.socket()
+        self.dram = self.links.link("socket.dram", socket.dram_bw)
+        self.nic = self.links.link(
+            "socket.nic", machine.network.injection_bw / machine.sockets_per_node
+        )
+
+        self.ranks_on_socket = (
+            config.ranks_per_socket(machine)
+            if config.algorithm is not Algorithm.CPU_BASELINE
+            else 1
+        )
+        gpus_per_rank = config.gpus_per_rank(machine)
+
+        self.rank_devices: list[list[CudaDevice]] = []
+        self.rank_comms: list[SimComm] = []
+        gpu_index = 0
+        for r in range(self.ranks_on_socket):
+            devices = []
+            if config.algorithm in (Algorithm.ASYNC_GPU, Algorithm.SYNC_GPU):
+                for _ in range(gpus_per_rank):
+                    devices.append(
+                        CudaDevice(
+                            self.engine,
+                            self.links,
+                            machine.gpu(),
+                            self.dram,
+                            name=f"r{r}.gpu{gpu_index}",
+                            tracer=self.tracer,
+                        )
+                    )
+                    gpu_index += 1
+            self.rank_devices.append(devices)
+            self.rank_comms.append(
+                SimComm(
+                    self.engine,
+                    self.links,
+                    machine,
+                    nodes=config.nodes,
+                    tasks_per_node=config.tasks_per_node,
+                    nic_link=self.nic,
+                    dram_link=self.dram,
+                    tracer=self.tracer,
+                    lane=f"r{r}.mpi",
+                )
+            )
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> StepTiming:
+        """Simulate one time step; returns wall time and busy breakdown."""
+        algo = self.config.algorithm
+        for r in range(self.ranks_on_socket):
+            if algo is Algorithm.CPU_BASELINE:
+                self.engine.process(self._cpu_rank(r), name=f"rank{r}")
+            elif algo is Algorithm.MPI_ONLY:
+                self.engine.process(self._mpi_only_rank(r), name=f"rank{r}")
+            else:
+                self._launch_gpu_rank(r, synchronous=(algo is Algorithm.SYNC_GPU))
+        self.engine.run()
+        breakdown = {
+            cat: self.tracer.busy_time(category=cat)
+            for cat in self.tracer.categories()
+        }
+        return StepTiming(
+            config=self.config,
+            step_time=self.engine.now,
+            breakdown=breakdown,
+            tracer=self.tracer,
+        )
+
+    # -- GPU algorithm (async and sync) ---------------------------------------
+
+    def _launch_gpu_rank(self, rank: int, synchronous: bool) -> None:
+        cfg = self.config
+        cost = self.cost
+        engine = self.engine
+        devices = self.rank_devices[rank]
+        comm = self.rank_comms[rank]
+        plans = cost.stage_plans()
+        np_ = cfg.npencils
+        q = cfg.q_pencils_per_a2a
+        ngroups = cfg.a2a_groups
+        ngpus = len(devices)
+
+        # Pre-created coordination signals, indexed by substage.
+        d2h_done: dict[tuple[int, str, int, int], Signal] = {}
+        group_done: dict[tuple[int, str, int], Signal] = {}
+        substage_done: list[Signal] = []
+        for s in range(cfg.substages):
+            for plan in plans:
+                for g in range(ngpus):
+                    for ip in range(np_):
+                        d2h_done[(s, plan.name, g, ip)] = engine.signal(
+                            name=f"r{rank}.s{s}.{plan.name}.d2h[{g},{ip}]"
+                        )
+                for grp in range(ngroups):
+                    group_done[(s, plan.name, grp)] = engine.signal(
+                        name=f"r{rank}.s{s}.{plan.name}.grp{grp}"
+                    )
+            substage_done.append(engine.signal(name=f"r{rank}.substage{s}"))
+
+        # Watchers: post the all-to-all when a group's packed D2H completes
+        # on every GPU of the rank (paper Fig. 4: the non-blocking all-to-all
+        # on pencil ip-2 launches only when its D2H has completed).
+        for s in range(cfg.substages):
+            for plan in plans:
+                exchange = cost.exchange_after(plan.name)
+                if exchange is None:
+                    continue
+
+                def watcher(s=s, plan=plan, exchange=exchange) -> Generator:
+                    for grp in range(ngroups):
+                        waits = [
+                            d2h_done[(s, plan.name, g, ip)]
+                            for g in range(ngpus)
+                            for ip in range(grp * q, (grp + 1) * q)
+                        ]
+                        yield AllOf(waits)
+                        blocking = cfg.whole_slab_per_a2a or synchronous
+                        req = comm.ialltoall(
+                            exchange.p2p_bytes,
+                            label=f"s{s}.{plan.name}.a2a[{grp}]",
+                            blocking=blocking,
+                        )
+                        yield from req.wait()
+                        group_done[(s, plan.name, grp)].fire()
+
+                engine.process(watcher(), name=f"r{rank}.s{s}.{plan.name}.a2a")
+
+        # Substage barriers: a substage ends when stage C's D2H has drained.
+        final_stage = plans[-1].name
+        for s in range(cfg.substages):
+
+            def barrier(s=s) -> Generator:
+                yield AllOf(
+                    [
+                        d2h_done[(s, final_stage, g, ip)]
+                        for g in range(ngpus)
+                        for ip in range(np_)
+                    ]
+                )
+                substage_done[s].fire()
+
+            engine.process(barrier(), name=f"r{rank}.s{s}.barrier")
+
+        # One host thread per GPU (OpenMP threads of paper Fig. 5).
+        for g, dev in enumerate(devices):
+            engine.process(
+                self._gpu_host_thread(
+                    rank, g, dev, plans, d2h_done, group_done, substage_done,
+                    synchronous,
+                ),
+                name=f"r{rank}.gpu{g}.host",
+            )
+
+    def _gpu_host_thread(
+        self,
+        rank: int,
+        gpu_idx: int,
+        dev: CudaDevice,
+        plans: list[StagePlan],
+        d2h_done: dict[tuple[int, str, int, int], Signal],
+        group_done: dict[tuple[int, str, int], Signal],
+        substage_done: list[Signal],
+        synchronous: bool,
+    ) -> Generator:
+        cfg = self.config
+        engine = self.engine
+        np_ = cfg.npencils
+        q = cfg.q_pencils_per_a2a
+        pool = TokenPool(engine, PENCILS_IN_FLIGHT, name=f"r{rank}.g{gpu_idx}.buffers")
+        transfer = dev.stream("transfer")
+        compute = dev.stream("compute")
+
+        dma_weight = self.machine.socket().dma_arbitration_weight
+        # CUDA-aware MPI / GPU-direct (paper Sec. 3.3): the staging copies
+        # around the exchange move GPU<->NIC without touching host DRAM.
+        # The copies themselves remain (the pack/unpack work is identical);
+        # only the DRAM contention disappears — which is why the paper saw
+        # no noticeable benefit: the NIC, not DRAM, is the bottleneck.
+        if cfg.gpu_direct:
+            h2d_links = (dev.nvlink_h2d,)
+            d2h_links = (dev.nvlink_d2h,)
+        else:
+            h2d_links = dev.h2d_links()
+            d2h_links = dev.d2h_links()
+
+        def enqueue_h2d(s: int, plan: StagePlan, ip: int) -> Signal:
+            return transfer.flow_op(
+                f"h2d.s{s}.{plan.name}[{ip}]",
+                "h2d",
+                plan.h2d_bytes,
+                h2d_links,
+                setup=plan.h2d_setup,
+                max_rate=plan.h2d_max_rate,
+                weight=dma_weight,
+            )
+
+        for s in range(cfg.substages):
+            prev_exchange_stage: Optional[str] = None
+            for plan in plans:
+                h2d_sigs: list[Optional[Signal]] = [None] * np_
+
+                def input_ready(ip: int, stage: Optional[str] = None) -> Optional[Signal]:
+                    """Exchange the stage's input depends on (None = local)."""
+                    if stage is None:
+                        return None
+                    return group_done[(s, stage, ip // q)]
+
+                for ip in range(np_):
+                    # Ensure h2d[ip] is enqueued: block the host on buffer
+                    # availability and on the pencil group's exchange (the
+                    # single MPI_WAIT of the paper's second dashed region).
+                    if h2d_sigs[ip] is None:
+                        grant = pool.acquire()
+                        if not grant.fired:
+                            yield grant
+                        ready = input_ready(ip, prev_exchange_stage)
+                        if ready is not None and not ready.fired:
+                            yield ready
+                        h2d_sigs[ip] = enqueue_h2d(s, plan, ip)
+                    tag = f"s{s}.{plan.name}[{ip}]"
+                    # Compute waits on exactly its own pencil's H2D.
+                    compute.wait_event(CudaEvent(h2d_sigs[ip], f"{tag}.h2d"))
+                    cmp_sig = compute.delay(f"fft.{tag}", "fft", plan.compute_time)
+
+                    # Fig. 4 lookahead: "A H2D copy for the next pencil is
+                    # also posted at this time" — enqueue h2d[ip+1] *before*
+                    # the transfer stream blocks on this pencil's compute,
+                    # so the copy overlaps fft[ip].  Only opportunistic: the
+                    # host never blocks here (buffers or exchange not ready
+                    # fall back to the blocking path next iteration).
+                    nxt = ip + 1
+                    if (
+                        not synchronous
+                        and nxt < np_
+                        and h2d_sigs[nxt] is None
+                        and pool.available >= 1
+                    ):
+                        ready = input_ready(nxt, prev_exchange_stage)
+                        if ready is None or ready.fired:
+                            grant = pool.acquire()
+                            assert grant.fired
+                            h2d_sigs[nxt] = enqueue_h2d(s, plan, nxt)
+
+                    # Packed D2H gated on this pencil's compute.
+                    transfer.wait_event(CudaEvent(cmp_sig, f"{tag}.fft"))
+                    d2h_sig = transfer.flow_op(
+                        f"d2h.{tag}",
+                        "d2h",
+                        plan.d2h_bytes,
+                        d2h_links,
+                        setup=plan.d2h_setup,
+                        max_rate=plan.d2h_max_rate,
+                        weight=dma_weight,
+                    )
+                    done = d2h_done[(s, plan.name, gpu_idx, ip)]
+                    d2h_sig.add_callback(lambda _sig, done=done: done.fire())
+                    d2h_sig.add_callback(lambda _sig, pool=pool: pool.release())
+                    if synchronous:
+                        # Basic algorithm (paper Fig. 2): each operation
+                        # completes before the next is issued, including the
+                        # group's exchange once its pencils are packed.
+                        if not d2h_sig.fired:
+                            yield d2h_sig
+                        if (
+                            (ip + 1) % q == 0
+                            and self.cost.exchange_after(plan.name) is not None
+                        ):
+                            grp_sig = group_done[(s, plan.name, ip // q)]
+                            if not grp_sig.fired:
+                                yield grp_sig
+                if self.cost.exchange_after(plan.name) is not None:
+                    prev_exchange_stage = plan.name
+            # Substage boundary: the RK update must be complete everywhere
+            # before the next substage transforms the updated field.
+            if not substage_done[s].fired:
+                yield substage_done[s]
+
+    # -- MPI-only skeleton (Fig. 9 dotted line / Fig. 10 top band) -------------
+
+    def _mpi_only_rank(self, rank: int) -> Generator:
+        cfg = self.config
+        comm = self.rank_comms[rank]
+        for s in range(cfg.substages):
+            for plan in self.cost.stage_plans():
+                exchange = self.cost.exchange_after(plan.name)
+                if exchange is None:
+                    continue
+                for grp in range(cfg.a2a_groups):
+                    yield from comm.alltoall(
+                        exchange.p2p_bytes, label=f"s{s}.{plan.name}.a2a[{grp}]"
+                    )
+
+    # -- synchronous CPU baseline (pencil decomposition, Table 3 column 1) -----
+
+    def _cpu_rank(self, rank: int) -> Generator:
+        """The 2-D pencil-decomposed synchronous CPU code's step.
+
+        Per substage: threaded FFT sweeps + host pack/unpack + one on-node
+        (row) and one off-node (column) transpose for each of the inverse
+        (3 variables) and forward (6 variables) transform sets.  The row
+        communicator is sized to the ranks of one node (the paper: "best
+        performance is usually obtained if P_r equals the number of MPI
+        ranks per node"), so the row exchange moves through node memory; the
+        column communicators each span all nodes with one rank per node.
+        """
+        cfg = self.config
+        cost = self.cost
+        engine = self.engine
+        machine = self.machine
+        model = AllToAllModel(machine)
+        cores = cfg.usable_cores_per_node(machine)
+        ranks_cpu = cfg.nodes * cores
+        lane = f"r{rank}.cpu"
+
+        for s in range(cfg.substages):
+            # Threaded FFT compute (charged once per substage).
+            start = engine.now
+            yield Timeout(cost.cpu_substage_compute_time())
+            self.tracer.record("cpu", lane, f"s{s}.fft", start, engine.now)
+
+            start = engine.now
+            yield Timeout(cost.cpu_substage_pack_time())
+            self.tracer.record("pack", lane, f"s{s}.pack", start, engine.now)
+
+            for nv, label in ((cfg.nv_velocity, "inv"), (cfg.nv_products, "fwd")):
+                # Per-rank local volume of the nv variables being transposed.
+                local = 4.0 * nv * cfg.n**3 / ranks_cpu
+                # Row transpose: stays on the node.
+                start = engine.now
+                node_volume = local * cores
+                yield Timeout(node_volume / machine.network.intra_node_bw)
+                self.tracer.record("mpi", lane, f"s{s}.{label}.row", start, engine.now)
+                # Column transpose: one rank per node in each of the
+                # ``cores`` disjoint column communicators, all crossing the
+                # network concurrently through the shared NIC.
+                p2p = local / cfg.nodes
+                rate = (
+                    machine.network.injection_bw
+                    * model.eta(p2p)
+                    * model.congestion(cfg.nodes)
+                )
+                v_off = cores * p2p * max(cfg.nodes - 1, 0)
+                start = engine.now
+                yield Timeout(model.cal.min_latency + v_off / rate)
+                self.tracer.record("mpi", lane, f"s{s}.{label}.col", start, engine.now)
+
+
+def simulate_step(
+    config: RunConfig, machine: MachineSpec, trace: bool = True
+) -> StepTiming:
+    """Convenience wrapper: build and run a :class:`StepSimulation`."""
+    return StepSimulation(config, machine, trace=trace).run()

@@ -1,0 +1,109 @@
+"""Render simulation traces as normalized ASCII Gantt timelines (Fig. 10).
+
+The paper uses NVIDIA's visual profiler with NVTX ranges to compare where
+time goes under different MPI configurations.  Here the discrete-event trace
+plays that role: :func:`timeline_rows` aggregates activities into lanes and
+:func:`render_timeline` draws each lane as a fixed-width character band with
+one glyph per activity category, normalized to a common span so different
+configurations can be stacked and compared exactly as in the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.trace import Activity, Tracer
+
+__all__ = ["TimelineRow", "render_timeline", "timeline_rows"]
+
+#: Glyph per category (space = idle).
+_GLYPHS = {
+    "mpi": "M",
+    "h2d": "h",
+    "d2h": "d",
+    "fft": "F",
+    "kernel": "K",
+    "pack": "p",
+    "cpu": "C",
+}
+
+#: Painting order: later entries overwrite earlier ones when intervals
+#: overlap within a lane (MPI drawn last — it is the quantity of interest).
+_PRIORITY = ["cpu", "pack", "kernel", "fft", "h2d", "d2h", "mpi"]
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One rendered lane."""
+
+    lane: str
+    band: str
+    busy_fraction: float
+
+
+def timeline_rows(
+    tracer: Tracer,
+    width: int = 100,
+    span: Optional[tuple[float, float]] = None,
+    lanes: Optional[Sequence[str]] = None,
+) -> list[TimelineRow]:
+    """Rasterize a trace into per-lane character bands.
+
+    Parameters
+    ----------
+    width:
+        Characters per band.
+    span:
+        (t0, t1) to normalize against; defaults to the trace's own span.
+        Pass a common span to compare configurations (paper Fig. 10 aligns
+        and normalizes its four timelines).
+    lanes:
+        Subset/order of lanes; default: all lanes in first-seen order.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    t0, t1 = span if span is not None else tracer.span()
+    if t1 <= t0:
+        t1 = t0 + 1.0
+    scale = width / (t1 - t0)
+    lane_names = list(lanes) if lanes is not None else tracer.lanes()
+
+    rows = []
+    for lane in lane_names:
+        cells = [" "] * width
+        acts = tracer.filter(lane=lane)
+        for category in _PRIORITY:
+            for act in acts:
+                if act.category != category:
+                    continue
+                lo = max(0, int((act.start - t0) * scale))
+                hi = min(width, max(lo + 1, int(round((act.end - t0) * scale))))
+                glyph = _GLYPHS.get(category, "?")
+                for i in range(lo, hi):
+                    cells[i] = glyph
+        busy = sum(1 for c in cells if c != " ") / width
+        rows.append(TimelineRow(lane=lane, band="".join(cells), busy_fraction=busy))
+    return rows
+
+
+def render_timeline(
+    tracer: Tracer,
+    width: int = 100,
+    span: Optional[tuple[float, float]] = None,
+    title: str = "",
+    lanes: Optional[Sequence[str]] = None,
+) -> str:
+    """Full multi-lane ASCII rendering with a legend, ready to print."""
+    rows = timeline_rows(tracer, width=width, span=span, lanes=lanes)
+    name_w = max((len(r.lane) for r in rows), default=4)
+    out = []
+    if title:
+        out.append(title)
+    t0, t1 = span if span is not None else tracer.span()
+    out.append(f"{'lane'.ljust(name_w)} |{'-' * width}| span {t1 - t0:.3f}s")
+    for r in rows:
+        out.append(f"{r.lane.ljust(name_w)} |{r.band}|")
+    legend = "  ".join(f"{g}={c}" for c, g in _GLYPHS.items())
+    out.append(f"legend: {legend}")
+    return "\n".join(out)

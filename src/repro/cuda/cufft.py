@@ -1,0 +1,89 @@
+"""Batched 1-D FFT cost model (cuFFT-like).
+
+The pseudo-spectral code takes all its transforms as *batched 1-D FFTs* —
+complex-to-complex in y and z, real<->complex in x (exploiting conjugate
+symmetry of the Fourier coefficients of real fields, paper Sec. 3.3).  The
+cost model combines the classic ``5 N log2 N`` flop count with a memory-bound
+term, because on a V100 large batched FFTs are bandwidth-limited rather than
+flop-limited.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.spec import GpuSpec
+
+__all__ = ["CufftPlan", "fft_flops", "fft_time"]
+
+_COMPLEX_BYTES = 8  # single-precision complex
+_REAL_BYTES = 4
+
+
+def fft_flops(n: int, batch: int, real: bool = False) -> float:
+    """Floating point operations for a batch of 1-D transforms of length n.
+
+    ``5 n log2(n)`` per complex transform; a real transform of length n costs
+    roughly half (computed via a complex transform of length n/2 plus
+    post-processing).
+    """
+    if n < 2:
+        raise ValueError("transform length must be >= 2")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    per = 5.0 * n * math.log2(n)
+    if real:
+        per *= 0.5
+    return per * batch
+
+
+@dataclass(frozen=True)
+class CufftPlan:
+    """A reusable plan: length, batch, kind and stride pattern.
+
+    Strided (non-unit-stride) plans lose some memory-system efficiency; the
+    paper notes that on Summit strided y/z transforms cost about the same as
+    unstrided ones once local reordering is priced in, which is why the code
+    transforms in place with strides instead of transposing locally.
+    """
+
+    n: int
+    batch: int
+    real: bool = False
+    strided: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("transform length must be >= 2")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+    @property
+    def flops(self) -> float:
+        return fft_flops(self.n, self.batch, self.real)
+
+    @property
+    def bytes_touched(self) -> float:
+        """Bytes read+written per execution (one pass in, one pass out)."""
+        if self.real:
+            # n reals in, n/2+1 complex out (or vice versa)
+            return self.batch * (self.n * _REAL_BYTES + (self.n + 2) * _COMPLEX_BYTES)
+        return 2.0 * self.batch * self.n * _COMPLEX_BYTES
+
+    def time(self, gpu: GpuSpec) -> float:
+        return fft_time(self, gpu)
+
+
+def fft_time(plan: CufftPlan, gpu: GpuSpec) -> float:
+    """Execution time of a batched 1-D FFT on ``gpu``.
+
+    ``max(flop time, memory time)`` plus one kernel launch.  Large
+    power-of-two transforms make several passes through memory; the pass
+    count grows with ``log`` of the length (radix-8-ish decomposition).
+    """
+    flop_time = plan.flops / (gpu.fp32_flops * gpu.fft_efficiency)
+    passes = max(1.0, math.log2(plan.n) / 3.0)  # ~radix-8 stages
+    stride_penalty = 1.15 if plan.strided else 1.0
+    mem_time = passes * plan.bytes_touched * stride_penalty / gpu.hbm_bw
+    return gpu.kernel_launch_overhead + max(flop_time, mem_time)

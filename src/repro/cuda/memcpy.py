@@ -1,0 +1,145 @@
+"""Cost models for strided host<->device copies (paper Sec. 4.2, Fig. 7).
+
+The batched asynchronous algorithm constantly moves *pencils* — strided
+sub-volumes of the host-resident slab — on and off the GPU.  A pencil is a
+large number of contiguous chunks (grid lines in x) separated by a stride.
+The paper compares three strategies for a fixed 216 MB pencil while varying
+the contiguous chunk size:
+
+1. one ``cudaMemcpyAsync`` per contiguous chunk — slow at small chunks
+   because every API call costs microseconds of host time;
+2. a custom *zero-copy* CUDA kernel whose threads read/write pinned host
+   memory directly over NVLink — fast, but occupies SMs;
+3. ``cudaMemcpy2DAsync`` — one API call, executed by the GPU copy engines
+   (no SMs used), paying a small per-row DMA setup cost.
+
+All three are modelled here as pure functions of the copy geometry and the
+:class:`~repro.machine.spec.GpuSpec` constants, so the figure can be
+regenerated analytically and the same functions can price operations inside
+the discrete-event executor.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.machine.spec import GpuSpec
+
+__all__ = [
+    "CopyStrategy",
+    "StridedCopySpec",
+    "chunk_efficiency",
+    "strided_copy_time",
+    "time_memcpy2d_async",
+    "time_memcpy_async_per_chunk",
+    "time_zero_copy_kernel",
+]
+
+#: Contiguous-chunk size at which DMA efficiency reaches 50%.
+_CHUNK_HALF_SIZE = 512.0  # bytes
+
+
+class CopyStrategy(enum.Enum):
+    """The three host<->device movement strategies of paper Fig. 7."""
+
+    MEMCPY_ASYNC_PER_CHUNK = "memcpy_async_per_chunk"
+    ZERO_COPY_KERNEL = "zero_copy_kernel"
+    MEMCPY_2D_ASYNC = "memcpy2d_async"
+
+
+@dataclass(frozen=True)
+class StridedCopySpec:
+    """Geometry of a strided copy: ``nchunks`` chunks of ``chunk_bytes``."""
+
+    chunk_bytes: float
+    nchunks: int
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if self.nchunks < 1:
+            raise ValueError("need at least one chunk")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.chunk_bytes * self.nchunks
+
+    @classmethod
+    def from_total(cls, total_bytes: float, chunk_bytes: float) -> "StridedCopySpec":
+        """Split ``total_bytes`` into chunks of ``chunk_bytes`` (rounded up)."""
+        return cls(chunk_bytes, max(1, math.ceil(total_bytes / chunk_bytes)))
+
+
+def chunk_efficiency(chunk_bytes: float) -> float:
+    """DMA efficiency for a contiguous chunk: small chunks waste bandwidth."""
+    return chunk_bytes / (chunk_bytes + _CHUNK_HALF_SIZE)
+
+
+def time_memcpy_async_per_chunk(spec: StridedCopySpec, gpu: GpuSpec) -> float:
+    """Strategy 1: one ``cudaMemcpyAsync`` API call per contiguous chunk.
+
+    The host must issue ``nchunks`` API calls, each costing
+    ``copy_engine_setup`` seconds of host time; the DMA engine also performs
+    the transfers.  The API-issue path and the wire transfers pipeline, so
+    total time is the max of the two, not their sum — but at small chunk
+    sizes the API path utterly dominates (this is the paper's observation
+    that "the many cudaMemCpyAsync calls required can be very slow").
+    """
+    api_time = spec.nchunks * gpu.copy_engine_setup
+    wire_time = spec.total_bytes / (
+        gpu.nvlink_bw * chunk_efficiency(spec.chunk_bytes)
+    )
+    return max(api_time, wire_time)
+
+
+def time_memcpy2d_async(spec: StridedCopySpec, gpu: GpuSpec) -> float:
+    """Strategy 3: one ``cudaMemcpy2DAsync`` handling the whole 2-D region.
+
+    A single API call; the copy engine walks the rows with a small per-row
+    setup cost and does not occupy any SM.
+    """
+    wire_time = spec.total_bytes / (
+        gpu.nvlink_bw * chunk_efficiency(spec.chunk_bytes)
+    )
+    row_time = spec.nchunks * gpu.copy_engine_row_overhead
+    return gpu.copy_engine_setup + wire_time + row_time
+
+
+def time_zero_copy_kernel(
+    spec: StridedCopySpec, gpu: GpuSpec, blocks: int | None = None
+) -> float:
+    """Strategy 2: a CUDA kernel whose threads dereference pinned host memory.
+
+    Throughput scales with the number of thread blocks until the NVLink is
+    saturated (paper Fig. 8: ~16 blocks of 1024 threads suffice); chunk-size
+    granularity hurts much less than for the DMA path because threads issue
+    many outstanding loads.  The kernel occupies ``blocks`` SMs-worth of
+    resources — the executor accounts for that contention separately.
+    """
+    if blocks is None:
+        blocks = gpu.sms
+    if blocks < 1:
+        raise ValueError("zero-copy kernel needs at least one block")
+    rate = min(gpu.nvlink_bw, blocks * gpu.zero_copy_block_bw)
+    # Word-granularity access tolerates small chunks better than DMA rows:
+    # efficiency floor of 0.5 even for tiny chunks (coalesced 128 B segments).
+    eff = max(0.5, chunk_efficiency(spec.chunk_bytes))
+    return gpu.kernel_launch_overhead + spec.total_bytes / (rate * eff)
+
+
+def strided_copy_time(
+    spec: StridedCopySpec,
+    gpu: GpuSpec,
+    strategy: CopyStrategy,
+    blocks: int | None = None,
+) -> float:
+    """Dispatch to the chosen strategy's cost model."""
+    if strategy is CopyStrategy.MEMCPY_ASYNC_PER_CHUNK:
+        return time_memcpy_async_per_chunk(spec, gpu)
+    if strategy is CopyStrategy.MEMCPY_2D_ASYNC:
+        return time_memcpy2d_async(spec, gpu)
+    if strategy is CopyStrategy.ZERO_COPY_KERNEL:
+        return time_zero_copy_kernel(spec, gpu, blocks=blocks)
+    raise ValueError(f"unknown strategy {strategy!r}")  # pragma: no cover

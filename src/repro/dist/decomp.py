@@ -1,0 +1,249 @@
+"""Domain decompositions: slab (1-D) and pencil (2-D) index maps (paper Fig. 1).
+
+Array layout is ``[z, y, x]`` with x contiguous, as everywhere in this
+reproduction.  Conventions follow the paper's Fig. 2:
+
+* **Slab decomposition** over P ranks:
+
+  - *spectral* state is distributed in kz-slabs: rank r owns kz indices
+    ``[r*mz, (r+1)*mz)`` with ``mz = N/P``; local shape ``(mz, N, N//2+1)``;
+  - *physical* state is distributed in y-slabs: local shape ``(N, my, N)``
+    with ``my = N/P``.
+
+  One all-to-all transposes between the two (z <-> y exchange).
+
+* **Pencil decomposition** over ``Pr x Pc`` ranks (the CPU baseline of the
+  paper's Table 3, and of Yeung et al. PNAS 2015): physical state is split
+  in both z (over Pc) and y (over Pr) with full x lines; two all-to-alls
+  (one per sub-communicator) are needed per 3-D transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spectral.grid import SpectralGrid
+
+__all__ = ["PencilDecomposition", "SlabDecomposition", "SlabGridView"]
+
+
+def _check_divides(n: int, p: int, what: str) -> None:
+    if p < 1:
+        raise ValueError(f"{what} must be >= 1")
+    if n % p != 0:
+        raise ValueError(f"{what}={p} must divide N={n} for load balance")
+
+
+@dataclass(frozen=True)
+class SlabDecomposition:
+    """1-D slab decomposition of an N^3 domain over ``ranks`` processes."""
+
+    n: int
+    ranks: int
+
+    def __post_init__(self) -> None:
+        _check_divides(self.n, self.ranks, "ranks")
+
+    @property
+    def mz(self) -> int:
+        """Thickness of each spectral kz-slab (N/P planes)."""
+        return self.n // self.ranks
+
+    @property
+    def my(self) -> int:
+        """Thickness of each physical y-slab."""
+        return self.n // self.ranks
+
+    @property
+    def nx_half(self) -> int:
+        return self.n // 2 + 1
+
+    def spectral_slice(self, rank: int) -> slice:
+        """kz index range owned by ``rank``."""
+        self._check_rank(rank)
+        return slice(rank * self.mz, (rank + 1) * self.mz)
+
+    def physical_slice(self, rank: int) -> slice:
+        """y index range owned by ``rank``."""
+        self._check_rank(rank)
+        return slice(rank * self.my, (rank + 1) * self.my)
+
+    def local_spectral_shape(self) -> tuple[int, int, int]:
+        return (self.mz, self.n, self.nx_half)
+
+    def local_physical_shape(self) -> tuple[int, int, int]:
+        return (self.n, self.my, self.n)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.ranks})")
+
+    # -- scatter / gather -----------------------------------------------------
+
+    def scatter_spectral(self, global_hat: np.ndarray) -> list[np.ndarray]:
+        """Split a global spectral array (N, N, N//2+1) into kz-slabs."""
+        if global_hat.shape != (self.n, self.n, self.nx_half):
+            raise ValueError(f"bad global spectral shape {global_hat.shape}")
+        return [
+            np.ascontiguousarray(global_hat[self.spectral_slice(r)])
+            for r in range(self.ranks)
+        ]
+
+    def gather_spectral(self, locals_: list[np.ndarray]) -> np.ndarray:
+        """Inverse of :meth:`scatter_spectral`."""
+        self._check_locals(locals_, self.local_spectral_shape())
+        return np.concatenate(locals_, axis=0)
+
+    def scatter_physical(self, global_u: np.ndarray) -> list[np.ndarray]:
+        """Split a global physical array (N, N, N) into y-slabs."""
+        if global_u.shape != (self.n, self.n, self.n):
+            raise ValueError(f"bad global physical shape {global_u.shape}")
+        return [
+            np.ascontiguousarray(global_u[:, self.physical_slice(r), :])
+            for r in range(self.ranks)
+        ]
+
+    def gather_physical(self, locals_: list[np.ndarray]) -> np.ndarray:
+        """Inverse of :meth:`scatter_physical`."""
+        self._check_locals(locals_, self.local_physical_shape())
+        return np.concatenate(locals_, axis=1)
+
+    def _check_locals(self, locals_: list[np.ndarray], shape: tuple[int, ...]) -> None:
+        if len(locals_) != self.ranks:
+            raise ValueError(f"expected {self.ranks} local pieces, got {len(locals_)}")
+        for r, piece in enumerate(locals_):
+            if piece.shape != shape:
+                raise ValueError(f"rank {r}: expected {shape}, got {piece.shape}")
+
+    # -- pencils within a slab (the out-of-core batching of paper Fig. 3) ----
+
+    def pencil_y_slices(self, npencils: int) -> list[slice]:
+        """Split the full y extent of a spectral slab into ``np`` pencils.
+
+        Each pencil has ``nyp = N/np`` y-lines (paper Fig. 3); this is the
+        unit of data batched on and off the GPU.
+        """
+        _check_divides(self.n, npencils, "npencils")
+        nyp = self.n // npencils
+        return [slice(i * nyp, (i + 1) * nyp) for i in range(npencils)]
+
+
+class SlabGridView:
+    """Rank-local view of a :class:`SpectralGrid`'s wavenumber arrays.
+
+    Slices every broadcastable spectral-space array along kz so the
+    distributed solver can apply masks, projections and integrating factors
+    locally to its kz-slab.
+    """
+
+    def __init__(self, grid: SpectralGrid, decomp: SlabDecomposition, rank: int):
+        if grid.n != decomp.n:
+            raise ValueError("grid and decomposition sizes differ")
+        self.grid = grid
+        self.decomp = decomp
+        self.rank = rank
+        self._zslice = decomp.spectral_slice(rank)
+
+    @property
+    def kx(self) -> np.ndarray:
+        return self.grid.kx
+
+    @property
+    def ky(self) -> np.ndarray:
+        return self.grid.ky
+
+    @property
+    def kz(self) -> np.ndarray:
+        return self.grid.kz[self._zslice]
+
+    @property
+    def k_squared(self) -> np.ndarray:
+        return self.grid.k_squared[self._zslice]
+
+    @property
+    def k_squared_nonzero(self) -> np.ndarray:
+        k2 = self.grid.k_squared_nonzero
+        return k2[self._zslice]
+
+    @property
+    def hermitian_weights(self) -> np.ndarray:
+        return self.grid.hermitian_weights[self._zslice]
+
+    def slice_spectral(self, arr: np.ndarray) -> np.ndarray:
+        """Slice any full-spectral-shape array down to this rank's slab."""
+        return arr[self._zslice]
+
+    @property
+    def owns_mean_mode(self) -> bool:
+        return self.rank == 0
+
+
+@dataclass(frozen=True)
+class PencilDecomposition:
+    """2-D pencil decomposition over a ``rows x cols`` process grid.
+
+    Rank ``r`` sits at ``(row, col) = (r // cols, r % cols)``; its physical
+    sub-domain is the x-pencil with z indices in block ``col`` (of Pc) and
+    y indices in block ``row`` (of Pr).
+    """
+
+    n: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        _check_divides(self.n, self.rows, "rows")
+        _check_divides(self.n, self.cols, "cols")
+
+    @property
+    def ranks(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def my(self) -> int:
+        return self.n // self.rows
+
+    @property
+    def mz(self) -> int:
+        return self.n // self.cols
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.cols, rank % self.cols
+
+    def rank_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coords ({row}, {col}) out of range")
+        return row * self.cols + col
+
+    def local_physical_shape(self) -> tuple[int, int, int]:
+        return (self.mz, self.my, self.n)
+
+    def scatter_physical(self, global_u: np.ndarray) -> list[np.ndarray]:
+        """Split a global (N, N, N) array into x-pencils, rank order."""
+        if global_u.shape != (self.n, self.n, self.n):
+            raise ValueError(f"bad global shape {global_u.shape}")
+        out = []
+        for r in range(self.ranks):
+            row, col = self.coords(r)
+            zs = slice(col * self.mz, (col + 1) * self.mz)
+            ys = slice(row * self.my, (row + 1) * self.my)
+            out.append(np.ascontiguousarray(global_u[zs, ys, :]))
+        return out
+
+    def gather_physical(self, locals_: list[np.ndarray]) -> np.ndarray:
+        """Inverse of :meth:`scatter_physical`."""
+        if len(locals_) != self.ranks:
+            raise ValueError(f"expected {self.ranks} pieces, got {len(locals_)}")
+        out = np.empty((self.n, self.n, self.n), dtype=locals_[0].dtype)
+        for r, piece in enumerate(locals_):
+            if piece.shape != self.local_physical_shape():
+                raise ValueError(f"rank {r}: bad shape {piece.shape}")
+            row, col = self.coords(r)
+            zs = slice(col * self.mz, (col + 1) * self.mz)
+            ys = slice(row * self.my, (row + 1) * self.my)
+            out[zs, ys, :] = piece
+        return out

@@ -1,0 +1,215 @@
+"""Out-of-core slab FFT: the paper's batching, executed on real data.
+
+The performance layer *times* the batched algorithm; this module *runs* it:
+a rank's slab lives in "host" memory (a NumPy array), while transforms may
+only touch "device" buffers drawn from a byte-budgeted arena sized like a
+GPU.  The slab is processed pencil-by-pencil exactly as Fig. 3/Fig. 4
+prescribe — split along x for the y-stage, along y for the z/x stages —
+and the arena enforces that no more than the planner's buffer allowance is
+ever resident, proving the algorithm's working set really is ``np`` times
+smaller than the slab.
+
+Numerically the result is identical to the in-core
+:class:`repro.dist.slab_fft.SlabDistributedFFT` (1-D FFTs over disjoint
+pencils are independent), which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dist.decomp import SlabDecomposition
+from repro.dist.transpose import (
+    slab_transpose_physical_to_spectral,
+    slab_transpose_spectral_to_physical,
+)
+from repro.dist.virtual_mpi import VirtualComm
+from repro.spectral.grid import SpectralGrid
+
+__all__ = ["DeviceArena", "DeviceMemoryExceeded", "OutOfCoreSlabFFT"]
+
+
+class DeviceMemoryExceeded(RuntimeError):
+    """Raised when a pencil buffer would not fit in the simulated device."""
+
+
+class DeviceArena:
+    """A byte-budgeted allocator standing in for GPU HBM.
+
+    Tracks live allocations and the high-water mark; ``allocate`` raises
+    :class:`DeviceMemoryExceeded` when the budget would be exceeded —
+    making "this slab does not fit, batch it" an *enforced* invariant
+    rather than a comment.
+    """
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes <= 0:
+            raise ValueError("device capacity must be positive")
+        self.capacity = float(capacity_bytes)
+        self.in_use = 0.0
+        self.high_water = 0.0
+        self._live: dict[int, int] = {}
+
+    def allocate(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if self.in_use + nbytes > self.capacity:
+            raise DeviceMemoryExceeded(
+                f"allocation of {nbytes} B exceeds device budget "
+                f"({self.in_use:.0f}/{self.capacity:.0f} B in use)"
+            )
+        buf = np.empty(shape, dtype=dtype)
+        self.in_use += nbytes
+        self.high_water = max(self.high_water, self.in_use)
+        self._live[id(buf)] = nbytes
+        return buf
+
+    def free(self, buf: np.ndarray) -> None:
+        nbytes = self._live.pop(id(buf), None)
+        if nbytes is None:
+            raise KeyError("buffer was not allocated from this arena")
+        self.in_use -= nbytes
+
+    def upload(self, host_view: np.ndarray) -> np.ndarray:
+        """H2D: copy a strided host view into a fresh device buffer."""
+        buf = self.allocate(host_view.shape, host_view.dtype)
+        np.copyto(buf, host_view)
+        return buf
+
+    def download_and_free(self, buf: np.ndarray, host_view: np.ndarray) -> None:
+        """D2H: copy a device buffer back into (strided) host memory."""
+        np.copyto(host_view, buf)
+        self.free(buf)
+
+
+class OutOfCoreSlabFFT:
+    """Slab-decomposed 3-D transforms with pencil-batched device residency.
+
+    Parameters
+    ----------
+    npencils:
+        Pencils per slab (``np`` from the memory planner); each stage holds
+        one pencil buffer at a time in the arena.
+    device_bytes:
+        Arena capacity; defaults to exactly twice one pencil's bytes (one
+        working + headroom), making any batching error fail loudly.
+    """
+
+    def __init__(
+        self,
+        grid: SpectralGrid,
+        comm: VirtualComm,
+        npencils: int,
+        device_bytes: float | None = None,
+    ):
+        self.grid = grid
+        self.comm = comm
+        self.decomp = SlabDecomposition(grid.n, comm.size)
+        if npencils < 1 or grid.n % npencils != 0:
+            raise ValueError(f"npencils={npencils} must divide N={grid.n}")
+        self.npencils = npencils
+        # Largest pencil buffer of any stage: the half-complex x extent does
+        # not divide evenly, so pencils are array_split-uneven (the real
+        # code's x split is even in real space; half-complex adds one).
+        import math
+
+        nxh = grid.n // 2 + 1
+        itemsize = np.dtype(grid.cdtype).itemsize
+        pencil_bytes = (
+            self.decomp.mz * grid.n * math.ceil(nxh / npencils) * itemsize
+        )
+        self.arena = DeviceArena(
+            device_bytes if device_bytes is not None else 2.05 * pencil_bytes
+        )
+
+    def _splits(self, extent: int) -> list[slice]:
+        """np.array_split boundaries of ``extent`` into ``npencils`` slices."""
+        edges = np.linspace(0, extent, self.npencils + 1).astype(int)
+        return [
+            slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a
+        ]
+
+    # -- pencil-batched 1-D stages ------------------------------------------
+
+    def _batched_fft(
+        self, local: np.ndarray, axis: int, split_axis: int, inverse: bool
+    ) -> np.ndarray:
+        """Transform ``axis`` pencil-by-pencil (split along ``split_axis``).
+
+        Each pencil is uploaded to the arena, transformed on the "device",
+        and downloaded back — the H2D / compute / D2H cycle of Fig. 4, with
+        residency enforced by the arena budget.
+        """
+        out = np.empty_like(local)
+        n = self.grid.n
+        for pencil_slice in self._splits(local.shape[split_axis]):
+            sl = [slice(None)] * local.ndim
+            sl[split_axis] = pencil_slice
+            view = local[tuple(sl)]
+            buf = self.arena.upload(view)
+            # The transform's output buffer is device-resident too.
+            result = self.arena.allocate(buf.shape, buf.dtype)
+            if inverse:
+                np.multiply(np.fft.ifft(buf, axis=axis), n, out=result)
+            else:
+                result[:] = np.fft.fft(buf, axis=axis)
+            self.arena.free(buf)
+            self.arena.download_and_free(result, out[tuple(sl)])
+        return out
+
+    # -- full transforms ----------------------------------------------------------
+
+    def inverse(self, spectral_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """kz-slabs -> y-slabs of the real field, never exceeding the arena.
+
+        Stage order and pencil split axes follow the paper: y-FFTs on
+        x-split pencils, global transpose, then z and the c2r x transform
+        on y-split pencils.
+        """
+        d = self.decomp
+        n = self.grid.n
+        work = []
+        for r, loc in enumerate(spectral_locals):
+            if loc.shape != d.local_spectral_shape():
+                raise ValueError(f"rank {r}: bad shape {loc.shape}")
+            # Stage A: iFFT y, pencils split along x (Fig. 6).
+            work.append(self._batched_fft(loc, axis=1, split_axis=2, inverse=True))
+        work = slab_transpose_spectral_to_physical(self.comm, work)
+        out = []
+        for loc in work:
+            # Stage B: iFFT z then irFFT x, pencils split along y (Fig. 3).
+            loc = self._batched_fft(loc, axis=0, split_axis=1, inverse=True)
+            # The c2r transform changes the x extent; do it pencil-wise too
+            # (uneven y split; output is real so the buffers are smaller).
+            phys = np.empty((n, d.my, n), dtype=self.grid.dtype)
+            for ys in self._splits(d.my):
+                buf = self.arena.upload(loc[:, ys, :])
+                res = np.fft.irfft(buf, n=n, axis=2) * n
+                self.arena.free(buf)
+                phys[:, ys, :] = res
+            out.append(phys.astype(self.grid.dtype, copy=False))
+        return out
+
+    def forward(self, physical_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """y-slabs of the real field -> kz-slabs of coefficients."""
+        d = self.decomp
+        n = self.grid.n
+        work = []
+        for r, loc in enumerate(physical_locals):
+            if loc.shape != d.local_physical_shape():
+                raise ValueError(f"rank {r}: bad shape {loc.shape}")
+            half = np.empty((n, d.my, n // 2 + 1), dtype=self.grid.cdtype)
+            for ys in self._splits(d.my):
+                buf = self.arena.upload(loc[:, ys, :])
+                res = np.fft.rfft(buf, axis=2)
+                self.arena.free(buf)
+                half[:, ys, :] = res
+            work.append(self._batched_fft(half, axis=0, split_axis=1, inverse=False))
+        work = slab_transpose_physical_to_spectral(self.comm, work)
+        return [
+            (
+                self._batched_fft(loc, axis=1, split_axis=2, inverse=False) / n**3
+            ).astype(self.grid.cdtype, copy=False)
+            for loc in work
+        ]

@@ -1,0 +1,178 @@
+"""Distributed 3-D FFT with the traditional 2-D pencil decomposition.
+
+This is the communication pattern of the synchronous CPU baseline the paper
+compares against (Table 3; Yeung et al. PNAS 2015): the domain is split over
+a ``Pr x Pc`` Cartesian process grid, and every 3-D transform requires *two*
+all-to-alls, one within each sub-communicator — against the slab code's one.
+
+Axis bookkeeping (layout [z, y, x], rank (row, col)):
+
+* physical x-pencils: ``(mz, my, N)``  — z split over cols, y over rows;
+* after the row exchange, y-pencils: ``(mz, N, mxh_row)`` — the half-complex
+  x extent is split over rows (``np.array_split``, since N/2+1 is odd);
+* after the column exchange, z-pencils: ``(N, myc, mxh_row)`` — y re-split
+  over cols.
+
+The forward transform runs x -> y -> z; spectral coefficients end fully
+transformed but distributed as z-pencils.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dist.decomp import PencilDecomposition
+from repro.dist.virtual_mpi import VirtualComm
+from repro.spectral.grid import SpectralGrid
+
+__all__ = ["PencilDistributedFFT"]
+
+_Z_AXIS, _Y_AXIS, _X_AXIS = 0, 1, 2
+
+
+class PencilDistributedFFT:
+    """Forward/inverse 3-D transforms over a 2-D pencil process grid.
+
+    Normalization matches the slab path: forward carries 1/N^3.
+    """
+
+    def __init__(self, grid: SpectralGrid, comm: VirtualComm, rows: int, cols: int):
+        if rows * cols != comm.size:
+            raise ValueError(f"{rows}x{cols} != {comm.size} ranks")
+        self.grid = grid
+        self.comm = comm
+        self.decomp = PencilDecomposition(grid.n, rows, cols)
+        # Uneven half-complex split of the x extent over the rows.
+        self._x_splits = np.array_split(np.arange(grid.n // 2 + 1), rows)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _row_groups(self) -> list[list[int]]:
+        """Ranks sharing a column block of z (exchange partners for x<->y)."""
+        d = self.decomp
+        return [
+            [d.rank_at(row, col) for row in range(d.rows)]
+            for col in range(d.cols)
+        ]
+
+    def _col_groups(self) -> list[list[int]]:
+        """Ranks sharing a row (exchange partners for y<->z)."""
+        d = self.decomp
+        return [
+            [d.rank_at(row, col) for col in range(d.cols)]
+            for row in range(d.rows)
+        ]
+
+    def _grouped_exchange(
+        self,
+        locals_: list[np.ndarray],
+        groups: list[list[int]],
+        pack,
+        unpack,
+    ) -> list[np.ndarray]:
+        """Run pack/alltoall/unpack independently inside each rank group."""
+        out: list[np.ndarray | None] = [None] * self.comm.size
+        for group in groups:
+            sub = VirtualComm(len(group), name=f"{self.comm.name}.sub")
+            send = [pack(locals_[r], len(group)) for r in group]
+            recv = sub.alltoall(send)
+            # Mirror the sub-communicator traffic into the parent's stats.
+            self.comm.stats.records.extend(sub.stats.records)
+            for i, r in enumerate(group):
+                out[r] = unpack(recv[i])
+        assert all(o is not None for o in out)
+        return out  # type: ignore[return-value]
+
+    # -- forward: physical -> spectral (x, y, z) -------------------------------
+
+    def forward(self, physical_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
+        d = self.decomp
+        n = self.grid.n
+        shaped = d.local_physical_shape()
+        for r, loc in enumerate(physical_locals):
+            if loc.shape != shaped:
+                raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
+
+        # x transform on complete unit-stride lines.
+        work = [np.fft.rfft(loc, axis=_X_AXIS) for loc in physical_locals]
+
+        # Row exchange: gather complete y, split (uneven) kx over rows.
+        splits = [len(s) for s in self._x_splits]
+
+        def pack_row(loc: np.ndarray, parts: int) -> list[np.ndarray]:
+            assert parts == len(splits)
+            edges = np.cumsum(splits)[:-1]
+            return [np.ascontiguousarray(b) for b in np.split(loc, edges, axis=_X_AXIS)]
+
+        def unpack_row(blocks: list[np.ndarray]) -> np.ndarray:
+            return np.concatenate(blocks, axis=_Y_AXIS)
+
+        work = self._grouped_exchange(work, self._row_groups(), pack_row, unpack_row)
+        work = [np.fft.fft(loc, axis=_Y_AXIS) for loc in work]
+
+        # Column exchange: gather complete z, split y over cols.
+        def pack_col(loc: np.ndarray, parts: int) -> list[np.ndarray]:
+            return [
+                np.ascontiguousarray(b) for b in np.split(loc, parts, axis=_Y_AXIS)
+            ]
+
+        def unpack_col(blocks: list[np.ndarray]) -> np.ndarray:
+            return np.concatenate(blocks, axis=_Z_AXIS)
+
+        work = self._grouped_exchange(work, self._col_groups(), pack_col, unpack_col)
+        out = [np.fft.fft(loc, axis=_Z_AXIS) / n**3 for loc in work]
+        return [o.astype(self.grid.cdtype, copy=False) for o in out]
+
+    # -- inverse: spectral -> physical (z, y, x) --------------------------------
+
+    def inverse(self, spectral_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
+        d = self.decomp
+        n = self.grid.n
+
+        work = [np.fft.ifft(loc, axis=_Z_AXIS) * n for loc in spectral_locals]
+
+        # Column exchange back: split z over cols, gather complete y.
+        def pack_col(loc: np.ndarray, parts: int) -> list[np.ndarray]:
+            return [
+                np.ascontiguousarray(b) for b in np.split(loc, parts, axis=_Z_AXIS)
+            ]
+
+        def unpack_col(blocks: list[np.ndarray]) -> np.ndarray:
+            return np.concatenate(blocks, axis=_Y_AXIS)
+
+        work = self._grouped_exchange(work, self._col_groups(), pack_col, unpack_col)
+        work = [np.fft.ifft(loc, axis=_Y_AXIS) * n for loc in work]
+
+        # Row exchange back: split y over rows, gather complete (uneven) kx.
+        def pack_row(loc: np.ndarray, parts: int) -> list[np.ndarray]:
+            return [
+                np.ascontiguousarray(b) for b in np.split(loc, parts, axis=_Y_AXIS)
+            ]
+
+        def unpack_row(blocks: list[np.ndarray]) -> np.ndarray:
+            return np.concatenate(blocks, axis=_X_AXIS)
+
+        work = self._grouped_exchange(work, self._row_groups(), pack_row, unpack_row)
+        out = [np.fft.irfft(loc, n=n, axis=_X_AXIS) * n for loc in work]
+        return [o.astype(self.grid.dtype, copy=False) for o in out]
+
+    # -- spectral layout helpers (for tests) ------------------------------------
+
+    def spectral_local_shape(self, rank: int) -> tuple[int, int, int]:
+        d = self.decomp
+        row, _col = d.coords(rank)
+        return (self.grid.n, self.grid.n // d.cols, len(self._x_splits[row]))
+
+    def gather_spectral(self, spectral_locals: Sequence[np.ndarray]) -> np.ndarray:
+        """Reassemble the global (N, N, N//2+1) spectral array."""
+        d = self.decomp
+        n = self.grid.n
+        out = np.empty((n, n, n // 2 + 1), dtype=self.grid.cdtype)
+        for r, loc in enumerate(spectral_locals):
+            row, col = d.coords(r)
+            ys = slice(col * (n // d.cols), (col + 1) * (n // d.cols))
+            xs = self._x_splits[row]
+            out[:, ys, xs[0] : xs[-1] + 1] = loc
+        return out

@@ -1,0 +1,112 @@
+"""Distributed 3-D FFT with the paper's 1-D slab decomposition.
+
+Transform order matches the production code (paper Sec. 3.3): going from
+Fourier to physical space the order is **y, z, x** — 1-D complex FFTs in y
+while the data sits in kz-slabs, one global transpose, then z and finally
+the complex-to-real x transform on unit-stride lines; physical to Fourier
+reverses this (x, z, transpose, y).
+
+One all-to-all per 3-D transform — the defining property of the slab
+decomposition that lets the paper send fewer, larger messages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dist.decomp import SlabDecomposition
+from repro.dist.transpose import (
+    slab_transpose_physical_to_spectral,
+    slab_transpose_spectral_to_physical,
+)
+from repro.dist.virtual_mpi import VirtualComm
+from repro.spectral.grid import SpectralGrid
+
+__all__ = ["SlabDistributedFFT"]
+
+_KZ_AXIS, _Y_AXIS, _X_AXIS = 0, 1, 2
+
+
+class SlabDistributedFFT:
+    """Forward/inverse 3-D transforms over slab-decomposed virtual ranks.
+
+    Normalization matches :mod:`repro.spectral.transforms`: forward carries
+    1/N^3; a forward/inverse round trip is the identity.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.dist import VirtualComm
+    >>> from repro.spectral import SpectralGrid
+    >>> g = SpectralGrid(16); comm = VirtualComm(4)
+    >>> fft = SlabDistributedFFT(g, comm)
+    >>> u = np.random.default_rng(0).standard_normal(g.physical_shape)
+    >>> locs = fft.decomp.scatter_physical(u)
+    >>> hat_locs = fft.forward(locs)
+    >>> back = fft.decomp.gather_physical(fft.inverse(hat_locs))
+    >>> bool(np.allclose(back, u))
+    True
+    """
+
+    def __init__(self, grid: SpectralGrid, comm: VirtualComm):
+        self.grid = grid
+        self.comm = comm
+        self.decomp = SlabDecomposition(grid.n, comm.size)
+
+    # -- inverse: Fourier -> physical (y, transpose, z, x) --------------------
+
+    def inverse(self, spectral_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """kz-slabs of coefficients -> y-slabs of the real field."""
+        n = self.grid.n
+        d = self.decomp
+        shaped = d.local_spectral_shape()
+        for r, loc in enumerate(spectral_locals):
+            if loc.shape != shaped:
+                raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
+        # 1-D inverse FFTs in y (local: kz-slabs hold complete y lines).
+        work = [np.fft.ifft(loc, axis=_Y_AXIS) * n for loc in spectral_locals]
+        # Global transpose to y-slabs (complete z lines).
+        work = slab_transpose_spectral_to_physical(self.comm, work)
+        # z, then the complex-to-real x transform.
+        work = [np.fft.ifft(loc, axis=_KZ_AXIS) * n for loc in work]
+        out = [np.fft.irfft(loc, n=n, axis=_X_AXIS) * n for loc in work]
+        return [o.astype(self.grid.dtype, copy=False) for o in out]
+
+    # -- forward: physical -> Fourier (x, z, transpose, y) ---------------------
+
+    def forward(self, physical_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """y-slabs of the real field -> kz-slabs of coefficients."""
+        n = self.grid.n
+        d = self.decomp
+        shaped = d.local_physical_shape()
+        for r, loc in enumerate(physical_locals):
+            if loc.shape != shaped:
+                raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
+        work = [np.fft.rfft(loc, axis=_X_AXIS) for loc in physical_locals]
+        work = [np.fft.fft(loc, axis=_KZ_AXIS) for loc in work]
+        work = slab_transpose_physical_to_spectral(self.comm, work)
+        out = [np.fft.fft(loc, axis=_Y_AXIS) / n**3 for loc in work]
+        return [o.astype(self.grid.cdtype, copy=False) for o in out]
+
+    # -- batched (pencil-at-a-time) variants ----------------------------------
+
+    def inverse_y_stage_pencils(
+        self, spectral_local: np.ndarray, npencils: int
+    ) -> list[np.ndarray]:
+        """The per-pencil y-FFT stage of the batched algorithm (Fig. 4).
+
+        The out-of-core batching always splits the slab along an axis *not*
+        being transformed, so every pencil holds complete lines in the
+        transform direction.  For the y stage the split is along x (paper
+        Fig. 6: ``nxp = nx / np``, "strided FFTs are performed in the y
+        direction"); for the post-transpose z/x stages it is along y (paper
+        Fig. 3: pencils of ``N x nyp x mz``).  This helper performs the
+        x-split y-stage on one rank's slab and is checked against the
+        unbatched transform in the tests — the numerical result is identical
+        because the 1-D FFTs of disjoint pencils are independent.
+        """
+        blocks = np.array_split(spectral_local, npencils, axis=_X_AXIS)
+        n = self.grid.n
+        return [np.fft.ifft(b, axis=_Y_AXIS) * n for b in blocks]

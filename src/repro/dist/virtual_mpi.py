@@ -1,0 +1,144 @@
+"""Bulk-synchronous virtual MPI: collectives over per-rank NumPy arrays.
+
+A :class:`VirtualComm` of size P represents P ranks living in one process.
+Rank-local data is held as a list indexed by rank; collectives are pure
+functions from per-rank inputs to per-rank outputs.  This gives exact
+bit-level reproducibility and lets tests inspect global state freely, while
+keeping the code structured exactly like its message-passing counterpart
+(pack -> alltoall -> unpack).
+
+Byte accounting: every collective records the total bytes exchanged and the
+per-peer message size, so the functional layer can be cross-checked against
+the cost model's message-size bookkeeping (:mod:`repro.mpi.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["CollectiveRecord", "VirtualComm"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One logged collective operation."""
+
+    kind: str
+    total_bytes: int
+    p2p_bytes: int
+    ranks: int
+
+
+@dataclass
+class _CommStats:
+    records: list[CollectiveRecord] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.records)
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.kind == kind)
+
+
+class VirtualComm:
+    """A communicator over ``size`` in-process virtual ranks."""
+
+    def __init__(self, size: int, name: str = "world"):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self.name = name
+        self.stats = _CommStats()
+
+    def _check_per_rank(self, data: Sequence) -> None:
+        if len(data) != self.size:
+            raise ValueError(
+                f"{self.name}: expected {self.size} per-rank entries, got {len(data)}"
+            )
+
+    # -- collectives -----------------------------------------------------------
+
+    def alltoall(self, send: Sequence[Sequence[np.ndarray]]) -> list[list[np.ndarray]]:
+        """All-to-all: ``send[r][s]`` travels from rank r to rank s.
+
+        Returns ``recv`` with ``recv[s][r] = send[r][s]`` (copies, so later
+        in-place edits on either side cannot alias).
+        """
+        self._check_per_rank(send)
+        for r, bufs in enumerate(send):
+            if len(bufs) != self.size:
+                raise ValueError(
+                    f"{self.name}: rank {r} provided {len(bufs)} blocks, "
+                    f"expected {self.size}"
+                )
+        recv = [
+            [np.array(send[r][s], copy=True) for r in range(self.size)]
+            for s in range(self.size)
+        ]
+        p2p = int(send[0][0].nbytes) if self.size else 0
+        total = sum(int(b.nbytes) for bufs in send for b in bufs)
+        self.stats.records.append(
+            CollectiveRecord("alltoall", total, p2p, self.size)
+        )
+        return recv
+
+    def allreduce(
+        self, values: Sequence[T], op: Callable[[T, T], T] | None = None
+    ) -> list[T]:
+        """All-reduce with ``op`` (default: addition); all ranks get the result."""
+        self._check_per_rank(values)
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        nbytes = int(getattr(values[0], "nbytes", 0))
+        self.stats.records.append(
+            CollectiveRecord("allreduce", nbytes * self.size, nbytes, self.size)
+        )
+        return [acc for _ in range(self.size)]
+
+    def allgather(self, values: Sequence[T]) -> list[list[T]]:
+        """Every rank receives the full list of per-rank values."""
+        self._check_per_rank(values)
+        nbytes = int(getattr(values[0], "nbytes", 0))
+        self.stats.records.append(
+            CollectiveRecord("allgather", nbytes * self.size, nbytes, self.size)
+        )
+        return [list(values) for _ in range(self.size)]
+
+    def bcast(self, value: T, root: int = 0) -> list[T]:
+        """Root's value delivered to every rank."""
+        if not 0 <= root < self.size:
+            raise ValueError(f"invalid root {root}")
+        nbytes = int(getattr(value, "nbytes", 0))
+        self.stats.records.append(
+            CollectiveRecord("bcast", nbytes * (self.size - 1), nbytes, self.size)
+        )
+        return [value for _ in range(self.size)]
+
+    # -- Cartesian splitting (for the 2-D pencil decomposition) -----------------
+
+    def cart_2d(self, rows: int, cols: int) -> tuple[list["VirtualComm"], list["VirtualComm"]]:
+        """Split into a rows x cols grid of row and column sub-communicators.
+
+        Rank ``r`` sits at (row, col) = (r // cols, r % cols).  Returns
+        (row_comms, col_comms): ``row_comms[i]`` spans the ``cols`` ranks of
+        row i (used for the x<->y transpose); ``col_comms[j]`` spans the
+        ``rows`` ranks of column j (the y<->z transpose).  The paper notes
+        the best 2-D performance has the row communicator sized to the ranks
+        per node so one of the two exchanges stays on-node.
+        """
+        if rows * cols != self.size:
+            raise ValueError(f"{rows}x{cols} != communicator size {self.size}")
+        row_comms = [VirtualComm(cols, name=f"{self.name}.row{i}") for i in range(rows)]
+        col_comms = [VirtualComm(rows, name=f"{self.name}.col{j}") for j in range(cols)]
+        return row_comms, col_comms

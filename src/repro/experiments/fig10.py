@@ -1,0 +1,83 @@
+"""Fig. 10 reproduction: normalized timelines at 12288^3 on 1024 nodes.
+
+Renders four aligned timelines — MPI-only skeleton, 1 pencil/A2A,
+1 slab/A2A, and 6 tasks/node — and extracts the quantities the paper reads
+off them: MPI dominating runtime, the slab exchange beating the overlapped
+pencil exchanges, and the 6 tasks/node D2H pack inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Algorithm, RunConfig
+from repro.core.executor import StepTiming, simulate_step
+from repro.core.planner import MemoryPlanner
+from repro.core.timeline import render_timeline
+from repro.machine.spec import MachineSpec
+from repro.machine.summit import summit
+
+__all__ = ["Fig10Result", "run"]
+
+_N = 12288
+_NODES = 1024
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    timings: dict[str, StepTiming]
+
+    def mpi_fraction(self, name: str) -> float:
+        t = self.timings[name]
+        return t.mpi_time / t.step_time
+
+    def d2h_time(self, name: str) -> float:
+        return self.timings[name].breakdown.get("d2h", 0.0)
+
+    def render(self, width: int = 100) -> str:
+        blocks = []
+        span_end = max(t.step_time for t in self.timings.values())
+        for name, timing in self.timings.items():
+            assert timing.tracer is not None
+            lanes = [
+                lane
+                for lane in timing.tracer.lanes()
+                if "gpu0" in lane or lane.endswith("mpi") or lane.endswith("cpu")
+            ]
+            blocks.append(
+                render_timeline(
+                    timing.tracer,
+                    width=width,
+                    span=(0.0, span_end),
+                    title=f"== {name} ({timing.step_time:.2f} s/step) ==",
+                    lanes=lanes,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(machine: MachineSpec | None = None) -> Fig10Result:
+    machine = machine or summit()
+    np_ = MemoryPlanner(machine).plan(_N, _NODES).npencils
+    configs = {
+        "mpi_only": RunConfig(n=_N, nodes=_NODES, tasks_per_node=2, npencils=np_,
+                              q_pencils_per_a2a=1, algorithm=Algorithm.MPI_ONLY),
+        "1_pencil_per_a2a": RunConfig(n=_N, nodes=_NODES, tasks_per_node=2,
+                                      npencils=np_, q_pencils_per_a2a=1),
+        "1_slab_per_a2a": RunConfig(n=_N, nodes=_NODES, tasks_per_node=2,
+                                    npencils=np_, q_pencils_per_a2a=np_),
+        "6_tasks_per_node": RunConfig(n=_N, nodes=_NODES, tasks_per_node=6,
+                                      npencils=np_, q_pencils_per_a2a=1),
+    }
+    timings = {
+        name: simulate_step(cfg, machine, trace=True)
+        for name, cfg in configs.items()
+    }
+    return Fig10Result(timings=timings)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    result = run()
+    print(result.render())
+    for name in result.timings:
+        print(f"{name}: MPI fraction {100 * result.mpi_fraction(name):.0f}%")

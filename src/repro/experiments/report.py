@@ -1,0 +1,47 @@
+"""Formatting helpers for experiment drivers: comparison rows and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ComparisonRow", "format_table", "relative_error"]
+
+
+def relative_error(model: float, observed: float) -> float:
+    """Signed relative error (model - observed) / observed."""
+    if observed == 0:
+        raise ValueError("observed value is zero; relative error undefined")
+    return (model - observed) / observed
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One model-vs-paper comparison entry."""
+
+    label: str
+    model: float
+    paper: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.model, self.paper)
+
+    def format(self) -> str:
+        note = f"  [{self.note}]" if self.note else ""
+        return (
+            f"{self.label:<38} model={self.model:10.3f} paper={self.paper:10.3f} "
+            f"{self.unit:<5} err={100 * self.error:+6.1f}%{note}"
+        )
+
+
+def format_table(title: str, rows: Sequence[ComparisonRow]) -> str:
+    """A printable comparison block with a mean-|error| footer."""
+    lines = [title, "-" * len(title)]
+    lines.extend(r.format() for r in rows)
+    if rows:
+        mean_err = sum(abs(r.error) for r in rows) / len(rows)
+        lines.append(f"mean |err| = {100 * mean_err:.1f}% over {len(rows)} entries")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Table 2 reproduction: effective all-to-all bandwidth of the standalone
+blocking kernel under configurations A, B and C (paper Sec. 4.1).
+
+This driver exercises two independent implementations and checks they agree:
+
+* the *analytic* path — :class:`repro.machine.network.AllToAllModel` applied
+  directly to the published message sizes;
+* the *simulated* path — :class:`repro.benchkit.a2a_kernel.StandaloneA2AKernel`
+  running the exchange through the discrete-event simulation, exactly as the
+  paper ran a standalone MPI kernel separate from the DNS code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchkit.a2a_kernel import StandaloneA2AKernel
+from repro.experiments import paperdata
+from repro.experiments.report import ComparisonRow, format_table
+from repro.machine.network import AllToAllModel
+from repro.machine.spec import MachineSpec, MiB
+from repro.machine.summit import summit
+
+__all__ = ["Table2Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    comparisons: list[ComparisonRow]
+    analytic_bw: dict[tuple[str, int], float]
+    simulated_bw: dict[tuple[str, int], float]
+
+    def report(self) -> str:
+        return format_table(
+            "Table 2 — effective all-to-all bandwidth per node (GB/s)",
+            self.comparisons,
+        )
+
+    def max_analytic_vs_simulated_gap(self) -> float:
+        gaps = [
+            abs(self.analytic_bw[k] - self.simulated_bw[k]) / self.analytic_bw[k]
+            for k in self.analytic_bw
+        ]
+        return max(gaps)
+
+
+def run(machine: MachineSpec | None = None) -> Table2Result:
+    machine = machine or summit()
+    model = AllToAllModel(machine)
+    comparisons = []
+    analytic: dict[tuple[str, int], float] = {}
+    simulated: dict[tuple[str, int], float] = {}
+    for cell in paperdata.TABLE2:
+        p2p = cell.p2p_mib * MiB
+        timing = model.timing(p2p, cell.nodes, cell.tasks_per_node, blocking=True)
+        bw = timing.effective_bw_per_node / 1e9
+        analytic[(cell.case, cell.nodes)] = bw
+
+        kernel = StandaloneA2AKernel(machine, cell.nodes, cell.tasks_per_node)
+        sim_bw = kernel.effective_bandwidth(p2p) / 1e9
+        simulated[(cell.case, cell.nodes)] = sim_bw
+
+        comparisons.append(
+            ComparisonRow(
+                f"case {cell.case} @ {cell.nodes:5d} nodes "
+                f"(P2P {cell.p2p_mib:7.3f} MB)",
+                bw,
+                cell.bw_gb_s,
+                "GB/s",
+                note="paper flags anomalous" if cell.anomalous else "",
+            )
+        )
+    return Table2Result(
+        comparisons=comparisons, analytic_bw=analytic, simulated_bw=simulated
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    print(run().report())

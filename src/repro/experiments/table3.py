@@ -1,0 +1,109 @@
+"""Table 3 reproduction: DNS seconds per RK2 step and GPU:CPU speedups.
+
+Four configurations per problem size, exactly as the paper's Table 3:
+the synchronous pencil-decomposed CPU baseline, and the asynchronous GPU
+code at 6 tasks/node (1 pencil/A2A), 2 tasks/node (1 pencil/A2A), and
+2 tasks/node (1 slab/A2A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Algorithm, RunConfig
+from repro.core.executor import StepTiming, simulate_step
+from repro.core.planner import MemoryPlanner
+from repro.experiments import paperdata
+from repro.experiments.report import ComparisonRow, format_table
+from repro.machine.spec import MachineSpec
+from repro.machine.summit import summit
+
+__all__ = ["Table3Case", "Table3Result", "configs_for", "run"]
+
+_COLUMNS = ("cpu", "gpu_a", "gpu_b", "gpu_c")
+
+
+@dataclass(frozen=True)
+class Table3Case:
+    nodes: int
+    n: int
+    times: dict[str, float]  # column -> seconds/step
+
+    @property
+    def speedups(self) -> dict[str, float]:
+        cpu = self.times["cpu"]
+        return {c: cpu / self.times[c] for c in _COLUMNS[1:]}
+
+    @property
+    def best_gpu(self) -> float:
+        return min(self.times[c] for c in _COLUMNS[1:])
+
+
+def configs_for(machine: MachineSpec, nodes: int, n: int) -> dict[str, RunConfig]:
+    """The four Table-3 configurations for one (nodes, N) operating point."""
+    planner = MemoryPlanner(machine)
+    np_ = planner.plan(n, nodes).npencils
+    return {
+        "cpu": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=2, npencils=np_,
+            algorithm=Algorithm.CPU_BASELINE,
+        ),
+        "gpu_a": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=6, npencils=np_, q_pencils_per_a2a=1
+        ),
+        "gpu_b": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=2, npencils=np_, q_pencils_per_a2a=1
+        ),
+        "gpu_c": RunConfig(
+            n=n, nodes=nodes, tasks_per_node=2, npencils=np_, q_pencils_per_a2a=np_
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    cases: list[Table3Case]
+    comparisons: list[ComparisonRow]
+    timings: dict[tuple[int, str], StepTiming]
+
+    def report(self) -> str:
+        return format_table("Table 3 — DNS seconds per RK2 step", self.comparisons)
+
+    def case(self, nodes: int) -> Table3Case:
+        for c in self.cases:
+            if c.nodes == nodes:
+                return c
+        raise KeyError(nodes)
+
+
+def run(machine: MachineSpec | None = None, trace: bool = False) -> Table3Result:
+    machine = machine or summit()
+    cases: list[Table3Case] = []
+    comparisons: list[ComparisonRow] = []
+    timings: dict[tuple[int, str], StepTiming] = {}
+    for ref in paperdata.TABLE3:
+        cfgs = configs_for(machine, ref.nodes, ref.n)
+        times: dict[str, float] = {}
+        for col in _COLUMNS:
+            timing = simulate_step(cfgs[col], machine, trace=trace)
+            times[col] = timing.step_time
+            timings[(ref.nodes, col)] = timing
+        case = Table3Case(nodes=ref.nodes, n=ref.n, times=times)
+        cases.append(case)
+        observed = {
+            "cpu": ref.cpu_s,
+            "gpu_a": ref.gpu_a_s,
+            "gpu_b": ref.gpu_b_s,
+            "gpu_c": ref.gpu_c_s,
+        }
+        for col in _COLUMNS:
+            comparisons.append(
+                ComparisonRow(
+                    f"{ref.n}^3 @ {ref.nodes}: {col}", times[col], observed[col], "s"
+                )
+            )
+    return Table3Result(cases=cases, comparisons=comparisons, timings=timings)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    print(run().report())

@@ -1,0 +1,118 @@
+"""Table 4 reproduction: weak scaling, plus the Sec. 5.3 strong-scaling pair.
+
+Weak-scaling percentage between problems (N1, M1, t1) and (N2, M2, t2) is the
+paper's Eq. 4::
+
+    WS = (N2^3 / N1^3) * (t1 / t2) * (M1 / M2)
+
+computed against the *best* configuration time for each problem size
+(1 pencil/A2A at 16 nodes, 1 slab/A2A beyond — as in the paper's Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RunConfig
+from repro.core.executor import simulate_step
+from repro.core.planner import MemoryPlanner
+from repro.experiments import paperdata
+from repro.experiments.report import ComparisonRow, format_table
+from repro.machine.spec import MachineSpec
+from repro.machine.summit import summit
+
+__all__ = ["Table4Result", "run", "weak_scaling_pct"]
+
+
+def weak_scaling_pct(
+    n1: int, m1: int, t1: float, n2: int, m2: int, t2: float
+) -> float:
+    """Paper Eq. 4, as a percentage."""
+    if min(n1, m1, n2, m2) < 1 or t1 <= 0 or t2 <= 0:
+        raise ValueError("invalid weak-scaling inputs")
+    return 100.0 * (n2**3 / n1**3) * (t1 / t2) * (m1 / m2)
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    times: dict[int, float]  # nodes -> best-config seconds/step
+    weak_scaling: dict[int, float]  # nodes -> WS% vs the 16-node base
+    strong_scaling_pct: float
+    comparisons: list[ComparisonRow]
+
+    def report(self) -> str:
+        return format_table("Table 4 — weak scaling (Eq. 4)", self.comparisons)
+
+
+def run(machine: MachineSpec | None = None) -> Table4Result:
+    machine = machine or summit()
+    planner = MemoryPlanner(machine)
+
+    times: dict[int, float] = {}
+    for ref in paperdata.TABLE4:
+        np_ = planner.plan(ref.n, ref.nodes).npencils
+        cfg = RunConfig(
+            n=ref.n,
+            nodes=ref.nodes,
+            tasks_per_node=2,
+            npencils=np_,
+            q_pencils_per_a2a=ref.pencils_per_a2a if ref.pencils_per_a2a <= np_ else np_,
+        )
+        times[ref.nodes] = simulate_step(cfg, machine, trace=False).step_time
+
+    base = paperdata.TABLE4[0]
+    weak: dict[int, float] = {}
+    comparisons: list[ComparisonRow] = []
+    for ref in paperdata.TABLE4[1:]:
+        ws = weak_scaling_pct(
+            base.n, base.nodes, times[base.nodes], ref.n, ref.nodes, times[ref.nodes]
+        )
+        weak[ref.nodes] = ws
+        assert ref.weak_scaling_pct is not None
+        comparisons.append(
+            ComparisonRow(
+                f"WS {ref.n}^3 @ {ref.nodes} vs 3072^3 @ 16",
+                ws,
+                ref.weak_scaling_pct,
+                "%",
+            )
+        )
+
+    # Sec. 5.3: strong scaling of the 6 tasks/node configuration at 18432^3.
+    ss = paperdata.STRONG_SCALING_18432
+    strong_times: dict[int, float] = {}
+    for nodes in (ss["nodes_small"], ss["nodes_large"]):
+        np_ = planner.plan(18432, nodes).npencils
+        # np must divide N for the batching; round up to the next divisor.
+        while 18432 % np_ != 0:
+            np_ += 1
+        cfg = RunConfig(
+            n=18432,
+            nodes=nodes,
+            tasks_per_node=ss["tasks_per_node"],
+            npencils=np_,
+            q_pencils_per_a2a=1,
+        )
+        strong_times[nodes] = simulate_step(cfg, machine, trace=False).step_time
+    ratio = ss["nodes_large"] / ss["nodes_small"]
+    strong_pct = 100.0 * strong_times[ss["nodes_small"]] / (
+        ratio * strong_times[ss["nodes_large"]]
+    )
+    comparisons.append(
+        ComparisonRow(
+            "strong scaling 18432^3, 1536->3072 (6 t/n)",
+            strong_pct,
+            ss["efficiency_pct"],
+            "%",
+        )
+    )
+    return Table4Result(
+        times=times,
+        weak_scaling=weak,
+        strong_scaling_pct=strong_pct,
+        comparisons=comparisons,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    print(run().report())

@@ -1,0 +1,82 @@
+"""A hypothetical exascale node, for the paper's forward-looking questions.
+
+The paper's introduction frames the work as preparation for "expected
+exascale machines" with even denser nodes, and its conclusion predicts that
+"further gains in performance will depend on ... hardware innovations that
+improve the performance of the all-to-all communication".  This module
+builds a Frontier-generation-like machine model — roughly 2021-era public
+numbers, not any vendor's spec sheet — so those predictions can be tested:
+
+* node: 1 CPU socket + 4 GPUs, each ~64 GB HBM at ~1.6 TB/s, ~24 TF fp32
+  sustained-class, 128 GB/s-class CPU-GPU links;
+* network: 4x25 GB/s NICs per node (100 GB/s injection), same calibrated
+  efficiency curves as Summit (conservative: the curves encode traffic
+  behaviour, not link speed).
+
+See :mod:`repro.experiments.projection` for the what-if study.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import (
+    GiB,
+    GpuSpec,
+    MachineSpec,
+    NetworkCalibration,
+    NetworkSpec,
+    NodeSpec,
+    SocketSpec,
+)
+
+__all__ = ["exascale"]
+
+
+def exascale(
+    total_nodes: int = 9408,
+    calibration: NetworkCalibration | None = None,
+) -> MachineSpec:
+    """A Frontier-class machine model (see module docstring)."""
+    gpu = GpuSpec(
+        name="exa-gpu",
+        hbm_bytes=64 * GiB,
+        hbm_bw=1.6e12,
+        nvlink_bw=128e9,
+        sms=110,
+        fp32_flops=24e12,
+        fft_efficiency=0.25,
+        kernel_launch_overhead=4e-6,
+        copy_engine_setup=6e-6,
+        pack_call_overhead=2.0e-6,
+        copy_engine_row_overhead=1.0e-7,
+        zero_copy_block_bw=6.0e9,
+    )
+    socket = SocketSpec(
+        name="exa-cpu",
+        dram_bw=400e9,
+        cores=64,
+        smt=2,
+        core_flops=80e9,
+        cpu_fft_efficiency=0.12,
+        memcpy_bw=150e9,
+        dma_arbitration_weight=48.0,
+        gpus=(gpu, gpu, gpu, gpu),
+    )
+    node = NodeSpec(
+        name="exa-node",
+        sockets=(socket,),
+        dram_bytes=512 * GiB,
+        os_reserved_bytes=32 * GiB,
+    )
+    network = NetworkSpec(
+        name="exa-fabric",
+        injection_bw=100e9,
+        bisection_bw_per_node=100e9,
+        rails=4,
+        intra_node_bw=200e9,
+        calibration=calibration or NetworkCalibration(),
+    )
+    spec = MachineSpec(
+        name="exascale", node=node, network=network, total_nodes=total_nodes
+    )
+    spec.validate()
+    return spec

@@ -1,0 +1,63 @@
+"""Sierra (LLNL): the paper's other AC922 target, as a machine model.
+
+The paper designs "around the IBM Power System AC922 which is used in the
+Summit and Sierra supercomputers" (Sec. 3.2).  Sierra's node differs from
+Summit's in public specs: 4 V100s per node (2 per socket) instead of 6,
+256 GB of DDR4 instead of 512, and the same dual-rail EDR fabric; ~4320
+compute nodes.  Having the second target exercises the machine-model
+parameterization the paper's design argument relies on.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import (
+    GiB,
+    MachineSpec,
+    NetworkCalibration,
+    NetworkSpec,
+    NodeSpec,
+    SocketSpec,
+)
+from repro.machine.summit import summit_gpu
+
+__all__ = ["SIERRA_TOTAL_NODES", "sierra"]
+
+SIERRA_TOTAL_NODES = 4320
+
+
+def sierra(
+    total_nodes: int = SIERRA_TOTAL_NODES,
+    calibration: NetworkCalibration | None = None,
+) -> MachineSpec:
+    """Build the Sierra machine model (2 V100 per socket, 256 GB nodes)."""
+    gpu = summit_gpu()
+    socket = SocketSpec(
+        name="POWER9-sierra",
+        dram_bw=135e9,
+        cores=22,
+        smt=4,
+        core_flops=60e9,
+        cpu_fft_efficiency=0.12,
+        memcpy_bw=60e9,
+        dma_arbitration_weight=48.0,
+        gpus=(gpu, gpu),
+    )
+    node = NodeSpec(
+        name="AC922-sierra",
+        sockets=(socket, socket),
+        dram_bytes=256 * GiB,
+        os_reserved_bytes=32 * GiB,
+    )
+    network = NetworkSpec(
+        name="dual-rail-EDR",
+        injection_bw=23e9,
+        bisection_bw_per_node=23e9,
+        rails=2,
+        intra_node_bw=50e9,
+        calibration=calibration or NetworkCalibration(),
+    )
+    spec = MachineSpec(
+        name="sierra", node=node, network=network, total_nodes=total_nodes
+    )
+    spec.validate()
+    return spec

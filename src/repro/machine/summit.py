@@ -1,0 +1,102 @@
+"""The published Summit numbers (OLCF, IBM AC922) as a :class:`MachineSpec`.
+
+Sources, as cited in the paper (Sec. 3.2 and 4.1):
+
+* POWER9 host memory bandwidth: 135 GB/s peak unidirectional per socket.
+* CPU-GPU NVLink: 150 GB/s peak per socket (3 GPUs x 50 GB/s, 2 links/GPU).
+* Network: dual-rail EDR InfiniBand, 23 GB/s node injection bandwidth,
+  46 GB/s bisection bandwidth (per node pair at full machine).
+* Node: 512 GB DDR4, of which ~64 GB is observed to be held by the OS;
+  2 x 22 cores; 6 x V100 with 16 GB HBM and 80 SMs each.
+* Machine: 4608 nodes.
+
+The :class:`NetworkCalibration` constants are fitted once against the twelve
+effective-bandwidth measurements of the paper's Table 2; see
+``repro.experiments.table2`` for the reproduction and per-cell errors.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import (
+    GiB,
+    GpuSpec,
+    MachineSpec,
+    NetworkCalibration,
+    NetworkSpec,
+    NodeSpec,
+    SocketSpec,
+)
+
+__all__ = ["SUMMIT_TOTAL_NODES", "summit", "summit_gpu", "summit_socket"]
+
+SUMMIT_TOTAL_NODES = 4608
+
+
+def summit_gpu() -> GpuSpec:
+    """A Tesla V100-SXM2 (16 GB) as attached in the AC922 node."""
+    return GpuSpec(
+        name="V100-SXM2-16GB",
+        hbm_bytes=16 * GiB,
+        hbm_bw=900e9,
+        nvlink_bw=50e9,
+        sms=80,
+        fp32_flops=15.7e12,
+        fft_efficiency=0.22,
+        kernel_launch_overhead=5e-6,
+        copy_engine_setup=7e-6,
+        copy_engine_row_overhead=1.2e-7,
+        zero_copy_block_bw=3.2e9,
+    )
+
+
+def summit_socket() -> SocketSpec:
+    """One POWER9 socket with its 3 NVLink-attached V100s."""
+    gpu = summit_gpu()
+    return SocketSpec(
+        name="POWER9",
+        dram_bw=135e9,
+        cores=22,
+        smt=4,
+        # Single-precision peak per core (2 VSX pipes x 8 flops x ~3.8 GHz);
+        # threaded FFTW sustains ~12% of it (calibrated against Table 3's
+        # synchronous-CPU column).
+        core_flops=60e9,
+        cpu_fft_efficiency=0.12,
+        memcpy_bw=60e9,
+        gpus=(gpu, gpu, gpu),
+    )
+
+
+def summit(
+    total_nodes: int = SUMMIT_TOTAL_NODES,
+    calibration: NetworkCalibration | None = None,
+) -> MachineSpec:
+    """Build the Summit machine model.
+
+    Parameters
+    ----------
+    total_nodes:
+        Override the machine size (useful for topology experiments).
+    calibration:
+        Override the fitted network calibration (useful for ablations).
+    """
+    socket = summit_socket()
+    node = NodeSpec(
+        name="AC922",
+        sockets=(socket, socket),
+        dram_bytes=512 * GiB,
+        os_reserved_bytes=64 * GiB,
+    )
+    network = NetworkSpec(
+        name="dual-rail-EDR",
+        injection_bw=23e9,
+        bisection_bw_per_node=23e9,
+        rails=2,
+        intra_node_bw=50e9,
+        calibration=calibration or NetworkCalibration(),
+    )
+    spec = MachineSpec(
+        name="summit", node=node, network=network, total_nodes=total_nodes
+    )
+    spec.validate()
+    return spec

@@ -1,0 +1,78 @@
+"""Titan (OLCF): the thin-node predecessor the paper contrasts Summit with.
+
+"Summit ... has fewer but much denser nodes than its predecessor machine
+(Titan)" (paper Sec. 1).  Titan's published shape: 18,688 nodes, each one
+16-core AMD Opteron socket + one K20X GPU (6 GB), 32 GB DDR3, Gemini
+interconnect.  The point of modelling it is not K20X-era flops fidelity but
+the *shape*: the same problem needs ~20x more nodes, so ranks multiply,
+per-peer messages shrink by orders of magnitude, and slab decompositions
+hit their P <= N wall — the regime that forced the 2-D pencil tradition the
+paper departs from.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import (
+    GiB,
+    GpuSpec,
+    MachineSpec,
+    NetworkCalibration,
+    NetworkSpec,
+    NodeSpec,
+    SocketSpec,
+)
+
+__all__ = ["TITAN_TOTAL_NODES", "titan"]
+
+TITAN_TOTAL_NODES = 18688
+
+
+def titan(
+    total_nodes: int = TITAN_TOTAL_NODES,
+    calibration: NetworkCalibration | None = None,
+) -> MachineSpec:
+    """Build the Titan machine model (1 K20X + 16 Opteron cores per node)."""
+    gpu = GpuSpec(
+        name="K20X",
+        hbm_bytes=6 * GiB,
+        hbm_bw=250e9,
+        nvlink_bw=8e9,  # PCIe gen2 x16
+        sms=14,
+        fp32_flops=3.9e12,
+        fft_efficiency=0.18,
+        kernel_launch_overhead=8e-6,
+        copy_engine_setup=10e-6,
+        pack_call_overhead=5e-6,
+        copy_engine_row_overhead=3e-7,
+        zero_copy_block_bw=0.6e9,
+    )
+    socket = SocketSpec(
+        name="Opteron-6274",
+        dram_bw=50e9,
+        cores=16,
+        smt=1,
+        core_flops=18e9,
+        cpu_fft_efficiency=0.10,
+        memcpy_bw=20e9,
+        dma_arbitration_weight=48.0,
+        gpus=(gpu,),
+    )
+    node = NodeSpec(
+        name="XK7",
+        sockets=(socket,),
+        dram_bytes=32 * GiB,
+        os_reserved_bytes=4 * GiB,
+    )
+    network = NetworkSpec(
+        name="gemini",
+        injection_bw=6e9,
+        bisection_bw_per_node=3e9,
+        rails=1,
+        intra_node_bw=20e9,
+        calibration=calibration or NetworkCalibration(),
+    )
+    spec = MachineSpec(
+        name="titan", node=node, network=network, total_nodes=total_nodes
+    )
+    spec.validate()
+    return spec

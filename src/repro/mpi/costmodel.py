@@ -1,0 +1,97 @@
+"""Message-size bookkeeping for the DNS code's all-to-all exchanges.
+
+The paper (Sec. 4.1) gives the peer-to-peer message size when a slab
+decomposed over ``P`` ranks is divided into ``np`` pencils and ``nv``
+variables are exchanged, ``Q`` pencils per all-to-all::
+
+    P2P = wordsize * nv * Q * (N / np) * (N / P)**2   bytes
+
+(`Q = np` communicates the whole slab at once — the paper's case C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExchangeShape", "alltoall_p2p_bytes", "slab_exchange_shape"]
+
+WORD = 4  # single precision
+
+
+def alltoall_p2p_bytes(
+    n: int, ranks: int, npencils: int, nv: int, q: int = 1, wordsize: int = WORD
+) -> float:
+    """Per-peer message size for transposing ``q`` pencils of ``nv`` variables.
+
+    Parameters
+    ----------
+    n:
+        Linear grid size (the global problem is n^3).
+    ranks:
+        Total MPI ranks P (slab count).
+    npencils:
+        Pencils per slab, ``np`` in the paper.
+    nv:
+        Number of solution variables travelling together.
+    q:
+        Pencils aggregated per all-to-all call (1 <= q <= npencils).
+    """
+    if n < 1 or ranks < 1 or npencils < 1 or nv < 1:
+        raise ValueError("all exchange dimensions must be positive")
+    if not 1 <= q <= npencils:
+        raise ValueError(f"q={q} must be in [1, np={npencils}]")
+    return wordsize * nv * q * (n / npencils) * (n / ranks) ** 2
+
+
+@dataclass(frozen=True)
+class ExchangeShape:
+    """One all-to-all exchange pattern of the DNS step."""
+
+    n: int
+    ranks: int
+    nodes: int
+    tasks_per_node: int
+    npencils: int
+    nv: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.ranks != self.nodes * self.tasks_per_node:
+            raise ValueError(
+                f"ranks={self.ranks} != nodes*tpn="
+                f"{self.nodes * self.tasks_per_node}"
+            )
+
+    @property
+    def p2p_bytes(self) -> float:
+        return alltoall_p2p_bytes(self.n, self.ranks, self.npencils, self.nv, self.q)
+
+    @property
+    def calls_per_transpose(self) -> int:
+        """All-to-all calls needed to move the full slab (ceil division)."""
+        return -(-self.npencils // self.q)
+
+    @property
+    def local_bytes(self) -> float:
+        """Bytes of this rank's slab data involved per call (all peers)."""
+        return self.p2p_bytes * self.ranks
+
+
+def slab_exchange_shape(
+    n: int,
+    nodes: int,
+    tasks_per_node: int,
+    npencils: int,
+    nv: int = 3,
+    q: int = 1,
+) -> ExchangeShape:
+    """Exchange shape for the paper's slab-decomposed transposes."""
+    return ExchangeShape(
+        n=n,
+        ranks=nodes * tasks_per_node,
+        nodes=nodes,
+        tasks_per_node=tasks_per_node,
+        npencils=npencils,
+        nv=nv,
+        q=q,
+    )

@@ -1,0 +1,175 @@
+"""SimComm: MPI collectives as discrete-event bandwidth flows.
+
+A :class:`SimComm` represents one simulated MPI rank's view of the
+communicator.  Blocking and non-blocking all-to-alls are posted as flows
+through the rank's share of the NIC plus the socket's host-DRAM link; the
+flow is rate-capped at the *achievable* all-to-all rate predicted by
+:class:`repro.machine.network.AllToAllModel` for the exchange's message size,
+node count and tasks-per-node.  When GPU DMA traffic is saturating the DRAM
+link, the weighted fair-share arbiter squeezes the MPI flow below its cap —
+reproducing the paper's Sec. 5.2 observation that MPI bandwidth suffers while
+GPU transfers are in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.machine.network import AllToAllModel, AllToAllTiming
+from repro.machine.spec import MachineSpec
+from repro.sim.engine import Engine, Signal, Timeout
+from repro.sim.resources import FairShareLink, LinkSet
+from repro.sim.trace import Tracer
+
+__all__ = ["SimComm", "SimRequest"]
+
+#: Arbitration weight of NIC traffic on the shared host-DRAM link (GPU DMA
+#: traffic carries repro.cuda.runtime.DMA_WEIGHT, several times larger).
+MPI_WEIGHT = 1.0
+
+
+class SimRequest:
+    """Handle for a non-blocking collective (MPI_Request analogue)."""
+
+    __slots__ = ("signal", "timing", "label")
+
+    def __init__(self, signal: Signal, timing: AllToAllTiming, label: str):
+        self.signal = signal
+        self.timing = timing
+        self.label = label
+
+    @property
+    def complete(self) -> bool:
+        return self.signal.fired
+
+    def wait(self) -> Generator:
+        """Generator to ``yield from`` inside a sim process (MPI_Wait)."""
+        if not self.signal.fired:
+            yield self.signal
+
+
+class SimComm:
+    """One rank's communicator endpoint in the discrete-event simulation.
+
+    Parameters
+    ----------
+    nic_link:
+        This rank's NIC attachment (typically the socket's share of the node
+        injection bandwidth).
+    dram_link:
+        The socket's host memory channel; MPI buffers live in host memory so
+        wire traffic also consumes DRAM bandwidth.
+    nodes, tasks_per_node:
+        Shape of the job; with ``ranks = nodes * tasks_per_node``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        links: LinkSet,
+        machine: MachineSpec,
+        nodes: int,
+        tasks_per_node: int,
+        nic_link: FairShareLink,
+        dram_link: Optional[FairShareLink] = None,
+        tracer: Optional[Tracer] = None,
+        lane: str = "mpi",
+    ):
+        self.engine = engine
+        self.links = links
+        self.machine = machine
+        self.model = AllToAllModel(machine)
+        self.nodes = nodes
+        self.tasks_per_node = tasks_per_node
+        self.nic_link = nic_link
+        self.dram_link = dram_link
+        self.tracer = tracer
+        self.lane = lane
+        self._inflight = 0
+        # Collectives posted on the same communicator make progress one at a
+        # time (library-level serialization): each posted request chains on
+        # the completion of the previous one.
+        self._last_posted: Optional[Signal] = None
+
+    @property
+    def ranks(self) -> int:
+        return self.nodes * self.tasks_per_node
+
+    @property
+    def inflight(self) -> int:
+        """Number of currently posted, unfinished collectives."""
+        return self._inflight
+
+    # -- collectives -------------------------------------------------------
+
+    def ialltoall(
+        self, p2p_bytes: float, label: str = "a2a", blocking: bool = False
+    ) -> SimRequest:
+        """Post a (non-)blocking all-to-all; returns a request immediately.
+
+        ``blocking`` selects the protocol efficiency model (blocking small
+        messages ride the eager path, paper Sec. 4.1); to actually block,
+        ``yield from req.wait()``.
+        """
+        timing = self.model.timing(
+            p2p_bytes, self.nodes, self.tasks_per_node, blocking=blocking
+        )
+        done = self.engine.signal(name=f"{self.lane}.{label}.done")
+        request = SimRequest(done, timing, label)
+        per_rank_bytes = timing.off_node_bytes_per_node / self.tasks_per_node
+        per_rank_rate = timing.achievable_rate / self.tasks_per_node
+        if not blocking:
+            # Non-blocking exchanges overlapped with GPU work sustain a lower
+            # rate than the standalone blocking kernel, increasingly so at
+            # scale (paper Sec. 5.2).
+            per_rank_rate *= self.model.cal.overlap_efficiency(self.nodes)
+
+        links: list[FairShareLink] = [self.nic_link]
+        if self.dram_link is not None:
+            links.append(self.dram_link)
+
+        engine = self.engine
+        self._inflight += 1
+        predecessor = self._last_posted
+        self._last_posted = done
+
+        def runner() -> Generator:
+            if predecessor is not None and not predecessor.fired:
+                yield predecessor
+            start = engine.now
+            yield Timeout(timing.latency)
+            if per_rank_bytes > 0:
+                flow = self.links.transfer(
+                    per_rank_bytes,
+                    links,
+                    label=f"{self.lane}.{label}",
+                    max_rate=per_rank_rate,
+                    weight=MPI_WEIGHT,
+                )
+                yield flow.done
+            # On-node exchange portion not already hidden under wire time.
+            wire = engine.now - start - timing.latency
+            on_node_time = (
+                timing.on_node_bytes_per_node
+                / self.machine.network.intra_node_bw
+                if timing.on_node_bytes_per_node
+                else 0.0
+            )
+            if on_node_time > wire:
+                yield Timeout(on_node_time - wire)
+            if self.tracer is not None:
+                self.tracer.record(
+                    "mpi", self.lane, label, start, engine.now,
+                    p2p_bytes=p2p_bytes, blocking=blocking,
+                )
+            self._inflight -= 1
+            done.fire(timing)
+
+        engine.process(runner(), name=f"{self.lane}.{label}")
+        return request
+
+    def alltoall(self, p2p_bytes: float, label: str = "a2a") -> Generator:
+        """Blocking all-to-all: ``yield from`` inside a sim process."""
+        request = self.ialltoall(p2p_bytes, label=label, blocking=True)
+        yield from request.wait()
+        return request.timing

@@ -1,0 +1,49 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic event-driven kernel on which the
+simulated Summit machine (:mod:`repro.machine`), the simulated CUDA runtime
+(:mod:`repro.cuda`) and the simulated MPI layer (:mod:`repro.mpi`) are built.
+
+Design notes
+------------
+* Time is a ``float`` in seconds.  The engine is fully deterministic: ties in
+  event time are broken by insertion order.
+* Concurrency is expressed with generator-based *processes* which ``yield``
+  waits (:class:`Timeout`, :class:`Signal`, :class:`AllOf`, :class:`AnyOf`).
+* Shared hardware links are modelled by :class:`FairShareLink` /
+  :class:`LinkSet`, which implement max-min fair (progressive-filling)
+  bandwidth sharing across concurrent flows that may traverse several links,
+  e.g. a device-to-host copy that occupies both an NVLink and the host DRAM
+  channel.  This reproduces the contention the paper observes between GPU
+  transfers and MPI traffic (SC '19 paper, Sec. 5.2).
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Interrupt,
+    Process,
+    Signal,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import FairShareLink, Flow, LinkSet, TokenPool
+from repro.sim.trace import Activity, Tracer
+
+__all__ = [
+    "Activity",
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "FairShareLink",
+    "Flow",
+    "Interrupt",
+    "LinkSet",
+    "Process",
+    "Signal",
+    "SimulationError",
+    "Timeout",
+    "TokenPool",
+    "Tracer",
+]

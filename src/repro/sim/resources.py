@@ -1,0 +1,338 @@
+"""Shared-resource models: fair-share bandwidth links and token pools.
+
+The central abstraction is a *flow*: a transfer of ``nbytes`` that must
+traverse one or more :class:`FairShareLink` objects simultaneously (e.g. a
+device-to-host copy occupies both the GPU's NVLink and the socket's host DRAM
+channel).  All concurrently active flows share link capacity max-min fairly
+(progressive filling), optionally subject to a per-flow rate cap (used for
+zero-copy kernels whose throughput is limited by the number of thread blocks).
+
+Whenever a flow starts or finishes, the :class:`BandwidthArbiter` re-solves
+the allocation, updates every active flow's remaining bytes and reschedules
+completion events.  This is what makes the simulated MPI traffic slow down
+while a GPU transfer is in flight — the effect the paper reports in Sec. 5.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.engine import Engine, Signal, SimulationError
+
+__all__ = ["BandwidthArbiter", "FairShareLink", "Flow", "LinkSet", "TokenPool"]
+
+_EPS = 1e-15
+
+
+class FairShareLink:
+    """A bandwidth-limited channel (bytes/second) shared by active flows."""
+
+    __slots__ = ("name", "capacity", "arbiter")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"link {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        self.arbiter: Optional["BandwidthArbiter"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FairShareLink({self.name!r}, {self.capacity:.3g} B/s)"
+
+
+class Flow:
+    """An in-flight transfer across a set of links.
+
+    Attributes
+    ----------
+    done:
+        :class:`Signal` fired when the last byte is delivered.
+    rate:
+        Current allocated rate in bytes/second (updated on every re-solve).
+    """
+
+    __slots__ = (
+        "label",
+        "links",
+        "nbytes",
+        "remaining",
+        "max_rate",
+        "weight",
+        "rate",
+        "done",
+        "start_time",
+        "_last_update",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        links: tuple[FairShareLink, ...],
+        nbytes: float,
+        max_rate: Optional[float],
+        done: Signal,
+        now: float,
+        weight: float = 1.0,
+    ):
+        if weight <= 0:
+            raise ValueError("flow weight must be positive")
+        self.label = label
+        self.links = links
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.max_rate = max_rate
+        self.weight = float(weight)
+        self.rate = 0.0
+        self.done = done
+        self.start_time = now
+        self._last_update = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flow({self.label!r}, remaining={self.remaining:.3g}B @ {self.rate:.3g}B/s)"
+
+
+def _solve_max_min(
+    flows: Sequence[Flow], links: Sequence[FairShareLink]
+) -> dict[Flow, float]:
+    """Weighted progressive-filling max-min fair allocation with rate caps.
+
+    Each unfrozen flow on a link receives capacity proportional to its
+    ``weight``.  The algorithm repeatedly finds the binding constraint —
+    either the link whose *per-unit-weight* share among its unfrozen flows is
+    smallest, or an unfrozen flow whose cap is below the rate that share would
+    grant it — freezes the implicated flows and removes their consumption
+    from the remaining link capacities.
+
+    Weights let the machine model express DMA-engine traffic dominating host
+    DRAM bandwidth over concurrent MPI/NIC traffic (paper Sec. 5.2: "if GPUs
+    and the network card were requesting data movement, the MPI bandwidth
+    suffered significantly until the GPU transfer was complete").
+    """
+    rates: dict[Flow, float] = {}
+    unfrozen = set(flows)
+    remaining_cap = {link: link.capacity for link in links}
+
+    while unfrozen:
+        # Per-unit-weight share currently offered by each contended link.
+        link_share: dict[FairShareLink, float] = {}
+        for link in links:
+            total_weight = sum(f.weight for f in unfrozen if link in f.links)
+            if total_weight > 0:
+                link_share[link] = max(remaining_cap[link], 0.0) / total_weight
+
+        if not link_share:
+            # Remaining flows traverse no contended link: only caps bind.
+            for flow in unfrozen:
+                rates[flow] = flow.max_rate if flow.max_rate is not None else math.inf
+            break
+
+        bottleneck_link = min(link_share, key=lambda l: link_share[l])
+        unit_share = link_share[bottleneck_link]
+
+        capped = [
+            f
+            for f in unfrozen
+            if f.max_rate is not None and f.max_rate <= unit_share * f.weight + _EPS
+        ]
+        if capped:
+            # Freeze the most-restrictive capped flow first; its leftover
+            # capacity is redistributed on the next iteration.
+            flow = min(capped, key=lambda f: f.max_rate / f.weight)  # type: ignore[operator]
+            rate = float(flow.max_rate)  # type: ignore[arg-type]
+            rates[flow] = rate
+            unfrozen.remove(flow)
+            for link in flow.links:
+                remaining_cap[link] -= rate
+        else:
+            users = [f for f in unfrozen if bottleneck_link in f.links]
+            for flow in users:
+                rate = unit_share * flow.weight
+                rates[flow] = rate
+                unfrozen.remove(flow)
+                for link in flow.links:
+                    remaining_cap[link] -= rate
+    return rates
+
+
+class BandwidthArbiter:
+    """Owns a set of links and dynamically re-solves the fair allocation."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.links: list[FairShareLink] = []
+        self.flows: list[Flow] = []
+        self._generation = 0
+
+    def add_link(self, link: FairShareLink) -> FairShareLink:
+        if link.arbiter is not None:
+            raise SimulationError(f"link {link.name!r} already registered")
+        link.arbiter = self
+        self.links.append(link)
+        return link
+
+    def new_link(self, name: str, capacity: float) -> FairShareLink:
+        return self.add_link(FairShareLink(name, capacity))
+
+    def transfer(
+        self,
+        nbytes: float,
+        links: Iterable[FairShareLink],
+        label: str = "flow",
+        max_rate: Optional[float] = None,
+        weight: float = 1.0,
+    ) -> Flow:
+        """Start a flow of ``nbytes`` across ``links``; returns the Flow.
+
+        Wait on ``flow.done`` for completion.  Zero-byte transfers complete
+        immediately (at the current simulated time).
+        """
+        link_tuple = tuple(links)
+        for link in link_tuple:
+            if link.arbiter is not self:
+                raise SimulationError(f"link {link.name!r} not owned by arbiter")
+        done = self.engine.signal(name=f"{label}.done")
+        flow = Flow(label, link_tuple, nbytes, max_rate, done, self.engine.now, weight)
+        if nbytes <= 0:
+            self.engine.call_in(0.0, lambda: done.fire(flow))
+            return flow
+        self.flows.append(flow)
+        self._resolve()
+        return flow
+
+    # -- internal ----------------------------------------------------------
+
+    def _resolve(self) -> None:
+        """Account elapsed progress, recompute rates, schedule completions."""
+        now = self.engine.now
+        finished: list[Flow] = []
+        for flow in self.flows:
+            elapsed = now - flow._last_update
+            if elapsed > 0 and flow.rate > 0:
+                flow.remaining = max(0.0, flow.remaining - elapsed * flow.rate)
+            flow._last_update = now
+            # Sub-byte residues are float dust: their completion delay can
+            # underflow the time axis (now + dt == now), livelocking the
+            # timer.  Anything below one byte is done.
+            if flow.remaining <= max(1.0, _EPS * flow.nbytes):
+                finished.append(flow)
+
+        for flow in finished:
+            self.flows.remove(flow)
+
+        self._generation += 1
+        generation = self._generation
+
+        if self.flows:
+            rates = _solve_max_min(self.flows, self.links)
+            next_completion = math.inf
+            for flow in self.flows:
+                flow.rate = rates[flow]
+                if flow.rate > 0:
+                    next_completion = min(next_completion, flow.remaining / flow.rate)
+            if math.isfinite(next_completion):
+                self.engine.call_in(
+                    max(next_completion, 0.0),
+                    lambda: self._on_timer(generation),
+                )
+
+        # Fire completions after rates are updated so callbacks observing the
+        # arbiter see a consistent state.
+        for flow in finished:
+            flow.done.fire(flow)
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a more recent resolve
+        self._resolve()
+
+
+class LinkSet:
+    """Convenience bundle: an engine, an arbiter and named links.
+
+    >>> ls = LinkSet(Engine())
+    >>> dram = ls.link("dram", 135e9)
+    >>> nvlink = ls.link("nvlink", 150e9)
+    >>> flow = ls.transfer(1e9, [dram, nvlink], "d2h")
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.arbiter = BandwidthArbiter(engine)
+        self._by_name: dict[str, FairShareLink] = {}
+
+    def link(self, name: str, capacity: float) -> FairShareLink:
+        if name in self._by_name:
+            raise SimulationError(f"duplicate link name {name!r}")
+        link = self.arbiter.new_link(name, capacity)
+        self._by_name[name] = link
+        return link
+
+    def __getitem__(self, name: str) -> FairShareLink:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def transfer(
+        self,
+        nbytes: float,
+        links: Iterable[FairShareLink],
+        label: str = "flow",
+        max_rate: Optional[float] = None,
+        weight: float = 1.0,
+    ) -> Flow:
+        return self.arbiter.transfer(nbytes, links, label, max_rate, weight)
+
+
+class TokenPool:
+    """A counting resource (semaphore) with FIFO granting.
+
+    Used to model bounded buffer pools, e.g. the 27 pencil-sized GPU buffers
+    the planner allocates for triple-buffered asynchronous execution.
+    """
+
+    def __init__(self, engine: Engine, tokens: int, name: str = "pool"):
+        if tokens < 0:
+            raise ValueError("token count must be non-negative")
+        self.engine = engine
+        self.name = name
+        self.capacity = tokens
+        self._available = tokens
+        self._waiters: list[tuple[int, Signal]] = []
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, n: int = 1) -> Signal:
+        """Request ``n`` tokens; the returned signal fires when granted."""
+        if n < 0:
+            raise ValueError("cannot acquire a negative token count")
+        if n > self.capacity:
+            raise SimulationError(
+                f"acquire({n}) exceeds pool {self.name!r} capacity {self.capacity}"
+            )
+        sig = self.engine.signal(name=f"{self.name}.acquire({n})")
+        self._waiters.append((n, sig))
+        self._drain()
+        return sig
+
+    def release(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("cannot release a negative token count")
+        self._available += n
+        if self._available > self.capacity:
+            raise SimulationError(f"pool {self.name!r} over-released")
+        self._drain()
+
+    def _drain(self) -> None:
+        # FIFO: only grant from the head so large requests cannot be starved.
+        while self._waiters and self._waiters[0][0] <= self._available:
+            n, sig = self._waiters.pop(0)
+            self._available -= n
+            sig.fire(n)

@@ -1,0 +1,154 @@
+"""Structured activity tracing for simulated runs.
+
+Every simulated operation (H2D copy, FFT kernel, MPI all-to-all, ...) records
+an :class:`Activity` interval into a :class:`Tracer`.  The executor uses the
+trace to compute per-category busy time and the timeline module renders it as
+the normalized Gantt charts of the paper's Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+__all__ = ["Activity", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One traced interval.
+
+    Attributes
+    ----------
+    category:
+        Coarse class used for coloring/aggregation, e.g. ``"h2d"``, ``"d2h"``,
+        ``"fft"``, ``"mpi"``, ``"pack"``, ``"kernel"``.
+    lane:
+        The resource the interval occupied, e.g. ``"gpu0.compute"``,
+        ``"gpu0.transfer"``, ``"rank.mpi"``.  One lane per timeline row.
+    name:
+        Specific label, e.g. ``"ffty[ip=2]"``.
+    """
+
+    category: str
+    lane: str
+    name: str
+    start: float
+    end: float
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Activity") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class Tracer:
+    """Collects activities; supports filtering and busy-time aggregation."""
+
+    def __init__(self) -> None:
+        self.activities: list[Activity] = []
+        self.enabled = True
+
+    def record(
+        self,
+        category: str,
+        lane: str,
+        name: str,
+        start: float,
+        end: float,
+        **meta: object,
+    ) -> Optional[Activity]:
+        if not self.enabled:
+            return None
+        if end < start:
+            raise ValueError(f"activity {name!r} ends before it starts")
+        act = Activity(category, lane, name, start, end, dict(meta))
+        self.activities.append(act)
+        return act
+
+    def __len__(self) -> int:
+        return len(self.activities)
+
+    def __iter__(self) -> Iterator[Activity]:
+        return iter(self.activities)
+
+    # -- queries -----------------------------------------------------------
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        lane: Optional[str] = None,
+        predicate: Optional[Callable[[Activity], bool]] = None,
+    ) -> list[Activity]:
+        out = []
+        for act in self.activities:
+            if category is not None and act.category != category:
+                continue
+            if lane is not None and act.lane != lane:
+                continue
+            if predicate is not None and not predicate(act):
+                continue
+            out.append(act)
+        return out
+
+    def lanes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for act in self.activities:
+            seen.setdefault(act.lane, None)
+        return list(seen)
+
+    def categories(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for act in self.activities:
+            seen.setdefault(act.category, None)
+        return list(seen)
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all activities."""
+        if not self.activities:
+            return (0.0, 0.0)
+        return (
+            min(a.start for a in self.activities),
+            max(a.end for a in self.activities),
+        )
+
+    def busy_time(self, category: Optional[str] = None, lane: Optional[str] = None) -> float:
+        """Union length of matching intervals (overlaps counted once)."""
+        intervals = sorted(
+            (a.start, a.end) for a in self.filter(category=category, lane=lane)
+        )
+        total = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for start, end in intervals:
+            if cur_start is None:
+                cur_start, cur_end = start, end
+            elif start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    def total_duration(self, category: Optional[str] = None) -> float:
+        """Sum of interval durations (overlaps counted multiply)."""
+        return sum(a.duration for a in self.filter(category=category))
+
+    def merge(self, other: "Tracer", lane_prefix: str = "") -> None:
+        """Append activities from ``other``, optionally prefixing lanes."""
+        for act in other.activities:
+            self.activities.append(
+                Activity(
+                    act.category,
+                    f"{lane_prefix}{act.lane}",
+                    act.name,
+                    act.start,
+                    act.end,
+                    dict(act.meta),
+                )
+            )

@@ -1,0 +1,205 @@
+"""Large-scale forcing schemes for statistically stationary turbulence.
+
+DNS of *forced* isotropic turbulence (the paper's production workload)
+injects energy at the largest scales to balance viscous dissipation.  Two
+deterministic schemes common in the literature (and in the Georgia Tech
+production code lineage) are provided, plus the trivial no-op used for
+decaying cases:
+
+* :class:`BandForcing` — adds ``f_hat = (eps_inj / 2 E_band) u_hat`` on the
+  low-wavenumber band, giving a constant energy-injection *rate*;
+* :class:`NegativeViscosityForcing` — after each step rescales the band
+  back to its reference energy, freezing the large scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.spectral.grid import SpectralGrid
+
+__all__ = [
+    "BandForcing",
+    "Forcing",
+    "NegativeViscosityForcing",
+    "NoForcing",
+    "OrnsteinUhlenbeckForcing",
+]
+
+
+class Forcing(Protocol):
+    """Forcing interface used by the solver.
+
+    ``rhs`` contributes to the right-hand side at every Runge-Kutta stage;
+    ``post_step`` may rescale the solution after the full step.  Either may
+    be a no-op.
+    """
+
+    def rhs(self, u_hat: np.ndarray, grid: SpectralGrid) -> Optional[np.ndarray]:
+        ...
+
+    def post_step(self, u_hat: np.ndarray, grid: SpectralGrid, dt: float) -> None:
+        ...
+
+
+class NoForcing:
+    """Decaying turbulence: no energy injection."""
+
+    def rhs(self, u_hat: np.ndarray, grid: SpectralGrid) -> Optional[np.ndarray]:
+        return None
+
+    def post_step(self, u_hat: np.ndarray, grid: SpectralGrid, dt: float) -> None:
+        return None
+
+
+def _band_mask(grid: SpectralGrid, k_force: float) -> np.ndarray:
+    """Modes with 0 < |k| <= k_force (the mean mode is never forced)."""
+    mask = (grid.k_magnitude <= k_force * (1 + 1e-12)).astype(grid.dtype)
+    mask[0, 0, 0] = 0.0
+    return mask
+
+
+def _band_energy(u_hat: np.ndarray, grid: SpectralGrid, mask: np.ndarray) -> float:
+    w = grid.hermitian_weights * mask
+    return float(0.5 * np.sum(w * np.abs(u_hat) ** 2))
+
+
+class BandForcing:
+    """Constant-rate injection: ``f = (eps_inj / 2 E_b) u`` for |k| <= k_f.
+
+    The work done by this force is ``sum 2 * (eps/2E_b) * E_k = eps_inj``
+    exactly, independent of the instantaneous band energy, which makes the
+    long-time dissipation rate equal ``eps_inj`` in a statistically steady
+    state.
+    """
+
+    def __init__(self, k_force: float = 2.0, eps_inj: float = 1.0):
+        if k_force <= 0 or eps_inj < 0:
+            raise ValueError("k_force must be positive and eps_inj non-negative")
+        self.k_force = float(k_force)
+        self.eps_inj = float(eps_inj)
+        self._mask: Optional[np.ndarray] = None
+        self._grid_id: Optional[int] = None
+
+    def _mask_for(self, grid: SpectralGrid) -> np.ndarray:
+        if self._mask is None or self._grid_id != id(grid):
+            self._mask = _band_mask(grid, self.k_force)
+            self._grid_id = id(grid)
+        return self._mask
+
+    def rhs(self, u_hat: np.ndarray, grid: SpectralGrid) -> Optional[np.ndarray]:
+        mask = self._mask_for(grid)
+        e_band = _band_energy(u_hat, grid, mask)
+        if e_band <= 0:
+            return None
+        coeff = self.eps_inj / (2.0 * e_band)
+        return (coeff * mask) * u_hat
+
+    def post_step(self, u_hat: np.ndarray, grid: SpectralGrid, dt: float) -> None:
+        return None
+
+
+class OrnsteinUhlenbeckForcing:
+    """Stochastic large-scale forcing (Eswaran & Pope 1988).
+
+    Each forced mode carries an independent complex Ornstein-Uhlenbeck
+    process ``b(t)`` with correlation time ``t_corr`` and variance
+    ``sigma^2``; the force is the solenoidal projection of ``b``.  The OU
+    update over a step dt is exact::
+
+        b <- a b + sqrt(1 - a^2) sigma xi,   a = exp(-dt / t_corr)
+
+    The mean energy-injection rate in statistical equilibrium is
+    ``eps ~ N_f * sigma^2 * t_corr`` (Eswaran & Pope); choose parameters
+    accordingly.  The process advances in :meth:`post_step` (once per time
+    step) and :meth:`rhs` returns the *current* force at every RK stage —
+    the standard "frozen force over the step" treatment.
+    """
+
+    def __init__(
+        self,
+        k_force: float = 2.0,
+        sigma: float = 0.5,
+        t_corr: float = 1.0,
+        seed: int = 1988,
+    ):
+        if k_force <= 0 or sigma < 0 or t_corr <= 0:
+            raise ValueError("invalid OU forcing parameters")
+        self.k_force = float(k_force)
+        self.sigma = float(sigma)
+        self.t_corr = float(t_corr)
+        self._rng = np.random.default_rng(seed)
+        self._state: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+        self._grid_id: Optional[int] = None
+
+    def _prepare(self, grid: SpectralGrid) -> None:
+        if self._grid_id == id(grid):
+            return
+        self._grid_id = id(grid)
+        self._mask = _band_mask(grid, self.k_force)
+        self._state = self._draw(grid) * self.sigma
+
+    def _draw(self, grid: SpectralGrid) -> np.ndarray:
+        """Unit-variance complex Gaussian on the band, solenoidal."""
+        shape = (3, *grid.spectral_shape)
+        noise = (
+            self._rng.standard_normal(shape) + 1j * self._rng.standard_normal(shape)
+        ) / np.sqrt(2.0)
+        noise = noise.astype(grid.cdtype) * self._mask
+        from repro.spectral.operators import project
+
+        return project(noise, grid)
+
+    def rhs(self, u_hat: np.ndarray, grid: SpectralGrid) -> Optional[np.ndarray]:
+        self._prepare(grid)
+        return self._state
+
+    def post_step(self, u_hat: np.ndarray, grid: SpectralGrid, dt: float) -> None:
+        self._prepare(grid)
+        a = np.exp(-dt / self.t_corr)
+        assert self._state is not None
+        self._state = a * self._state + np.sqrt(1.0 - a * a) * self.sigma * self._draw(
+            grid
+        )
+
+
+class NegativeViscosityForcing:
+    """Freeze the energy of the low-wavenumber band at a reference value.
+
+    After each time step the band ``0 < |k| <= k_f`` is rescaled so its
+    kinetic energy equals ``target_energy`` (captured from the initial
+    condition if not given).  Equivalent to a negative-viscosity term acting
+    on the band, hence the name.
+    """
+
+    def __init__(self, k_force: float = 2.0, target_energy: Optional[float] = None):
+        if k_force <= 0:
+            raise ValueError("k_force must be positive")
+        self.k_force = float(k_force)
+        self.target_energy = target_energy
+        self._mask: Optional[np.ndarray] = None
+        self._grid_id: Optional[int] = None
+
+    def _mask_for(self, grid: SpectralGrid) -> np.ndarray:
+        if self._mask is None or self._grid_id != id(grid):
+            self._mask = _band_mask(grid, self.k_force)
+            self._grid_id = id(grid)
+        return self._mask
+
+    def rhs(self, u_hat: np.ndarray, grid: SpectralGrid) -> Optional[np.ndarray]:
+        return None
+
+    def post_step(self, u_hat: np.ndarray, grid: SpectralGrid, dt: float) -> None:
+        mask = self._mask_for(grid)
+        e_band = _band_energy(u_hat, grid, mask)
+        if self.target_energy is None:
+            self.target_energy = e_band
+            return
+        if e_band <= 0:
+            return
+        scale = np.sqrt(self.target_energy / e_band)
+        # u <- u + (scale-1) * u_band  : rescales only the band.
+        u_hat += (scale - 1.0) * (mask * u_hat)

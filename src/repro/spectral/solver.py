@@ -1,0 +1,236 @@
+"""Time integration of the spectral Navier-Stokes equations (paper Sec. 2).
+
+Each Fourier mode obeys the ODE (paper Eq. 2)::
+
+    d u_hat / dt = P_k[ -(div(u u))_hat ] - nu k^2 u_hat + f_hat
+
+The stiff viscous term is removed exactly with the integrating factor
+``exp(nu k^2 t)``; the remaining nonlinearity is advanced with explicit
+second- or fourth-order Runge-Kutta (RK2/RK4 — the paper reports RK2
+timings; RK4 "approximately doubles" the per-step cost, which the
+performance layer's ablation bench verifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.spectral.dealias import (
+    DealiasRule,
+    phase_shift_factor,
+    random_shift,
+    sharp_truncation_mask,
+)
+from repro.spectral.diagnostics import cfl_number, dissipation_rate, kinetic_energy
+from repro.spectral.forcing import Forcing, NoForcing
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.operators import (
+    nonlinear_conservative,
+    nonlinear_rotational,
+    project,
+)
+
+__all__ = ["NavierStokesSolver", "SolverConfig", "StepResult"]
+
+
+@dataclass
+class SolverConfig:
+    """Numerical options for :class:`NavierStokesSolver`.
+
+    Attributes
+    ----------
+    nu:
+        Kinematic viscosity.
+    scheme:
+        ``"rk2"`` (the paper's reported configuration) or ``"rk4"``.
+    dealias:
+        Truncation rule; combined with phase shifting when
+        ``phase_shift=True`` (the paper's Sec. 2: "a combination of
+        phase-shifting and truncation").
+    phase_shift:
+        Evaluate the nonlinear term on a randomly shifted grid each stage
+        pair, turning residual aliases into zero-mean noise (Rogallo 1981).
+    convective_form:
+        ``"conservative"`` (six products, as the production DNS forms
+        ``u_i u_j``) or ``"rotational"`` (u x omega, three products).
+    seed:
+        Seed for the random shifts.
+    """
+
+    nu: float = 0.01
+    scheme: Literal["rk2", "rk4"] = "rk2"
+    dealias: DealiasRule = DealiasRule.SQRT2_THIRDS
+    phase_shift: bool = True
+    convective_form: Literal["conservative", "rotational"] = "conservative"
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.nu <= 0:
+            raise ValueError("viscosity must be positive")
+        if self.scheme not in ("rk2", "rk4"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.convective_form not in ("conservative", "rotational"):
+            raise ValueError(f"unknown convective form {self.convective_form!r}")
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Cheap per-step record returned by :meth:`NavierStokesSolver.step`."""
+
+    time: float
+    dt: float
+    energy: float
+    dissipation: float
+    nonlinear_evals: int
+
+
+class NavierStokesSolver:
+    """Pseudo-spectral Navier-Stokes integrator on a periodic cube.
+
+    Parameters
+    ----------
+    grid:
+        The spectral grid.
+    u_hat:
+        Initial velocity coefficients, shape ``(3, N, N, N//2+1)``; a copy
+        is taken and kept solenoidal.
+    config:
+        Numerical options.
+    forcing:
+        Energy injection scheme (default: none, i.e. decaying turbulence).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.spectral import SpectralGrid, taylor_green_field
+    >>> g = SpectralGrid(32)
+    >>> solver = NavierStokesSolver(g, taylor_green_field(g),
+    ...                             SolverConfig(nu=0.05, scheme="rk2"))
+    >>> result = solver.step(dt=0.01)
+    >>> result.energy < 0.125  # viscous decay from E(0)=1/8
+    True
+    """
+
+    def __init__(
+        self,
+        grid: SpectralGrid,
+        u_hat: np.ndarray,
+        config: Optional[SolverConfig] = None,
+        forcing: Optional[Forcing] = None,
+    ):
+        self.grid = grid
+        self.config = config or SolverConfig()
+        self.forcing = forcing if forcing is not None else NoForcing()
+        if u_hat.shape != (3, *grid.spectral_shape):
+            raise ValueError(
+                f"initial condition must have shape {(3, *grid.spectral_shape)}"
+            )
+        self.u_hat = np.array(u_hat, dtype=grid.cdtype, copy=True)
+        self.time = 0.0
+        self.step_count = 0
+        self._rng = np.random.default_rng(self.config.seed)
+        self._mask = sharp_truncation_mask(grid, self.config.dealias)
+        self._nl_evals = 0
+        # Dealias the initial condition so invariants hold from step 0.
+        self.u_hat *= self._mask
+        project(self.u_hat, grid, out=self.u_hat)
+
+    # -- right-hand side -----------------------------------------------------
+
+    def _nonlinear(self, u_hat: np.ndarray) -> np.ndarray:
+        """Projected, dealiased nonlinear term (+ forcing rhs)."""
+        cfg = self.config
+        shift = None
+        if cfg.phase_shift:
+            shift = phase_shift_factor(self.grid, random_shift(self.grid, self._rng))
+        if cfg.convective_form == "conservative":
+            nl = nonlinear_conservative(u_hat, self.grid, mask=self._mask, shift=shift)
+        else:
+            nl = nonlinear_rotational(u_hat, self.grid, mask=self._mask, shift=shift)
+        self._nl_evals += 1
+        rhs = project(nl, self.grid, out=nl)
+        f = self.forcing.rhs(u_hat, self.grid)
+        if f is not None:
+            rhs += f
+        return rhs
+
+    def _integrating_factor(self, dt: float) -> np.ndarray:
+        """exp(-nu k^2 dt) over the spectral shape."""
+        return np.exp(-self.config.nu * self.grid.k_squared * dt).astype(
+            self.grid.dtype
+        )
+
+    # -- schemes -----------------------------------------------------------------
+
+    def _step_rk2(self, dt: float) -> None:
+        """Heun's method on the integrating-factor-transformed variable.
+
+        With ``E = exp(-nu k^2 dt)``::
+
+            u*      = E (u^n + dt R(u^n))
+            u^{n+1} = E u^n + dt/2 ( E R(u^n) + R(u*) )
+
+        Each step starts and ends in Fourier space, exactly as the paper
+        describes its RK substages.
+        """
+        e_full = self._integrating_factor(dt)
+        r1 = self._nonlinear(self.u_hat)
+        u_star = e_full * (self.u_hat + dt * r1)
+        r2 = self._nonlinear(u_star)
+        self.u_hat = e_full * (self.u_hat + (0.5 * dt) * r1) + (0.5 * dt) * r2
+
+    def _step_rk4(self, dt: float) -> None:
+        """Classic RK4 with the exact viscous integrating factor."""
+        e_half = self._integrating_factor(0.5 * dt)
+        e_full = e_half * e_half
+        u0 = self.u_hat
+        k1 = self._nonlinear(u0)
+        k2 = self._nonlinear(e_half * (u0 + (0.5 * dt) * k1))
+        k3 = self._nonlinear(e_half * u0 + (0.5 * dt) * k2)
+        k4 = self._nonlinear(e_full * u0 + dt * (e_half * k3))
+        self.u_hat = e_full * u0 + (dt / 6.0) * (
+            e_full * k1 + 2.0 * e_half * (k2 + k3) + k4
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def step(self, dt: float) -> StepResult:
+        """Advance one time step of size ``dt``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        evals_before = self._nl_evals
+        if self.config.scheme == "rk2":
+            self._step_rk2(dt)
+        else:
+            self._step_rk4(dt)
+        self.forcing.post_step(self.u_hat, self.grid, dt)
+        self.time += dt
+        self.step_count += 1
+        return StepResult(
+            time=self.time,
+            dt=dt,
+            energy=kinetic_energy(self.u_hat, self.grid),
+            dissipation=dissipation_rate(self.u_hat, self.grid, self.config.nu),
+            nonlinear_evals=self._nl_evals - evals_before,
+        )
+
+    def run(self, nsteps: int, dt: float) -> list[StepResult]:
+        """Advance ``nsteps`` steps; returns the per-step records."""
+        return [self.step(dt) for _ in range(nsteps)]
+
+    def stable_dt(self, cfl: float = 0.5) -> float:
+        """A CFL-limited time step for the current field."""
+        if cfl <= 0:
+            raise ValueError("cfl must be positive")
+        trial = cfl_number(self.u_hat, self.grid, dt=1.0)
+        if trial == 0:
+            return np.inf
+        return cfl / trial
+
+    @property
+    def nonlinear_evaluations(self) -> int:
+        """Total pseudo-spectral RHS evaluations (2 per RK2 step, 4 per RK4)."""
+        return self._nl_evals

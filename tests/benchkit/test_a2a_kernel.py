@@ -1,0 +1,42 @@
+"""Tests for the standalone all-to-all kernel."""
+
+import pytest
+
+from repro.benchkit.a2a_kernel import StandaloneA2AKernel
+from repro.machine.network import AllToAllModel
+from repro.machine.spec import MiB
+
+
+class TestKernel:
+    def test_simulated_time_matches_analytic_model(self, machine):
+        kernel = StandaloneA2AKernel(machine, nodes=128, tasks_per_node=2)
+        model = AllToAllModel(machine)
+        for p2p in (1 * MiB, 13.5 * MiB, 40.5 * MiB):
+            sim = kernel.time_exchange(p2p)
+            ana = model.timing(p2p, 128, 2, blocking=True).time
+            assert sim == pytest.approx(ana, rel=0.02)
+
+    def test_effective_bandwidth_formula(self, machine):
+        kernel = StandaloneA2AKernel(machine, nodes=16, tasks_per_node=2)
+        p2p = 108 * MiB
+        t = kernel.time_exchange(p2p)
+        bw = kernel.effective_bandwidth(p2p)
+        assert bw == pytest.approx(2 * p2p * 32 * 2 / t)
+
+    def test_repeats_average(self, machine):
+        kernel = StandaloneA2AKernel(machine, nodes=16, tasks_per_node=2)
+        one = kernel.time_exchange(10 * MiB, repeats=1)
+        avg = kernel.time_exchange(10 * MiB, repeats=3)
+        assert avg == pytest.approx(one, rel=0.02)
+
+    def test_six_tasks_per_node_runs_three_ranks_per_socket(self, machine):
+        kernel = StandaloneA2AKernel(machine, nodes=16, tasks_per_node=6)
+        t = kernel.time_exchange(12 * MiB)
+        assert t > 0
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            StandaloneA2AKernel(machine, nodes=0, tasks_per_node=2)
+        kernel = StandaloneA2AKernel(machine, nodes=4, tasks_per_node=2)
+        with pytest.raises(ValueError):
+            kernel.time_exchange(1 * MiB, repeats=0)

@@ -1,0 +1,54 @@
+"""Tests for the strided-copy studies (Figs. 7 and 8 instruments)."""
+
+import pytest
+
+from repro.benchkit.stride_kernel import StridedCopyStudy, ZeroCopyBlockStudy
+from repro.cuda.memcpy import CopyStrategy
+
+
+class TestStridedCopyStudy:
+    def test_sweep_covers_all_combinations(self):
+        study = StridedCopyStudy()
+        points = study.sweep([1024.0, 4096.0])
+        assert len(points) == 2 * len(CopyStrategy)
+
+    def test_total_size_configurable(self):
+        small = StridedCopyStudy(total_bytes=1024**2)
+        large = StridedCopyStudy(total_bytes=512 * 1024**2)
+        t_small = small.time(8192, CopyStrategy.MEMCPY_2D_ASYNC)
+        t_large = large.time(8192, CopyStrategy.MEMCPY_2D_ASYNC)
+        assert t_large > 100 * t_small
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            StridedCopyStudy(total_bytes=0)
+
+    def test_paper_18kb_operating_point(self):
+        """At the DNS's 18 KB chunks, per-chunk memcpyAsync is an order of
+        magnitude slower while the other two are within ~2x of each other."""
+        study = StridedCopyStudy()
+        chunk = 18 * 1024
+        slow = study.time(chunk, CopyStrategy.MEMCPY_ASYNC_PER_CHUNK)
+        zc = study.time(chunk, CopyStrategy.ZERO_COPY_KERNEL)
+        m2d = study.time(chunk, CopyStrategy.MEMCPY_2D_ASYNC)
+        assert slow > 10 * max(zc, m2d)
+        assert 0.5 < zc / m2d < 2.0
+
+
+class TestZeroCopyBlockStudy:
+    def test_saturation_near_16_blocks(self):
+        study = ZeroCopyBlockStudy()
+        sat = study.saturation_blocks()
+        assert 10 <= sat <= 20  # paper: "about 16 blocks"
+
+    def test_saturated_bw_matches_memcpy2d_reference(self):
+        """Fig. 8: with sufficient resources the zero-copy kernel reaches the
+        cudaMemcpy2DAsync dashed line."""
+        study = ZeroCopyBlockStudy()
+        zc = study.zero_copy_bw(32)
+        ref = study.memcpy2d_reference_bw()
+        assert zc == pytest.approx(ref, rel=0.15)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            ZeroCopyBlockStudy().saturation_blocks(fraction=0.0)

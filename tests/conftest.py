@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.machine.summit import summit
+from repro.spectral.grid import SpectralGrid
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The Summit machine model (immutable; session-scoped)."""
+    return summit()
+
+
+@pytest.fixture()
+def grid16():
+    return SpectralGrid(16)
+
+
+@pytest.fixture()
+def grid24():
+    return SpectralGrid(24)
+
+
+@pytest.fixture()
+def grid32():
+    return SpectralGrid(32)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20190717)

@@ -1,0 +1,75 @@
+"""Tests for the closed-form step-time model vs the DES executor."""
+
+import pytest
+
+from repro.core.analytic import predict_step
+from repro.core.config import Algorithm, RunConfig
+from repro.core.executor import simulate_step
+from repro.core.planner import MemoryPlanner
+
+
+def operating_points(machine):
+    planner = MemoryPlanner(machine)
+    for nodes, n in ((16, 3072), (128, 6144), (1024, 12288), (3072, 18432)):
+        np_ = planner.plan(n, nodes).npencils
+        for tpn, q in ((2, 1), (2, np_), (6, 1)):
+            yield RunConfig(
+                n=n, nodes=nodes, tasks_per_node=tpn, npencils=np_,
+                q_pencils_per_a2a=q,
+            )
+
+
+class TestAgreementWithDes:
+    def test_within_15_percent_at_all_operating_points(self, machine):
+        """The analytic composition must track the simulation — evidence
+        that the DES results follow from the cost models, not artifacts."""
+        for cfg in operating_points(machine):
+            a = predict_step(cfg, machine).step_time
+            d = simulate_step(cfg, machine, trace=False).step_time
+            assert abs(a - d) / d < 0.15, cfg.label()
+
+    def test_preserves_config_ordering_at_scale(self, machine):
+        planner = MemoryPlanner(machine)
+        np_ = planner.plan(12288, 1024).npencils
+        base = dict(n=12288, nodes=1024, npencils=np_)
+        t = {
+            "a": predict_step(RunConfig(tasks_per_node=6, q_pencils_per_a2a=1, **base), machine).step_time,
+            "b": predict_step(RunConfig(tasks_per_node=2, q_pencils_per_a2a=1, **base), machine).step_time,
+            "c": predict_step(RunConfig(tasks_per_node=2, q_pencils_per_a2a=np_, **base), machine).step_time,
+        }
+        assert t["c"] < t["b"] < t["a"]
+
+
+class TestBreakdown:
+    def test_components_positive_and_mpi_dominant(self, machine):
+        cfg = RunConfig(n=12288, nodes=1024, tasks_per_node=2, npencils=3,
+                        q_pencils_per_a2a=3)
+        est = predict_step(cfg, machine)
+        assert est.mpi_time > 0 and est.h2d_time > 0
+        assert est.mpi_fraction > 0.5
+        assert est.gpu_transfer_time == est.h2d_time + est.d2h_time
+
+    def test_rk4_doubles_estimate(self, machine):
+        cfg = RunConfig(n=3072, nodes=16, tasks_per_node=2, npencils=3,
+                        q_pencils_per_a2a=3)
+        rk2 = predict_step(cfg, machine).step_time
+        rk4 = predict_step(cfg.with_(scheme="rk4"), machine).step_time
+        assert rk4 == pytest.approx(2 * rk2, rel=1e-9)
+
+    def test_sync_estimate_not_faster_than_async(self, machine):
+        cfg = RunConfig(n=18432, nodes=3072, tasks_per_node=2, npencils=4,
+                        q_pencils_per_a2a=4)
+        a = predict_step(cfg, machine).step_time
+        s = predict_step(cfg.with_(algorithm=Algorithm.SYNC_GPU), machine).step_time
+        assert s > a
+
+    def test_cpu_and_mpi_only_rejected(self, machine):
+        cfg = RunConfig(n=3072, nodes=16, tasks_per_node=2, npencils=3,
+                        algorithm=Algorithm.CPU_BASELINE)
+        with pytest.raises(ValueError):
+            predict_step(cfg, machine)
+
+    def test_report_format(self, machine):
+        cfg = RunConfig(n=3072, nodes=16, tasks_per_node=2, npencils=3)
+        text = predict_step(cfg, machine).report()
+        assert "s/step" in text and "MPI" in text

@@ -1,0 +1,49 @@
+"""Tests for the configuration autotuner."""
+
+import pytest
+
+from repro.core.autotuner import autotune
+
+
+class TestAutotune:
+    def test_candidates_cover_tpn_and_q(self, machine):
+        result = autotune(machine, 3072, 16)
+        labels = {c.label for c in result.candidates}
+        # np = 3 -> Q in {1, 3}, tpn in {2, 6}: 4 candidates.
+        assert len(result.candidates) == 4
+        assert "async GPU, 2 t/n, 1 pencil/A2A" in labels
+        assert "async GPU, 6 t/n, 1 slab/A2A" in labels
+
+    def test_sorted_fastest_first(self, machine):
+        result = autotune(machine, 3072, 16)
+        times = [c.step_time for c in result.candidates]
+        assert times == sorted(times)
+        assert result.best.step_time == times[0]
+
+    def test_paper_recommendation_at_scale(self, machine):
+        """At 1024+ nodes the tuner rediscovers the paper's case C."""
+        result = autotune(machine, 12288, 1024)
+        assert result.best.config.tasks_per_node == 2
+        assert result.best.config.whole_slab_per_a2a
+
+    def test_paper_recommendation_at_16_nodes(self, machine):
+        """At 16 nodes the tuner picks pencil-at-a-time overlap (case B)."""
+        result = autotune(machine, 3072, 16)
+        assert result.best.config.tasks_per_node == 2
+        assert result.best.config.q_pencils_per_a2a == 1
+
+    def test_invalid_layouts_skipped(self, machine):
+        # 18432 on 3072 nodes: both tpn=2 and 6 divide; restrict to an
+        # option that does not divide and expect failure.
+        with pytest.raises(ValueError):
+            autotune(machine, 3072, 16, tasks_per_node_options=(5,))
+
+    def test_report_marks_best(self, machine):
+        result = autotune(machine, 3072, 16)
+        text = result.report()
+        assert "<-- best" in text
+        assert text.count("async GPU") == 4
+
+    def test_mpi_time_populated(self, machine):
+        result = autotune(machine, 3072, 16)
+        assert all(c.mpi_time > 0 for c in result.candidates)

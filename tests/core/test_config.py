@@ -1,0 +1,92 @@
+"""Tests for RunConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import Algorithm, RunConfig
+
+
+def cfg(**kw):
+    defaults = dict(n=3072, nodes=16, tasks_per_node=2, npencils=3)
+    defaults.update(kw)
+    return RunConfig(**defaults)
+
+
+class TestValidation:
+    def test_valid_config(self):
+        c = cfg()
+        assert c.ranks == 32
+        assert c.slab_thickness == 96
+
+    def test_rejects_indivisible_ranks(self):
+        with pytest.raises(ValueError):
+            cfg(nodes=17)
+
+    def test_rejects_bad_npencils(self):
+        with pytest.raises(ValueError):
+            cfg(npencils=5)
+        with pytest.raises(ValueError):
+            cfg(npencils=0)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            cfg(q_pencils_per_a2a=4)
+        with pytest.raises(ValueError):
+            cfg(q_pencils_per_a2a=0)
+        with pytest.raises(ValueError):
+            cfg(npencils=4, q_pencils_per_a2a=3)  # must divide np
+
+    def test_rejects_bad_scheme(self):
+        with pytest.raises(ValueError):
+            cfg(scheme="euler")
+
+    def test_rejects_tiny_problem(self):
+        with pytest.raises(ValueError):
+            RunConfig(n=2, nodes=1, tasks_per_node=1, npencils=1)
+
+
+class TestDerived:
+    def test_substages(self):
+        assert cfg(scheme="rk2").substages == 2
+        assert cfg(scheme="rk4").substages == 4
+
+    def test_a2a_groups(self):
+        assert cfg(q_pencils_per_a2a=1).a2a_groups == 3
+        assert cfg(q_pencils_per_a2a=3).a2a_groups == 1
+        assert cfg(q_pencils_per_a2a=3).whole_slab_per_a2a
+
+    def test_gpus_per_rank(self, machine):
+        assert cfg(tasks_per_node=2).gpus_per_rank(machine) == 3
+        assert cfg(tasks_per_node=6).gpus_per_rank(machine) == 1
+
+    def test_ranks_per_socket(self, machine):
+        assert cfg(tasks_per_node=2).ranks_per_socket(machine) == 1
+        assert cfg(tasks_per_node=6).ranks_per_socket(machine) == 3
+
+    def test_usable_cores_paper_values(self, machine):
+        """Paper Sec. 5: 32 cores for most sizes, 36 for 18432^3."""
+        assert cfg(n=3072, nodes=16).usable_cores_per_node(machine) == 32
+        assert cfg(n=6144, nodes=128).usable_cores_per_node(machine) == 32
+        assert cfg(n=12288, nodes=1024).usable_cores_per_node(machine) == 32
+        assert (
+            cfg(n=18432, nodes=3072, npencils=4).usable_cores_per_node(machine)
+            == 36
+        )
+
+    def test_slab_bytes(self):
+        c = cfg()
+        assert c.slab_bytes_per_variable == pytest.approx(4 * 3072**3 / 32)
+        assert c.pencil_bytes_per_variable() == pytest.approx(
+            c.slab_bytes_per_variable / 3
+        )
+
+    def test_with_copies(self):
+        c = cfg()
+        d = c.with_(tasks_per_node=6)
+        assert d.tasks_per_node == 6 and c.tasks_per_node == 2
+
+    def test_labels(self):
+        assert cfg().label() == "async GPU, 2 t/n, 1 pencil/A2A"
+        assert cfg(q_pencils_per_a2a=3).label() == "async GPU, 2 t/n, 1 slab/A2A"
+        assert cfg(algorithm=Algorithm.CPU_BASELINE).label() == "sync CPU"
+        assert cfg(algorithm=Algorithm.MPI_ONLY).label() == "MPI only"
+        assert "sync GPU" in cfg(algorithm=Algorithm.SYNC_GPU).label()

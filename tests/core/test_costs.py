@@ -1,0 +1,113 @@
+"""Tests for the pencil-operation cost model."""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.costs import CostModel, StageKind
+
+
+def model(machine, **kw):
+    defaults = dict(n=3072, nodes=16, tasks_per_node=2, npencils=3)
+    defaults.update(kw)
+    return CostModel(RunConfig(**defaults), machine)
+
+
+class TestGeometry:
+    def test_pencil_points_partition_slab(self, machine):
+        m = model(machine)
+        total = m.pencil_points_per_gpu * m.config.npencils * m.gpus_per_rank
+        assert total == pytest.approx(3072**3 / 32)
+
+    def test_pencil_bytes_scale_with_variables(self, machine):
+        m = model(machine)
+        assert m.pencil_bytes_gpu(6) == pytest.approx(2 * m.pencil_bytes_gpu(3))
+
+    def test_contiguous_chunk_paper_example(self, machine):
+        """18432^3 with np=4: the contiguous extent is 18 KB (Sec. 4.2)."""
+        m = model(machine, n=18432, nodes=3072, npencils=4)
+        assert m.contiguous_chunk_bytes == pytest.approx(18432 / 4 * 4)  # 18 KiB
+
+    def test_planes_per_gpu(self, machine):
+        # tpn=2: slab 96 planes over 3 GPUs.
+        assert model(machine).planes_per_gpu == 32
+        # tpn=6: slab 32 planes, 1 GPU.
+        assert model(machine, tasks_per_node=6).planes_per_gpu == 32
+
+
+class TestPackScaling:
+    def test_pack_rate_3x_worse_at_6_tasks_per_node(self, machine):
+        """Paper Sec. 5.2: per GPU, packing granularity is 3x finer at 6 t/n
+        because the rank count triples."""
+        m2 = model(machine, n=18432, nodes=3072, npencils=4, tasks_per_node=2)
+        m6 = model(machine, n=18432, nodes=3072, npencils=4, tasks_per_node=6)
+        _, rate2 = m2.d2h_pack(3)
+        _, rate6 = m6.d2h_pack(3)
+        assert rate2 / rate6 == pytest.approx(3.0, rel=0.05)
+
+    def test_pack_slower_than_plain_h2d_chain(self, machine):
+        m = model(machine, n=18432, nodes=3072, npencils=4)
+        _, h2d_rate = m.h2d_copy(3)
+        _, pack_rate = m.d2h_pack(3)
+        assert pack_rate < h2d_rate
+
+    def test_zero_copy_unpack_rate_near_nvlink(self, machine):
+        m = model(machine)
+        setup, rate = m.unpack_h2d(3)
+        assert rate == pytest.approx(50e9, rel=0.05)
+        assert setup < 1e-4
+
+    def test_memcpy_unpack_fallback(self, machine):
+        m = model(machine, zero_copy_unpack=False)
+        setup, rate = m.unpack_h2d(3)
+        assert rate == m.d2h_pack(3)[1]
+
+
+class TestStagePlans:
+    def test_three_stages_with_correct_variable_flow(self, machine):
+        plans = model(machine).stage_plans()
+        assert [p.name for p in plans] == [
+            StageKind.FOURIER_Y,
+            StageKind.PHYSICAL_ZX,
+            StageKind.FOURIER_Y_BACK,
+        ]
+        # 3 velocities in/out, then 3 in 6 out (products), then 6 in 3 out.
+        assert [(p.nv_in, p.nv_out) for p in plans] == [(3, 3), (3, 6), (6, 3)]
+
+    def test_stage_b_is_the_compute_heavy_stage(self, machine):
+        plans = {p.name: p for p in model(machine).stage_plans()}
+        assert plans[StageKind.PHYSICAL_ZX].compute_time > (
+            plans[StageKind.FOURIER_Y].compute_time
+        )
+
+    def test_compute_times_positive(self, machine):
+        for p in model(machine).stage_plans():
+            assert p.compute_time > 0
+            assert p.h2d_bytes > 0 and p.d2h_bytes > 0
+
+    def test_exchange_after_stages(self, machine):
+        m = model(machine)
+        ex_a = m.exchange_after(StageKind.FOURIER_Y)
+        ex_b = m.exchange_after(StageKind.PHYSICAL_ZX)
+        assert m.exchange_after(StageKind.FOURIER_Y_BACK) is None
+        assert ex_a.nv == 3 and ex_b.nv == 6
+        # Table 2 case B message size for this operating point.
+        assert ex_a.p2p_bytes == pytest.approx(108 * 1024**2)
+
+    def test_exchange_respects_q(self, machine):
+        whole = model(machine, q_pencils_per_a2a=3)
+        single = model(machine, q_pencils_per_a2a=1)
+        assert whole.exchange_after(StageKind.FOURIER_Y).p2p_bytes == pytest.approx(
+            3 * single.exchange_after(StageKind.FOURIER_Y).p2p_bytes
+        )
+
+
+class TestCpuBaseline:
+    def test_cpu_compute_dominates_pack(self, machine):
+        m = model(machine)
+        assert m.cpu_substage_compute_time() > m.cpu_substage_pack_time()
+
+    def test_cpu_compute_scales_with_problem(self, machine):
+        small = model(machine).cpu_substage_compute_time()
+        # Weak-scaled: same per-node volume, slightly higher log factor.
+        big = model(machine, n=6144, nodes=128).cpu_substage_compute_time()
+        assert big == pytest.approx(small * (13.0 / 11.58) / 2 * 2, rel=0.1)

@@ -1,0 +1,134 @@
+"""Invariant tests on executor traces: the schedule must be physical.
+
+These tests inspect the discrete-event trace of a simulated step and check
+structural properties that any legal CUDA/MPI schedule must satisfy —
+catching modeling bugs that aggregate timings would hide.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.config import Algorithm, RunConfig
+from repro.core.executor import simulate_step
+
+
+@pytest.fixture(scope="module")
+def timing(machine):
+    cfg = RunConfig(
+        n=3072, nodes=16, tasks_per_node=2, npencils=3, q_pencils_per_a2a=1
+    )
+    return simulate_step(cfg, machine, trace=True)
+
+
+@pytest.fixture(scope="module")
+def timing_6t(machine):
+    cfg = RunConfig(
+        n=3072, nodes=16, tasks_per_node=6, npencils=3, q_pencils_per_a2a=1
+    )
+    return simulate_step(cfg, machine, trace=True)
+
+
+def _no_overlap_within_lane(tracer, lane):
+    acts = sorted(tracer.filter(lane=lane), key=lambda a: a.start)
+    for a, b in itertools.pairwise(acts):
+        assert a.end <= b.start + 1e-12, f"{a.name} overlaps {b.name} in {lane}"
+
+
+class TestStreamSemantics:
+    def test_transfer_streams_serialize(self, timing):
+        """A CUDA stream executes one operation at a time."""
+        for lane in timing.tracer.lanes():
+            if lane.endswith(".transfer") or lane.endswith(".compute"):
+                _no_overlap_within_lane(timing.tracer, lane)
+
+    @staticmethod
+    def _gpu_of(lane: str) -> str:
+        # "r0.gpu2.transfer" -> "r0.gpu2"
+        return lane.rsplit(".", 1)[0]
+
+    def test_compute_follows_its_h2d(self, timing):
+        """fft[s,stage,ip] must start after the same GPU's h2d ends."""
+        tracer = timing.tracer
+        h2d = {
+            (self._gpu_of(a.lane), a.name.split("h2d.")[1]): a
+            for a in tracer.filter(category="h2d")
+        }
+        for fft in tracer.filter(category="fft"):
+            key = (self._gpu_of(fft.lane), fft.name.split("fft.")[1])
+            assert key in h2d
+            assert fft.start >= h2d[key].end - 1e-12
+
+    def test_d2h_follows_its_compute(self, timing):
+        tracer = timing.tracer
+        ffts = {
+            (self._gpu_of(a.lane), a.name.split("fft.")[1]): a
+            for a in tracer.filter(category="fft")
+        }
+        for d2h in tracer.filter(category="d2h"):
+            key = (self._gpu_of(d2h.lane), d2h.name.split("d2h.")[1])
+            assert d2h.start >= ffts[key].end - 1e-12
+
+    def test_pipeline_actually_overlaps_across_pencils(self, timing):
+        """The point of Fig. 4: some transfer activity runs during compute."""
+        tracer = timing.tracer
+        overlap = 0.0
+        for lane in tracer.lanes():
+            if not lane.endswith(".compute"):
+                continue
+            gpu = lane.rsplit(".", 1)[0]
+            transfers = tracer.filter(lane=f"{gpu}.transfer")
+            for c in tracer.filter(lane=lane, category="fft"):
+                for t in transfers:
+                    overlap += max(
+                        0.0, min(c.end, t.end) - max(c.start, t.start)
+                    )
+        assert overlap > 0.0
+
+    def test_mpi_overlaps_gpu_work_in_pencil_mode(self, timing):
+        """Q=1: at least one exchange runs concurrently with GPU activity."""
+        tracer = timing.tracer
+        gpu_acts = [
+            a for a in tracer
+            if a.category in ("h2d", "d2h", "fft")
+        ]
+        assert any(
+            m.overlaps(g)
+            for m in tracer.filter(category="mpi")
+            for g in gpu_acts
+        )
+
+
+class TestAccounting:
+    def test_all_activities_within_step(self, timing):
+        for act in timing.tracer:
+            assert 0.0 <= act.start <= act.end <= timing.step_time + 1e-9
+
+    def test_expected_bytes_moved(self, timing, machine):
+        """Trace H2D volume equals the analytic per-step bookkeeping:
+        (3 + 3 + 6) variables x 2 substages x slab bytes per GPU."""
+        cfg = timing.config
+        per_gpu_slab = cfg.slab_bytes_per_variable / 3  # 3 GPUs per rank
+        expected = (3 + 3 + 6) * 2 * per_gpu_slab * 3  # all 3 GPUs
+        total = sum(a.meta["nbytes"] for a in timing.tracer.filter(category="h2d"))
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_six_tasks_mode_has_three_rank_lanes(self, timing_6t):
+        mpi_lanes = {a.lane for a in timing_6t.tracer.filter(category="mpi")}
+        assert len(mpi_lanes) == 3  # 3 ranks per socket at 6 t/n
+
+    def test_symmetric_gpus_have_identical_busy_time(self, timing):
+        tracer = timing.tracer
+        busies = []
+        for lane in tracer.lanes():
+            if lane.endswith(".transfer"):
+                busies.append(round(tracer.busy_time(lane=lane), 9))
+        assert len(set(busies)) == 1  # GPUs are load-balanced replicas
+
+    def test_mpi_only_trace_has_no_gpu_categories(self, machine):
+        cfg = RunConfig(
+            n=3072, nodes=16, tasks_per_node=2, npencils=3,
+            algorithm=Algorithm.MPI_ONLY,
+        )
+        t = simulate_step(cfg, machine, trace=True)
+        assert set(t.tracer.categories()) == {"mpi"}

@@ -1,0 +1,76 @@
+"""Tests for timeline rendering."""
+
+import pytest
+
+from repro.core.timeline import render_timeline, timeline_rows
+from repro.sim.trace import Tracer
+
+
+def sample_tracer():
+    t = Tracer()
+    t.record("mpi", "r0.mpi", "a2a", 0.0, 5.0)
+    t.record("fft", "gpu0.compute", "ffty", 0.0, 2.0)
+    t.record("h2d", "gpu0.transfer", "h2d", 2.0, 4.0)
+    t.record("d2h", "gpu0.transfer", "d2h", 4.0, 5.0)
+    return t
+
+
+class TestRows:
+    def test_band_width_and_lane_order(self):
+        rows = timeline_rows(sample_tracer(), width=50)
+        assert len(rows) == 3
+        assert all(len(r.band) == 50 for r in rows)
+        assert [r.lane for r in rows] == ["r0.mpi", "gpu0.compute", "gpu0.transfer"]
+
+    def test_busy_fractions(self):
+        rows = {r.lane: r for r in timeline_rows(sample_tracer(), width=100)}
+        assert rows["r0.mpi"].busy_fraction == pytest.approx(1.0)
+        assert rows["gpu0.compute"].busy_fraction == pytest.approx(0.4, abs=0.05)
+
+    def test_glyphs_match_categories(self):
+        rows = {r.lane: r for r in timeline_rows(sample_tracer(), width=10)}
+        assert set(rows["r0.mpi"].band) == {"M"}
+        assert "F" in rows["gpu0.compute"].band
+        assert "h" in rows["gpu0.transfer"].band
+        assert "d" in rows["gpu0.transfer"].band
+
+    def test_common_span_normalization(self):
+        """The same activity occupies half the band under a doubled span."""
+        rows_full = timeline_rows(sample_tracer(), width=100, span=(0.0, 5.0))
+        rows_half = timeline_rows(sample_tracer(), width=100, span=(0.0, 10.0))
+        mpi_full = rows_full[0].band.count("M")
+        mpi_half = rows_half[0].band.count("M")
+        assert mpi_half == pytest.approx(mpi_full / 2, abs=2)
+
+    def test_lane_subset_and_order(self):
+        rows = timeline_rows(
+            sample_tracer(), width=10, lanes=["gpu0.transfer", "r0.mpi"]
+        )
+        assert [r.lane for r in rows] == ["gpu0.transfer", "r0.mpi"]
+
+    def test_short_activity_still_visible(self):
+        t = Tracer()
+        t.record("fft", "l", "blip", 0.0, 1e-9)
+        t.record("mpi", "l2", "long", 0.0, 100.0)
+        rows = timeline_rows(t, width=50)
+        assert "F" in rows[0].band
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            timeline_rows(sample_tracer(), width=0)
+
+    def test_empty_tracer(self):
+        assert timeline_rows(Tracer(), width=10) == []
+
+
+class TestRender:
+    def test_render_contains_title_legend_and_lanes(self):
+        text = render_timeline(sample_tracer(), width=40, title="demo")
+        assert "demo" in text
+        assert "legend:" in text
+        assert "r0.mpi" in text
+        assert "gpu0.compute" in text
+
+    def test_render_span_annotation(self):
+        text = render_timeline(sample_tracer(), width=40)
+        assert "span 5.000s" in text

@@ -1,0 +1,81 @@
+"""Tests for Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.core.trace_export import to_chrome_trace, write_chrome_trace
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.record("mpi", "r0.mpi", "a2a[0]", 0.0, 2.0, p2p_bytes=1024)
+    t.record("fft", "gpu0.compute", "ffty", 0.5, 1.0)
+    return t
+
+
+class TestConversion:
+    def test_events_and_metadata(self, tracer):
+        events = to_chrome_trace(tracer)
+        meta = [e for e in events if e["ph"] == "M"]
+        durations = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 2  # one thread_name per lane
+        assert len(durations) == 2
+        names = {m["args"]["name"] for m in meta}
+        assert names == {"r0.mpi", "gpu0.compute"}
+
+    def test_times_in_microseconds(self, tracer):
+        events = to_chrome_trace(tracer)
+        a2a = next(e for e in events if e.get("name") == "a2a[0]")
+        assert a2a["ts"] == 0.0
+        assert a2a["dur"] == pytest.approx(2.0e6)
+
+    def test_custom_time_unit(self, tracer):
+        a2a = next(
+            e
+            for e in to_chrome_trace(tracer, time_unit=1.0)
+            if e.get("name") == "a2a[0]"
+        )
+        assert a2a["dur"] == pytest.approx(2.0)
+
+    def test_meta_args_preserved(self, tracer):
+        a2a = next(
+            e for e in to_chrome_trace(tracer) if e.get("name") == "a2a[0]"
+        )
+        assert a2a["args"]["p2p_bytes"] == 1024
+
+    def test_lanes_map_to_stable_tids(self, tracer):
+        events = to_chrome_trace(tracer)
+        by_name = {
+            e["name"]: e["tid"] for e in events if e["ph"] == "X"
+        }
+        assert by_name["a2a[0]"] != by_name["ffty"]
+
+    def test_non_jsonable_meta_stringified(self):
+        t = Tracer()
+        t.record("fft", "l", "k", 0.0, 1.0, obj=object())
+        events = to_chrome_trace(t)
+        dur = next(e for e in events if e["ph"] == "X")
+        json.dumps(dur)  # must not raise
+
+
+class TestWriting:
+    def test_file_is_valid_chrome_trace(self, tracer, tmp_path):
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 4
+
+    def test_export_of_real_simulation(self, machine, tmp_path):
+        from repro.core import RunConfig, simulate_step
+
+        timing = simulate_step(
+            RunConfig(n=3072, nodes=16, tasks_per_node=2, npencils=3), machine
+        )
+        path = write_chrome_trace(timing.tracer, tmp_path / "step.json")
+        doc = json.loads(path.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"mpi", "h2d", "d2h", "fft"} <= cats

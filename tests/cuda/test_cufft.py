@@ -1,0 +1,71 @@
+"""Tests for the batched FFT cost model."""
+
+import pytest
+
+from repro.cuda.cufft import CufftPlan, fft_flops, fft_time
+from repro.machine.summit import summit_gpu
+
+GPU = summit_gpu()
+
+
+class TestFlops:
+    def test_five_n_log_n(self):
+        assert fft_flops(1024, 1) == pytest.approx(5 * 1024 * 10)
+
+    def test_batch_scales_linearly(self):
+        assert fft_flops(512, 10) == pytest.approx(10 * fft_flops(512, 1))
+
+    def test_real_transform_half_cost(self):
+        assert fft_flops(512, 1, real=True) == pytest.approx(
+            0.5 * fft_flops(512, 1)
+        )
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            fft_flops(1, 1)
+        with pytest.raises(ValueError):
+            fft_flops(8, 0)
+
+
+class TestPlan:
+    def test_time_positive_and_scales_with_batch(self):
+        t1 = CufftPlan(n=4096, batch=100).time(GPU)
+        t2 = CufftPlan(n=4096, batch=1000).time(GPU)
+        assert 0 < t1 < t2
+        assert t2 / t1 == pytest.approx(10.0, rel=0.2)
+
+    def test_strided_plan_slower(self):
+        fast = CufftPlan(n=4096, batch=1000, strided=False).time(GPU)
+        slow = CufftPlan(n=4096, batch=1000, strided=True).time(GPU)
+        assert slow > fast
+
+    def test_real_plan_cheaper(self):
+        c2c = CufftPlan(n=4096, batch=1000, real=False).time(GPU)
+        r2c = CufftPlan(n=4096, batch=1000, real=True).time(GPU)
+        assert r2c < c2c
+
+    def test_launch_overhead_floor(self):
+        tiny = CufftPlan(n=4, batch=1)
+        assert tiny.time(GPU) >= GPU.kernel_launch_overhead
+
+    def test_large_transform_is_memory_bound(self):
+        """18432-point batched transforms on a V100 are bandwidth limited."""
+        plan = CufftPlan(n=18432, batch=4608)
+        t = fft_time(plan, GPU)
+        flop_time = plan.flops / (GPU.fp32_flops * GPU.fft_efficiency)
+        assert t > flop_time  # the memory term is binding
+
+    def test_paper_scale_fft_is_fast_relative_to_step(self):
+        """Sanity: one pencil's y-FFTs take tens of ms, far below the 14.24 s
+        step — consistent with the paper's 'FFT computation ... less than
+        one-seventh of the code runtime'."""
+        # 18432^3 on 3072 nodes, tpn=2, np=4, 3 GPUs: batch over the pencil.
+        points = 18432**3 / (3072 * 2) / 4 / 3
+        plan = CufftPlan(n=18432, batch=int(points / 18432) * 3, strided=True)
+        assert fft_time(plan, GPU) < 0.2
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            CufftPlan(n=1, batch=1)
+        with pytest.raises(ValueError):
+            CufftPlan(n=8, batch=0)

@@ -1,0 +1,73 @@
+"""Tests for non-FFT kernel cost models (zero-copy bandwidth, pointwise)."""
+
+import pytest
+
+from repro.cuda.kernels import (
+    pointwise_kernel_time,
+    sm_fraction_used,
+    transpose_kernel_time,
+    zero_copy_bandwidth,
+)
+from repro.machine.summit import summit_gpu
+
+GPU = summit_gpu()
+
+
+class TestZeroCopyBandwidth:
+    def test_linear_scaling_before_saturation(self):
+        assert zero_copy_bandwidth(4, GPU) == pytest.approx(
+            2 * zero_copy_bandwidth(2, GPU)
+        )
+
+    def test_caps_at_nvlink(self):
+        assert zero_copy_bandwidth(1000, GPU) == GPU.nvlink_bw
+
+    def test_paper_fig8_saturation_around_16_blocks(self):
+        """~16 blocks of 1024 threads reach NVLink-line bandwidth."""
+        assert zero_copy_bandwidth(16, GPU) >= 0.95 * GPU.nvlink_bw
+        assert zero_copy_bandwidth(8, GPU) < 0.8 * GPU.nvlink_bw
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            zero_copy_bandwidth(0, GPU)
+
+
+class TestSmFraction:
+    def test_two_blocks_per_sm(self):
+        assert sm_fraction_used(160, GPU) == pytest.approx(1.0)
+        assert sm_fraction_used(16, GPU) == pytest.approx(0.1)
+
+    def test_small_fraction_at_saturation(self):
+        """The zero-copy kernel saturates while using ~10% of the SMs — the
+        basis for running it concurrently with compute kernels."""
+        assert sm_fraction_used(16, GPU) <= 0.15
+
+    def test_clamped_at_one(self):
+        assert sm_fraction_used(10000, GPU) == 1.0
+
+
+class TestPointwise:
+    def test_bandwidth_bound(self):
+        t = pointwise_kernel_time(9e9, 1e9, GPU)
+        assert t == pytest.approx(10e9 / GPU.hbm_bw, rel=0.01)
+
+    def test_sm_fraction_slows_kernel(self):
+        full = pointwise_kernel_time(1e9, 1e9, GPU, sm_fraction=1.0)
+        half = pointwise_kernel_time(1e9, 1e9, GPU, sm_fraction=0.5)
+        assert half > full
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            pointwise_kernel_time(1.0, 1.0, GPU, sm_fraction=0.0)
+        with pytest.raises(ValueError):
+            pointwise_kernel_time(1.0, 1.0, GPU, sm_fraction=1.5)
+
+
+class TestTranspose:
+    def test_reads_and_writes_every_byte(self):
+        t = transpose_kernel_time(1e9, GPU)
+        assert t > 2e9 / GPU.hbm_bw  # with the strided-efficiency factor
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            transpose_kernel_time(1.0, GPU, sm_fraction=-1.0)

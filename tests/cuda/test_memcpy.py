@@ -1,0 +1,130 @@
+"""Tests for the strided-copy cost models (paper Sec. 4.2 / Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda.memcpy import (
+    CopyStrategy,
+    StridedCopySpec,
+    chunk_efficiency,
+    strided_copy_time,
+    time_memcpy2d_async,
+    time_memcpy_async_per_chunk,
+    time_zero_copy_kernel,
+)
+from repro.machine.summit import summit_gpu
+
+GPU = summit_gpu()
+MiB = 1024**2
+
+
+class TestSpec:
+    def test_total_bytes(self):
+        spec = StridedCopySpec(chunk_bytes=1024, nchunks=8)
+        assert spec.total_bytes == 8192
+
+    def test_from_total_rounds_up(self):
+        spec = StridedCopySpec.from_total(1000, 300)
+        assert spec.nchunks == 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            StridedCopySpec(chunk_bytes=0, nchunks=1)
+        with pytest.raises(ValueError):
+            StridedCopySpec(chunk_bytes=1, nchunks=0)
+
+    def test_chunk_efficiency_monotone(self):
+        sizes = [64, 512, 4096, 65536]
+        effs = [chunk_efficiency(s) for s in sizes]
+        assert effs == sorted(effs)
+        assert 0 < effs[0] < effs[-1] < 1
+
+
+class TestStrategyCosts:
+    def test_per_chunk_memcpy_dominated_by_api_calls_at_small_chunks(self):
+        spec = StridedCopySpec.from_total(216 * MiB, 8.8 * 1024)
+        t = time_memcpy_async_per_chunk(spec, GPU)
+        assert t == pytest.approx(spec.nchunks * GPU.copy_engine_setup)
+
+    def test_per_chunk_memcpy_wire_bound_at_large_chunks(self):
+        spec = StridedCopySpec.from_total(216 * MiB, 27 * MiB)
+        t = time_memcpy_async_per_chunk(spec, GPU)
+        assert t < 3 * spec.total_bytes / GPU.nvlink_bw
+
+    def test_memcpy2d_close_to_wire_time(self):
+        spec = StridedCopySpec.from_total(216 * MiB, 18 * 1024)
+        t = time_memcpy2d_async(spec, GPU)
+        wire = spec.total_bytes / GPU.nvlink_bw
+        assert wire < t < 2.5 * wire
+
+    def test_zero_copy_saturates_with_enough_blocks(self):
+        spec = StridedCopySpec.from_total(216 * MiB, 18 * 1024)
+        t_few = time_zero_copy_kernel(spec, GPU, blocks=2)
+        t_many = time_zero_copy_kernel(spec, GPU, blocks=32)
+        assert t_few > t_many
+        assert time_zero_copy_kernel(spec, GPU, blocks=32) == pytest.approx(
+            time_zero_copy_kernel(spec, GPU, blocks=80), rel=0.01
+        )
+
+    def test_zero_copy_rejects_zero_blocks(self):
+        spec = StridedCopySpec(1024, 4)
+        with pytest.raises(ValueError):
+            time_zero_copy_kernel(spec, GPU, blocks=0)
+
+    def test_dispatch_matches_direct_calls(self):
+        spec = StridedCopySpec.from_total(16 * MiB, 4096)
+        assert strided_copy_time(
+            spec, GPU, CopyStrategy.MEMCPY_ASYNC_PER_CHUNK
+        ) == time_memcpy_async_per_chunk(spec, GPU)
+        assert strided_copy_time(
+            spec, GPU, CopyStrategy.MEMCPY_2D_ASYNC
+        ) == time_memcpy2d_async(spec, GPU)
+        assert strided_copy_time(
+            spec, GPU, CopyStrategy.ZERO_COPY_KERNEL
+        ) == time_zero_copy_kernel(spec, GPU)
+
+
+class TestPaperClaims:
+    """The three Sec. 4.2 observations, as assertions."""
+
+    def test_per_chunk_much_slower_below_100s_of_kb(self):
+        for chunk in (2.2 * 1024, 8.8 * 1024, 35 * 1024):
+            spec = StridedCopySpec.from_total(216 * MiB, chunk)
+            slow = time_memcpy_async_per_chunk(spec, GPU)
+            fast = min(
+                time_zero_copy_kernel(spec, GPU),
+                time_memcpy2d_async(spec, GPU),
+            )
+            assert slow > 5 * fast
+
+    def test_zero_copy_and_memcpy2d_similar(self):
+        for chunk in (8.8 * 1024, 70 * 1024, 281 * 1024):
+            spec = StridedCopySpec.from_total(216 * MiB, chunk)
+            a = time_zero_copy_kernel(spec, GPU)
+            b = time_memcpy2d_async(spec, GPU)
+            assert 0.2 < a / b < 5.0
+
+    def test_finer_granularity_costs_more(self):
+        """Fixed total, smaller chunks -> larger or equal time, per strategy."""
+        chunks = [2.2 * 1024 * 2**i for i in range(8)]
+        for strategy in CopyStrategy:
+            times = [
+                strided_copy_time(
+                    StridedCopySpec.from_total(216 * MiB, c), GPU, strategy
+                )
+                for c in chunks
+            ]
+            assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    total=st.floats(1 * MiB, 1024 * MiB),
+    chunk=st.floats(256, 32 * MiB),
+)
+def test_all_strategies_positive_and_finite(total, chunk):
+    spec = StridedCopySpec.from_total(total, chunk)
+    for strategy in CopyStrategy:
+        t = strided_copy_time(spec, GPU, strategy)
+        assert 0 < t < 1e4

@@ -1,0 +1,93 @@
+"""Tests for the in-process virtual MPI collectives."""
+
+import numpy as np
+import pytest
+
+from repro.dist.virtual_mpi import VirtualComm
+
+
+class TestAlltoall:
+    def test_block_routing(self):
+        comm = VirtualComm(3)
+        send = [
+            [np.full(2, 10 * r + s) for s in range(3)] for r in range(3)
+        ]
+        recv = comm.alltoall(send)
+        for s in range(3):
+            for r in range(3):
+                assert np.all(recv[s][r] == 10 * r + s)
+
+    def test_alltoall_is_an_involution(self):
+        """Exchanging twice returns every block to its origin."""
+        rng = np.random.default_rng(0)
+        comm = VirtualComm(4)
+        send = [[rng.standard_normal(5) for _ in range(4)] for _ in range(4)]
+        back = comm.alltoall(comm.alltoall(send))
+        for r in range(4):
+            for s in range(4):
+                assert np.array_equal(back[r][s], send[r][s])
+
+    def test_copies_do_not_alias(self):
+        comm = VirtualComm(2)
+        send = [[np.zeros(3) for _ in range(2)] for _ in range(2)]
+        recv = comm.alltoall(send)
+        recv[0][0][:] = 99.0
+        assert np.all(send[0][0] == 0.0)
+
+    def test_wrong_rank_count_rejected(self):
+        comm = VirtualComm(3)
+        with pytest.raises(ValueError):
+            comm.alltoall([[np.zeros(1)] * 3] * 2)
+        with pytest.raises(ValueError):
+            comm.alltoall([[np.zeros(1)] * 2] * 3)
+
+    def test_stats_recorded(self):
+        comm = VirtualComm(2)
+        send = [[np.zeros(4, dtype=np.float32) for _ in range(2)] for _ in range(2)]
+        comm.alltoall(send)
+        assert comm.stats.count("alltoall") == 1
+        rec = comm.stats.records[0]
+        assert rec.p2p_bytes == 16
+        assert rec.total_bytes == 64
+
+
+class TestOtherCollectives:
+    def test_allreduce_sum_default(self):
+        comm = VirtualComm(4)
+        assert comm.allreduce([1, 2, 3, 4]) == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        comm = VirtualComm(3)
+        assert comm.allreduce([5, 1, 3], op=max) == [5, 5, 5]
+
+    def test_allreduce_arrays(self):
+        comm = VirtualComm(2)
+        out = comm.allreduce([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert np.allclose(out[0], [4.0, 6.0])
+
+    def test_allgather(self):
+        comm = VirtualComm(3)
+        out = comm.allgather(["a", "b", "c"])
+        assert out == [["a", "b", "c"]] * 3
+
+    def test_bcast(self):
+        comm = VirtualComm(3)
+        assert comm.bcast("hello", root=0) == ["hello"] * 3
+        with pytest.raises(ValueError):
+            comm.bcast("x", root=5)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            VirtualComm(0)
+
+
+class TestCartesian:
+    def test_cart_2d_shapes(self):
+        comm = VirtualComm(6)
+        rows, cols = comm.cart_2d(2, 3)
+        assert len(rows) == 2 and all(c.size == 3 for c in rows)
+        assert len(cols) == 3 and all(c.size == 2 for c in cols)
+
+    def test_cart_2d_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            VirtualComm(6).cart_2d(2, 2)

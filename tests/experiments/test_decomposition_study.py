@@ -1,0 +1,57 @@
+"""Tests for the slab-vs-pencil decomposition study."""
+
+import pytest
+
+from repro.experiments.decomposition_study import DecompositionStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DecompositionStudy()
+
+
+class TestComparison:
+    def test_slab_wins_at_moderate_scale(self, study):
+        """The paper's Sec. 3.1 argument: at Summit-like rank counts the
+        single large-message exchange beats the two-round pattern."""
+        for nodes in (128, 256, 512):
+            c = study.compare(12288, nodes)
+            assert c.slab_advantage > 1.0, nodes
+
+    def test_patterns_converge_at_extreme_scale(self, study):
+        """At very large rank counts the column messages grow relative to
+        the slab's and the two patterns land within ~15% of each other —
+        leaving the call-count and hybrid-layout arguments decisive."""
+        c = study.compare(12288, 3072)
+        assert 0.85 < c.slab_advantage < 1.3
+
+    def test_message_size_relation(self, study):
+        """The column exchange has tpn-fold fewer peers than the slab's
+        global exchange, so its per-peer messages are tpn-fold larger:
+        col_p2p = tpn * slab_p2p exactly."""
+        for nodes, tpn in ((128, 2), (1024, 2), (512, 6)):
+            c = study.compare(12288, nodes, tasks_per_node=tpn)
+            assert c.pencil_col_p2p == pytest.approx(tpn * c.slab_p2p)
+
+    def test_slab_limit_enforced(self, study):
+        """A slab decomposition cannot use more ranks than planes: P <= N
+        (paper Sec. 3.1) — the reason thin-node petascale machines needed
+        pencils at all."""
+        with pytest.raises(ValueError):
+            study.compare(1024, nodes=1024, tasks_per_node=2)
+
+    def test_advantage_trend_with_scale(self, study):
+        """The slab advantage is largest where its messages stay big."""
+        advs = {
+            m: study.compare(12288, m).slab_advantage for m in (128, 512, 2048)
+        }
+        assert advs[128] > advs[2048] * 0.5  # stays material everywhere
+
+    def test_sweep_skips_invalid_points(self, study):
+        out = study.sweep(1024, [128, 256, 512, 1024])
+        assert [c.nodes for c in out] == [128, 256, 512]
+
+    def test_report_formats(self, study):
+        text = study.report(12288, [128, 1024])
+        assert "pencil/slab" in text
+        assert "128" in text and "1024" in text

@@ -1,0 +1,56 @@
+"""Tests for the Titan model and the node-density study."""
+
+import pytest
+
+from repro.core.planner import MemoryPlanner
+from repro.experiments.density_study import report, run
+from repro.machine.titan import TITAN_TOTAL_NODES, titan
+from repro.machine.summit import summit
+
+
+class TestTitanModel:
+    def test_validates(self):
+        titan().validate()
+
+    def test_thin_node_shape(self):
+        m = titan()
+        assert m.gpus_per_node == 1
+        assert m.sockets_per_node == 1
+        assert m.node.num_cores == 16
+        assert m.total_nodes == TITAN_TOTAL_NODES
+
+    def test_much_less_memory_than_summit(self):
+        assert titan().node.usable_dram_bytes < summit().node.usable_dram_bytes / 10
+
+    def test_memory_floor_explodes(self):
+        """The same 12288^3 problem needs ~20x the nodes of Summit."""
+        t = MemoryPlanner(titan()).min_nodes(12288)
+        s = MemoryPlanner(summit()).min_nodes(12288)
+        assert t > 15 * s
+
+
+class TestDensityStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run(12288)
+
+    def test_summit_needs_far_fewer_nodes(self, points):
+        assert points["titan"].nodes > 10 * points["summit"].nodes
+
+    def test_summit_messages_far_larger(self, points):
+        assert points["summit"].p2p_bytes > 50 * points["titan"].p2p_bytes
+
+    def test_summit_bandwidth_higher(self, points):
+        assert points["summit"].effective_bw > 2 * points["titan"].effective_bw
+
+    def test_slab_feasibility_boundary(self, points):
+        """Titan sits at (or beyond) the P <= N slab wall; Summit is far
+        inside it — the decomposition-choice story of Sec. 3.1."""
+        assert points["summit"].slab_feasible
+        assert points["summit"].ranks < 12288 / 4
+        assert points["titan"].ranks >= 12288  # at the wall
+
+    def test_report_quantifies_density(self):
+        text = report(12288)
+        assert "fewer nodes" in text
+        assert "larger all-to-all messages" in text

@@ -1,0 +1,202 @@
+"""Integration tests: every table/figure driver runs and reproduces shapes.
+
+These are the repo's acceptance tests — each asserts the *claims* the paper
+derives from its table or figure, with tolerance bands recorded in
+EXPERIMENTS.md.  Session-scoped caches keep the suite fast.
+"""
+
+import pytest
+
+from repro.experiments import paperdata
+from repro.experiments import table1, table2, table3, table4, fig7, fig8, fig9, fig10
+from repro.cuda.memcpy import CopyStrategy
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1.run()
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return table2.run()
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3.run()
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return table4.run()
+
+
+class TestTable1:
+    def test_every_entry_exact_within_half_percent(self, t1):
+        for row in t1.comparisons:
+            assert abs(row.error) < 0.005, row.format()
+
+    def test_min_nodes_and_valid_counts(self, t1):
+        assert t1.min_nodes_18432 == paperdata.MIN_NODES_18432
+        assert tuple(t1.valid_nodes_18432) == paperdata.VALID_NODES_18432
+
+
+class TestTable2:
+    def test_mean_error_under_10_percent(self, t2):
+        errs = [abs(r.error) for r in t2.comparisons]
+        assert sum(errs) / len(errs) < 0.10
+
+    def test_non_anomalous_cells_within_15_percent(self, t2):
+        for cell, row in zip(paperdata.TABLE2, t2.comparisons):
+            if not cell.anomalous:
+                assert abs(row.error) < 0.15, row.format()
+
+    def test_simulated_kernel_agrees_with_analytic(self, t2):
+        assert t2.max_analytic_vs_simulated_gap() < 0.05
+
+
+class TestTable3:
+    #: Cells where the paper's own measurements are anomalous (case A at
+    #: 1024 nodes contradicts Table 2's bandwidths; the CPU code's 2-D grid
+    #: shape at 18432^3 is unpublished) — see EXPERIMENTS.md.
+    ANOMALOUS = {"12288^3 @ 1024: gpu_a", "18432^3 @ 3072: cpu"}
+
+    def test_non_anomalous_times_within_45_percent(self, t3):
+        """Coarse absolute-accuracy guard; the tight claims are the shapes."""
+        for row in t3.comparisons:
+            if row.label not in self.ANOMALOUS:
+                assert abs(row.error) < 0.45, row.format()
+
+    def test_speedup_orderings(self, t3):
+        """GPU beats CPU everywhere; at 3072 nodes C is the best config."""
+        for case in t3.cases:
+            cpu = case.times["cpu"]
+            for col in ("gpu_a", "gpu_b", "gpu_c"):
+                assert case.times[col] < cpu
+        last = t3.case(3072)
+        assert last.times["gpu_c"] == min(
+            last.times[c] for c in ("gpu_a", "gpu_b", "gpu_c")
+        )
+
+    def test_b_vs_c_crossover_matches_paper(self, t3):
+        assert t3.case(16).times["gpu_b"] < t3.case(16).times["gpu_c"]
+        for nodes in (128, 1024, 3072):
+            case = t3.case(nodes)
+            assert case.times["gpu_c"] < case.times["gpu_b"], nodes
+
+    def test_speedups_in_paper_band(self, t3):
+        """Best-config speedup: >3.5x at small scale, >2x at full scale."""
+        for case in t3.cases:
+            speedup = case.times["cpu"] / case.best_gpu
+            assert speedup > 2.0
+        assert t3.case(16).times["cpu"] / t3.case(16).best_gpu > 3.0
+
+    def test_headline_18432_time(self, t3):
+        """Paper: 14.24 s; model must stay under the 20 s production goal."""
+        assert t3.case(3072).best_gpu < 20.5
+
+
+class TestTable4:
+    def test_weak_scaling_monotone_decline(self, t4):
+        ws = [t4.weak_scaling[m] for m in (128, 1024, 3072)]
+        assert all(a > b for a, b in zip(ws, ws[1:]))
+
+    def test_weak_scaling_values_close(self, t4):
+        for nodes, paper in ((128, 83.0), (1024, 66.1), (3072, 52.9)):
+            assert t4.weak_scaling[nodes] == pytest.approx(paper, rel=0.20)
+
+    def test_18432_weak_scaling_respectable(self, t4):
+        """The paper's summary claim: ~53% at 216x the grid points."""
+        assert 45.0 < t4.weak_scaling[3072] < 65.0
+
+    def test_strong_scaling_high(self, t4):
+        """Sec. 5.3: 95.7% from 1536 to 3072 nodes (model band: > 75%)."""
+        assert t4.strong_scaling_pct > 75.0
+
+
+class TestFig7:
+    def test_orderings_at_small_chunks(self):
+        r = fig7.run()
+        small = paperdata.FIG7_CHUNK_SIZES[0]
+        slow = r.time_at(CopyStrategy.MEMCPY_ASYNC_PER_CHUNK, small)
+        zc = r.time_at(CopyStrategy.ZERO_COPY_KERNEL, small)
+        m2d = r.time_at(CopyStrategy.MEMCPY_2D_ASYNC, small)
+        assert slow > 10 * max(zc, m2d)
+        assert 0.1 < zc / m2d < 10.0
+
+    def test_convergence_at_large_chunks(self):
+        r = fig7.run()
+        big = paperdata.FIG7_CHUNK_SIZES[-1]
+        times = [r.time_at(s, big) for s in CopyStrategy]
+        assert max(times) / min(times) < 2.0
+
+    def test_monotone_in_chunk_size(self):
+        r = fig7.run()
+        for strategy in CopyStrategy:
+            series = sorted(r.series(strategy), key=lambda p: p.chunk_bytes)
+            times = [p.time_s for p in series]
+            assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+
+
+class TestFig8:
+    def test_saturation_blocks(self):
+        r = fig8.run()
+        assert abs(r.saturation_blocks - paperdata.FIG8_SATURATION_BLOCKS) <= 4
+
+    def test_saturated_bw_matches_memcpy2d(self):
+        r = fig8.run()
+        sat_bw = r.zero_copy_bw[32]
+        assert sat_bw == pytest.approx(r.memcpy2d_bw, rel=0.15)
+
+    def test_small_sm_footprint_at_saturation(self):
+        r = fig8.run()
+        assert r.sm_fraction_at_saturation < 0.15
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def f9(self):
+        return fig9.run()
+
+    def test_mpi_only_is_lower_envelope(self, f9):
+        for nodes in f9.node_counts:
+            floor = f9.times["mpi_only"][nodes]
+            for series in ("gpu_a", "gpu_b", "gpu_c"):
+                assert f9.times[series][nodes] > floor
+
+    def test_all_series_grow_with_scale(self, f9):
+        for series in ("gpu_c", "mpi_only"):
+            ts = [f9.times[series][m] for m in f9.node_counts]
+            assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+    def test_mpi_only_magnitudes_near_paper(self, f9):
+        for nodes, paper_t in paperdata.FIG9_MPI_ONLY.items():
+            assert f9.times["mpi_only"][nodes] == pytest.approx(paper_t, rel=0.5)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def f10(self):
+        return fig10.run()
+
+    def test_mpi_dominates_every_configuration(self, f10):
+        for name in f10.timings:
+            assert f10.mpi_fraction(name) > 0.55, name
+
+    def test_slab_faster_than_pencil(self, f10):
+        assert (
+            f10.timings["1_slab_per_a2a"].step_time
+            < f10.timings["1_pencil_per_a2a"].step_time
+        )
+
+    def test_6_tasks_d2h_pack_inflated(self, f10):
+        """Fig. 10 bottom: the 6 t/n D2H pack takes much longer (3x calls)."""
+        d2h_6 = f10.d2h_time("6_tasks_per_node")
+        d2h_2 = f10.d2h_time("1_pencil_per_a2a")
+        assert d2h_6 > 1.5 * d2h_2
+
+    def test_render_produces_aligned_bands(self, f10):
+        text = f10.render(width=60)
+        assert "1_slab_per_a2a" in text
+        assert "M" in text

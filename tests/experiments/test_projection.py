@@ -1,0 +1,67 @@
+"""Tests for the exascale machine model and the what-if projection."""
+
+import pytest
+
+from repro.experiments.projection import ProjectionResult, _comfortable_nodes, run
+from repro.machine.exascale import exascale
+from repro.machine.summit import summit
+
+
+class TestExascaleMachine:
+    def test_validates(self):
+        exascale().validate()
+
+    def test_denser_than_summit(self):
+        exa, smt = exascale(), summit()
+        assert exa.gpu().hbm_bytes > smt.gpu().hbm_bytes
+        assert exa.network.injection_bw > smt.network.injection_bw
+        assert exa.node.gpu_memory_bytes > smt.node.gpu_memory_bytes
+
+    def test_single_socket_node(self):
+        assert exascale().sockets_per_node == 1
+        assert exascale().gpus_per_node == 4
+
+
+class TestComfortableNodes:
+    def test_respects_memory_headroom(self):
+        machine = summit()
+        m = _comfortable_nodes(machine, 12288, (2, 6))
+        from repro.core.planner import MemoryPlanner
+
+        planner = MemoryPlanner(machine)
+        assert planner.bytes_per_node(12288, m) <= 0.55 * machine.node.usable_dram_bytes
+        # Matches the paper's own operating point.
+        assert m == 1024
+
+    def test_respects_divisibility(self):
+        m = _comfortable_nodes(summit(), 18432, (2, 6))
+        assert 18432 % (m * 6) == 0
+        assert m == 3072
+
+    def test_too_large_problem_rejected(self):
+        small = summit(total_nodes=8)
+        with pytest.raises(ValueError):
+            _comfortable_nodes(small, 18432, (2, 6))
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def result(self) -> ProjectionResult:
+        return run(12288)
+
+    def test_exascale_is_faster(self, result):
+        assert result.speedup > 1.5
+
+    def test_both_machines_network_bound(self, result):
+        """The paper's conclusion survives the hardware generation: the
+        all-to-all floor remains the majority of the best step time."""
+        assert result.summit_network_bound_fraction > 0.5
+        assert result.exascale_network_bound_fraction > 0.5
+
+    def test_mpi_floor_below_best(self, result):
+        assert result.summit_mpi_only_s < result.summit_best_s
+        assert result.exascale_mpi_only_s < result.exascale_best_s
+
+    def test_report_mentions_both_machines(self, result):
+        text = result.report()
+        assert "Summit" in text and "Exascale" in text

@@ -1,0 +1,69 @@
+"""Tests for the resolution study (physics targets -> machine cost)."""
+
+import pytest
+
+from repro.experiments.resolution_study import (
+    ALLOWED_SIZES,
+    achievable_kmax_eta,
+    required_n,
+    run,
+)
+
+
+class TestScalingRelations:
+    def test_landmark_calibration_8192(self):
+        """Yeung et al. 2015's 8192^3 ran near Re_lambda ~ 1300 at marginal
+        resolution — the constants must reproduce kmax*eta ~ 1.3-1.5."""
+        assert 1.2 < achievable_kmax_eta(8192, 1300) < 1.5
+
+    def test_paper_pitch_18432(self):
+        """The paper's 18432^3 buys kmax*eta ~ 3 at the same Reynolds."""
+        assert 2.8 < achievable_kmax_eta(18432, 1300) < 3.2
+
+    def test_required_n_inverts_achievable(self):
+        n = required_n(1300, 3.0)
+        assert n == 18432
+        assert achievable_kmax_eta(n, 1300) >= 3.0 * 0.99
+
+    def test_n_grows_with_reynolds_and_resolution(self):
+        assert required_n(1300, 1.4) > required_n(650, 1.4)
+        assert required_n(1300, 3.0) > required_n(1300, 1.4)
+
+    def test_snaps_to_production_sizes(self):
+        for re_lambda, kmax_eta in ((400, 1.4), (1000, 2.0), (1500, 1.4)):
+            assert required_n(re_lambda, kmax_eta) in ALLOWED_SIZES
+
+    def test_beyond_largest_size_rejected(self):
+        with pytest.raises(ValueError):
+            required_n(10000, 3.0)
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            required_n(0, 1.4)
+        with pytest.raises(ValueError):
+            achievable_kmax_eta(2, 1300)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run()
+
+    def test_default_targets_covered(self, rows):
+        assert len(rows) == 4
+
+    def test_high_resolution_run_is_the_paper_headline(self, rows):
+        row = next(r for r in rows if r.kmax_eta == 3.0)
+        assert row.n == 18432
+        assert row.nodes == 3072
+        assert row.step_time_s is not None and row.step_time_s < 20.5
+
+    def test_costs_grow_with_problem_size(self, rows):
+        fitted = [r for r in rows if r.step_time_s is not None]
+        by_n = sorted(fitted, key=lambda r: r.n)
+        times = [r.step_time_s for r in by_n]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_format_handles_both_outcomes(self, rows):
+        texts = [r.format() for r in rows]
+        assert any("s/step" in t for t in texts)

@@ -1,0 +1,44 @@
+"""Tests for the physics-validation report."""
+
+import pytest
+
+from repro.experiments.validation import ValidationCheck, run
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run(n=16, seed=3)
+
+
+class TestValidationReport:
+    def test_all_checks_pass(self, report):
+        assert report.all_passed, report.format()
+
+    def test_expected_checks_present(self, report):
+        names = {c.name for c in report.checks}
+        assert any("distributed slab FFT" in n for n in names)
+        assert any("integrating factor" in n for n in names)
+        assert any("RK2" in n for n in names)
+        assert any("alias-free" in n for n in names)
+
+    def test_format_has_summary_line(self, report):
+        text = report.format()
+        assert f"{len(report.checks)}/{len(report.checks)} checks passed" in text
+        assert "PASS" in text
+
+    def test_check_pass_logic(self):
+        assert ValidationCheck("x", "err", 1e-5, 1e-3).passed
+        assert not ValidationCheck("x", "err", 1e-2, 1e-3).passed
+        assert ValidationCheck("x", "order", 2.0, 1.6, smaller_is_better=False).passed
+        assert not ValidationCheck(
+            "x", "order", 1.0, 1.6, smaller_is_better=False
+        ).passed
+
+    def test_fail_renders_in_format(self):
+        from repro.experiments.validation import ValidationReport
+
+        bad = ValidationReport(
+            checks=[ValidationCheck("broken", "err", 1.0, 1e-6)]
+        )
+        assert not bad.all_passed
+        assert "FAIL" in bad.format()

@@ -1,0 +1,122 @@
+"""Tests for the all-to-all effective-bandwidth model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.network import AllToAllModel
+from repro.machine.spec import MiB
+
+
+@pytest.fixture()
+def model(machine):
+    return AllToAllModel(machine)
+
+
+class TestEfficiencyCurves:
+    def test_eta_monotone_above_eager_limit(self, model):
+        sizes = [0.3 * MiB, 1 * MiB, 10 * MiB, 100 * MiB]
+        etas = [model.eta(s) for s in sizes]
+        assert etas == sorted(etas)
+
+    def test_eta_saturates_to_one(self, model):
+        assert model.eta(1e12) == pytest.approx(1.0, abs=1e-3)
+
+    def test_eta_eager_floor_for_small_messages(self, model):
+        cal = model.cal
+        assert model.eta(cal.eager_limit / 2) >= cal.eager_efficiency
+
+    def test_eta_zero_bytes(self, model):
+        assert model.eta(0) == 1.0
+
+    def test_congestion_monotone_decreasing(self, model):
+        nodes = [1, 4, 16, 64, 128, 512, 1024, 2048, 3072, 4608]
+        gs = [model.congestion(m) for m in nodes]
+        assert all(a >= b for a, b in zip(gs, gs[1:]))
+
+    def test_congestion_clamps_at_extremes(self, model):
+        assert model.congestion(1) == model.cal.congestion_factors[0]
+        assert model.congestion(100000) == model.cal.congestion_factors[-1]
+
+    def test_congestion_rejects_bad_node_count(self, model):
+        with pytest.raises(ValueError):
+            model.congestion(0)
+
+    def test_tpn_factor_penalizes_more_ranks(self, model):
+        assert model.tpn_factor(2) == pytest.approx(1.0)
+        assert model.tpn_factor(6) < model.tpn_factor(2)
+        assert model.tpn_factor(32) < model.tpn_factor(6)
+        assert model.tpn_factor(32) >= 0.3  # clamped
+
+    def test_tpn_factor_single_rank_not_boosted(self, model):
+        assert model.tpn_factor(1) == 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(m=st.floats(1.0, 1e9))
+    def test_eta_always_in_unit_interval(self, m):
+        from repro.machine.summit import summit
+
+        model = AllToAllModel(summit())
+        assert 0.0 < model.eta(m) <= 1.0
+
+
+class TestTiming:
+    def test_time_positive_and_bandwidth_positive(self, model):
+        t = model.timing(1 * MiB, nodes=128, tasks_per_node=2)
+        assert t.time > 0
+        assert t.effective_bw_per_node > 0
+
+    def test_single_rank_degenerate(self, model):
+        t = model.timing(1 * MiB, nodes=1, tasks_per_node=1)
+        assert t.effective_bw_per_node == 0.0
+        assert t.off_node_bytes_per_node == 0.0
+
+    def test_off_node_volume_bookkeeping(self, model):
+        p2p = 2.0 * MiB
+        t = model.timing(p2p, nodes=4, tasks_per_node=2)
+        # 2 ranks/node, each sending to 6 off-node peers.
+        assert t.off_node_bytes_per_node == pytest.approx(p2p * 2 * 6)
+        assert t.on_node_bytes_per_node == pytest.approx(p2p * 2 * 1)
+        assert 0 < t.off_node_fraction < 1
+
+    def test_larger_messages_give_higher_bandwidth(self, model):
+        small = model.timing(0.5 * MiB, nodes=1024, tasks_per_node=2)
+        large = model.timing(8 * MiB, nodes=1024, tasks_per_node=2)
+        assert large.effective_bw_per_node > small.effective_bw_per_node
+
+    def test_more_nodes_lower_bandwidth_at_fixed_message(self, model):
+        bw = [
+            model.timing(2 * MiB, nodes=m, tasks_per_node=2).effective_bw_per_node
+            for m in (16, 128, 1024, 3072)
+        ]
+        assert all(a >= b for a, b in zip(bw, bw[1:]))
+
+    def test_negative_message_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.timing(-1.0, nodes=4, tasks_per_node=2)
+
+    def test_latency_floor_applies_to_tiny_exchanges(self, model):
+        t = model.timing(1.0, nodes=2, tasks_per_node=1)
+        assert t.time >= model.cal.min_latency
+
+
+class TestPaperTrends:
+    """Qualitative orderings the paper reads out of its Table 2."""
+
+    def test_case_b_beats_case_a_up_to_1024_nodes(self, model):
+        # Same per-node data: case B (tpn=2) has 9x larger P2P than case A.
+        for nodes, p2p_a in ((16, 12 * MiB), (128, 1.5 * MiB), (1024, 0.19 * MiB)):
+            bw_a = model.timing(p2p_a, nodes, 6).effective_bw_per_node
+            bw_b = model.timing(9 * p2p_a, nodes, 2).effective_bw_per_node
+            assert bw_b > bw_a, f"case B should beat case A at {nodes} nodes"
+
+    def test_case_a_beats_case_b_at_3072_nodes(self, model):
+        """The paper's 'surprising' eager-protocol result."""
+        bw_a = model.timing(0.053 * MiB, 3072, 6).effective_bw_per_node
+        bw_b = model.timing(0.47 * MiB, 3072, 2).effective_bw_per_node
+        assert bw_a > bw_b
+
+    def test_case_c_beats_case_b_at_scale(self, model):
+        bw_b = model.timing(1.69 * MiB, 1024, 2).effective_bw_per_node
+        bw_c = model.timing(5.06 * MiB, 1024, 2).effective_bw_per_node
+        assert bw_c > bw_b

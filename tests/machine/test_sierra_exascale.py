@@ -1,0 +1,69 @@
+"""Tests for the Sierra and exascale machine variants."""
+
+import pytest
+
+from repro.core.planner import MemoryPlanner
+from repro.core.config import RunConfig
+from repro.core.executor import simulate_step
+from repro.machine.exascale import exascale
+from repro.machine.sierra import SIERRA_TOTAL_NODES, sierra
+from repro.machine.spec import GiB
+from repro.machine.summit import summit
+
+
+class TestSierra:
+    def test_validates(self):
+        sierra().validate()
+
+    def test_node_shape(self):
+        m = sierra()
+        assert m.gpus_per_node == 4
+        assert m.node.dram_bytes == 256 * GiB
+        assert m.total_nodes == SIERRA_TOTAL_NODES
+
+    def test_same_fabric_as_summit(self):
+        assert sierra().network.injection_bw == summit().network.injection_bw
+
+    def test_needs_more_nodes_than_summit_for_same_problem(self):
+        """Half the node memory -> roughly twice the node floor."""
+        ps, pm = MemoryPlanner(sierra()), MemoryPlanner(summit())
+        assert ps.min_nodes(12288) > 1.5 * pm.min_nodes(12288)
+
+    def test_dns_step_runs_on_sierra(self):
+        m = sierra()
+        np_ = MemoryPlanner(m).plan(6144, 256).npencils
+        cfg = RunConfig(
+            n=6144, nodes=256, tasks_per_node=2, npencils=np_,
+            q_pencils_per_a2a=np_,
+        )
+        t = simulate_step(cfg, m, trace=False)
+        assert 1.0 < t.step_time < 60.0
+
+    def test_four_gpus_split_as_two_per_rank(self):
+        m = sierra()
+        cfg = RunConfig(n=6144, nodes=256, tasks_per_node=2, npencils=3)
+        assert cfg.gpus_per_rank(m) == 2
+
+
+class TestExascalePlanner:
+    def test_fewer_nodes_needed_than_summit(self):
+        """Same DRAM but only 32 GB of OS reservation and bigger GPUs: the
+        GPU-memory-driven pencil count drops sharply."""
+        exa, smt = MemoryPlanner(exascale()), MemoryPlanner(summit())
+        assert exa.min_pencils(12288, 1024) <= smt.min_pencils(12288, 1024)
+
+    def test_dns_step_faster_than_summit_at_matched_nodes(self):
+        exa, smt = exascale(), summit()
+        np_exa = MemoryPlanner(exa).plan(12288, 1024).npencils
+        np_smt = MemoryPlanner(smt).plan(12288, 1024).npencils
+        t_exa = simulate_step(
+            RunConfig(n=12288, nodes=1024, tasks_per_node=4,
+                      npencils=np_exa, q_pencils_per_a2a=np_exa),
+            exa, trace=False,
+        ).step_time
+        t_smt = simulate_step(
+            RunConfig(n=12288, nodes=1024, tasks_per_node=2,
+                      npencils=np_smt, q_pencils_per_a2a=np_smt),
+            smt, trace=False,
+        ).step_time
+        assert t_exa < t_smt

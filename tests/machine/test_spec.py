@@ -1,0 +1,111 @@
+"""Tests for machine specification dataclasses and the Summit factory."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.spec import (
+    GiB,
+    GpuSpec,
+    NetworkCalibration,
+    NodeSpec,
+    SocketSpec,
+)
+from repro.machine.summit import SUMMIT_TOTAL_NODES, summit, summit_gpu, summit_socket
+
+
+class TestSummitNumbers:
+    """The published Summit constants (paper Sec. 3.2)."""
+
+    def test_node_memory(self, machine):
+        assert machine.node.dram_bytes == 512 * GiB
+        assert machine.node.usable_dram_bytes == 448 * GiB
+
+    def test_gpus_per_node(self, machine):
+        assert machine.gpus_per_node == 6
+        assert machine.sockets_per_node == 2
+        assert machine.socket().gpus_per_socket == 3
+
+    def test_gpu_memory_totals_96_gib(self, machine):
+        assert machine.node.gpu_memory_bytes == 96 * GiB
+
+    def test_bandwidths(self, machine):
+        assert machine.socket().dram_bw == 135e9
+        assert machine.gpu().nvlink_bw == 50e9
+        assert machine.network.injection_bw == 23e9
+
+    def test_cores(self, machine):
+        assert machine.node.num_cores == 44
+        assert machine.socket().cores == 22
+
+    def test_total_nodes(self, machine):
+        assert machine.total_nodes == SUMMIT_TOTAL_NODES == 4608
+
+    def test_gpu_sms(self, machine):
+        assert machine.gpu().sms == 80
+        assert machine.gpu().hbm_bytes == 16 * GiB
+
+    def test_validates(self, machine):
+        machine.validate()
+
+
+class TestSpecValidation:
+    def test_gpu_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            GpuSpec(hbm_bytes=0).validate()
+
+    def test_gpu_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            GpuSpec(sms=0).validate()
+
+    def test_node_requires_sockets(self):
+        with pytest.raises(ValueError):
+            NodeSpec(sockets=()).validate()
+
+    def test_node_rejects_os_reservation_exceeding_dram(self):
+        node = NodeSpec(
+            sockets=(summit_socket(),),
+            dram_bytes=10 * GiB,
+            os_reserved_bytes=20 * GiB,
+        )
+        with pytest.raises(ValueError):
+            node.validate()
+
+    def test_socket_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            SocketSpec(cores=0, gpus=(summit_gpu(),)).validate()
+
+    def test_calibration_table_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            NetworkCalibration(
+                congestion_nodes=(1.0, 2.0), congestion_factors=(0.5,)
+            ).validate()
+
+    def test_calibration_nodes_must_increase(self):
+        with pytest.raises(ValueError):
+            NetworkCalibration(
+                congestion_nodes=(16.0, 8.0), congestion_factors=(0.9, 0.8)
+            ).validate()
+
+    def test_calibration_factors_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            NetworkCalibration(
+                congestion_nodes=(1.0, 2.0), congestion_factors=(0.9, 1.5)
+            ).validate()
+
+
+class TestSpecUtilities:
+    def test_with_network_calibration_replaces_only_calibration(self, machine):
+        cal = NetworkCalibration(msg_half_size=1.0)
+        other = machine.with_network_calibration(cal)
+        assert other.network.calibration.msg_half_size == 1.0
+        assert other.network.injection_bw == machine.network.injection_bw
+        assert other.node is machine.node
+
+    def test_specs_are_frozen(self, machine):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            machine.node.sockets[0].cores = 1  # type: ignore[misc]
+
+    def test_summit_total_nodes_override(self):
+        small = summit(total_nodes=64)
+        assert small.total_nodes == 64

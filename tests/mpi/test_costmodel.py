@@ -1,0 +1,87 @@
+"""Tests for the DNS message-size bookkeeping (paper Sec. 4.1 formula)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.costmodel import (
+    ExchangeShape,
+    alltoall_p2p_bytes,
+    slab_exchange_shape,
+)
+
+MiB = 1024**2
+
+
+class TestP2PFormula:
+    """P2P = 4 * nv * Q * (N/np) * (N/P)^2 — checked against every Table 2 cell."""
+
+    @pytest.mark.parametrize(
+        "n,ranks,np_,nv,q,expected_mib",
+        [
+            # Case A: 6 tasks/node, 1 pencil per A2A.
+            (3072, 96, 3, 3, 1, 12.0),
+            (6144, 768, 3, 3, 1, 1.5),
+            (12288, 6144, 3, 3, 1, 0.1875),
+            (18432, 18432, 4, 3, 1, 0.052734375),
+            # Case B: 2 tasks/node, 1 pencil per A2A.
+            (3072, 32, 3, 3, 1, 108.0),
+            (6144, 256, 3, 3, 1, 13.5),
+            (12288, 2048, 3, 3, 1, 1.6875),
+            (18432, 6144, 4, 3, 1, 0.474609375),
+            # Case C: 2 tasks/node, whole slab per A2A.
+            (3072, 32, 3, 3, 3, 324.0),
+            (6144, 256, 3, 3, 3, 40.5),
+            (12288, 2048, 3, 3, 3, 5.0625),
+            (18432, 6144, 4, 3, 4, 1.8984375),
+        ],
+    )
+    def test_matches_table2_message_sizes(self, n, ranks, np_, nv, q, expected_mib):
+        p2p = alltoall_p2p_bytes(n, ranks, np_, nv, q)
+        assert p2p == pytest.approx(expected_mib * MiB)
+
+    def test_rejects_invalid_q(self):
+        with pytest.raises(ValueError):
+            alltoall_p2p_bytes(64, 4, 2, 3, q=3)
+        with pytest.raises(ValueError):
+            alltoall_p2p_bytes(64, 4, 2, 3, q=0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            alltoall_p2p_bytes(0, 4, 2, 3)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.sampled_from([64, 128, 256, 1024]),
+        ranks=st.sampled_from([4, 8, 16]),
+        np_=st.sampled_from([1, 2, 4]),
+        nv=st.integers(1, 6),
+    )
+    def test_whole_slab_equals_sum_of_pencils(self, n, ranks, np_, nv):
+        """Q=np in one call moves the same bytes as np calls of Q=1."""
+        whole = alltoall_p2p_bytes(n, ranks, np_, nv, q=np_)
+        single = alltoall_p2p_bytes(n, ranks, np_, nv, q=1)
+        assert whole == pytest.approx(np_ * single)
+
+
+class TestExchangeShape:
+    def test_consistency_check(self):
+        with pytest.raises(ValueError):
+            ExchangeShape(
+                n=64, ranks=10, nodes=4, tasks_per_node=2, npencils=2, nv=3, q=1
+            )
+
+    def test_local_bytes_cover_full_slab(self):
+        """One slab's worth of data per variable set crosses per transpose."""
+        shape = slab_exchange_shape(
+            n=6144, nodes=128, tasks_per_node=2, npencils=3, nv=3, q=3
+        )
+        slab_bytes = 4 * 3 * 6144**3 / 256  # nv * wordsize * N^3 / P
+        assert shape.local_bytes == pytest.approx(slab_bytes)
+        assert shape.calls_per_transpose == 1
+
+    def test_calls_per_transpose_rounds_up(self):
+        shape = slab_exchange_shape(
+            n=18432, nodes=3072, tasks_per_node=2, npencils=4, nv=3, q=1
+        )
+        assert shape.calls_per_transpose == 4

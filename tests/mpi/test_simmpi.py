@@ -1,0 +1,133 @@
+"""Tests for SimComm: simulated blocking/non-blocking all-to-alls."""
+
+import pytest
+
+from repro.machine.network import AllToAllModel
+from repro.machine.spec import MiB
+from repro.mpi.simmpi import SimComm
+from repro.sim.engine import Engine, Timeout
+from repro.sim.resources import LinkSet
+from repro.sim.trace import Tracer
+
+
+def build_comm(machine, nodes=128, tpn=2, with_dram=True, tracer=None):
+    eng = Engine()
+    links = LinkSet(eng)
+    dram = links.link("dram", machine.socket().dram_bw) if with_dram else None
+    nic = links.link("nic", machine.network.injection_bw / 2)
+    comm = SimComm(
+        eng, links, machine, nodes=nodes, tasks_per_node=tpn,
+        nic_link=nic, dram_link=dram, tracer=tracer,
+    )
+    return eng, links, comm, dram
+
+
+class TestBlockingAlltoall:
+    def test_matches_analytic_model(self, machine):
+        eng, _, comm, _ = build_comm(machine)
+        model = AllToAllModel(machine)
+        p2p = 13.5 * MiB
+        expected = model.timing(p2p, 128, 2, blocking=True).time
+
+        def proc():
+            yield from comm.alltoall(p2p)
+
+        eng.process(proc())
+        eng.run()
+        assert eng.now == pytest.approx(expected, rel=0.02)
+
+    def test_zero_bytes_is_latency_only(self, machine):
+        eng, _, comm, _ = build_comm(machine)
+
+        def proc():
+            yield from comm.alltoall(0.0)
+
+        eng.process(proc())
+        eng.run()
+        assert eng.now <= 1e-3
+
+    def test_ranks_property(self, machine):
+        _, _, comm, _ = build_comm(machine, nodes=16, tpn=6)
+        assert comm.ranks == 96
+
+
+class TestNonBlocking:
+    def test_request_completes_without_wait(self, machine):
+        eng, _, comm, _ = build_comm(machine)
+        req = comm.ialltoall(1 * MiB, label="bg")
+        assert not req.complete
+        eng.run()
+        assert req.complete
+
+    def test_overlap_with_host_work(self, machine):
+        """Non-blocking A2A overlaps a host computation."""
+        eng, _, comm, _ = build_comm(machine)
+        req = comm.ialltoall(13.5 * MiB, label="bg")
+        a2a_alone = req.timing.time
+
+        def proc():
+            yield Timeout(a2a_alone)  # "compute" as long as the A2A
+            yield from req.wait()
+
+        eng.process(proc())
+        eng.run()
+        # Perfect overlap up to the non-blocking efficiency factor.
+        assert eng.now < 2 * a2a_alone / comm.model.cal.nonblocking_overlap_efficiency
+
+    def test_nonblocking_slower_than_blocking(self, machine):
+        """The calibrated overlap-efficiency penalty applies (Sec. 5.2)."""
+        eng, _, comm, _ = build_comm(machine)
+        req = comm.ialltoall(13.5 * MiB, blocking=False)
+        eng.run()
+        t_nb = eng.now
+        eng2, _, comm2, _ = build_comm(machine)
+        req2 = comm2.ialltoall(13.5 * MiB, blocking=True)
+        eng2.run()
+        assert t_nb > eng2.now
+
+    def test_collectives_on_same_comm_serialize(self, machine):
+        eng, _, comm, _ = build_comm(machine)
+        r1 = comm.ialltoall(13.5 * MiB, label="first", blocking=True)
+        r2 = comm.ialltoall(13.5 * MiB, label="second", blocking=True)
+        eng.run()
+        assert r2.signal.fire_time == pytest.approx(
+            2 * r1.signal.fire_time, rel=0.02
+        )
+
+    def test_inflight_counter(self, machine):
+        eng, _, comm, _ = build_comm(machine)
+        comm.ialltoall(1 * MiB)
+        comm.ialltoall(1 * MiB)
+        assert comm.inflight == 2
+        eng.run()
+        assert comm.inflight == 0
+
+
+class TestContention:
+    def test_dma_traffic_slows_mpi(self, machine):
+        """A heavy-weight DMA flow on the DRAM link squeezes the exchange."""
+        # Baseline: no DMA.
+        eng, links, comm, dram = build_comm(machine)
+        req = comm.ialltoall(13.5 * MiB)
+        eng.run()
+        t_clean = eng.now
+
+        eng2, links2, comm2, dram2 = build_comm(machine)
+        # Saturate DRAM with high-priority DMA for the whole duration.
+        links2.transfer(
+            1e12, [dram2], "dma",
+            weight=machine.socket().dma_arbitration_weight,
+        )
+        req2 = comm2.ialltoall(13.5 * MiB)
+        eng2.run(until=t_clean * 5)
+        assert req2.complete
+        assert req2.signal.fire_time > 1.5 * t_clean
+
+    def test_tracer_records_mpi_activity(self, machine):
+        tracer = Tracer()
+        eng, _, comm, _ = build_comm(machine, tracer=tracer)
+        comm.ialltoall(1 * MiB, label="traced")
+        eng.run()
+        acts = tracer.filter(category="mpi")
+        assert len(acts) == 1
+        assert acts[0].name == "traced"

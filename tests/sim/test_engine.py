@@ -1,0 +1,298 @@
+"""Tests for the discrete-event engine: processes, signals, waits."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Interrupt,
+    Signal,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_empty_engine_runs_to_zero():
+    eng = Engine()
+    eng.run()
+    assert eng.now == 0.0
+
+
+def test_run_until_advances_clock_without_events():
+    eng = Engine()
+    eng.run(until=5.0)
+    assert eng.now == 5.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1.5)
+        yield Timeout(2.5)
+        return "done"
+
+    p = eng.process(proc())
+    eng.run()
+    assert eng.now == pytest.approx(4.0)
+    assert p.done.fired
+    assert p.done.value == "done"
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_zero_timeout_is_allowed():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(0.0)
+
+    eng.process(proc())
+    eng.run()
+    assert eng.now == 0.0
+
+
+def test_signal_wakes_waiter_with_value():
+    eng = Engine()
+    sig = eng.signal("evt")
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append(value)
+
+    def firer():
+        yield Timeout(2.0)
+        sig.fire("payload")
+
+    eng.process(waiter())
+    eng.process(firer())
+    eng.run()
+    assert got == ["payload"]
+    assert sig.fire_time == pytest.approx(2.0)
+
+
+def test_signal_double_fire_raises():
+    eng = Engine()
+    sig = eng.signal()
+    sig.fire()
+    with pytest.raises(SimulationError):
+        sig.fire()
+
+
+def test_waiting_on_already_fired_signal_resumes_immediately():
+    eng = Engine()
+    sig = eng.signal()
+    sig.fire(42)
+    got = []
+
+    def proc():
+        value = yield sig
+        got.append((eng.now, value))
+
+    eng.process(proc())
+    eng.run()
+    assert got == [(0.0, 42)]
+
+
+def test_all_of_waits_for_every_signal():
+    eng = Engine()
+    sigs = [eng.timeout_signal(t) for t in (1.0, 3.0, 2.0)]
+    done_at = []
+
+    def proc():
+        yield AllOf(sigs)
+        done_at.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert done_at == [pytest.approx(3.0)]
+
+
+def test_all_of_empty_resumes_immediately():
+    eng = Engine()
+    out = []
+
+    def proc():
+        yield AllOf([])
+        out.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert out == [0.0]
+
+
+def test_any_of_waits_for_first_signal():
+    eng = Engine()
+    sigs = [eng.timeout_signal(t) for t in (5.0, 1.0, 3.0)]
+    done_at = []
+
+    def proc():
+        yield AnyOf(sigs)
+        done_at.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert done_at == [pytest.approx(1.0)]
+
+
+def test_any_of_requires_signals():
+    with pytest.raises(ValueError):
+        AnyOf([])
+
+
+def test_process_waits_for_child_process():
+    eng = Engine()
+
+    def child():
+        yield Timeout(2.0)
+        return 7
+
+    def parent():
+        result = yield eng.process(child())
+        return result * 2
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.done.value == 14
+    assert eng.now == pytest.approx(2.0)
+
+
+def test_deterministic_tie_break_by_insertion_order():
+    eng = Engine()
+    order = []
+
+    def proc(tag):
+        yield Timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        eng.process(proc(tag))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_interrupt_terminates_process():
+    eng = Engine()
+    progress = []
+
+    def victim():
+        progress.append("start")
+        yield Timeout(10.0)
+        progress.append("never")
+
+    p = eng.process(victim())
+
+    def killer():
+        yield Timeout(1.0)
+        p.interrupt("stop")
+
+    eng.process(killer())
+    eng.run()
+    assert progress == ["start"]
+    assert not p.alive
+    assert p.done.fire_time == pytest.approx(1.0)
+
+
+def test_interrupt_can_be_caught():
+    eng = Engine()
+    caught = []
+
+    def victim():
+        try:
+            yield Timeout(10.0)
+        except Interrupt as exc:
+            caught.append(exc.cause)
+            yield Timeout(1.0)
+        return "recovered"
+
+    p = eng.process(victim())
+
+    def killer():
+        yield Timeout(2.0)
+        p.interrupt("why")
+
+    eng.process(killer())
+    eng.run()
+    assert caught == ["why"]
+    assert p.done.value == "recovered"
+    # Interrupted at t=2, then one more second of work.  (The victim's
+    # original t=10 timeout remains in the queue as a guarded no-op.)
+    assert p.done.fire_time == pytest.approx(3.0)
+
+
+def test_run_until_pauses_and_resumes():
+    eng = Engine()
+    marks = []
+
+    def proc():
+        for _ in range(4):
+            yield Timeout(1.0)
+            marks.append(eng.now)
+
+    eng.process(proc())
+    eng.run(until=2.5)
+    assert marks == [1.0, 2.0]
+    assert eng.now == 2.5
+    eng.run()
+    assert marks == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_call_at_rejects_past():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(5.0)
+
+    eng.process(proc())
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(1.0, lambda: None)
+
+
+def test_yield_none_reschedules_same_timestep():
+    eng = Engine()
+    order = []
+
+    def a():
+        order.append("a1")
+        yield None
+        order.append("a2")
+
+    def b():
+        order.append("b1")
+        yield None
+        order.append("b2")
+
+    eng.process(a())
+    eng.process(b())
+    eng.run()
+    assert order == ["a1", "b1", "a2", "b2"]
+    assert eng.now == 0.0
+
+
+def test_unsupported_yield_raises():
+    eng = Engine()
+
+    def proc():
+        yield "nonsense"
+
+    eng.process(proc())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_process_exception_propagates():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1.0)
+        raise RuntimeError("boom")
+
+    eng.process(proc())
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()

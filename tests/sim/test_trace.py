@@ -1,0 +1,83 @@
+"""Tests for the activity tracer."""
+
+import pytest
+
+from repro.sim.trace import Activity, Tracer
+
+
+def make_tracer():
+    t = Tracer()
+    t.record("mpi", "r0.mpi", "a2a[0]", 0.0, 2.0)
+    t.record("mpi", "r0.mpi", "a2a[1]", 1.0, 3.0)  # overlaps a2a[0]
+    t.record("fft", "gpu0.compute", "ffty", 0.5, 1.0)
+    t.record("h2d", "gpu0.transfer", "h2d[0]", 4.0, 5.0)
+    return t
+
+
+def test_record_and_len():
+    t = make_tracer()
+    assert len(t) == 4
+
+
+def test_end_before_start_rejected():
+    t = Tracer()
+    with pytest.raises(ValueError):
+        t.record("x", "l", "n", 2.0, 1.0)
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer()
+    t.enabled = False
+    assert t.record("x", "l", "n", 0.0, 1.0) is None
+    assert len(t) == 0
+
+
+def test_filter_by_category_and_lane():
+    t = make_tracer()
+    assert len(t.filter(category="mpi")) == 2
+    assert len(t.filter(lane="gpu0.compute")) == 1
+    assert len(t.filter(category="mpi", lane="gpu0.transfer")) == 0
+    assert len(t.filter(predicate=lambda a: a.duration >= 2.0)) == 2
+
+
+def test_lanes_and_categories_in_first_seen_order():
+    t = make_tracer()
+    assert t.lanes() == ["r0.mpi", "gpu0.compute", "gpu0.transfer"]
+    assert t.categories() == ["mpi", "fft", "h2d"]
+
+
+def test_span():
+    t = make_tracer()
+    assert t.span() == (0.0, 5.0)
+    assert Tracer().span() == (0.0, 0.0)
+
+
+def test_busy_time_merges_overlaps():
+    t = make_tracer()
+    # mpi intervals [0,2] and [1,3] merge to [0,3].
+    assert t.busy_time(category="mpi") == pytest.approx(3.0)
+    # total_duration counts the overlap twice.
+    assert t.total_duration(category="mpi") == pytest.approx(4.0)
+
+
+def test_busy_time_with_gap():
+    t = Tracer()
+    t.record("x", "l", "a", 0.0, 1.0)
+    t.record("x", "l", "b", 2.0, 3.0)
+    assert t.busy_time(category="x") == pytest.approx(2.0)
+
+
+def test_activity_overlaps():
+    a = Activity("x", "l", "a", 0.0, 2.0)
+    b = Activity("x", "l", "b", 1.0, 3.0)
+    c = Activity("x", "l", "c", 2.0, 4.0)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # touching endpoints do not overlap
+
+
+def test_merge_with_lane_prefix():
+    t1 = make_tracer()
+    t2 = Tracer()
+    t2.record("mpi", "mpi", "x", 0.0, 1.0)
+    t1.merge(t2, lane_prefix="node1.")
+    assert "node1.mpi" in t1.lanes()

@@ -1,0 +1,120 @@
+"""Tests for turbulence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.diagnostics import (
+    cfl_number,
+    dissipation_rate,
+    energy_spectrum,
+    enstrophy,
+    flow_statistics,
+    kinetic_energy,
+    velocity_derivative_skewness,
+)
+from repro.spectral.initial import random_isotropic_field, taylor_green_field
+from repro.spectral.transforms import fft3d
+
+
+class TestEnergyAndDissipation:
+    def test_energy_matches_physical_average(self, grid24, rng):
+        u = rng.standard_normal((3, *grid24.physical_shape))
+        u_hat = np.stack([fft3d(u[i], grid24) for i in range(3)])
+        assert kinetic_energy(u_hat, grid24) == pytest.approx(
+            0.5 * np.mean(np.sum(u**2, axis=0))
+        )
+
+    def test_dissipation_equals_two_nu_enstrophy(self, grid24, rng):
+        """eps = 2 nu Omega for solenoidal fields — a nontrivial identity
+        coupling the k^2 spectrum to the curl."""
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        nu = 0.03
+        assert dissipation_rate(u_hat, grid24, nu) == pytest.approx(
+            2.0 * nu * enstrophy(u_hat, grid24), rel=1e-10
+        )
+
+    def test_dissipation_of_taylor_green(self, grid16):
+        """TG: eps = 2 nu k^2 E with k^2 = 3."""
+        tg = taylor_green_field(grid16)
+        nu = 0.1
+        assert dissipation_rate(tg, grid16, nu) == pytest.approx(
+            2 * nu * 3.0 * kinetic_energy(tg, grid16)
+        )
+
+
+class TestSpectrum:
+    def test_spectrum_sums_to_energy(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=0.9)
+        _, e_k = energy_spectrum(u_hat, grid24)
+        assert e_k.sum() == pytest.approx(kinetic_energy(u_hat, grid24))
+
+    def test_single_mode_lands_in_right_shell(self, grid16):
+        u_hat = grid16.zeros_spectral(3)
+        # A real field stores both (0, 4, 0) and its conjugate (0, -4, 0)
+        # explicitly in the kx = 0 plane (each carries Hermitian weight 1).
+        u_hat[2, 0, 4, 0] = 1.0
+        u_hat[2, 0, -4, 0] = 1.0
+        k, e_k = energy_spectrum(u_hat, grid16)
+        assert e_k[4] == pytest.approx(1.0)
+        assert e_k.sum() == pytest.approx(e_k[4])
+        assert k[4] == pytest.approx(4.0)
+
+
+class TestSkewnessAndCfl:
+    def test_gaussian_field_has_small_skewness(self, grid32, rng):
+        u_hat = random_isotropic_field(grid32, rng, energy=1.0)
+        assert abs(velocity_derivative_skewness(u_hat, grid32)) < 0.15
+
+    def test_skewness_of_deterministic_wave_is_zero(self, grid16):
+        assert velocity_derivative_skewness(
+            taylor_green_field(grid16), grid16
+        ) == pytest.approx(0.0, abs=1e-10)
+
+    def test_developed_turbulence_has_negative_skewness(self, grid32, rng):
+        """After a few eddy times nonlinear transfer makes S ~ -0.4: the
+        classic signature of the energy cascade."""
+        from repro.spectral.solver import NavierStokesSolver, SolverConfig
+
+        u0 = random_isotropic_field(grid32, rng, energy=1.0, k_peak=3.0)
+        s = NavierStokesSolver(grid32, u0, SolverConfig(nu=0.02, phase_shift=False))
+        for _ in range(60):
+            s.step(0.01)
+        skew = velocity_derivative_skewness(s.u_hat, grid32)
+        assert -0.8 < skew < -0.2
+
+    def test_cfl_scales_linearly_with_dt(self, grid16):
+        tg = taylor_green_field(grid16)
+        assert cfl_number(tg, grid16, 0.02) == pytest.approx(
+            2 * cfl_number(tg, grid16, 0.01)
+        )
+
+
+class TestFlowStatistics:
+    def test_all_fields_populated_and_consistent(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        nu = 0.05
+        st = flow_statistics(u_hat, grid24, nu)
+        assert st.energy == pytest.approx(1.0, rel=1e-9)
+        assert st.u_rms == pytest.approx(np.sqrt(2.0 / 3.0), rel=1e-9)
+        assert st.dissipation > 0
+        assert st.kolmogorov_scale == pytest.approx(
+            (nu**3 / st.dissipation) ** 0.25
+        )
+        assert st.taylor_scale == pytest.approx(
+            np.sqrt(15 * nu * st.u_rms**2 / st.dissipation)
+        )
+        assert st.reynolds_taylor == pytest.approx(
+            st.u_rms * st.taylor_scale / nu
+        )
+        assert st.integral_scale > 0
+        assert st.max_divergence < 1e-10
+        assert st.kmax_eta > 0
+
+    def test_rejects_nonpositive_viscosity(self, grid16, rng):
+        with pytest.raises(ValueError):
+            flow_statistics(random_isotropic_field(grid16, rng), grid16, 0.0)
+
+    def test_str_is_informative(self, grid16, rng):
+        st = flow_statistics(random_isotropic_field(grid16, rng), grid16, 0.1)
+        text = str(st)
+        assert "Re_lambda" in text and "eta" in text

@@ -1,0 +1,102 @@
+"""Single-precision tests: the paper's production runs use float32.
+
+The memory accounting of Table 1 (4-byte words) presumes single precision;
+this suite checks the whole numerics stack works and stays stable in
+float32, with appropriately loosened tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spectral.diagnostics import kinetic_energy, max_divergence
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.initial import random_isotropic_field, taylor_green_field
+from repro.spectral.solver import NavierStokesSolver, SolverConfig
+from repro.spectral.transforms import fft3d, ifft3d
+
+
+@pytest.fixture()
+def grid32f():
+    return SpectralGrid(32, dtype=np.float32)
+
+
+class TestSinglePrecisionTransforms:
+    def test_dtypes_propagate(self, grid32f, rng):
+        u = rng.standard_normal(grid32f.physical_shape).astype(np.float32)
+        u_hat = fft3d(u, grid32f)
+        assert u_hat.dtype == np.complex64
+        back = ifft3d(u_hat, grid32f)
+        assert back.dtype == np.float32
+
+    def test_roundtrip_at_single_precision(self, grid32f, rng):
+        u = rng.standard_normal(grid32f.physical_shape).astype(np.float32)
+        back = ifft3d(fft3d(u, grid32f), grid32f)
+        assert np.allclose(back, u, atol=5e-6)
+
+    def test_wavenumber_arrays_are_float32(self, grid32f):
+        assert grid32f.kx.dtype == np.float32
+        assert grid32f.k_squared.dtype == np.float32
+        assert grid32f.hermitian_weights.dtype == np.float32
+
+
+class TestSinglePrecisionSolver:
+    def test_state_stays_complex64(self, grid32f, rng):
+        u0 = random_isotropic_field(grid32f, rng, energy=0.5)
+        assert u0.dtype == np.complex64
+        solver = NavierStokesSolver(
+            grid32f, u0, SolverConfig(nu=0.02, phase_shift=False)
+        )
+        solver.step(0.005)
+        assert solver.u_hat.dtype == np.complex64
+
+    def test_viscous_decay_single_precision(self, grid32f):
+        nu = 0.1
+        solver = NavierStokesSolver(
+            grid32f,
+            taylor_green_field(grid32f, amplitude=1e-3),
+            SolverConfig(nu=nu, phase_shift=False),
+        )
+        e0 = kinetic_energy(solver.u_hat, grid32f)
+        for _ in range(10):
+            solver.step(0.02)
+        expected = e0 * np.exp(-2 * nu * 3.0 * 0.2)
+        assert kinetic_energy(solver.u_hat, grid32f) == pytest.approx(
+            expected, rel=1e-4
+        )
+
+    def test_divergence_stays_at_single_roundoff(self, grid32f, rng):
+        solver = NavierStokesSolver(
+            grid32f,
+            random_isotropic_field(grid32f, rng, energy=0.5),
+            SolverConfig(nu=0.02, phase_shift=True),
+        )
+        for _ in range(5):
+            solver.step(0.005)
+        assert max_divergence(solver.u_hat, grid32f) < 1e-4
+
+    def test_matches_double_precision_trajectory(self, rng):
+        """Same problem in both precisions: trajectories agree to single-
+        precision accuracy over a short horizon."""
+        seed = 31
+        states = {}
+        for dtype in (np.float64, np.float32):
+            grid = SpectralGrid(24, dtype=dtype)
+            u0 = random_isotropic_field(
+                grid, np.random.default_rng(seed), energy=0.5
+            )
+            s = NavierStokesSolver(
+                grid, u0, SolverConfig(nu=0.02, phase_shift=False)
+            )
+            for _ in range(5):
+                s.step(0.005)
+            states[np.dtype(dtype).name] = s.u_hat.astype(np.complex128)
+        diff = np.abs(states["float64"] - states["float32"]).max()
+        scale = np.abs(states["float64"]).max()
+        assert diff / scale < 1e-4
+
+    def test_memory_footprint_is_half(self, rng):
+        g64 = SpectralGrid(16)
+        g32 = SpectralGrid(16, dtype=np.float32)
+        u64 = random_isotropic_field(g64, np.random.default_rng(0), energy=1.0)
+        u32 = random_isotropic_field(g32, np.random.default_rng(0), energy=1.0)
+        assert u32.nbytes * 2 == u64.nbytes

@@ -1,0 +1,100 @@
+"""Tests for the forcing schemes."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.diagnostics import kinetic_energy
+from repro.spectral.forcing import BandForcing, NegativeViscosityForcing, NoForcing
+from repro.spectral.initial import random_isotropic_field
+from repro.spectral.solver import NavierStokesSolver, SolverConfig
+
+
+class TestNoForcing:
+    def test_rhs_is_none_and_post_step_noop(self, grid16, rng):
+        f = NoForcing()
+        u = random_isotropic_field(grid16, rng, energy=1.0)
+        assert f.rhs(u, grid16) is None
+        before = u.copy()
+        f.post_step(u, grid16, 0.01)
+        assert np.array_equal(u, before)
+
+
+class TestBandForcing:
+    def test_injection_rate_is_exact(self, grid24, rng):
+        """Work done by the force equals eps_inj analytically."""
+        eps = 0.7
+        f = BandForcing(k_force=2.0, eps_inj=eps)
+        u = random_isotropic_field(grid24, rng, energy=1.0)
+        rhs = f.rhs(u, grid24)
+        w = grid24.hermitian_weights
+        work = np.sum(w * np.real(np.conj(u) * rhs))
+        assert work == pytest.approx(eps, rel=1e-10)
+
+    def test_only_band_is_forced(self, grid24, rng):
+        f = BandForcing(k_force=2.0, eps_inj=1.0)
+        u = random_isotropic_field(grid24, rng, energy=1.0)
+        rhs = f.rhs(u, grid24)
+        outside = grid24.k_magnitude > 2.0 * (1 + 1e-9)
+        assert np.abs(rhs[:, outside]).max() == 0.0
+        assert np.abs(rhs[:, 0, 0, 0]).max() == 0.0  # mean never forced
+
+    def test_empty_band_returns_none(self, grid16):
+        f = BandForcing(k_force=2.0)
+        u = grid16.zeros_spectral(3)
+        u[0, 5, 5, 5] = 1.0  # energy only outside the band
+        assert f.rhs(u, grid16) is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BandForcing(k_force=0.0)
+        with pytest.raises(ValueError):
+            BandForcing(eps_inj=-1.0)
+
+    def test_forced_run_approaches_stationarity(self, grid24, rng):
+        """With forcing, energy stops decaying (unlike the decaying case)."""
+        u0 = random_isotropic_field(grid24, rng, energy=0.5)
+        forced = NavierStokesSolver(
+            grid24, u0, SolverConfig(nu=0.05, phase_shift=False),
+            forcing=BandForcing(k_force=2.5, eps_inj=0.5),
+        )
+        free = NavierStokesSolver(
+            grid24, u0, SolverConfig(nu=0.05, phase_shift=False)
+        )
+        for _ in range(20):
+            rf = forced.step(0.005)
+            rd = free.step(0.005)
+        assert rf.energy > rd.energy
+
+
+class TestNegativeViscosityForcing:
+    def test_band_energy_frozen(self, grid24, rng):
+        u0 = random_isotropic_field(grid24, rng, energy=0.5)
+        f = NegativeViscosityForcing(k_force=2.0)
+        solver = NavierStokesSolver(
+            grid24, u0, SolverConfig(nu=0.05, phase_shift=False), forcing=f
+        )
+        mask = (grid24.k_magnitude <= 2.0 * (1 + 1e-12)).astype(float)
+        mask[0, 0, 0] = 0.0
+
+        def band_energy():
+            w = grid24.hermitian_weights * mask
+            return 0.5 * float(np.sum(w * np.abs(solver.u_hat) ** 2))
+
+        solver.step(0.005)  # captures the reference on first post_step
+        ref = band_energy()
+        for _ in range(5):
+            solver.step(0.005)
+            assert band_energy() == pytest.approx(ref, rel=1e-10)
+
+    def test_explicit_target_energy(self, grid24, rng):
+        u0 = random_isotropic_field(grid24, rng, energy=0.5)
+        f = NegativeViscosityForcing(k_force=2.0, target_energy=0.123)
+        f.post_step(u0, grid24, 0.01)
+        mask = (grid24.k_magnitude <= 2.0 * (1 + 1e-12)).astype(float)
+        mask[0, 0, 0] = 0.0
+        w = grid24.hermitian_weights * mask
+        assert 0.5 * float(np.sum(w * np.abs(u0) ** 2)) == pytest.approx(0.123)
+
+    def test_rhs_contributes_nothing(self, grid16, rng):
+        f = NegativeViscosityForcing()
+        assert f.rhs(random_isotropic_field(grid16, rng), grid16) is None

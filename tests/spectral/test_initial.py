@@ -1,0 +1,102 @@
+"""Tests for initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.diagnostics import energy_spectrum, kinetic_energy, max_divergence
+from repro.spectral.initial import (
+    default_spectrum,
+    random_isotropic_field,
+    taylor_green_field,
+)
+from repro.spectral.transforms import ifft3d
+
+
+class TestTaylorGreen:
+    def test_physical_form(self, grid16):
+        u_hat = taylor_green_field(grid16, amplitude=2.0)
+        z, y, x = grid16.coordinates
+        ux = ifft3d(u_hat[0], grid16)
+        assert np.allclose(ux, 2.0 * np.sin(x) * np.cos(y) * np.cos(z), atol=1e-12)
+        assert np.abs(ifft3d(u_hat[2], grid16)).max() < 1e-13
+
+    def test_divergence_free(self, grid16):
+        assert max_divergence(taylor_green_field(grid16), grid16) < 1e-13
+
+    def test_energy_is_eighth_of_amplitude_squared(self, grid16):
+        """E = <u.u>/2 = A^2/8 for the Taylor-Green field."""
+        assert kinetic_energy(taylor_green_field(grid16, 1.0), grid16) == pytest.approx(
+            0.125
+        )
+        assert kinetic_energy(taylor_green_field(grid16, 2.0), grid16) == pytest.approx(
+            0.5
+        )
+
+
+class TestRandomIsotropic:
+    def test_target_energy_met(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=0.75)
+        assert kinetic_energy(u_hat, grid24) == pytest.approx(0.75, rel=1e-10)
+
+    def test_divergence_free(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        assert max_divergence(u_hat, grid24) < 1e-10
+
+    def test_zero_mean_flow(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        assert np.abs(u_hat[:, 0, 0, 0]).max() == 0.0
+
+    def test_spectrum_shape_followed(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0, k_peak=4.0)
+        k, e_k = energy_spectrum(u_hat, grid24)
+        target = default_spectrum(k, k_peak=4.0)
+        target *= e_k.sum() / target.sum()
+        # Shells with meaningful energy follow the prescribed shape closely.
+        sel = target > 1e-3 * target.max()
+        assert np.allclose(e_k[sel], target[sel], rtol=1e-7)
+
+    def test_deterministic_given_seed(self, grid16):
+        a = random_isotropic_field(grid16, np.random.default_rng(5), energy=1.0)
+        b = random_isotropic_field(grid16, np.random.default_rng(5), energy=1.0)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, grid16):
+        a = random_isotropic_field(grid16, np.random.default_rng(1), energy=1.0)
+        b = random_isotropic_field(grid16, np.random.default_rng(2), energy=1.0)
+        assert not np.allclose(a, b)
+
+    def test_field_is_real_in_physical_space(self, grid16, rng):
+        """Conjugate symmetry: the inverse transform has no imaginary dust."""
+        u_hat = random_isotropic_field(grid16, rng, energy=1.0)
+        full = np.fft.irfftn(
+            u_hat[0] * 16**3, s=grid16.physical_shape, axes=(0, 1, 2)
+        )
+        assert np.isrealobj(full)
+
+    def test_custom_spectrum_callable(self, grid16, rng):
+        u_hat = random_isotropic_field(
+            grid16, rng, energy=1.0, spectrum=lambda k: np.where(k == 3.0, 1.0, 0.0)
+        )
+        k, e_k = energy_spectrum(u_hat, grid16)
+        assert e_k[3] == pytest.approx(1.0)
+        assert e_k.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative_energy(self, grid16, rng):
+        with pytest.raises(ValueError):
+            random_isotropic_field(grid16, rng, energy=-1.0)
+
+    def test_rejects_empty_spectrum(self, grid16, rng):
+        with pytest.raises(ValueError):
+            random_isotropic_field(grid16, rng, spectrum=lambda k: np.zeros_like(k))
+
+
+class TestDefaultSpectrum:
+    def test_peak_location(self):
+        k = np.linspace(0.1, 20, 2000)
+        e = default_spectrum(k, k_peak=4.0)
+        assert k[np.argmax(e)] == pytest.approx(4.0, abs=0.1)
+
+    def test_low_k_power_law(self):
+        assert default_spectrum(np.array([0.2]))[0] / default_spectrum(
+            np.array([0.1])
+        )[0] == pytest.approx(16.0, rel=0.01)

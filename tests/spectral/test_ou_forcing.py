@@ -1,0 +1,105 @@
+"""Tests for Ornstein-Uhlenbeck stochastic forcing."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.diagnostics import kinetic_energy, max_divergence
+from repro.spectral.forcing import OrnsteinUhlenbeckForcing
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.initial import random_isotropic_field
+from repro.spectral.operators import divergence_hat
+from repro.spectral.solver import NavierStokesSolver, SolverConfig
+
+
+class TestProcess:
+    def test_force_is_solenoidal(self, grid16, rng):
+        f = OrnsteinUhlenbeckForcing(k_force=2.5, sigma=0.5)
+        u = random_isotropic_field(grid16, rng, energy=0.5)
+        force = f.rhs(u, grid16)
+        assert np.abs(divergence_hat(force, grid16)).max() < 1e-12
+
+    def test_force_confined_to_band(self, grid16, rng):
+        f = OrnsteinUhlenbeckForcing(k_force=2.0, sigma=1.0)
+        force = f.rhs(random_isotropic_field(grid16, rng), grid16)
+        outside = grid16.k_magnitude > 2.0 * (1 + 1e-9)
+        # Projection can shuffle components but never moves modes in k.
+        assert np.abs(force[:, outside]).max() == 0.0
+
+    def test_frozen_within_step_updates_across_steps(self, grid16, rng):
+        f = OrnsteinUhlenbeckForcing(seed=1)
+        u = random_isotropic_field(grid16, rng)
+        f1 = f.rhs(u, grid16)
+        f2 = f.rhs(u, grid16)
+        assert f1 is f2  # same force at every RK stage of one step
+        f.post_step(u, grid16, dt=0.01)
+        f3 = f.rhs(u, grid16)
+        assert not np.allclose(f3, f1)
+
+    def test_deterministic_given_seed(self, grid16, rng):
+        u = random_isotropic_field(grid16, rng)
+        a = OrnsteinUhlenbeckForcing(seed=9).rhs(u, grid16)
+        b = OrnsteinUhlenbeckForcing(seed=9).rhs(u, grid16)
+        assert np.array_equal(a, b)
+
+    def test_correlation_decay(self, grid16, rng):
+        """After many correlation times the state decorrelates; after a tiny
+        step it barely moves."""
+        u = random_isotropic_field(grid16, rng)
+        f = OrnsteinUhlenbeckForcing(t_corr=1.0, seed=4)
+        f0 = f.rhs(u, grid16).copy()
+        f.post_step(u, grid16, dt=1e-4)
+        drift_small = np.abs(f.rhs(u, grid16) - f0).max()
+        for _ in range(100):
+            f.post_step(u, grid16, dt=0.5)
+        drift_large = np.abs(f.rhs(u, grid16) - f0).max()
+        assert drift_small < 0.1 * drift_large
+
+    def test_stationary_variance(self, grid16, rng):
+        """The exact OU update preserves the stationary variance sigma^2."""
+        u = random_isotropic_field(grid16, rng)
+        f = OrnsteinUhlenbeckForcing(k_force=2.5, sigma=0.7, t_corr=0.3, seed=2)
+        f.rhs(u, grid16)
+        band = (grid16.k_magnitude <= 2.5) & (grid16.k_magnitude > 0)
+        samples = []
+        for _ in range(300):
+            f.post_step(u, grid16, dt=0.1)
+            samples.append(np.mean(np.abs(f._state[:, band]) ** 2))
+        measured = np.mean(samples)
+        # Projection removes ~1/3 of the variance (one of three components).
+        expected = 0.7**2 * (2.0 / 3.0)
+        assert measured == pytest.approx(expected, rel=0.25)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckForcing(k_force=0)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckForcing(t_corr=0)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckForcing(sigma=-1)
+
+
+class TestInSolver:
+    def test_sustains_energy_against_decay(self, grid24, rng):
+        u0 = random_isotropic_field(grid24, rng, energy=0.3)
+        forced = NavierStokesSolver(
+            grid24, u0, SolverConfig(nu=0.05, phase_shift=False),
+            forcing=OrnsteinUhlenbeckForcing(k_force=2.5, sigma=1.5, t_corr=0.5),
+        )
+        free = NavierStokesSolver(
+            grid24, u0, SolverConfig(nu=0.05, phase_shift=False)
+        )
+        for _ in range(30):
+            rf = forced.step(0.01)
+            rd = free.step(0.01)
+        assert rf.energy > rd.energy
+
+    def test_field_stays_divergence_free(self, grid16, rng):
+        solver = NavierStokesSolver(
+            grid16,
+            random_isotropic_field(grid16, rng, energy=0.3),
+            SolverConfig(nu=0.05, phase_shift=False),
+            forcing=OrnsteinUhlenbeckForcing(),
+        )
+        for _ in range(5):
+            solver.step(0.01)
+        assert max_divergence(solver.u_hat, grid16) < 1e-10

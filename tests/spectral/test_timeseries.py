@@ -1,0 +1,106 @@
+"""Tests for the statistics recorder and adaptive-step driver."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.initial import random_isotropic_field, taylor_green_field
+from repro.spectral.solver import NavierStokesSolver, SolverConfig
+from repro.spectral.timeseries import StatisticsRecorder, run_with_statistics
+
+
+def make_solver(grid, rng, **cfg):
+    defaults = dict(nu=0.05, scheme="rk2", phase_shift=False)
+    defaults.update(cfg)
+    return NavierStokesSolver(
+        grid, random_isotropic_field(grid, rng, energy=0.5), SolverConfig(**defaults)
+    )
+
+
+class TestRecorder:
+    def test_sample_captures_all_fields(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        rec = StatisticsRecorder()
+        row = rec.sample(s)
+        for key in ("time", "energy", "dissipation", "reynolds_taylor", "kmax_eta"):
+            assert key in row
+        assert len(rec) == 1
+
+    def test_cadence(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        rec = StatisticsRecorder(every=2)
+        for _ in range(6):
+            s.step(0.005)
+            rec.maybe_sample(s)
+        assert len(rec) == 3
+
+    def test_series_returns_array_in_order(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        rec = StatisticsRecorder()
+        for _ in range(3):
+            s.step(0.005)
+            rec.sample(s)
+        t = rec.series("time")
+        assert t.shape == (3,)
+        assert np.all(np.diff(t) > 0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            StatisticsRecorder().series("bogus")
+
+    def test_bad_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            StatisticsRecorder(every=0)
+
+    def test_energy_budget_residual_small_for_decaying_run(self, grid24, rng):
+        s = make_solver(grid24, rng, scheme="rk4")
+        rec = StatisticsRecorder()
+        rec.sample(s)
+        for _ in range(8):
+            s.step(0.002)
+            rec.sample(s)
+        resid = rec.energy_budget_residual()
+        assert resid.shape == (8,)
+        assert resid.max() < 0.02
+
+    def test_budget_residual_empty_when_too_few_samples(self, grid16, rng):
+        rec = StatisticsRecorder()
+        rec.sample(make_solver(grid16, rng))
+        assert rec.energy_budget_residual().size == 0
+
+
+class TestAdaptiveRun:
+    def test_reaches_target_time_exactly(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        run_with_statistics(s, t_end=0.05, cfl=0.5)
+        assert s.time == pytest.approx(0.05)
+
+    def test_records_initial_sample(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        rec = run_with_statistics(s, t_end=0.02)
+        assert rec.rows[0]["time"] == 0.0
+
+    def test_respects_max_dt(self, grid16):
+        s = NavierStokesSolver(
+            grid16,
+            taylor_green_field(grid16, amplitude=1e-6),  # huge stable_dt
+            SolverConfig(nu=0.05, phase_shift=False),
+        )
+        rec = run_with_statistics(s, t_end=0.1, max_dt=0.01)
+        times = rec.series("time")
+        assert np.all(np.diff(times) <= 0.01 + 1e-12)
+
+    def test_rejects_past_target(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        with pytest.raises(ValueError):
+            run_with_statistics(s, t_end=0.0)
+
+    def test_step_budget_enforced(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        with pytest.raises(RuntimeError):
+            run_with_statistics(s, t_end=100.0, max_dt=1e-4, max_steps=5)
+
+    def test_reuses_supplied_recorder(self, grid16, rng):
+        s = make_solver(grid16, rng)
+        rec = StatisticsRecorder(every=2)
+        out = run_with_statistics(s, t_end=0.02, recorder=rec)
+        assert out is rec

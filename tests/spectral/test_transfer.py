@@ -1,0 +1,61 @@
+"""Tests for the energy-transfer and spectral-flux diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.initial import random_isotropic_field
+from repro.spectral.solver import NavierStokesSolver, SolverConfig
+from repro.spectral.transfer import spectral_flux, transfer_spectrum
+
+
+class TestTransferSpectrum:
+    def test_total_transfer_vanishes(self, grid24, rng):
+        """The nonlinearity only redistributes energy: sum T(k) = 0."""
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        _, t_k = transfer_spectrum(u_hat, grid24)
+        assert abs(t_k.sum()) < 1e-12 * np.abs(t_k).max()
+
+    def test_zero_field_zero_transfer(self, grid16):
+        _, t_k = transfer_spectrum(grid16.zeros_spectral(3), grid16)
+        assert np.all(t_k == 0)
+
+    def test_shapes(self, grid16, rng):
+        k, t_k = transfer_spectrum(
+            random_isotropic_field(grid16, rng, energy=1.0), grid16
+        )
+        assert k.shape == t_k.shape == (grid16.num_shells,)
+
+
+class TestSpectralFlux:
+    def test_flux_endpoints(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        k, pi = spectral_flux(u_hat, grid24)
+        _, t_k = transfer_spectrum(u_hat, grid24)
+        assert pi[0] == pytest.approx(-t_k[0])
+        assert abs(pi[-1]) < 1e-12 * max(np.abs(pi).max(), 1e-30)
+
+    def test_developed_turbulence_has_forward_cascade(self, grid32, rng):
+        """After spin-up, energy flows from large to small scales: the flux
+        through intermediate wavenumbers is positive and a sizable fraction
+        of the dissipation rate."""
+        u0 = random_isotropic_field(grid32, rng, energy=1.0, k_peak=3.0)
+        solver = NavierStokesSolver(
+            grid32, u0, SolverConfig(nu=0.02, phase_shift=False)
+        )
+        for _ in range(40):
+            solver.step(0.01)
+        k, pi = spectral_flux(solver.u_hat, grid32)
+        from repro.spectral.diagnostics import dissipation_rate
+
+        eps = dissipation_rate(solver.u_hat, grid32, 0.02)
+        mid = slice(4, 9)
+        assert np.all(pi[mid] > 0)
+        assert pi[mid].max() > 0.25 * eps
+
+    def test_initial_gaussian_field_fluxes_forward_on_average(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0, k_peak=3.0)
+        k, pi = spectral_flux(u_hat, grid24)
+        # Even for a Gaussian field the k^4 spectrum pushes energy outward
+        # in the mean (instantaneous flux at mid-k is noisy but defined).
+        assert np.isfinite(pi).all()

@@ -1,0 +1,108 @@
+"""Tests for forward/inverse transforms, monolithic and staged."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.transforms import fft3d, fft3d_staged, ifft3d, ifft3d_staged
+
+
+class TestRoundTrip:
+    def test_roundtrip_identity(self, grid16, rng):
+        u = rng.standard_normal(grid16.physical_shape)
+        back = ifft3d(fft3d(u, grid16), grid16)
+        assert np.allclose(back, u, atol=1e-13)
+
+    def test_normalization_is_fourier_coefficients(self, grid16):
+        """A unit-amplitude cosine has coefficient 1/2 at +-k."""
+        z, y, x = grid16.coordinates
+        u = np.cos(2 * x) * np.ones_like(y * z)
+        u_hat = fft3d(u, grid16)
+        assert u_hat[0, 0, 2] == pytest.approx(0.5)
+        # all other coefficients vanish
+        u_hat[0, 0, 2] = 0.0
+        assert np.abs(u_hat).max() < 1e-14
+
+    def test_mean_mode(self, grid16):
+        u = np.full(grid16.physical_shape, 3.5)
+        u_hat = fft3d(u, grid16)
+        assert u_hat[0, 0, 0] == pytest.approx(3.5)
+
+    def test_parseval(self, grid16, rng):
+        u = rng.standard_normal(grid16.physical_shape)
+        u_hat = fft3d(u, grid16)
+        phys = np.mean(u**2)
+        spec = np.sum(grid16.hermitian_weights * np.abs(u_hat) ** 2)
+        assert phys == pytest.approx(spec)
+
+    def test_shape_validation(self, grid16, rng):
+        with pytest.raises(ValueError):
+            fft3d(rng.standard_normal((8, 8, 8)), grid16)
+        with pytest.raises(ValueError):
+            ifft3d(np.zeros((8, 8, 5), dtype=complex), grid16)
+
+    def test_float32_grid_returns_float32(self, rng):
+        g = SpectralGrid(16, dtype=np.float32)
+        u = rng.standard_normal(g.physical_shape).astype(np.float32)
+        u_hat = fft3d(u, g)
+        assert u_hat.dtype == np.complex64
+        assert ifft3d(u_hat, g).dtype == np.float32
+
+
+class TestStagedTransforms:
+    """The axis-at-a-time path must agree exactly with rfftn."""
+
+    def test_staged_forward_matches_monolithic(self, grid24, rng):
+        u = rng.standard_normal(grid24.physical_shape)
+        assert np.allclose(
+            fft3d_staged(u, grid24), fft3d(u, grid24), atol=1e-14
+        )
+
+    def test_staged_inverse_matches_monolithic(self, grid24, rng):
+        u_hat = fft3d(rng.standard_normal(grid24.physical_shape), grid24)
+        assert np.allclose(
+            ifft3d_staged(u_hat, grid24), ifft3d(u_hat, grid24), atol=1e-13
+        )
+
+    def test_staged_roundtrip(self, grid16, rng):
+        u = rng.standard_normal(grid16.physical_shape)
+        assert np.allclose(
+            ifft3d_staged(fft3d_staged(u, grid16), grid16), u, atol=1e-13
+        )
+
+    def test_staged_shape_validation(self, grid16):
+        with pytest.raises(ValueError):
+            fft3d_staged(np.zeros((4, 4, 4)), grid16)
+        with pytest.raises(ValueError):
+            ifft3d_staged(np.zeros((4, 4, 3), dtype=complex), grid16)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=npst.arrays(
+        np.float64,
+        (8, 8, 8),
+        elements=st.floats(-1e3, 1e3, allow_nan=False),
+    )
+)
+def test_roundtrip_property(data):
+    g = SpectralGrid(8)
+    assert np.allclose(ifft3d(fft3d(data, g), g), data, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.floats(-10, 10),
+    b=st.floats(-10, 10),
+)
+def test_linearity(a, b):
+    g = SpectralGrid(8)
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal(g.physical_shape)
+    v = rng.standard_normal(g.physical_shape)
+    lhs = fft3d(a * u + b * v, g)
+    rhs = a * fft3d(u, g) + b * fft3d(v, g)
+    assert np.allclose(lhs, rhs, atol=1e-10)

@@ -1,0 +1,101 @@
+"""Tests for two-point statistics."""
+
+import numpy as np
+import pytest
+
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.initial import random_isotropic_field, taylor_green_field
+from repro.spectral.transforms import fft3d
+from repro.spectral.twopoint import (
+    longitudinal_correlation,
+    second_order_structure,
+    third_order_structure,
+    transverse_correlation,
+)
+
+
+class TestCorrelations:
+    def test_f_starts_at_one(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        r, f = longitudinal_correlation(u_hat, grid24)
+        assert f[0] == pytest.approx(1.0)
+        assert r[0] == 0.0
+        assert r[1] == pytest.approx(grid24.dx)
+
+    def test_single_cosine_mode_has_cosine_correlation(self, grid16):
+        """u_x = cos(3y...)... a mode along x: f(r) = cos(3 r) exactly."""
+        g = grid16
+        z, y, x = g.coordinates
+        u = np.zeros((3, *g.physical_shape))
+        u[0] = np.cos(3 * y) * np.ones_like(x * z)  # u_x varying in y -> use
+        # correlation along x of a field constant in x is 1 everywhere;
+        # instead vary in x (still solenoidal since du_x/dx = 0 is violated
+        # -> use u_x = cos(3 z) pattern shifted... simplest exact case:
+        u[0] = np.cos(3 * x) * np.ones_like(y * z)
+        u_hat = np.stack([fft3d(u[i], g) for i in range(3)])
+        r, f = longitudinal_correlation(u_hat, g)
+        assert np.allclose(f, np.cos(3 * r), atol=1e-12)
+
+    def test_correlation_decays_for_turbulent_field(self, grid32, rng):
+        u_hat = random_isotropic_field(grid32, rng, energy=1.0, k_peak=4.0)
+        _, f = longitudinal_correlation(u_hat, grid32)
+        assert f[0] > f[len(f) // 2]
+        assert abs(f[-1]) < 0.5
+
+    def test_transverse_uses_perpendicular_component(self, grid16):
+        g = grid16
+        z, y, x = g.coordinates
+        u = np.zeros((3, *g.physical_shape))
+        u[1] = np.cos(2 * x) * np.ones_like(y * z)  # u_y varying along x
+        u_hat = np.stack([fft3d(u[i], g) for i in range(3)])
+        r, gg = transverse_correlation(u_hat, g)
+        assert np.allclose(gg, np.cos(2 * r), atol=1e-12)
+
+    def test_zero_field_rejected(self, grid16):
+        with pytest.raises(ValueError):
+            longitudinal_correlation(grid16.zeros_spectral(3), grid16)
+
+
+class TestStructureFunctions:
+    def test_dll_zero_at_zero_and_consistent_with_f(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        r, dll = second_order_structure(u_hat, grid24)
+        _, f = longitudinal_correlation(u_hat, grid24)
+        assert dll[0] == pytest.approx(0.0, abs=1e-12)
+        # D_LL = 2 var (1 - f): cross-check through the variance.
+        from repro.spectral.transforms import ifft3d
+
+        var = float(np.mean(ifft3d(u_hat[0], grid24) ** 2))
+        assert np.allclose(dll, 2 * var * (1 - f), atol=1e-10)
+
+    def test_dll_nonnegative(self, grid24, rng):
+        u_hat = random_isotropic_field(grid24, rng, energy=1.0)
+        _, dll = second_order_structure(u_hat, grid24)
+        assert np.all(dll >= -1e-12)
+
+    def test_d3_zero_for_gaussian_symmetry(self, grid16):
+        """A single cosine mode is statistically symmetric: D_LLL ~ 0."""
+        g = grid16
+        z, y, x = g.coordinates
+        u = np.zeros((3, *g.physical_shape))
+        u[0] = np.cos(2 * x) * np.ones_like(y * z)
+        u_hat = np.stack([fft3d(u[i], g) for i in range(3)])
+        _, d3 = third_order_structure(u_hat, g, max_sep=6)
+        assert np.abs(d3).max() < 1e-12
+
+    def test_d3_negative_in_developed_turbulence(self, grid32, rng):
+        """The 4/5-law sign: developed turbulence has D_LLL < 0 at small r
+        (the same physics as the negative derivative skewness)."""
+        from repro.spectral.solver import NavierStokesSolver, SolverConfig
+
+        u0 = random_isotropic_field(grid32, rng, energy=1.0, k_peak=3.0)
+        s = NavierStokesSolver(grid32, u0, SolverConfig(nu=0.02, phase_shift=False))
+        for _ in range(60):
+            s.step(0.01)
+        _, d3 = third_order_structure(s.u_hat, grid32, max_sep=5)
+        assert d3[1] < 0 and d3[2] < 0
+
+    def test_max_sep_limits_output(self, grid16, rng):
+        u_hat = random_isotropic_field(grid16, rng, energy=1.0)
+        r, d3 = third_order_structure(u_hat, grid16, max_sep=4)
+        assert len(r) == len(d3) == 5

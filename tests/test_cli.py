@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_plan_known_point(self, capsys):
+        assert main(["plan", "18432"]) == 0
+        out = capsys.readouterr().out
+        assert "1302" in out
+        assert "[1536, 3072]" in out
+        assert "np=4" in out
+
+    def test_plan_with_explicit_nodes(self, capsys):
+        assert main(["plan", "3072", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "np=3" in out
+
+
+class TestStep:
+    def test_step_prints_time_and_breakdown(self, capsys):
+        assert main(["step", "3072", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "s/step" in out
+        assert "mpi" in out
+
+    def test_step_algorithm_choice(self, capsys):
+        assert main(["step", "3072", "16", "--algorithm", "cpu_baseline"]) == 0
+        assert "sync CPU" in capsys.readouterr().out
+
+    def test_step_timeline_flag(self, capsys):
+        assert main(["step", "3072", "16", "--timeline"]) == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_step_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        assert main(["step", "3072", "16", "--chrome-trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_step_rk4(self, capsys):
+        assert main(["step", "3072", "16", "--scheme", "rk4"]) == 0
+
+
+class TestAutotune:
+    def test_autotune_output(self, capsys):
+        assert main(["autotune", "3072", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "<-- best" in out
+
+
+class TestDns:
+    def test_dns_runs(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Re_lambda" in out
+
+    def test_dns_forced(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "2", "--forced"]) == 0
+
+
+class TestStudies:
+    def test_validation_command_exit_code(self, capsys):
+        assert main(["validation", "--n", "16"]) == 0
+        assert "checks passed" in capsys.readouterr().out
+
+    def test_density_command(self, capsys):
+        assert main(["density"]) == 0
+        assert "fewer nodes" in capsys.readouterr().out
+
+    def test_resolution_command(self, capsys):
+        assert main(["resolution"]) == 0
+        assert "Re_lambda" in capsys.readouterr().out
+
+
+class TestReports:
+    def test_table1_report(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_fig8_report(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "zero-copy" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
