@@ -8,10 +8,21 @@ analyzing the full DNS:
   between CPU and GPU" (Table 2) — :mod:`repro.benchkit.a2a_kernel`;
 * a strided-copy study comparing per-chunk ``cudaMemcpyAsync``, zero-copy
   kernels and ``cudaMemcpy2DAsync`` (Figs. 7 and 8) —
-  :mod:`repro.benchkit.stride_kernel`.
+  :mod:`repro.benchkit.stride_kernel`;
+* a hot-path harness timing the real solver with and without the
+  pre-allocated :class:`~repro.spectral.SpectralWorkspace` —
+  :mod:`repro.benchkit.hotpath`.
 """
 
 from repro.benchkit.a2a_kernel import StandaloneA2AKernel
+from repro.benchkit.hotpath import HotpathResult, benchmark_solver, run_suite
 from repro.benchkit.stride_kernel import StridedCopyStudy, ZeroCopyBlockStudy
 
-__all__ = ["StandaloneA2AKernel", "StridedCopyStudy", "ZeroCopyBlockStudy"]
+__all__ = [
+    "HotpathResult",
+    "StandaloneA2AKernel",
+    "StridedCopyStudy",
+    "ZeroCopyBlockStudy",
+    "benchmark_solver",
+    "run_suite",
+]

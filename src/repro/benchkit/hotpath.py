@@ -1,0 +1,187 @@
+"""Hot-path benchmark harness for the real solver.
+
+Measures what the workspace refactor is supposed to buy: steps/second and
+steady-state allocation behaviour of :class:`repro.spectral.NavierStokesSolver`
+with and without the :class:`repro.spectral.SpectralWorkspace`, across
+transform backends and grid sizes.  The heavy sweep lives in
+``benchmarks/test_solver_hotpath.py`` (``bench`` marker, excluded from
+tier-1); a tiny smoke test exercises this module inside tier-1.
+
+The JSON emitted by :func:`write_json` has one record per (n, scheme,
+backend, workspace) combination::
+
+    {"n": 64, "scheme": "rk2", "backend": "numpy", "workspace": true,
+     "steps_per_sec": 12.9, "seconds_per_step": 0.077,
+     "peak_alloc_bytes": 524288, "fullgrid_bytes": 2097152, ...}
+
+``peak_alloc_bytes`` is the tracemalloc peak of *new* allocations during the
+measured steps (after warmup), so a zero-allocation steady state shows up as
+a peak far below ``fullgrid_bytes`` (the size of one N^3 scalar field).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["HotpathResult", "benchmark_solver", "run_suite", "write_json"]
+
+
+@dataclass(frozen=True)
+class HotpathResult:
+    """One measured operating point of the solver hot path."""
+
+    n: int
+    scheme: str
+    backend: str
+    workspace: bool
+    steps: int
+    warmup: int
+    steps_per_sec: float
+    seconds_per_step: float
+    peak_alloc_bytes: int
+    fullgrid_bytes: int
+
+    @property
+    def allocates_full_grids(self) -> bool:
+        """True if the measured steps allocated at least one N^3 field."""
+        return self.peak_alloc_bytes >= self.fullgrid_bytes
+
+
+def benchmark_solver(
+    n: int,
+    scheme: str = "rk2",
+    backend: str = "numpy",
+    use_workspace: bool = True,
+    steps: int = 5,
+    warmup: int = 2,
+    nu: float = 0.02,
+    dt: float = 1e-3,
+    phase_shift: bool = True,
+    diagnostics_every: int = 0,
+    seed: int = 0,
+    trace_alloc: bool = True,
+) -> HotpathResult:
+    """Time ``steps`` solver steps after ``warmup`` and record allocations.
+
+    Diagnostics are off by default so the measurement isolates the RHS +
+    time-advance pipeline (the part the workspace rewrites); pass
+    ``diagnostics_every=1`` to measure the user-facing default instead.
+    """
+    from repro.spectral import (
+        NavierStokesSolver,
+        SolverConfig,
+        SpectralGrid,
+        random_isotropic_field,
+    )
+
+    grid = SpectralGrid(n)
+    rng = np.random.default_rng(seed)
+    solver = NavierStokesSolver(
+        grid,
+        random_isotropic_field(grid, rng, energy=1.0),
+        SolverConfig(
+            nu=nu,
+            scheme=scheme,
+            phase_shift=phase_shift,
+            use_workspace=use_workspace,
+            fft_backend=backend if use_workspace else "numpy",
+            diagnostics_every=diagnostics_every,
+        ),
+    )
+    for _ in range(warmup):
+        solver.step(dt)
+
+    peak = 0
+    if trace_alloc:
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        solver.step(dt)
+    elapsed = time.perf_counter() - t0
+    if trace_alloc:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    return HotpathResult(
+        n=n,
+        scheme=scheme,
+        backend=backend if use_workspace else "numpy",
+        workspace=use_workspace,
+        steps=steps,
+        warmup=warmup,
+        steps_per_sec=steps / elapsed,
+        seconds_per_step=elapsed / steps,
+        peak_alloc_bytes=int(peak),
+        fullgrid_bytes=n**3 * np.dtype(np.float64).itemsize,
+    )
+
+
+def run_suite(
+    grid_sizes: Sequence[int] = (32, 64),
+    schemes: Sequence[str] = ("rk2", "rk4"),
+    backends: Optional[Sequence[str]] = None,
+    steps: int = 5,
+    warmup: int = 2,
+    trace_alloc: bool = True,
+) -> dict:
+    """Sweep legacy vs. workspace across grids/schemes/backends.
+
+    Returns a JSON-serializable payload with a ``results`` record list and a
+    ``speedups`` summary (workspace steps/sec over legacy, same n/scheme,
+    per backend).
+    """
+    from repro.spectral import available_backends
+
+    if backends is None:
+        backends = [b for b in available_backends() if b != "auto"]
+
+    results: list[HotpathResult] = []
+    for n in grid_sizes:
+        for scheme in schemes:
+            results.append(
+                benchmark_solver(
+                    n, scheme, use_workspace=False, steps=steps,
+                    warmup=warmup, trace_alloc=trace_alloc,
+                )
+            )
+            for backend in backends:
+                results.append(
+                    benchmark_solver(
+                        n, scheme, backend=backend, use_workspace=True,
+                        steps=steps, warmup=warmup, trace_alloc=trace_alloc,
+                    )
+                )
+
+    legacy = {
+        (r.n, r.scheme): r.steps_per_sec for r in results if not r.workspace
+    }
+    speedups = {
+        f"n{r.n}-{r.scheme}-{r.backend}": r.steps_per_sec / legacy[(r.n, r.scheme)]
+        for r in results
+        if r.workspace
+    }
+    return {
+        "suite": "solver_hotpath",
+        "grid_sizes": list(grid_sizes),
+        "schemes": list(schemes),
+        "backends": list(backends),
+        "steps": steps,
+        "warmup": warmup,
+        "results": [asdict(r) for r in results],
+        "speedups": speedups,
+    }
+
+
+def write_json(payload: dict, path: str) -> str:
+    """Write the suite payload as pretty-printed JSON; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=20)
     p.add_argument("--nu", type=float, default=0.02)
     p.add_argument("--forced", action="store_true")
+    p.add_argument("--fft-backend", default="auto",
+                   choices=["auto", "numpy", "scipy", "fftw"],
+                   help="transform backend (auto: $REPRO_FFT_BACKEND or numpy)")
+    p.add_argument("--diagnostics-every", type=int, default=1,
+                   help="compute energy/dissipation every K steps (0: never)")
+    p.add_argument("--legacy", action="store_true",
+                   help="use the pre-workspace allocating step (baseline)")
 
     for name in ("table1", "table2", "table3", "table4"):
         sub.add_parser(name, help=f"regenerate paper {name}")
@@ -157,7 +164,12 @@ def _cmd_dns(args) -> int:
     solver = NavierStokesSolver(
         grid,
         random_isotropic_field(grid, rng, energy=1.0),
-        SolverConfig(nu=args.nu),
+        SolverConfig(
+            nu=args.nu,
+            use_workspace=not args.legacy,
+            fft_backend=args.fft_backend,
+            diagnostics_every=args.diagnostics_every,
+        ),
         forcing=forcing,
     )
     for step in range(1, args.steps + 1):

@@ -79,7 +79,7 @@ class StepSimulation:
         self.cost = CostModel(config, machine)
         self.engine = Engine()
         self.links = LinkSet(self.engine)
-        self.tracer = Tracer() if trace else Tracer()
+        self.tracer = Tracer()
         self.tracer.enabled = trace
 
         socket = machine.socket()
@@ -141,10 +141,7 @@ class StepSimulation:
             else:
                 self._launch_gpu_rank(r, synchronous=(algo is Algorithm.SYNC_GPU))
         self.engine.run()
-        breakdown = {
-            cat: self.tracer.busy_time(category=cat)
-            for cat in self.tracer.categories()
-        }
+        breakdown = self.tracer.busy_time_by_category()
         return StepTiming(
             config=self.config,
             step_time=self.engine.now,

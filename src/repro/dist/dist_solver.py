@@ -79,6 +79,10 @@ class DistributedNavierStokesSolver:
         self._project_state()
         self.time = 0.0
         self.step_count = 0
+        # Per-rank integrating factors, memoized by dt (the serial solver
+        # memoizes through its SpectralWorkspace; ranks cache locally here
+        # because each holds a different kz-slab of exp(-nu k^2 dt)).
+        self._factor_cache: dict[float, list[np.ndarray]] = {}
 
     # -- local spectral operations ------------------------------------------
 
@@ -156,6 +160,18 @@ class DistributedNavierStokesSolver:
     def _integrating_factor_local(self, view: SlabGridView, dt: float) -> np.ndarray:
         return np.exp(-self.config.nu * view.k_squared * dt).astype(self.grid.dtype)
 
+    def _integrating_factors(self, dt: float) -> list[np.ndarray]:
+        """Per-rank exp(-nu k^2 dt), memoized by dt (read-only)."""
+        factors = self._factor_cache.get(dt)
+        if factors is None:
+            if len(self._factor_cache) >= 32:
+                self._factor_cache.pop(next(iter(self._factor_cache)))
+            factors = [
+                self._integrating_factor_local(v, dt) for v in self.views
+            ]
+            self._factor_cache[dt] = factors
+        return factors
+
     def step(self, dt: float) -> StepResult:
         """Advance one RK2 or RK4 step (same schemes as the serial solver)."""
         if dt <= 0:
@@ -177,7 +193,7 @@ class DistributedNavierStokesSolver:
         )
 
     def _step_rk2(self, dt: float) -> None:
-        e_full = [self._integrating_factor_local(v, dt) for v in self.views]
+        e_full = self._integrating_factors(dt)
         r1 = self._nonlinear(self.u_hat)
         u_star = [
             e_full[r] * (self.u_hat[r] + dt * r1[r]) for r in range(self.comm.size)
@@ -190,8 +206,8 @@ class DistributedNavierStokesSolver:
 
     def _step_rk4(self, dt: float) -> None:
         size = self.comm.size
-        e_half = [self._integrating_factor_local(v, 0.5 * dt) for v in self.views]
-        e_full = [e * e for e in e_half]
+        e_half = self._integrating_factors(0.5 * dt)
+        e_full = self._integrating_factors(dt)
         u0 = self.u_hat
         k1 = self._nonlinear(u0)
         k2 = self._nonlinear(

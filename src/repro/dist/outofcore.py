@@ -27,6 +27,7 @@ from repro.dist.transpose import (
 )
 from repro.dist.virtual_mpi import VirtualComm
 from repro.spectral.grid import SpectralGrid
+from repro.spectral.workspace import BufferPool
 
 __all__ = ["DeviceArena", "DeviceMemoryExceeded", "OutOfCoreSlabFFT"]
 
@@ -42,15 +43,22 @@ class DeviceArena:
     :class:`DeviceMemoryExceeded` when the budget would be exceeded —
     making "this slab does not fit, batch it" an *enforced* invariant
     rather than a comment.
+
+    Buffer storage is drawn from a
+    :class:`~repro.spectral.workspace.BufferPool` (the same abstraction the
+    solver workspace uses), so the pencil loop recycles the same few arrays
+    instead of allocating one per upload — like the paper's 27 persistent
+    GPU buffers, the arena's memory is claimed once and reused.
     """
 
-    def __init__(self, capacity_bytes: float):
+    def __init__(self, capacity_bytes: float, pool: BufferPool | None = None):
         if capacity_bytes <= 0:
             raise ValueError("device capacity must be positive")
         self.capacity = float(capacity_bytes)
         self.in_use = 0.0
         self.high_water = 0.0
         self._live: dict[int, int] = {}
+        self.pool = pool if pool is not None else BufferPool()
 
     def allocate(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
@@ -59,7 +67,7 @@ class DeviceArena:
                 f"allocation of {nbytes} B exceeds device budget "
                 f"({self.in_use:.0f}/{self.capacity:.0f} B in use)"
             )
-        buf = np.empty(shape, dtype=dtype)
+        buf = self.pool.take(tuple(shape), dtype)
         self.in_use += nbytes
         self.high_water = max(self.high_water, self.in_use)
         self._live[id(buf)] = nbytes
@@ -70,6 +78,7 @@ class DeviceArena:
         if nbytes is None:
             raise KeyError("buffer was not allocated from this arena")
         self.in_use -= nbytes
+        self.pool.give(buf)
 
     def upload(self, host_view: np.ndarray) -> np.ndarray:
         """H2D: copy a strided host view into a fresh device buffer."""

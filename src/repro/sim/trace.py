@@ -14,6 +14,25 @@ from typing import Callable, Iterable, Iterator, Optional
 __all__ = ["Activity", "Tracer"]
 
 
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    intervals.sort()
+    total = 0.0
+    cur_start: Optional[float] = None
+    cur_end = 0.0
+    for start, end in intervals:
+        if cur_start is None:
+            cur_start, cur_end = start, end
+        elif start <= cur_end:
+            cur_end = max(cur_end, end)
+        else:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+    if cur_start is not None:
+        total += cur_end - cur_start
+    return total
+
+
 @dataclass(frozen=True)
 class Activity:
     """One traced interval.
@@ -117,23 +136,21 @@ class Tracer:
 
     def busy_time(self, category: Optional[str] = None, lane: Optional[str] = None) -> float:
         """Union length of matching intervals (overlaps counted once)."""
-        intervals = sorted(
-            (a.start, a.end) for a in self.filter(category=category, lane=lane)
+        return _union_length(
+            [(a.start, a.end) for a in self.filter(category=category, lane=lane)]
         )
-        total = 0.0
-        cur_start: Optional[float] = None
-        cur_end = 0.0
-        for start, end in intervals:
-            if cur_start is None:
-                cur_start, cur_end = start, end
-            elif start <= cur_end:
-                cur_end = max(cur_end, end)
-            else:
-                total += cur_end - cur_start
-                cur_start, cur_end = start, end
-        if cur_start is not None:
-            total += cur_end - cur_start
-        return total
+
+    def busy_time_by_category(self) -> dict[str, float]:
+        """Busy time of every category from one pass over the activities.
+
+        Equivalent to ``{c: busy_time(category=c) for c in categories()}``
+        (same values, same key order) but O(activities) grouping instead of
+        re-filtering the whole list once per category.
+        """
+        grouped: dict[str, list[tuple[float, float]]] = {}
+        for act in self.activities:
+            grouped.setdefault(act.category, []).append((act.start, act.end))
+        return {cat: _union_length(ivals) for cat, ivals in grouped.items()}
 
     def total_duration(self, category: Optional[str] = None) -> float:
         """Sum of interval durations (overlaps counted multiply)."""

@@ -49,6 +49,12 @@ from repro.spectral.twopoint import (
     transverse_correlation,
 )
 from repro.spectral.timeseries import StatisticsRecorder, run_with_statistics
+from repro.spectral.workspace import (
+    SpectralWorkspace,
+    TransformBackend,
+    available_backends,
+    resolve_backend,
+)
 
 __all__ = [
     "BandForcing",
@@ -70,7 +76,11 @@ __all__ = [
     "OrnsteinUhlenbeckForcing",
     "SolverConfig",
     "SpectralGrid",
+    "SpectralWorkspace",
     "StepResult",
+    "TransformBackend",
+    "available_backends",
+    "resolve_backend",
     "curl_hat",
     "divergence_hat",
     "energy_spectrum",

@@ -30,6 +30,7 @@ from repro.spectral.dealias import DealiasRule, sharp_truncation_mask
 from repro.spectral.grid import SpectralGrid
 from repro.spectral.solver import NavierStokesSolver, SolverConfig
 from repro.spectral.transforms import fft3d, ifft3d
+from repro.spectral.workspace import SpectralWorkspace
 
 __all__ = ["PassiveScalar", "ScalarMixingSolver", "scalar_spectrum", "scalar_variance"]
 
@@ -112,10 +113,14 @@ class ScalarMixingSolver:
         u_hat: np.ndarray,
         config: Optional[SolverConfig] = None,
         forcing=None,
+        workspace: Optional[SpectralWorkspace] = None,
     ):
         self.grid = grid
-        self.flow = NavierStokesSolver(grid, u_hat, config, forcing)
+        self.flow = NavierStokesSolver(grid, u_hat, config, forcing, workspace)
         self.config = self.flow.config
+        # Scalars share the flow solver's workspace: one buffer arena and
+        # one integrating-factor cache for the whole coupled system.
+        self.workspace = self.flow.workspace
         self.scalars: list[PassiveScalar] = []
         self._mask = sharp_truncation_mask(grid, self.config.dealias)
 
@@ -144,17 +149,47 @@ class ScalarMixingSolver:
     def _scalar_rhs(
         self, theta_hat: np.ndarray, u_hat: np.ndarray, scalar: PassiveScalar
     ) -> np.ndarray:
-        """-(div(u theta))_hat - G u_y, dealiased (diffusion is exact)."""
+        """-(div(u theta))_hat - G u_y, dealiased (diffusion is exact).
+
+        Transforms and products run in workspace scratch buffers when the
+        flow solver carries a workspace; the returned rhs array itself is
+        fresh (RK stages keep several alive at once).
+        """
         grid = self.grid
         kx, ky, kz = grid.k_vectors
-        u = np.stack([ifft3d(u_hat[i], grid) for i in range(3)])
-        theta = ifft3d(theta_hat, grid)
-        flux_hat = [fft3d(u[i] * theta, grid) for i in range(3)]
-        rhs = -1j * (kx * flux_hat[0] + ky * flux_hat[1] + kz * flux_hat[2])
+        ws = self.workspace
+        if ws is not None:
+            kxc, kyc, kzc = ws.wavenumbers_c
+            u = ws.physical("sc_u", 3)
+            for i in range(3):
+                ws.ifft3d(u_hat[i], out=u[i])
+            theta = ws.ifft3d(theta_hat, out=ws.physical("sc_theta"))
+            prod = ws.physical("sc_prod")
+            ph = ws.spectral("sc_ph")
+            tmp = ws.spectral("sc_tmp")
+            rhs = np.empty_like(theta_hat)
+            np.multiply(u[0], theta, out=prod)
+            np.multiply(kxc, ws.fft3d(prod, out=ph), out=rhs)
+            for k, i in ((kyc, 1), (kzc, 2)):
+                np.multiply(u[i], theta, out=prod)
+                np.multiply(k, ws.fft3d(prod, out=ph), out=tmp)
+                rhs += tmp
+            rhs *= -1j
+        else:
+            u = np.stack([ifft3d(u_hat[i], grid) for i in range(3)])
+            theta = ifft3d(theta_hat, grid)
+            flux_hat = [fft3d(u[i] * theta, grid) for i in range(3)]
+            rhs = -1j * (kx * flux_hat[0] + ky * flux_hat[1] + kz * flux_hat[2])
         rhs *= self._mask
         if scalar.mean_gradient != 0.0:
             rhs -= scalar.mean_gradient * u_hat[1]
         return rhs
+
+    def _factor(self, coefficient: float, dt: float) -> np.ndarray:
+        """Integrating factor, memoized through the shared workspace."""
+        if self.workspace is not None:
+            return self.workspace.integrating_factor(coefficient, dt)
+        return np.exp(-coefficient * self.grid.k_squared * dt).astype(self.grid.dtype)
 
     # -- time stepping ---------------------------------------------------------
 
@@ -176,14 +211,13 @@ class ScalarMixingSolver:
         paths only if phase shifting is enabled, so exact order-matching
         tests use ``phase_shift=False``.
         """
-        grid = self.grid
         u_n = self.flow.u_hat
-        e_flow = np.exp(-self.config.nu * grid.k_squared * dt).astype(grid.dtype)
+        e_flow = self._factor(self.config.nu, dt)
         r_u = self.flow._nonlinear(u_n)
         u_star = e_flow * (u_n + dt * r_u)
         for scalar in self.scalars:
             d = scalar.diffusivity(self.config.nu)
-            e_s = np.exp(-d * grid.k_squared * dt).astype(grid.dtype)
+            e_s = self._factor(d, dt)
             r1 = self._scalar_rhs(scalar.theta_hat, u_n, scalar)
             theta_star = e_s * (scalar.theta_hat + dt * r1)
             r2 = self._scalar_rhs(theta_star, u_star, scalar)
@@ -197,11 +231,10 @@ class ScalarMixingSolver:
         Velocity stage values are reconstructed with the same integrating-
         factor RK4 formulas as the flow solver.
         """
-        grid = self.grid
         cfg = self.config
         u0 = self.flow.u_hat
-        e_half_u = np.exp(-cfg.nu * grid.k_squared * 0.5 * dt).astype(grid.dtype)
-        e_full_u = e_half_u * e_half_u
+        e_half_u = self._factor(cfg.nu, 0.5 * dt)
+        e_full_u = self._factor(cfg.nu, dt)
         k1u = self.flow._nonlinear(u0)
         u2 = e_half_u * (u0 + (0.5 * dt) * k1u)
         k2u = self.flow._nonlinear(u2)
@@ -211,8 +244,8 @@ class ScalarMixingSolver:
 
         for scalar in self.scalars:
             d = scalar.diffusivity(cfg.nu)
-            e_half = np.exp(-d * grid.k_squared * 0.5 * dt).astype(grid.dtype)
-            e_full = e_half * e_half
+            e_half = self._factor(d, 0.5 * dt)
+            e_full = self._factor(d, dt)
             t0 = scalar.theta_hat
             k1 = self._scalar_rhs(t0, u0, scalar)
             k2 = self._scalar_rhs(e_half * (t0 + (0.5 * dt) * k1), u2, scalar)

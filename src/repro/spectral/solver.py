@@ -9,10 +9,23 @@ The stiff viscous term is removed exactly with the integrating factor
 second- or fourth-order Runge-Kutta (RK2/RK4 — the paper reports RK2
 timings; RK4 "approximately doubles" the per-step cost, which the
 performance layer's ablation bench verifies).
+
+Two step implementations exist:
+
+* the **workspace** path (default): every stage writes into pre-allocated
+  :class:`~repro.spectral.workspace.SpectralWorkspace` buffers, integrating
+  factors are memoized by ``(nu, dt)``, and transforms go through the
+  configured backend — zero full-grid allocations at steady state;
+* the **legacy** path (``SolverConfig(use_workspace=False)``): the original
+  allocating expressions, kept as the reference implementation for the
+  regression tests and the hot-path benchmark baseline.
+
+Both produce identical trajectories to round-off.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
@@ -28,10 +41,13 @@ from repro.spectral.diagnostics import cfl_number, dissipation_rate, kinetic_ene
 from repro.spectral.forcing import Forcing, NoForcing
 from repro.spectral.grid import SpectralGrid
 from repro.spectral.operators import (
+    _imul_components,
+    _mul_components,
     nonlinear_conservative,
     nonlinear_rotational,
     project,
 )
+from repro.spectral.workspace import SpectralWorkspace
 
 __all__ = ["NavierStokesSolver", "SolverConfig", "StepResult"]
 
@@ -58,6 +74,17 @@ class SolverConfig:
         ``u_i u_j``) or ``"rotational"`` (u x omega, three products).
     seed:
         Seed for the random shifts.
+    use_workspace:
+        Route the step through the pre-allocated workspace hot path
+        (default).  ``False`` selects the legacy allocating implementation.
+    fft_backend:
+        Transform backend name (``"auto"``, ``"numpy"``, ``"scipy"``,
+        ``"fftw"``); ``"auto"`` consults ``REPRO_FFT_BACKEND``.
+    diagnostics_every:
+        Compute the (two full-grid reductions) energy/dissipation
+        diagnostics every this many steps; other steps report NaN.  The
+        default 1 preserves the historical per-step behavior; benchmark
+        runs set it large (or 0 to disable entirely).
     """
 
     nu: float = 0.01
@@ -66,6 +93,9 @@ class SolverConfig:
     phase_shift: bool = True
     convective_form: Literal["conservative", "rotational"] = "conservative"
     seed: int = 2019
+    use_workspace: bool = True
+    fft_backend: str = "auto"
+    diagnostics_every: int = 1
 
     def __post_init__(self) -> None:
         if self.nu <= 0:
@@ -74,11 +104,17 @@ class SolverConfig:
             raise ValueError(f"unknown scheme {self.scheme!r}")
         if self.convective_form not in ("conservative", "rotational"):
             raise ValueError(f"unknown convective form {self.convective_form!r}")
+        if self.diagnostics_every < 0:
+            raise ValueError("diagnostics_every must be >= 0 (0 disables)")
 
 
 @dataclass(frozen=True)
 class StepResult:
-    """Cheap per-step record returned by :meth:`NavierStokesSolver.step`."""
+    """Cheap per-step record returned by :meth:`NavierStokesSolver.step`.
+
+    ``energy`` and ``dissipation`` are NaN on steps where diagnostics were
+    skipped (see :attr:`SolverConfig.diagnostics_every`).
+    """
 
     time: float
     dt: float
@@ -101,6 +137,10 @@ class NavierStokesSolver:
         Numerical options.
     forcing:
         Energy injection scheme (default: none, i.e. decaying turbulence).
+    workspace:
+        A :class:`SpectralWorkspace` to draw scratch buffers from; created
+        on demand when omitted.  Pass an existing one to share buffers with
+        other solvers on the same grid (e.g. passive scalars).
 
     Examples
     --------
@@ -120,6 +160,7 @@ class NavierStokesSolver:
         u_hat: np.ndarray,
         config: Optional[SolverConfig] = None,
         forcing: Optional[Forcing] = None,
+        workspace: Optional[SpectralWorkspace] = None,
     ):
         self.grid = grid
         self.config = config or SolverConfig()
@@ -134,31 +175,72 @@ class NavierStokesSolver:
         self._rng = np.random.default_rng(self.config.seed)
         self._mask = sharp_truncation_mask(grid, self.config.dealias)
         self._nl_evals = 0
+        if self.config.use_workspace:
+            self.workspace = workspace or SpectralWorkspace(
+                grid, backend=self.config.fft_backend
+            )
+        else:
+            self.workspace = workspace
         # Dealias the initial condition so invariants hold from step 0.
         self.u_hat *= self._mask
         project(self.u_hat, grid, out=self.u_hat)
 
     # -- right-hand side -----------------------------------------------------
 
-    def _nonlinear(self, u_hat: np.ndarray) -> np.ndarray:
-        """Projected, dealiased nonlinear term (+ forcing rhs)."""
+    def _nonlinear(
+        self, u_hat: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Projected, dealiased nonlinear term (+ forcing rhs).
+
+        With the workspace enabled the result is written into ``out`` (a
+        fresh array is allocated when ``out`` is None, e.g. for the scalar
+        solver's stage reconstruction); the legacy path always allocates.
+        """
         cfg = self.config
-        shift = None
-        if cfg.phase_shift:
-            shift = phase_shift_factor(self.grid, random_shift(self.grid, self._rng))
-        if cfg.convective_form == "conservative":
-            nl = nonlinear_conservative(u_hat, self.grid, mask=self._mask, shift=shift)
-        else:
-            nl = nonlinear_rotational(u_hat, self.grid, mask=self._mask, shift=shift)
+        ws = self.workspace if cfg.use_workspace else None
         self._nl_evals += 1
-        rhs = project(nl, self.grid, out=nl)
+        if ws is not None:
+            shift = None
+            if cfg.phase_shift:
+                shift = ws.phase_shift(random_shift(self.grid, self._rng))
+            if out is None:
+                out = np.empty_like(u_hat)
+            if cfg.convective_form == "conservative":
+                nl = nonlinear_conservative(
+                    u_hat, self.grid, mask=self._mask, shift=shift,
+                    workspace=ws, out=out,
+                )
+            else:
+                nl = nonlinear_rotational(
+                    u_hat, self.grid, mask=self._mask, shift=shift,
+                    workspace=ws, out=out,
+                )
+            rhs = project(nl, self.grid, out=nl, workspace=ws)
+        else:
+            shift = None
+            if cfg.phase_shift:
+                shift = phase_shift_factor(
+                    self.grid, random_shift(self.grid, self._rng)
+                )
+            if cfg.convective_form == "conservative":
+                nl = nonlinear_conservative(
+                    u_hat, self.grid, mask=self._mask, shift=shift
+                )
+            else:
+                nl = nonlinear_rotational(
+                    u_hat, self.grid, mask=self._mask, shift=shift
+                )
+            rhs = project(nl, self.grid, out=nl)
         f = self.forcing.rhs(u_hat, self.grid)
         if f is not None:
             rhs += f
         return rhs
 
     def _integrating_factor(self, dt: float) -> np.ndarray:
-        """exp(-nu k^2 dt) over the spectral shape."""
+        """exp(-nu k^2 dt) over the spectral shape (memoized when the
+        workspace is enabled; treat the returned array as read-only)."""
+        if self.config.use_workspace and self.workspace is not None:
+            return self.workspace.integrating_factor(self.config.nu, dt)
         return np.exp(-self.config.nu * self.grid.k_squared * dt).astype(
             self.grid.dtype
         )
@@ -174,7 +256,66 @@ class NavierStokesSolver:
             u^{n+1} = E u^n + dt/2 ( E R(u^n) + R(u*) )
 
         Each step starts and ends in Fourier space, exactly as the paper
-        describes its RK substages.
+        describes its RK substages.  Every stage updates workspace buffers
+        (or, the final one, ``self.u_hat``) in place.
+        """
+        ws = self.workspace
+        e_full = self._integrating_factor(dt)
+        r1 = self._nonlinear(self.u_hat, out=ws.spectral("rk_r1", 3))
+        u_star = ws.spectral("rk_stage", 3)
+        np.multiply(r1, dt, out=u_star)
+        u_star += self.u_hat
+        _imul_components(u_star, e_full)
+        r2 = self._nonlinear(u_star, out=ws.spectral("rk_r2", 3))
+        u = self.u_hat
+        r1 *= 0.5 * dt
+        u += r1
+        _imul_components(u, e_full)
+        r2 *= 0.5 * dt
+        u += r2
+
+    def _step_rk4(self, dt: float) -> None:
+        """Classic RK4 with the exact viscous integrating factor, in place."""
+        ws = self.workspace
+        e_half = self._integrating_factor(0.5 * dt)
+        e_full = self._integrating_factor(dt)
+        u0 = self.u_hat
+        u_s = ws.spectral("rk_stage", 3)
+        tmp = ws.spectral("rk_tmp", 3)
+
+        k1 = self._nonlinear(u0, out=ws.spectral("rk_k1", 3))
+        np.multiply(k1, 0.5 * dt, out=u_s)
+        u_s += u0
+        _imul_components(u_s, e_half)
+        k2 = self._nonlinear(u_s, out=ws.spectral("rk_k2", 3))
+        np.multiply(k2, 0.5 * dt, out=u_s)
+        _mul_components(u0, e_half, out=tmp)
+        u_s += tmp
+        k3 = self._nonlinear(u_s, out=ws.spectral("rk_k3", 3))
+        _mul_components(k3, e_half, out=u_s)
+        u_s *= dt
+        _mul_components(u0, e_full, out=tmp)
+        u_s += tmp
+        k4 = self._nonlinear(u_s, out=ws.spectral("rk_k4", 3))
+
+        # u <- e_full u0 + dt/6 (e_full k1 + 2 e_half (k2 + k3) + k4)
+        k2 += k3
+        _imul_components(k2, e_half)
+        k2 *= 2.0
+        _imul_components(k1, e_full)
+        k1 += k2
+        k1 += k4
+        k1 *= dt / 6.0
+        _imul_components(u0, e_full)
+        u0 += k1
+
+    # -- legacy (allocating) schemes ------------------------------------------
+
+    def _step_rk2_legacy(self, dt: float) -> None:
+        """The pre-workspace RK2: full-grid temporaries at every stage.
+
+        Kept verbatim as the reference implementation the regression tests
+        and the hot-path benchmark compare against.
         """
         e_full = self._integrating_factor(dt)
         r1 = self._nonlinear(self.u_hat)
@@ -182,8 +323,8 @@ class NavierStokesSolver:
         r2 = self._nonlinear(u_star)
         self.u_hat = e_full * (self.u_hat + (0.5 * dt) * r1) + (0.5 * dt) * r2
 
-    def _step_rk4(self, dt: float) -> None:
-        """Classic RK4 with the exact viscous integrating factor."""
+    def _step_rk4_legacy(self, dt: float) -> None:
+        """The pre-workspace RK4 (reference implementation)."""
         e_half = self._integrating_factor(0.5 * dt)
         e_full = e_half * e_half
         u0 = self.u_hat
@@ -202,18 +343,31 @@ class NavierStokesSolver:
         if dt <= 0:
             raise ValueError("dt must be positive")
         evals_before = self._nl_evals
-        if self.config.scheme == "rk2":
-            self._step_rk2(dt)
+        if self.config.use_workspace:
+            if self.config.scheme == "rk2":
+                self._step_rk2(dt)
+            else:
+                self._step_rk4(dt)
         else:
-            self._step_rk4(dt)
+            if self.config.scheme == "rk2":
+                self._step_rk2_legacy(dt)
+            else:
+                self._step_rk4_legacy(dt)
         self.forcing.post_step(self.u_hat, self.grid, dt)
         self.time += dt
         self.step_count += 1
+        every = self.config.diagnostics_every
+        if every > 0 and self.step_count % every == 0:
+            energy = kinetic_energy(self.u_hat, self.grid)
+            dissipation = dissipation_rate(self.u_hat, self.grid, self.config.nu)
+        else:
+            energy = math.nan
+            dissipation = math.nan
         return StepResult(
             time=self.time,
             dt=dt,
-            energy=kinetic_energy(self.u_hat, self.grid),
-            dissipation=dissipation_rate(self.u_hat, self.grid, self.config.nu),
+            energy=energy,
+            dissipation=dissipation,
             nonlinear_evals=self._nl_evals - evals_before,
         )
 

@@ -49,12 +49,15 @@ def ifft3d(u_hat: np.ndarray, grid: SpectralGrid) -> np.ndarray:
     if u_hat.shape != grid.spectral_shape:
         raise ValueError(f"expected {grid.spectral_shape}, got {u_hat.shape}")
     # Forward carried the 1/N^3; numpy's irfftn carries its own 1/N^3, so the
-    # two must be compensated with a factor of N^3 here.
+    # two must be compensated with a factor of N^3.  Scale the *real* output
+    # in place: scaling the complex input would materialize a full-grid
+    # temporary (and touch twice the bytes) before the transform even runs.
     out = np.fft.irfftn(
-        u_hat * np.asarray(grid.n**3, dtype=u_hat.dtype),
+        u_hat,
         s=grid.physical_shape,
         axes=(_Z_AXIS, _Y_AXIS, _X_AXIS),
     )
+    out *= grid.n**3
     return out.astype(grid.dtype, copy=False)
 
 

@@ -1,0 +1,455 @@
+"""Pre-allocated spectral workspace and pluggable transform backends.
+
+The paper's GPU pipeline keeps 27 pencil buffers resident for the whole run
+(Sec. 3.5) so that no allocation ever sits between arithmetic stages.  This
+module is the CPU-side analogue for the *real* numerics: a
+:class:`SpectralWorkspace` owns every full-grid scratch array the solver hot
+path needs, memoizes the integrating factors ``exp(-nu k^2 dt)`` keyed by
+``(nu, dt)``, and builds phase-shift factors from three 1-D exponential
+bases instead of a full-grid complex ``exp`` — so a steady-state RK step
+performs **zero** full-grid allocations (asserted by the tier-1 tracemalloc
+regression test).
+
+Transforms go through a pluggable :class:`TransformBackend`:
+
+``numpy``
+    Axis-at-a-time ``np.fft`` calls writing into workspace buffers via the
+    ``out=`` parameter (NumPy >= 2.0); falls back to copying one-shot
+    ``rfftn``/``irfftn`` results on older NumPy.
+``scipy``
+    ``scipy.fft`` with ``workers=N`` threading (``REPRO_FFT_WORKERS``,
+    default: all cores).
+``fftw``
+    pyFFTW with cached plans, when the package is importable.
+
+Select with ``SpectralWorkspace(grid, backend="scipy")``, the
+``SolverConfig.fft_backend`` field, the ``--fft-backend`` CLI flag, or the
+``REPRO_FFT_BACKEND`` environment variable (checked when the requested name
+is ``"auto"``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.spectral.grid import SpectralGrid
+
+__all__ = [
+    "BufferPool",
+    "FftwBackend",
+    "NumpyBackend",
+    "ScipyBackend",
+    "SpectralWorkspace",
+    "TransformBackend",
+    "available_backends",
+    "resolve_backend",
+]
+
+_Z_AXIS, _Y_AXIS, _X_AXIS = 0, 1, 2
+
+# NumPy gained ``out=`` on the pocketfft wrappers in 2.0; probe once.
+try:  # pragma: no cover - exercised implicitly by every transform call
+    np.fft.fft(np.zeros(2, dtype=complex), out=np.zeros(2, dtype=complex))
+    _HAS_FFT_OUT = True
+except TypeError:  # pragma: no cover - only on numpy < 2.0
+    _HAS_FFT_OUT = False
+
+
+class BufferPool:
+    """Free-list of reusable ndarrays keyed by ``(shape, dtype)``.
+
+    ``take`` returns a previously released buffer of the exact shape/dtype
+    when one is available (contents are undefined), else allocates.  This is
+    the allocation discipline of the paper's fixed GPU buffer arena: after a
+    warmup pass every request is served from the pool.
+    """
+
+    def __init__(self, max_per_key: int = 8):
+        self._free: dict[tuple[tuple[int, ...], np.dtype], list[np.ndarray]] = {}
+        self.max_per_key = max_per_key
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype))
+        stack = self._free.get(key)
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return np.empty(key[0], dtype=key[1])
+
+    def give(self, buf: np.ndarray) -> None:
+        key = (buf.shape, buf.dtype)
+        stack = self._free.setdefault(key, [])
+        if len(stack) < self.max_per_key:
+            stack.append(buf)
+
+
+# -- transform backends -------------------------------------------------------
+
+
+class TransformBackend:
+    """Unnormalized 3-D real transforms writing into caller-owned buffers.
+
+    ``forward`` computes ``rfftn`` (no normalization) into ``out``;
+    ``inverse`` computes ``irfftn`` (numpy's ``1/N^3`` convention) into the
+    real ``out``, using ``work`` as complex scratch so the input is never
+    modified.  Normalization is applied by the workspace wrappers.
+    """
+
+    name = "base"
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    def forward(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def inverse(
+        self, u_hat: np.ndarray, out: np.ndarray, work: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NumpyBackend(TransformBackend):
+    """Axis-at-a-time ``np.fft`` with in-place ``out=`` buffers."""
+
+    name = "numpy"
+
+    def forward(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # np.fft computes in double precision and requires out= buffers to
+        # be complex128, so single-precision grids take the copying path.
+        if _HAS_FFT_OUT and out.dtype == np.complex128:
+            np.fft.rfft(u, axis=_X_AXIS, out=out)
+            np.fft.fft(out, axis=_Z_AXIS, out=out)
+            np.fft.fft(out, axis=_Y_AXIS, out=out)
+        else:
+            out[...] = np.fft.rfftn(u, axes=(_Z_AXIS, _Y_AXIS, _X_AXIS))
+        return out
+
+    def inverse(
+        self, u_hat: np.ndarray, out: np.ndarray, work: np.ndarray
+    ) -> np.ndarray:
+        if _HAS_FFT_OUT and work.dtype == np.complex128 and out.dtype == np.float64:
+            np.copyto(work, u_hat)
+            np.fft.ifft(work, axis=_Z_AXIS, out=work)
+            np.fft.ifft(work, axis=_Y_AXIS, out=work)
+            np.fft.irfft(work, n=out.shape[_X_AXIS], axis=_X_AXIS, out=out)
+        else:
+            out[...] = np.fft.irfftn(
+                u_hat, s=out.shape, axes=(_Z_AXIS, _Y_AXIS, _X_AXIS)
+            )
+        return out
+
+
+class ScipyBackend(TransformBackend):
+    """``scipy.fft`` with ``workers=N`` threading (no ``out=`` support)."""
+
+    name = "scipy"
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = int(os.environ.get("REPRO_FFT_WORKERS", "0")) or (
+                os.cpu_count() or 1
+            )
+        self.workers = workers
+
+    @classmethod
+    def available(cls) -> bool:
+        try:
+            import scipy.fft  # noqa: F401
+        except ImportError:  # pragma: no cover - scipy is a hard dependency
+            return False
+        return True
+
+    def forward(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        import scipy.fft
+
+        out[...] = scipy.fft.rfftn(
+            u, axes=(_Z_AXIS, _Y_AXIS, _X_AXIS), workers=self.workers
+        )
+        return out
+
+    def inverse(
+        self, u_hat: np.ndarray, out: np.ndarray, work: np.ndarray
+    ) -> np.ndarray:
+        import scipy.fft
+
+        out[...] = scipy.fft.irfftn(
+            u_hat, s=out.shape, axes=(_Z_AXIS, _Y_AXIS, _X_AXIS), workers=self.workers
+        )
+        return out
+
+
+class FftwBackend(TransformBackend):
+    """pyFFTW with plans cached per array shape (built once, reused forever)."""
+
+    name = "fftw"
+
+    def __init__(self, threads: Optional[int] = None):
+        import pyfftw  # noqa: F401 - raises if unavailable
+
+        self._pyfftw = pyfftw
+        self.threads = threads or (os.cpu_count() or 1)
+        self._plans: dict[tuple, object] = {}
+
+    @classmethod
+    def available(cls) -> bool:
+        try:
+            import pyfftw  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def _plan(self, kind: str, src: np.ndarray, dst: np.ndarray):
+        key = (kind, src.shape, src.dtype.str, dst.shape, dst.dtype.str)
+        plan = self._plans.get(key)
+        if plan is None:
+            builder = (
+                self._pyfftw.builders.rfftn if kind == "fwd"
+                else self._pyfftw.builders.irfftn
+            )
+            kw = {"s": dst.shape} if kind == "inv" else {}
+            plan = builder(
+                src,
+                axes=(_Z_AXIS, _Y_AXIS, _X_AXIS),
+                threads=self.threads,
+                auto_align_input=False,
+                auto_contiguous=False,
+                avoid_copy=True,
+                **kw,
+            )
+            self._plans[key] = plan
+        return plan
+
+    def forward(self, u: np.ndarray, out: np.ndarray) -> np.ndarray:
+        out[...] = self._plan("fwd", u, out)(u)
+        return out
+
+    def inverse(
+        self, u_hat: np.ndarray, out: np.ndarray, work: np.ndarray
+    ) -> np.ndarray:
+        # pyFFTW normalizes its inverse like numpy (1/N^3).
+        out[...] = self._plan("inv", u_hat, out)(u_hat)
+        return out
+
+
+_BACKENDS: dict[str, type[TransformBackend]] = {
+    "numpy": NumpyBackend,
+    "scipy": ScipyBackend,
+    "fftw": FftwBackend,
+}
+
+
+def available_backends() -> list[str]:
+    """Backend names importable in this environment, preference-ordered."""
+    return [name for name, cls in _BACKENDS.items() if cls.available()]
+
+
+def resolve_backend(name: str | TransformBackend | None = "auto") -> TransformBackend:
+    """Instantiate a backend by name.
+
+    ``"auto"`` (or None) consults ``REPRO_FFT_BACKEND`` and defaults to
+    ``numpy``; an already-constructed backend passes through unchanged.
+    """
+    if isinstance(name, TransformBackend):
+        return name
+    if name is None:
+        name = "auto"
+    if name == "auto":
+        name = os.environ.get("REPRO_FFT_BACKEND", "numpy").lower()
+    cls = _BACKENDS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown FFT backend {name!r}; choose from {sorted(_BACKENDS)}"
+        )
+    if not cls.available():
+        raise ValueError(f"FFT backend {name!r} is not available in this environment")
+    return cls()
+
+
+# -- the workspace -------------------------------------------------------------
+
+
+class SpectralWorkspace:
+    """Owns every full-grid scratch array of the solver hot path.
+
+    Buffers are created on first request and reused forever after (the
+    warmup step), mirroring the paper's fixed 27-buffer GPU arena.  The
+    workspace also memoizes the viscous integrating factors keyed by
+    ``(coefficient, dt)`` and assembles phase-shift factors from 1-D bases.
+
+    A workspace may be shared between solvers on the same grid (e.g. the
+    velocity and passive-scalar integrators) as long as they run
+    sequentially — buffers are namespaced by string keys, not locked.
+    """
+
+    def __init__(
+        self,
+        grid: SpectralGrid,
+        backend: str | TransformBackend | None = "auto",
+        max_factors: int = 32,
+    ):
+        self.grid = grid
+        self.backend = resolve_backend(backend)
+        self.pool = BufferPool()
+        self._buffers: dict[tuple[str, str, Optional[int]], np.ndarray] = {}
+        self._factors: dict[tuple[float, float], np.ndarray] = {}
+        self._max_factors = max_factors
+        self._constants: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- named scratch buffers ---------------------------------------------
+
+    def physical(self, key: str, ncomp: Optional[int] = None) -> np.ndarray:
+        """A named real scratch array, physical shape (contents undefined)."""
+        return self._buffer("phys", key, ncomp, self.grid.physical_shape, self.grid.dtype)
+
+    def spectral(self, key: str, ncomp: Optional[int] = None) -> np.ndarray:
+        """A named complex scratch array, spectral shape (contents undefined)."""
+        return self._buffer("spec", key, ncomp, self.grid.spectral_shape, self.grid.cdtype)
+
+    def _buffer(self, kind, key, ncomp, base_shape, dtype) -> np.ndarray:
+        cache_key = (kind, key, ncomp)
+        buf = self._buffers.get(cache_key)
+        if buf is None:
+            shape = base_shape if ncomp is None else (ncomp, *base_shape)
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[cache_key] = buf
+        return buf
+
+    @property
+    def buffer_count(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by named buffers (the arena footprint)."""
+        return sum(b.nbytes for b in self._buffers.values()) + sum(
+            c.nbytes for _, c in self._constants.values()
+        )
+
+    # -- materialized complex constants --------------------------------------
+
+    def constant(self, key: str, values: np.ndarray) -> np.ndarray:
+        """``values`` broadcast to a full-grid complex array, cached by key.
+
+        NumPy's ufunc machinery falls back to a buffered (allocating)
+        iteration whenever operands mix dtypes or broadcast a zero-stride
+        axis; materializing wavenumbers, masks, etc. as full-grid complex
+        arrays once keeps every hot-path ufunc on the allocation-free
+        same-shape same-dtype fast path.  The cache re-fills the buffer if a
+        *different* array is later passed under the same key (identity
+        check), so sharing a workspace between solvers stays correct.
+        Treat the returned array as read-only.
+        """
+        entry = self._constants.get(key)
+        if entry is not None and entry[0] is values:
+            return entry[1]
+        buf = entry[1] if entry is not None else np.empty(
+            self.grid.spectral_shape, dtype=self.grid.cdtype
+        )
+        buf[...] = values
+        self._constants[key] = (values, buf)
+        return buf
+
+    @property
+    def wavenumbers_c(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full-grid complex (kx, ky, kz); read-only, cached."""
+        kx, ky, kz = self.grid.k_vectors
+        return (
+            self.constant("kx", kx),
+            self.constant("ky", ky),
+            self.constant("kz", kz),
+        )
+
+    # -- memoized integrating factors ---------------------------------------
+
+    def integrating_factor(self, coefficient: float, dt: float) -> np.ndarray:
+        """``exp(-coefficient k^2 dt)``, memoized by ``(coefficient, dt)``.
+
+        The returned array is shared and must be treated as read-only.
+        """
+        key = (float(coefficient), float(dt))
+        factor = self._factors.get(key)
+        if factor is None:
+            if len(self._factors) >= self._max_factors:
+                # Drop the oldest entry (adaptive-dt runs churn the key set).
+                self._factors.pop(next(iter(self._factors)))
+            # Stored complex so that ``u_hat *= factor`` is a same-dtype
+            # ufunc (allocation-free); the values are purely real, and
+            # complex multiplication by a zero-imaginary factor is
+            # bit-identical to the real broadcast multiply.
+            factor = np.exp(-key[0] * self.grid.k_squared * key[1]).astype(
+                self.grid.cdtype
+            )
+            self._factors[key] = factor
+        return factor
+
+    @property
+    def cached_factor_count(self) -> int:
+        return len(self._factors)
+
+    # -- phase-shift factors -------------------------------------------------
+
+    def phase_shift(self, shift: np.ndarray, key: str = "phase") -> np.ndarray:
+        """``exp(i k . d)`` built from three 1-D exponential bases.
+
+        ``exp(i(kx dx + ky dy + kz dz))`` factorizes into a product of three
+        1-D arrays, so the full-grid factor costs one broadcast complex
+        multiply instead of a full-grid complex ``exp`` — the dominant cost
+        of the allocating implementation when phase shifting is on.
+        """
+        shift = np.asarray(shift, dtype=float)
+        if shift.shape != (3,):
+            raise ValueError("shift must be a 3-vector (dx, dy, dz)")
+        grid = self.grid
+        kx, ky, kz = grid.k_vectors
+        bx = np.exp(1j * kx * shift[0]).astype(grid.cdtype)
+        by = np.exp(1j * ky * shift[1]).astype(grid.cdtype)
+        bz = np.exp(1j * kz * shift[2]).astype(grid.cdtype).ravel()
+        out = self.spectral(key)
+        # Broadcast-copy the O(N^2) y-x plane, then scale each z slab by a
+        # scalar: both stay on numpy's unbuffered fast path, unlike a single
+        # broadcast multiply with a zero-stride inner axis (which allocates
+        # a full-grid temporary internally even with ``out=``).
+        np.copyto(out, by * bx)
+        for iz in range(grid.n):
+            out[iz] *= bz[iz]
+        return out
+
+    def conjugate_phase_shift(self, shift_factor: np.ndarray, key: str = "phase_conj") -> np.ndarray:
+        """Conjugate of a phase-shift factor, in a workspace buffer."""
+        out = self.spectral(key)
+        np.conjugate(shift_factor, out=out)
+        return out
+
+    # -- normalized transforms ----------------------------------------------
+
+    def fft3d(self, u: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Physical -> spectral with the repo's 1/N^3 forward convention."""
+        grid = self.grid
+        if u.shape != grid.physical_shape:
+            raise ValueError(f"expected {grid.physical_shape}, got {u.shape}")
+        if out is None:
+            out = self.spectral("fft_out")
+        self.backend.forward(u, out)
+        out /= grid.n**3
+        return out
+
+    def ifft3d(self, u_hat: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Spectral -> physical; scales the *real* output in place (no
+        full-grid complex input copy)."""
+        grid = self.grid
+        if u_hat.shape != grid.spectral_shape:
+            raise ValueError(f"expected {grid.spectral_shape}, got {u_hat.shape}")
+        if out is None:
+            out = self.physical("ifft_out")
+        work = self.spectral("ifft_work")
+        self.backend.inverse(u_hat, out, work)
+        out *= grid.n**3
+        return out

@@ -1,0 +1,45 @@
+"""Tier-1 smoke test for the hot-path benchmark harness.
+
+The full sweep lives in ``benchmarks/test_solver_hotpath.py`` (``bench``
+marker); this runs the same code on a 16^3 grid for two steps so the harness
+itself — timing, tracemalloc accounting, JSON shape — is exercised on every
+test run without measurable cost.
+"""
+
+import json
+
+from repro.benchkit.hotpath import benchmark_solver, run_suite, write_json
+
+
+def test_benchmark_solver_smoke():
+    r = benchmark_solver(16, "rk2", use_workspace=True, steps=2, warmup=1)
+    assert r.n == 16
+    assert r.workspace
+    assert r.steps_per_sec > 0
+    assert r.seconds_per_step > 0
+    assert r.fullgrid_bytes == 16**3 * 8
+    # Steady-state workspace steps must not allocate a full grid.
+    assert not r.allocates_full_grids
+
+
+def test_benchmark_solver_legacy_smoke():
+    r = benchmark_solver(16, "rk2", use_workspace=False, steps=1, warmup=1)
+    assert not r.workspace
+    assert r.backend == "numpy"
+    assert r.steps_per_sec > 0
+
+
+def test_run_suite_smoke(tmp_path):
+    payload = run_suite(grid_sizes=(16,), schemes=("rk2",),
+                        backends=("numpy",), steps=1, warmup=1,
+                        trace_alloc=False)
+    # One legacy + one workspace record, and the speedup keyed as documented.
+    assert len(payload["results"]) == 2
+    assert set(payload["speedups"]) == {"n16-rk2-numpy"}
+    assert payload["speedups"]["n16-rk2-numpy"] > 0
+
+    path = write_json(payload, str(tmp_path / "bench.json"))
+    with open(path, encoding="utf-8") as fh:
+        round_trip = json.load(fh)
+    assert round_trip["suite"] == "solver_hotpath"
+    assert round_trip["results"][0]["n"] == 16

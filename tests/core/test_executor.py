@@ -163,3 +163,27 @@ class TestStepTimingAccessors:
         assert "cpu" in t.breakdown
         assert "pack" in t.breakdown
         assert "mpi" in t.breakdown
+
+
+class TestTracerToggle:
+    """`trace=False` must actually disable recording (this was once broken
+    by a dead conditional that constructed an enabled tracer either way)."""
+
+    def test_trace_false_records_nothing(self, machine):
+        t = simulate_step(cfg(), machine, trace=False)
+        assert len(t.tracer) == 0
+        assert t.breakdown == {}
+        assert t.step_time > 0
+
+    def test_trace_flag_does_not_change_timing(self, machine):
+        on = simulate_step(cfg(), machine, trace=True)
+        off = simulate_step(cfg(), machine, trace=False)
+        assert on.step_time == off.step_time
+        assert len(on.tracer) > 0
+
+    def test_breakdown_matches_per_category_busy_time(self, machine):
+        t = simulate_step(cfg(), machine, trace=True)
+        expected = {
+            c: t.tracer.busy_time(category=c) for c in t.tracer.categories()
+        }
+        assert t.breakdown == expected

@@ -81,3 +81,17 @@ def test_merge_with_lane_prefix():
     t2.record("mpi", "mpi", "x", 0.0, 1.0)
     t1.merge(t2, lane_prefix="node1.")
     assert "node1.mpi" in t1.lanes()
+
+
+def test_busy_time_by_category_matches_per_category_queries():
+    t = make_tracer()
+    by_cat = t.busy_time_by_category()
+    assert by_cat == {c: t.busy_time(category=c) for c in t.categories()}
+    # Same first-seen key order as categories().
+    assert list(by_cat) == t.categories()
+    # Overlapping mpi intervals are unioned, not summed.
+    assert by_cat["mpi"] == pytest.approx(3.0)
+
+
+def test_busy_time_by_category_empty_tracer():
+    assert Tracer().busy_time_by_category() == {}

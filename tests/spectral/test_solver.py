@@ -193,3 +193,34 @@ class TestStepResults:
         a.step(0.005)
         b.step(0.005)
         assert np.allclose(a.u_hat, b.u_hat, atol=1e-12)
+
+
+class TestDiagnosticsEvery:
+    def test_default_reports_every_step(self, grid16):
+        s = make_solver(grid16, taylor_green_field(grid16))
+        assert all(np.isfinite(r.energy) for r in s.run(3, 0.01))
+
+    def test_skipped_steps_report_nan(self, grid16):
+        s = make_solver(grid16, taylor_green_field(grid16),
+                        diagnostics_every=2)
+        results = s.run(4, 0.01)
+        assert np.isnan(results[0].energy) and np.isnan(results[2].energy)
+        assert np.isfinite(results[1].energy) and np.isfinite(results[3].energy)
+        assert np.isnan(results[0].dissipation)
+
+    def test_zero_disables_diagnostics(self, grid16):
+        s = make_solver(grid16, taylor_green_field(grid16),
+                        diagnostics_every=0)
+        assert all(np.isnan(r.energy) for r in s.run(3, 0.01))
+
+    def test_trajectory_independent_of_diagnostics(self, grid16):
+        a = make_solver(grid16, taylor_green_field(grid16))
+        b = make_solver(grid16, taylor_green_field(grid16),
+                        diagnostics_every=0)
+        a.run(3, 0.01)
+        b.run(3, 0.01)
+        np.testing.assert_array_equal(a.u_hat, b.u_hat)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SolverConfig(diagnostics_every=-1)

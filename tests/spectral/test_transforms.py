@@ -106,3 +106,29 @@ def test_linearity(a, b):
     lhs = fft3d(a * u + b * v, g)
     rhs = a * fft3d(u, g) + b * fft3d(v, g)
     assert np.allclose(lhs, rhs, atol=1e-10)
+
+
+class TestInverseScalesOutput:
+    """`ifft3d` scales the real output in place instead of building a
+    full-grid complex copy of the input; results must be unchanged."""
+
+    def test_matches_reference_expression(self, grid16, rng):
+        u_hat = fft3d(rng.standard_normal(grid16.physical_shape), grid16)
+        expected = np.fft.irfftn(
+            u_hat, s=grid16.physical_shape, axes=(0, 1, 2)
+        ) * grid16.n**3
+        np.testing.assert_allclose(ifft3d(u_hat, grid16), expected,
+                                   rtol=0, atol=1e-13)
+
+    def test_input_not_modified(self, grid16, rng):
+        u_hat = fft3d(rng.standard_normal(grid16.physical_shape), grid16)
+        before = u_hat.copy()
+        ifft3d(u_hat, grid16)
+        np.testing.assert_array_equal(u_hat, before)
+
+    def test_float32_output_dtype(self, rng):
+        g = SpectralGrid(16, dtype=np.float32)
+        u = rng.standard_normal(g.physical_shape).astype(np.float32)
+        out = ifft3d(fft3d(u, g), g)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, u, atol=1e-5)

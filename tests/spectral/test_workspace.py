@@ -1,0 +1,294 @@
+"""Tests for the pre-allocated spectral workspace and transform backends.
+
+Three layers of guarantees:
+
+* **equivalence** — the in-place workspace pipeline must reproduce the
+  legacy allocating RK2/RK4 trajectories to round-off, with phase shifting
+  and forcing on;
+* **allocation** — after warmup, a solver step must not allocate any
+  full-grid (>= N^3-element) array (tracemalloc);
+* **unit behaviour** — buffer pool reuse, factor memoization, backend
+  resolution and cross-backend transform agreement.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.spectral.dealias import phase_shift_factor
+from repro.spectral.forcing import BandForcing
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.initial import random_isotropic_field, taylor_green_field
+from repro.spectral.solver import NavierStokesSolver, SolverConfig
+from repro.spectral.transforms import fft3d, ifft3d
+from repro.spectral.workspace import (
+    BufferPool,
+    NumpyBackend,
+    ScipyBackend,
+    SpectralWorkspace,
+    available_backends,
+    resolve_backend,
+)
+
+
+def run_pair(grid, u0, steps=4, dt=5e-3, forcing_factory=None, **cfg_kw):
+    """Advance identical initial conditions through the legacy and workspace
+    pipelines; returns (legacy solver, workspace solver)."""
+    solvers = []
+    for use_ws in (False, True):
+        forcing = forcing_factory() if forcing_factory else None
+        s = NavierStokesSolver(
+            grid, u0,
+            SolverConfig(nu=0.02, use_workspace=use_ws, **cfg_kw),
+            forcing=forcing,
+        )
+        for _ in range(steps):
+            s.step(dt)
+        solvers.append(s)
+    return solvers
+
+
+class TestWorkspaceEquivalence:
+    """Workspace vs. legacy trajectories to round-off."""
+
+    @pytest.mark.parametrize("scheme", ["rk2", "rk4"])
+    def test_matches_legacy_no_phase_shift(self, grid24, rng, scheme):
+        u0 = random_isotropic_field(grid24, rng, energy=0.5)
+        legacy, ws = run_pair(grid24, u0, scheme=scheme, phase_shift=False)
+        np.testing.assert_allclose(ws.u_hat, legacy.u_hat, rtol=0, atol=1e-14)
+
+    @pytest.mark.parametrize("scheme", ["rk2", "rk4"])
+    def test_matches_legacy_phase_shift_on(self, grid24, rng, scheme):
+        """Same dealias shifts (seeded RNG) -> same trajectory."""
+        u0 = random_isotropic_field(grid24, rng, energy=0.5)
+        legacy, ws = run_pair(
+            grid24, u0, scheme=scheme, phase_shift=True, seed=3,
+        )
+        np.testing.assert_allclose(ws.u_hat, legacy.u_hat, rtol=0, atol=1e-14)
+
+    def test_matches_legacy_with_forcing(self, grid24, rng):
+        u0 = random_isotropic_field(grid24, rng, energy=0.5)
+        legacy, ws = run_pair(
+            grid24, u0, scheme="rk2", phase_shift=True, seed=5,
+            forcing_factory=lambda: BandForcing(k_force=2.5, eps_inj=1.0),
+        )
+        np.testing.assert_allclose(ws.u_hat, legacy.u_hat, rtol=0, atol=1e-14)
+
+    def test_matches_legacy_rotational_form(self, grid24, rng):
+        u0 = random_isotropic_field(grid24, rng, energy=0.5)
+        legacy, ws = run_pair(
+            grid24, u0, scheme="rk2", phase_shift=False,
+            convective_form="rotational",
+        )
+        np.testing.assert_allclose(ws.u_hat, legacy.u_hat, rtol=0, atol=1e-14)
+
+    def test_shared_workspace_between_solvers(self, grid16):
+        """Two solvers sharing one workspace run correctly in sequence."""
+        shared = SpectralWorkspace(grid16, backend="numpy")
+        u0 = taylor_green_field(grid16)
+        a = NavierStokesSolver(grid16, u0, SolverConfig(nu=0.05),
+                               workspace=shared)
+        b = NavierStokesSolver(grid16, u0, SolverConfig(nu=0.05),
+                               workspace=shared)
+        ra = [a.step(0.01) for _ in range(3)]
+        rb = [b.step(0.01) for _ in range(3)]
+        np.testing.assert_array_equal(a.u_hat, b.u_hat)
+        assert ra[-1].energy == rb[-1].energy
+
+
+class TestZeroAllocation:
+    """The headline invariant: steady-state steps allocate no full grids."""
+
+    @pytest.mark.parametrize("scheme", ["rk2", "rk4"])
+    def test_steady_state_step_allocates_no_full_grid(self, rng, scheme):
+        grid = SpectralGrid(32)
+        solver = NavierStokesSolver(
+            grid,
+            random_isotropic_field(grid, rng, energy=1.0),
+            SolverConfig(nu=0.02, scheme=scheme, phase_shift=True,
+                         use_workspace=True, diagnostics_every=0),
+        )
+        for _ in range(2):  # warmup: buffers created, factors cached
+            solver.step(1e-3)
+
+        fullgrid_bytes = grid.n**3 * np.dtype(grid.dtype).itemsize
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        for _ in range(2):
+            solver.step(1e-3)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        assert peak < fullgrid_bytes, (
+            f"steady-state {scheme} step allocated {peak} B >= one full "
+            f"grid ({fullgrid_bytes} B)"
+        )
+
+    def test_legacy_step_does_allocate(self, rng):
+        """Sanity check that the measurement can see full-grid allocations."""
+        grid = SpectralGrid(32)
+        solver = NavierStokesSolver(
+            grid,
+            random_isotropic_field(grid, rng, energy=1.0),
+            SolverConfig(nu=0.02, use_workspace=False, diagnostics_every=0),
+        )
+        solver.step(1e-3)
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        solver.step(1e-3)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak > grid.n**3 * np.dtype(grid.dtype).itemsize
+
+
+class TestWorkspaceUnits:
+    def test_buffers_are_cached_by_name(self, grid16):
+        ws = SpectralWorkspace(grid16)
+        a = ws.spectral("x")
+        assert ws.spectral("x") is a
+        assert ws.spectral("y") is not a
+        v = ws.physical("u", ncomp=3)
+        assert v.shape == (3, *grid16.physical_shape)
+        assert ws.physical("u", ncomp=3) is v
+        assert ws.buffer_count == 3
+        assert ws.nbytes == a.nbytes + ws.spectral("y").nbytes + v.nbytes
+
+    def test_integrating_factor_memoized(self, grid16):
+        ws = SpectralWorkspace(grid16)
+        f1 = ws.integrating_factor(0.02, 1e-3)
+        assert ws.integrating_factor(0.02, 1e-3) is f1
+        assert ws.integrating_factor(0.02, 2e-3) is not f1
+        assert ws.cached_factor_count == 2
+        np.testing.assert_array_equal(
+            f1, np.exp(-0.02 * grid16.k_squared * 1e-3)
+        )
+
+    def test_factor_cache_bounded(self, grid16):
+        ws = SpectralWorkspace(grid16, max_factors=4)
+        for i in range(10):
+            ws.integrating_factor(0.02, 1e-3 * (i + 1))
+        assert ws.cached_factor_count <= 4
+
+    def test_phase_shift_matches_full_grid_exp(self, grid16, rng):
+        ws = SpectralWorkspace(grid16)
+        shift = rng.uniform(0, 2 * np.pi / grid16.n, size=3)
+        expected = phase_shift_factor(grid16, shift)
+        got = ws.phase_shift(shift)
+        np.testing.assert_allclose(got, expected, rtol=0, atol=1e-12)
+        conj = ws.conjugate_phase_shift(got)
+        np.testing.assert_allclose(conj, np.conj(expected), rtol=0, atol=1e-12)
+
+    def test_phase_shift_rejects_bad_shape(self, grid16):
+        with pytest.raises(ValueError):
+            SpectralWorkspace(grid16).phase_shift(np.zeros(2))
+
+    def test_workspace_transforms_round_trip(self, grid16, rng):
+        ws = SpectralWorkspace(grid16)
+        u = rng.standard_normal(grid16.physical_shape)
+        u_hat = ws.fft3d(u)
+        np.testing.assert_allclose(u_hat, fft3d(u, grid16), atol=1e-13)
+        back = ws.ifft3d(u_hat)
+        np.testing.assert_allclose(back, u, atol=1e-12)
+        np.testing.assert_allclose(back, ifft3d(u_hat, grid16), atol=1e-12)
+
+    def test_transform_shape_validation(self, grid16):
+        ws = SpectralWorkspace(grid16)
+        with pytest.raises(ValueError):
+            ws.fft3d(np.zeros((4, 4, 4)))
+        with pytest.raises(ValueError):
+            ws.ifft3d(np.zeros((4, 4, 3), dtype=complex))
+
+
+class TestBufferPool:
+    def test_take_give_reuses_exact_key(self):
+        pool = BufferPool()
+        a = pool.take((4, 4), np.float64)
+        pool.give(a)
+        assert pool.take((4, 4), np.float64) is a
+        assert pool.take((4, 4), np.float32) is not a
+        assert pool.hits == 1 and pool.misses == 2
+
+    def test_free_list_bounded(self):
+        pool = BufferPool(max_per_key=2)
+        bufs = [pool.take((8,), np.float64) for _ in range(4)]
+        for b in bufs:
+            pool.give(b)
+        # Only two retained; two more takes hit, the next misses.
+        pool.take((8,), np.float64)
+        pool.take((8,), np.float64)
+        misses_before = pool.misses
+        pool.take((8,), np.float64)
+        assert pool.misses == misses_before + 1
+
+
+class TestBackends:
+    def test_available_backends_has_numpy_and_scipy(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "scipy" in names
+
+    def test_resolve_by_name_and_passthrough(self):
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+        assert isinstance(resolve_backend("scipy"), ScipyBackend)
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_auto_consults_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FFT_BACKEND", raising=False)
+        assert isinstance(resolve_backend("auto"), NumpyBackend)
+        assert isinstance(resolve_backend(None), NumpyBackend)
+        monkeypatch.setenv("REPRO_FFT_BACKEND", "scipy")
+        assert isinstance(resolve_backend("auto"), ScipyBackend)
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown FFT backend"):
+            resolve_backend("cufft")
+
+    def test_resolve_rejects_unavailable(self, monkeypatch):
+        from repro.spectral import workspace as ws_mod
+
+        monkeypatch.setattr(ws_mod.FftwBackend, "available",
+                            classmethod(lambda cls: False))
+        with pytest.raises(ValueError, match="not available"):
+            resolve_backend("fftw")
+
+    def test_scipy_backend_matches_numpy(self, grid16, rng):
+        u = rng.standard_normal(grid16.physical_shape)
+        results = {}
+        for name in ("numpy", "scipy"):
+            ws = SpectralWorkspace(grid16, backend=name)
+            u_hat = ws.fft3d(u).copy()
+            results[name] = (u_hat, ws.ifft3d(u_hat).copy())
+        np.testing.assert_allclose(results["scipy"][0], results["numpy"][0],
+                                   atol=1e-13)
+        np.testing.assert_allclose(results["scipy"][1], results["numpy"][1],
+                                   atol=1e-12)
+
+    def test_scipy_workers_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FFT_WORKERS", "3")
+        assert ScipyBackend().workers == 3
+
+    def test_solver_accepts_scipy_backend(self, grid16):
+        s = NavierStokesSolver(
+            grid16, taylor_green_field(grid16),
+            SolverConfig(nu=0.05, fft_backend="scipy"),
+        )
+        ref = NavierStokesSolver(
+            grid16, taylor_green_field(grid16),
+            SolverConfig(nu=0.05, fft_backend="numpy"),
+        )
+        s.step(0.01)
+        ref.step(0.01)
+        np.testing.assert_allclose(s.u_hat, ref.u_hat, atol=1e-13)
+
+    def test_float32_grid_uses_copying_fallback(self, rng):
+        """np.fft's out= path is float64-only; float32 must still work."""
+        grid = SpectralGrid(16, dtype=np.float32)
+        ws = SpectralWorkspace(grid, backend="numpy")
+        u = rng.standard_normal(grid.physical_shape).astype(np.float32)
+        u_hat = ws.fft3d(u)
+        assert u_hat.dtype == grid.cdtype
+        back = ws.ifft3d(u_hat)
+        assert back.dtype == grid.dtype
+        np.testing.assert_allclose(back, u, atol=1e-5)
