@@ -29,7 +29,16 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["HotpathResult", "benchmark_solver", "run_suite", "write_json"]
+from repro.obs.metrics import metric_record, write_jsonl
+
+__all__ = [
+    "HotpathResult",
+    "benchmark_solver",
+    "run_suite",
+    "to_metrics_records",
+    "write_json",
+    "write_metrics_jsonl",
+]
 
 
 @dataclass(frozen=True)
@@ -167,7 +176,7 @@ def run_suite(
         for r in results
         if r.workspace
     }
-    return {
+    payload = {
         "suite": "solver_hotpath",
         "grid_sizes": list(grid_sizes),
         "schemes": list(schemes),
@@ -177,6 +186,46 @@ def run_suite(
         "results": [asdict(r) for r in results],
         "speedups": speedups,
     }
+    payload["metrics"] = to_metrics_records(payload)
+    return payload
+
+
+def to_metrics_records(payload: dict) -> list[dict]:
+    """Bench results as :func:`repro.obs.metrics.metric_record` dicts.
+
+    One ``solver.step.seconds`` / ``solver.steps_per_sec`` /
+    ``solver.peak_alloc_bytes`` gauge per measured operating point, labelled
+    by (n, scheme, backend, workspace) — the same schema the ``repro dns``
+    metrics JSONL uses, so bench artifacts and run logs share tooling.
+    """
+    records = []
+    for r in payload["results"]:
+        labels = {
+            "n": r["n"],
+            "scheme": r["scheme"],
+            "backend": r["backend"],
+            "workspace": r["workspace"],
+        }
+        records.append(
+            metric_record("solver.step.seconds", "gauge",
+                          r["seconds_per_step"], labels)
+        )
+        records.append(
+            metric_record("solver.steps_per_sec", "gauge",
+                          r["steps_per_sec"], labels)
+        )
+        records.append(
+            metric_record("solver.peak_alloc_bytes", "gauge",
+                          r["peak_alloc_bytes"], labels)
+        )
+    return records
+
+
+def write_metrics_jsonl(payload: dict, path: str) -> str:
+    """Write the suite's metric records as JSONL; returns ``path``."""
+    records = payload.get("metrics") or to_metrics_records(payload)
+    write_jsonl(records, path)
+    return path
 
 
 def write_json(payload: dict, path: str) -> str:

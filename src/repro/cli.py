@@ -23,9 +23,14 @@ __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SC'19 asynchronous GPU pseudo-spectral DNS reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -63,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compute energy/dissipation every K steps (0: never)")
     p.add_argument("--legacy", action="store_true",
                    help="use the pre-workspace allocating step (baseline)")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write a chrome://tracing JSON of the run's spans")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write per-step + end-of-run metrics as JSONL")
+    p.add_argument("--report", action="store_true",
+                   help="print an end-of-run per-phase wall-clock breakdown")
 
     for name in ("table1", "table2", "table3", "table4"):
         sub.add_parser(name, help=f"regenerate paper {name}")
@@ -149,6 +160,8 @@ def _cmd_step(args) -> int:
 def _cmd_dns(args) -> int:
     import numpy as np
 
+    from repro import __version__
+    from repro.obs import NULL_OBS, Observability
     from repro.spectral import (
         BandForcing,
         NavierStokesSolver,
@@ -157,6 +170,9 @@ def _cmd_dns(args) -> int:
         flow_statistics,
         random_isotropic_field,
     )
+
+    observing = bool(args.trace_out or args.metrics_out or args.report)
+    obs = Observability.create() if observing else NULL_OBS
 
     grid = SpectralGrid(args.n)
     rng = np.random.default_rng(0)
@@ -171,13 +187,55 @@ def _cmd_dns(args) -> int:
             diagnostics_every=args.diagnostics_every,
         ),
         forcing=forcing,
+        obs=obs,
     )
+    step_records: list[dict] = []
     for step in range(1, args.steps + 1):
         result = solver.step(solver.stable_dt(cfl=0.5))
+        if obs.enabled:
+            step_records.append({
+                "kind": "step",
+                "step": step,
+                "time": result.time,
+                "dt": result.dt,
+                "energy": result.energy,
+                "dissipation": result.dissipation,
+                "wall_seconds": obs.metrics.histogram("solver.step.seconds").last,
+            })
         if step % max(1, args.steps // 10) == 0:
             print(f"step {step:4d} t={result.time:.4f} E={result.energy:.5f} "
                   f"eps={result.dissipation:.5f}")
     print(flow_statistics(solver.u_hat, grid, args.nu))
+
+    run_meta = {
+        "repro_version": __version__,
+        "n": args.n,
+        "steps": args.steps,
+        "nu": args.nu,
+        "fft_backend": args.fft_backend,
+        "workspace": not args.legacy,
+    }
+    if args.report:
+        from repro.obs import render_breakdown
+
+        print()
+        print(render_breakdown(obs.spans,
+                               title=f"dns n={args.n} phase breakdown"))
+    if args.trace_out:
+        from repro.core.trace_export import write_chrome_trace
+
+        path = write_chrome_trace(
+            obs.spans.to_tracer(), args.trace_out, metadata=run_meta
+        )
+        print(f"chrome trace written to {path}")
+    if args.metrics_out:
+        from repro.obs import write_jsonl
+
+        records = [{"kind": "run", **run_meta}]
+        records.extend(step_records)
+        records.extend(obs.metrics.snapshot())
+        write_jsonl(records, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 

@@ -17,7 +17,9 @@ from repro.sim.trace import Activity, Tracer
 
 __all__ = ["TimelineRow", "render_timeline", "timeline_rows"]
 
-#: Glyph per category (space = idle).
+#: Glyph per category (space = idle).  The first block is the simulated
+#: executor's vocabulary; the second is what real-run span tracing emits
+#: (:mod:`repro.obs.spans`), so measured timelines render too.
 _GLYPHS = {
     "mpi": "M",
     "h2d": "h",
@@ -26,11 +28,23 @@ _GLYPHS = {
     "kernel": "K",
     "pack": "p",
     "cpu": "C",
+    "step": "s",
+    "stage": "S",
+    "nonlinear": "N",
+    "projection": "P",
+    "integrating": "I",
+    "forcing": "f",
+    "diagnostics": "D",
 }
 
 #: Painting order: later entries overwrite earlier ones when intervals
 #: overlap within a lane (MPI drawn last — it is the quantity of interest).
-_PRIORITY = ["cpu", "pack", "kernel", "fft", "h2d", "d2h", "mpi"]
+#: Real-run categories paint coarse-to-fine (step < stage < phases) so the
+#: innermost span wins, mirroring how nested NVTX ranges display.
+_PRIORITY = [
+    "step", "stage", "cpu", "diagnostics", "forcing", "integrating",
+    "nonlinear", "projection", "pack", "kernel", "fft", "h2d", "d2h", "mpi",
+]
 
 
 @dataclass(frozen=True)

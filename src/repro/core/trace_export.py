@@ -4,7 +4,14 @@
 this module converts a :class:`repro.sim.trace.Tracer` into that format so
 simulated timelines can be inspected with the same tooling used for real
 profiles (the paper used NVIDIA's visual profiler with NVTX ranges for its
-Fig. 10 — this is the reproduction's equivalent artifact).
+Fig. 10 — this is the reproduction's equivalent artifact).  Wall-clock
+tracers from :mod:`repro.obs.spans` expose the same ``Tracer`` interface,
+so measured runs export through this module unchanged.
+
+Lane names with a dotted prefix (``rank0.mpi``, ``gpu0.compute``) are
+grouped into one trace *process* per prefix — GPU streams of one device and
+lanes of one MPI rank sit together in the UI, each process labelled by a
+``process_name`` metadata event.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from repro.sim.trace import Tracer
 
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
-#: Process-id per lane prefix: keeps GPU streams and MPI grouped in the UI.
+#: Perfetto reserved color name per activity category.
 _CATEGORY_COLOR = {
     "mpi": "rail_response",
     "h2d": "thread_state_runnable",
@@ -26,7 +33,18 @@ _CATEGORY_COLOR = {
     "kernel": "bad",
     "pack": "terrible",
     "cpu": "grey",
+    "nonlinear": "thread_state_running",
+    "projection": "rail_animation",
+    "diagnostics": "rail_idle",
 }
+
+
+def _lane_process(lane: str) -> str:
+    """The process-grouping prefix of a lane (``rank0.mpi`` -> ``rank0``).
+
+    Lanes without a dot form their own single-lane process.
+    """
+    return lane.split(".", 1)[0]
 
 
 def to_chrome_trace(tracer: Tracer, time_unit: float = 1e6) -> list[dict]:
@@ -35,19 +53,42 @@ def to_chrome_trace(tracer: Tracer, time_unit: float = 1e6) -> list[dict]:
     Parameters
     ----------
     time_unit:
-        Multiplier from simulated seconds to trace microseconds (the Chrome
-        format expects microseconds; the default maps 1 s -> 1 s).
+        Multiplier from trace seconds to Chrome microseconds (the format
+        stores ``ts``/``dur`` in microseconds; the default ``1e6`` maps
+        1 s -> 1e6 us, i.e. seconds in = correctly-labelled times in the
+        UI).  Both simulated and wall-clock tracers record seconds, so the
+        default is right for both.
     """
     lanes = tracer.lanes()
-    tids = {lane: i + 1 for i, lane in enumerate(lanes)}
+    # One pid per lane prefix, one tid per lane within its process; both
+    # numbered in first-seen order so exports are deterministic.
+    pids: dict[str, int] = {}
+    tids: dict[str, int] = {}
+    next_tid_in_pid: dict[int, int] = {}
     events: list[dict] = []
-    # Thread-name metadata so the UI shows lane names.
-    for lane, tid in tids.items():
+    for lane in lanes:
+        process = _lane_process(lane)
+        pid = pids.get(process)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[process] = pid
+            next_tid_in_pid[pid] = 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": process},
+                }
+            )
+        tid = next_tid_in_pid[pid]
+        next_tid_in_pid[pid] = tid + 1
+        tids[lane] = tid
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": lane},
             }
@@ -58,7 +99,7 @@ def to_chrome_trace(tracer: Tracer, time_unit: float = 1e6) -> list[dict]:
                 "name": act.name,
                 "cat": act.category,
                 "ph": "X",
-                "pid": 1,
+                "pid": pids[_lane_process(act.lane)],
                 "tid": tids[act.lane],
                 "ts": act.start * time_unit,
                 "dur": act.duration * time_unit,
@@ -82,12 +123,19 @@ def write_chrome_trace(
     path: Union[str, Path],
     time_unit: float = 1e6,
     display_time_unit: Optional[str] = "ms",
+    metadata: Optional[dict] = None,
 ) -> Path:
-    """Write ``path`` (a ``.json`` Chrome trace); returns the path."""
+    """Write ``path`` (a ``.json`` Chrome trace); returns the path.
+
+    ``metadata`` lands in the document's ``otherData`` — use it to stamp
+    artifacts with the producing code version and run parameters.
+    """
     path = Path(path)
-    doc = {
+    doc: dict = {
         "traceEvents": to_chrome_trace(tracer, time_unit=time_unit),
         "displayTimeUnit": display_time_unit,
     }
+    if metadata:
+        doc["otherData"] = {k: _jsonable(v) for k, v in metadata.items()}
     path.write_text(json.dumps(doc))
     return path

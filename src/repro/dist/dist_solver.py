@@ -16,16 +16,20 @@ model of :mod:`repro.core`.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.dist.decomp import SlabDecomposition, SlabGridView
 from repro.dist.slab_fft import SlabDistributedFFT
 from repro.dist.virtual_mpi import VirtualComm
+from repro.obs import NULL_OBS, NULL_SPAN
 from repro.spectral.dealias import DealiasRule, sharp_truncation_mask
 from repro.spectral.grid import SpectralGrid
 from repro.spectral.solver import SolverConfig, StepResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 __all__ = ["DistributedNavierStokesSolver"]
 
@@ -45,6 +49,12 @@ class DistributedNavierStokesSolver:
         Shares :class:`~repro.spectral.solver.SolverConfig` with the serial
         solver, including the phase-shift RNG seed, so both produce the same
         trajectory.
+    obs:
+        An :class:`~repro.obs.Observability` bundle.  Collective stages
+        record spans on the main lane; rank-local work records into one
+        child tracer per rank, merged back after every step under a
+        ``rank<r>.`` lane prefix — so exported timelines group per rank,
+        exactly like the per-process rows of the paper's Fig. 10.
     """
 
     def __init__(
@@ -53,13 +63,18 @@ class DistributedNavierStokesSolver:
         comm: VirtualComm,
         u_hat_global: np.ndarray,
         config: Optional[SolverConfig] = None,
+        obs: "Observability | None" = None,
     ):
         self.grid = grid
         self.comm = comm
         self.config = config or SolverConfig()
-        self.fft = SlabDistributedFFT(grid, comm)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.fft = SlabDistributedFFT(grid, comm, obs=self.obs)
         self.decomp: SlabDecomposition = self.fft.decomp
         self.views = [SlabGridView(grid, self.decomp, r) for r in range(comm.size)]
+        self._rank_spans = [
+            self.obs.spans.child("local") for _ in range(comm.size)
+        ]
         self._rng = np.random.default_rng(self.config.seed)
 
         if u_hat_global.shape != (3, *grid.spectral_shape):
@@ -112,6 +127,9 @@ class DistributedNavierStokesSolver:
     def _nonlinear(self, u_hat: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Projected, dealiased conservative convective term, per rank."""
         cfg = self.config
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("solver.rhs.calls").inc()
         shift = None
         if cfg.phase_shift:
             shift = self._rng.uniform(0.0, self.grid.dx, size=3)
@@ -133,9 +151,10 @@ class DistributedNavierStokesSolver:
         pairs = ((0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2))
         prod_hat: dict[tuple[int, int], list[np.ndarray]] = {}
         for i, j in pairs:
-            prod_phys = [
-                u_phys[i][r] * u_phys[j][r] for r in range(self.comm.size)
-            ]
+            with obs.spans.span("nl.products", category="nonlinear"):
+                prod_phys = [
+                    u_phys[i][r] * u_phys[j][r] for r in range(self.comm.size)
+                ]
             ph = self.fft.forward(prod_phys)
             if shift_locals is not None:
                 ph = [ph[r] * np.conj(shift_locals[r]) for r in range(self.comm.size)]
@@ -144,15 +163,18 @@ class DistributedNavierStokesSolver:
 
         out: list[np.ndarray] = []
         for r, view in enumerate(self.views):
-            k = (view.kx, view.ky, view.kz)
-            nl = np.empty_like(u_hat[r])
-            for i in range(3):
-                acc = k[0] * prod_hat[(i, 0)][r]
-                acc += k[1] * prod_hat[(i, 1)][r]
-                acc += k[2] * prod_hat[(i, 2)][r]
-                nl[i] = -1j * acc
-            nl *= self._mask_locals[r]
-            out.append(self._project_local(nl, view))
+            rank_spans = self._rank_spans[r]
+            with rank_spans.span("nl.assemble", category="nonlinear"):
+                k = (view.kx, view.ky, view.kz)
+                nl = np.empty_like(u_hat[r])
+                for i in range(3):
+                    acc = k[0] * prod_hat[(i, 0)][r]
+                    acc += k[1] * prod_hat[(i, 1)][r]
+                    acc += k[2] * prod_hat[(i, 2)][r]
+                    nl[i] = -1j * acc
+                nl *= self._mask_locals[r]
+            with rank_spans.span("nl.project", category="projection"):
+                out.append(self._project_local(nl, view))
         return out
 
     # -- time stepping ------------------------------------------------------------
@@ -176,33 +198,54 @@ class DistributedNavierStokesSolver:
         """Advance one RK2 or RK4 step (same schemes as the serial solver)."""
         if dt <= 0:
             raise ValueError("dt must be positive")
-        if self.config.scheme == "rk2":
-            self._step_rk2(dt)
-            evals = 2
-        else:
-            self._step_rk4(dt)
-            evals = 4
-        self.time += dt
-        self.step_count += 1
+        obs = self.obs
+        with (obs.spans.span("solver.step", category="step", n=self.grid.n,
+                             ranks=self.comm.size, scheme=self.config.scheme)
+              if obs.enabled else NULL_SPAN) as step_span:
+            if self.config.scheme == "rk2":
+                self._step_rk2(dt)
+                evals = 2
+            else:
+                self._step_rk4(dt)
+                evals = 4
+            self.time += dt
+            self.step_count += 1
+            with obs.spans.span("diagnostics.energy", category="diagnostics"):
+                energy = self.kinetic_energy()
+                dissipation = self.dissipation_rate()
+        if obs.enabled:
+            obs.metrics.counter("solver.steps").inc()
+            obs.metrics.histogram("solver.step.seconds").observe(
+                step_span.duration
+            )
+            # Fold each rank's local spans into the shared timeline, one
+            # lane prefix per rank (Tracer.merge keeps them distinct).
+            for r, rank_spans in enumerate(self._rank_spans):
+                obs.spans.merge(rank_spans, lane_prefix=f"rank{r}.")
+                rank_spans.clear()
         return StepResult(
             time=self.time,
             dt=dt,
-            energy=self.kinetic_energy(),
-            dissipation=self.dissipation_rate(),
+            energy=energy,
+            dissipation=dissipation,
             nonlinear_evals=evals,
         )
 
     def _step_rk2(self, dt: float) -> None:
+        spans = self.obs.spans
         e_full = self._integrating_factors(dt)
-        r1 = self._nonlinear(self.u_hat)
-        u_star = [
-            e_full[r] * (self.u_hat[r] + dt * r1[r]) for r in range(self.comm.size)
-        ]
-        r2 = self._nonlinear(u_star)
-        self.u_hat = [
-            e_full[r] * (self.u_hat[r] + (0.5 * dt) * r1[r]) + (0.5 * dt) * r2[r]
-            for r in range(self.comm.size)
-        ]
+        with spans.span("rk2.stage1", category="stage"):
+            r1 = self._nonlinear(self.u_hat)
+            u_star = [
+                e_full[r] * (self.u_hat[r] + dt * r1[r])
+                for r in range(self.comm.size)
+            ]
+        with spans.span("rk2.stage2", category="stage"):
+            r2 = self._nonlinear(u_star)
+            self.u_hat = [
+                e_full[r] * (self.u_hat[r] + (0.5 * dt) * r1[r]) + (0.5 * dt) * r2[r]
+                for r in range(self.comm.size)
+            ]
 
     def _step_rk4(self, dt: float) -> None:
         size = self.comm.size

@@ -16,7 +16,7 @@ pencils are independent), which the tests assert.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -26,8 +26,12 @@ from repro.dist.transpose import (
     slab_transpose_spectral_to_physical,
 )
 from repro.dist.virtual_mpi import VirtualComm
+from repro.obs import NULL_OBS
 from repro.spectral.grid import SpectralGrid
 from repro.spectral.workspace import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 __all__ = ["DeviceArena", "DeviceMemoryExceeded", "OutOfCoreSlabFFT"]
 
@@ -51,14 +55,20 @@ class DeviceArena:
     GPU buffers, the arena's memory is claimed once and reused.
     """
 
-    def __init__(self, capacity_bytes: float, pool: BufferPool | None = None):
+    def __init__(
+        self,
+        capacity_bytes: float,
+        pool: BufferPool | None = None,
+        obs: "Observability | None" = None,
+    ):
         if capacity_bytes <= 0:
             raise ValueError("device capacity must be positive")
         self.capacity = float(capacity_bytes)
         self.in_use = 0.0
         self.high_water = 0.0
         self._live: dict[int, int] = {}
-        self.pool = pool if pool is not None else BufferPool()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.pool = pool if pool is not None else BufferPool(obs=self.obs)
 
     def allocate(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
@@ -71,6 +81,11 @@ class DeviceArena:
         self.in_use += nbytes
         self.high_water = max(self.high_water, self.in_use)
         self._live[id(buf)] = nbytes
+        if self.obs.enabled:
+            self.obs.metrics.counter("arena.acquires").inc()
+            self.obs.metrics.gauge("arena.high_water_bytes").set_max(
+                self.high_water
+            )
         return buf
 
     def free(self, buf: np.ndarray) -> None:
@@ -79,16 +94,24 @@ class DeviceArena:
             raise KeyError("buffer was not allocated from this arena")
         self.in_use -= nbytes
         self.pool.give(buf)
+        if self.obs.enabled:
+            self.obs.metrics.counter("arena.releases").inc()
 
     def upload(self, host_view: np.ndarray) -> np.ndarray:
         """H2D: copy a strided host view into a fresh device buffer."""
         buf = self.allocate(host_view.shape, host_view.dtype)
-        np.copyto(buf, host_view)
+        with self.obs.spans.span("arena.h2d", category="h2d"):
+            np.copyto(buf, host_view)
+        if self.obs.enabled:
+            self.obs.metrics.counter("arena.h2d_bytes").inc(buf.nbytes)
         return buf
 
     def download_and_free(self, buf: np.ndarray, host_view: np.ndarray) -> None:
         """D2H: copy a device buffer back into (strided) host memory."""
-        np.copyto(host_view, buf)
+        with self.obs.spans.span("arena.d2h", category="d2h"):
+            np.copyto(host_view, buf)
+        if self.obs.enabled:
+            self.obs.metrics.counter("arena.d2h_bytes").inc(buf.nbytes)
         self.free(buf)
 
 
@@ -111,9 +134,11 @@ class OutOfCoreSlabFFT:
         comm: VirtualComm,
         npencils: int,
         device_bytes: float | None = None,
+        obs: "Observability | None" = None,
     ):
         self.grid = grid
         self.comm = comm
+        self.obs = obs if obs is not None else NULL_OBS
         self.decomp = SlabDecomposition(grid.n, comm.size)
         if npencils < 1 or grid.n % npencils != 0:
             raise ValueError(f"npencils={npencils} must divide N={grid.n}")
@@ -129,7 +154,8 @@ class OutOfCoreSlabFFT:
             self.decomp.mz * grid.n * math.ceil(nxh / npencils) * itemsize
         )
         self.arena = DeviceArena(
-            device_bytes if device_bytes is not None else 2.05 * pencil_bytes
+            device_bytes if device_bytes is not None else 2.05 * pencil_bytes,
+            obs=self.obs,
         )
 
     def _splits(self, extent: int) -> list[slice]:
@@ -152,6 +178,7 @@ class OutOfCoreSlabFFT:
         """
         out = np.empty_like(local)
         n = self.grid.n
+        spans = self.obs.spans
         for pencil_slice in self._splits(local.shape[split_axis]):
             sl = [slice(None)] * local.ndim
             sl[split_axis] = pencil_slice
@@ -159,10 +186,11 @@ class OutOfCoreSlabFFT:
             buf = self.arena.upload(view)
             # The transform's output buffer is device-resident too.
             result = self.arena.allocate(buf.shape, buf.dtype)
-            if inverse:
-                np.multiply(np.fft.ifft(buf, axis=axis), n, out=result)
-            else:
-                result[:] = np.fft.fft(buf, axis=axis)
+            with spans.span("fft.pencil", category="fft"):
+                if inverse:
+                    np.multiply(np.fft.ifft(buf, axis=axis), n, out=result)
+                else:
+                    result[:] = np.fft.fft(buf, axis=axis)
             self.arena.free(buf)
             self.arena.download_and_free(result, out[tuple(sl)])
         return out
@@ -184,7 +212,7 @@ class OutOfCoreSlabFFT:
                 raise ValueError(f"rank {r}: bad shape {loc.shape}")
             # Stage A: iFFT y, pencils split along x (Fig. 6).
             work.append(self._batched_fft(loc, axis=1, split_axis=2, inverse=True))
-        work = slab_transpose_spectral_to_physical(self.comm, work)
+        work = slab_transpose_spectral_to_physical(self.comm, work, obs=self.obs)
         out = []
         for loc in work:
             # Stage B: iFFT z then irFFT x, pencils split along y (Fig. 3).
@@ -215,7 +243,7 @@ class OutOfCoreSlabFFT:
                 self.arena.free(buf)
                 half[:, ys, :] = res
             work.append(self._batched_fft(half, axis=0, split_axis=1, inverse=False))
-        work = slab_transpose_physical_to_spectral(self.comm, work)
+        work = slab_transpose_physical_to_spectral(self.comm, work, obs=self.obs)
         return [
             (
                 self._batched_fft(loc, axis=1, split_axis=2, inverse=False) / n**3

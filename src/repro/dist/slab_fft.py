@@ -12,7 +12,7 @@ decomposition that lets the paper send fewer, larger messages.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -22,7 +22,11 @@ from repro.dist.transpose import (
     slab_transpose_spectral_to_physical,
 )
 from repro.dist.virtual_mpi import VirtualComm
+from repro.obs import NULL_OBS
 from repro.spectral.grid import SpectralGrid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 __all__ = ["SlabDistributedFFT"]
 
@@ -50,10 +54,16 @@ class SlabDistributedFFT:
     True
     """
 
-    def __init__(self, grid: SpectralGrid, comm: VirtualComm):
+    def __init__(
+        self,
+        grid: SpectralGrid,
+        comm: VirtualComm,
+        obs: "Observability | None" = None,
+    ):
         self.grid = grid
         self.comm = comm
         self.decomp = SlabDecomposition(grid.n, comm.size)
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- inverse: Fourier -> physical (y, transpose, z, x) --------------------
 
@@ -65,13 +75,18 @@ class SlabDistributedFFT:
         for r, loc in enumerate(spectral_locals):
             if loc.shape != shaped:
                 raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
+        spans = self.obs.spans
         # 1-D inverse FFTs in y (local: kz-slabs hold complete y lines).
-        work = [np.fft.ifft(loc, axis=_Y_AXIS) * n for loc in spectral_locals]
+        with spans.span("fft.y", category="fft"):
+            work = [np.fft.ifft(loc, axis=_Y_AXIS) * n for loc in spectral_locals]
         # Global transpose to y-slabs (complete z lines).
-        work = slab_transpose_spectral_to_physical(self.comm, work)
+        work = slab_transpose_spectral_to_physical(self.comm, work, obs=self.obs)
         # z, then the complex-to-real x transform.
-        work = [np.fft.ifft(loc, axis=_KZ_AXIS) * n for loc in work]
-        out = [np.fft.irfft(loc, n=n, axis=_X_AXIS) * n for loc in work]
+        with spans.span("fft.zx", category="fft"):
+            work = [np.fft.ifft(loc, axis=_KZ_AXIS) * n for loc in work]
+            out = [np.fft.irfft(loc, n=n, axis=_X_AXIS) * n for loc in work]
+        if self.obs.enabled:
+            self.obs.metrics.counter("fft.calls").inc()
         return [o.astype(self.grid.dtype, copy=False) for o in out]
 
     # -- forward: physical -> Fourier (x, z, transpose, y) ---------------------
@@ -84,10 +99,15 @@ class SlabDistributedFFT:
         for r, loc in enumerate(physical_locals):
             if loc.shape != shaped:
                 raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
-        work = [np.fft.rfft(loc, axis=_X_AXIS) for loc in physical_locals]
-        work = [np.fft.fft(loc, axis=_KZ_AXIS) for loc in work]
-        work = slab_transpose_physical_to_spectral(self.comm, work)
-        out = [np.fft.fft(loc, axis=_Y_AXIS) / n**3 for loc in work]
+        spans = self.obs.spans
+        with spans.span("fft.xz", category="fft"):
+            work = [np.fft.rfft(loc, axis=_X_AXIS) for loc in physical_locals]
+            work = [np.fft.fft(loc, axis=_KZ_AXIS) for loc in work]
+        work = slab_transpose_physical_to_spectral(self.comm, work, obs=self.obs)
+        with spans.span("fft.y", category="fft"):
+            out = [np.fft.fft(loc, axis=_Y_AXIS) / n**3 for loc in work]
+        if self.obs.enabled:
+            self.obs.metrics.counter("fft.calls").inc()
         return [o.astype(self.grid.cdtype, copy=False) for o in out]
 
     # -- batched (pencil-at-a-time) variants ----------------------------------

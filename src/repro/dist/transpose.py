@@ -9,11 +9,15 @@ here they move real NumPy data so correctness can be asserted.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.dist.virtual_mpi import VirtualComm
+from repro.obs import NULL_OBS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 __all__ = [
     "pack_blocks",
@@ -47,16 +51,29 @@ def transpose_exchange(
     locals_: Sequence[np.ndarray],
     pack_axis: int,
     unpack_axis: int,
+    obs: "Observability | None" = None,
 ) -> list[np.ndarray]:
     """One full distributed transpose over ``comm``.
 
     Each rank packs its local array into ``comm.size`` blocks along
     ``pack_axis``, exchanges them all-to-all, and unpacks the received
-    blocks along ``unpack_axis``.
+    blocks along ``unpack_axis``.  With ``obs``, the pack / all-to-all /
+    unpack phases record wall-clock spans and the exchanged bytes feed the
+    ``transpose.bytes_moved`` counter.
     """
-    send = [pack_blocks(loc, pack_axis, comm.size) for loc in locals_]
-    recv = comm.alltoall(send)
-    return [unpack_blocks(blocks, unpack_axis) for blocks in recv]
+    obs = obs if obs is not None else NULL_OBS
+    spans = obs.spans
+    with spans.span("transpose.pack", category="pack"):
+        send = [pack_blocks(loc, pack_axis, comm.size) for loc in locals_]
+    with spans.span("transpose.a2a", category="mpi"):
+        recv = comm.alltoall(send)
+    with spans.span("transpose.unpack", category="pack"):
+        out = [unpack_blocks(blocks, unpack_axis) for blocks in recv]
+    if obs.enabled:
+        rec = comm.stats.records[-1]
+        obs.metrics.counter("transpose.count").inc()
+        obs.metrics.counter("transpose.bytes_moved").inc(rec.total_bytes)
+    return out
 
 
 # -- the two slab transposes of the DNS step ---------------------------------
@@ -65,7 +82,9 @@ _KZ_AXIS, _Y_AXIS = 0, 1
 
 
 def slab_transpose_spectral_to_physical(
-    comm: VirtualComm, locals_: Sequence[np.ndarray]
+    comm: VirtualComm,
+    locals_: Sequence[np.ndarray],
+    obs: "Observability | None" = None,
 ) -> list[np.ndarray]:
     """kz-slabs (mz, N, nxh) -> y-slabs (N, my, nxh).
 
@@ -74,11 +93,17 @@ def slab_transpose_spectral_to_physical(
     (paper Fig. 2: "transpose these partially-transformed quantities into
     slabs of x-z planes").
     """
-    return transpose_exchange(comm, locals_, pack_axis=_Y_AXIS, unpack_axis=_KZ_AXIS)
+    return transpose_exchange(
+        comm, locals_, pack_axis=_Y_AXIS, unpack_axis=_KZ_AXIS, obs=obs
+    )
 
 
 def slab_transpose_physical_to_spectral(
-    comm: VirtualComm, locals_: Sequence[np.ndarray]
+    comm: VirtualComm,
+    locals_: Sequence[np.ndarray],
+    obs: "Observability | None" = None,
 ) -> list[np.ndarray]:
     """y-slabs (N, my, nxh) -> kz-slabs (mz, N, nxh); the reverse exchange."""
-    return transpose_exchange(comm, locals_, pack_axis=_KZ_AXIS, unpack_axis=_Y_AXIS)
+    return transpose_exchange(
+        comm, locals_, pack_axis=_KZ_AXIS, unpack_axis=_Y_AXIS, obs=obs
+    )

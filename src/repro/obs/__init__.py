@@ -1,0 +1,92 @@
+"""Unified wall-clock observability for the real numeric path.
+
+The simulated executor has always been traced (``repro.sim.trace``); this
+package gives the *real* solver, the distributed transpose, and the
+out-of-core pipeline the same treatment:
+
+* :mod:`repro.obs.spans` — nested wall-clock span tracing recording
+  :class:`repro.sim.trace.Activity` intervals, so measured runs export
+  through the same Chrome-trace / ASCII-timeline tooling as simulations;
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms with JSONL
+  and Prometheus exporters;
+* :mod:`repro.obs.report` — the end-of-run per-phase breakdown table.
+
+:class:`Observability` bundles one span tracer and one metrics registry —
+the single handle instrumented code paths accept.  The module-level
+:data:`NULL_OBS` is the shared disabled bundle: passing no ``obs`` costs a
+single attribute check per instrumentation point (asserted < 2% step-time
+overhead by the hot-path bench).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import time
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_record,
+    write_jsonl,
+)
+from repro.obs.report import phase_breakdown, render_breakdown
+from repro.obs.spans import NULL_SPAN, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_SPAN",
+    "Observability",
+    "SpanTracer",
+    "metric_record",
+    "phase_breakdown",
+    "render_breakdown",
+    "write_jsonl",
+]
+
+
+class Observability:
+    """One span tracer plus one metrics registry, enabled (or not) together.
+
+    Instrumented constructors (:class:`repro.spectral.NavierStokesSolver`,
+    :class:`repro.dist.DistributedNavierStokesSolver`,
+    :class:`repro.dist.outofcore.DeviceArena`, ...) take an optional
+    ``obs``; ``None`` means the shared :data:`NULL_OBS` and turns every
+    instrumentation point into a no-op.
+    """
+
+    __slots__ = ("spans", "metrics", "enabled")
+
+    def __init__(
+        self,
+        spans: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self.spans = spans if spans is not None else SpanTracer(enabled=enabled)
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+        )
+
+    @classmethod
+    def create(
+        cls, clock: Callable[[], float] = time.perf_counter, lane: str = "main"
+    ) -> "Observability":
+        """An enabled bundle with a fresh tracer on ``lane``."""
+        return cls(spans=SpanTracer(clock=clock, lane=lane))
+
+    @staticmethod
+    def disabled() -> "Observability":
+        """The shared disabled bundle (do not mutate)."""
+        return NULL_OBS
+
+
+#: Shared disabled bundle; every un-instrumented call path routes here.
+NULL_OBS = Observability(enabled=False)

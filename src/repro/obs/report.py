@@ -1,0 +1,56 @@
+"""End-of-run per-phase breakdown tables for measured runs.
+
+Mirrors the simulated breakdown that ``repro step`` prints (busy seconds per
+category) so the performance layer's *prediction* and the real solver's
+*measurement* are finally comparable side by side — the paper's Fig. 10
+exercise, with the profiler timeline replaced by wall-clock spans.
+
+The table uses **exclusive** time (a span's duration minus its nested
+spans), so the rows partition the measured wall time: ``fft`` is pure
+transform time, ``nonlinear`` is product/assembly arithmetic without the
+transforms it triggered, and the percentages sum to ~100.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.spans import SpanTracer
+
+__all__ = ["phase_breakdown", "render_breakdown"]
+
+
+def phase_breakdown(
+    spans: SpanTracer, total: Optional[float] = None
+) -> list[tuple[str, float, float]]:
+    """``(category, exclusive_seconds, fraction)`` rows, largest first.
+
+    ``total`` defaults to the sum of exclusive times (== the wall time of
+    the outermost spans); pass an explicit denominator to compare against a
+    different reference (e.g. end-to-end process time).
+    """
+    excl = spans.exclusive_by_category()
+    if total is None:
+        total = sum(excl.values())
+    denom = total if total > 0 else 1.0
+    rows = [(cat, sec, sec / denom) for cat, sec in excl.items()]
+    rows.sort(key=lambda r: r[1], reverse=True)
+    return rows
+
+
+def render_breakdown(
+    spans: SpanTracer,
+    title: str = "per-phase wall-clock breakdown",
+    total: Optional[float] = None,
+) -> str:
+    """Printable table of :func:`phase_breakdown` rows."""
+    rows = phase_breakdown(spans, total=total)
+    wall = total if total is not None else sum(sec for _, sec, _ in rows)
+    out = [f"{title} (wall {wall:.3f} s, {len(spans)} spans)"]
+    if not rows:
+        out.append("  (no spans recorded)")
+        return "\n".join(out)
+    width = max(len(cat) for cat, _, _ in rows)
+    for cat, sec, frac in rows:
+        out.append(f"  {cat:>{width}}: {sec:10.4f} s  {100.0 * frac:5.1f}%")
+    return "\n".join(out)

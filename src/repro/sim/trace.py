@@ -157,7 +157,13 @@ class Tracer:
         return sum(a.duration for a in self.filter(category=category))
 
     def merge(self, other: "Tracer", lane_prefix: str = "") -> None:
-        """Append activities from ``other``, optionally prefixing lanes."""
+        """Append activities from ``other``, optionally prefixing lanes.
+
+        Respects ``self.enabled``: merging into a disabled tracer records
+        nothing (it must not silently re-enable collection).
+        """
+        if not self.enabled:
+            return
         for act in other.activities:
             self.activities.append(
                 Activity(

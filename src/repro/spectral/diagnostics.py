@@ -65,12 +65,26 @@ def max_divergence(u_hat: np.ndarray, grid: SpectralGrid) -> float:
     return float(np.abs(divergence_hat(u_hat, grid)).max())
 
 
-def cfl_number(u_hat: np.ndarray, grid: SpectralGrid, dt: float) -> float:
-    """Advective Courant number ``dt * max_i(|u_i|) / dx`` (component-wise sum)."""
+def cfl_number(
+    u_hat: np.ndarray, grid: SpectralGrid, dt: float, workspace=None
+) -> float:
+    """Advective Courant number ``dt * max_i(|u_i|) / dx`` (component-wise sum).
+
+    With a :class:`~repro.spectral.workspace.SpectralWorkspace` the three
+    inverse transforms run in reused scratch buffers and the max-|u| scan
+    is allocation-free (``max(u.max(), -u.min())`` instead of a full-grid
+    ``np.abs`` temporary) — adaptive-dt drivers call this every step.
+    """
     u_max = 0.0
-    for i in range(3):
-        u = ifft3d(u_hat[i], grid)
-        u_max += float(np.abs(u).max())
+    if workspace is not None:
+        scratch = workspace.physical("cfl_u")
+        for i in range(3):
+            u = workspace.ifft3d(u_hat[i], out=scratch)
+            u_max += float(max(u.max(), -u.min()))
+    else:
+        for i in range(3):
+            u = ifft3d(u_hat[i], grid)
+            u_max += float(np.abs(u).max())
     return dt * u_max / grid.dx
 
 

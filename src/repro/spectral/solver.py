@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Literal, Optional
+from typing import TYPE_CHECKING, Literal, Optional
 
 import numpy as np
 
+from repro.obs import NULL_OBS, NULL_SPAN
 from repro.spectral.dealias import (
     DealiasRule,
     phase_shift_factor,
@@ -48,6 +49,9 @@ from repro.spectral.operators import (
     project,
 )
 from repro.spectral.workspace import SpectralWorkspace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 __all__ = ["NavierStokesSolver", "SolverConfig", "StepResult"]
 
@@ -141,6 +145,12 @@ class NavierStokesSolver:
         A :class:`SpectralWorkspace` to draw scratch buffers from; created
         on demand when omitted.  Pass an existing one to share buffers with
         other solvers on the same grid (e.g. passive scalars).
+    obs:
+        An :class:`~repro.obs.Observability` bundle.  When given, every
+        step records per-RK-stage and per-phase wall-clock spans (fft,
+        nonlinear, projection, integrating factor, forcing, diagnostics)
+        plus counters/histograms (``solver.step.seconds``, ``fft.calls``,
+        ...).  Default: the shared disabled bundle — near-zero overhead.
 
     Examples
     --------
@@ -161,10 +171,12 @@ class NavierStokesSolver:
         config: Optional[SolverConfig] = None,
         forcing: Optional[Forcing] = None,
         workspace: Optional[SpectralWorkspace] = None,
+        obs: "Observability | None" = None,
     ):
         self.grid = grid
         self.config = config or SolverConfig()
         self.forcing = forcing if forcing is not None else NoForcing()
+        self.obs = obs if obs is not None else NULL_OBS
         if u_hat.shape != (3, *grid.spectral_shape):
             raise ValueError(
                 f"initial condition must have shape {(3, *grid.spectral_shape)}"
@@ -177,8 +189,12 @@ class NavierStokesSolver:
         self._nl_evals = 0
         if self.config.use_workspace:
             self.workspace = workspace or SpectralWorkspace(
-                grid, backend=self.config.fft_backend
+                grid, backend=self.config.fft_backend, obs=self.obs
             )
+            if workspace is not None and obs is not None:
+                # A caller-shared workspace reports into this solver's obs.
+                self.workspace.obs = self.obs
+                self.workspace.pool.obs = self.obs
         else:
             self.workspace = workspace
         # Dealias the initial condition so invariants hold from step 0.
@@ -198,52 +214,65 @@ class NavierStokesSolver:
         """
         cfg = self.config
         ws = self.workspace if cfg.use_workspace else None
+        obs = self.obs
+        spans = obs.spans
         self._nl_evals += 1
+        if obs.enabled:
+            obs.metrics.counter("solver.rhs.calls").inc()
         if ws is not None:
-            shift = None
-            if cfg.phase_shift:
-                shift = ws.phase_shift(random_shift(self.grid, self._rng))
-            if out is None:
-                out = np.empty_like(u_hat)
-            if cfg.convective_form == "conservative":
-                nl = nonlinear_conservative(
-                    u_hat, self.grid, mask=self._mask, shift=shift,
-                    workspace=ws, out=out,
-                )
-            else:
-                nl = nonlinear_rotational(
-                    u_hat, self.grid, mask=self._mask, shift=shift,
-                    workspace=ws, out=out,
-                )
-            rhs = project(nl, self.grid, out=nl, workspace=ws)
+            # The "nonlinear" span brackets transforms + products; the
+            # transforms record their own nested "fft" spans, so this
+            # category's *exclusive* time is pure product/assembly work.
+            with spans.span("rhs.nonlinear", category="nonlinear"):
+                shift = None
+                if cfg.phase_shift:
+                    shift = ws.phase_shift(random_shift(self.grid, self._rng))
+                if out is None:
+                    out = np.empty_like(u_hat)
+                if cfg.convective_form == "conservative":
+                    nl = nonlinear_conservative(
+                        u_hat, self.grid, mask=self._mask, shift=shift,
+                        workspace=ws, out=out,
+                    )
+                else:
+                    nl = nonlinear_rotational(
+                        u_hat, self.grid, mask=self._mask, shift=shift,
+                        workspace=ws, out=out,
+                    )
+            with spans.span("rhs.projection", category="projection"):
+                rhs = project(nl, self.grid, out=nl, workspace=ws)
         else:
-            shift = None
-            if cfg.phase_shift:
-                shift = phase_shift_factor(
-                    self.grid, random_shift(self.grid, self._rng)
-                )
-            if cfg.convective_form == "conservative":
-                nl = nonlinear_conservative(
-                    u_hat, self.grid, mask=self._mask, shift=shift
-                )
-            else:
-                nl = nonlinear_rotational(
-                    u_hat, self.grid, mask=self._mask, shift=shift
-                )
-            rhs = project(nl, self.grid, out=nl)
-        f = self.forcing.rhs(u_hat, self.grid)
-        if f is not None:
-            rhs += f
+            with spans.span("rhs.nonlinear", category="nonlinear"):
+                shift = None
+                if cfg.phase_shift:
+                    shift = phase_shift_factor(
+                        self.grid, random_shift(self.grid, self._rng)
+                    )
+                if cfg.convective_form == "conservative":
+                    nl = nonlinear_conservative(
+                        u_hat, self.grid, mask=self._mask, shift=shift
+                    )
+                else:
+                    nl = nonlinear_rotational(
+                        u_hat, self.grid, mask=self._mask, shift=shift
+                    )
+            with spans.span("rhs.projection", category="projection"):
+                rhs = project(nl, self.grid, out=nl)
+        with spans.span("rhs.forcing", category="forcing"):
+            f = self.forcing.rhs(u_hat, self.grid)
+            if f is not None:
+                rhs += f
         return rhs
 
     def _integrating_factor(self, dt: float) -> np.ndarray:
         """exp(-nu k^2 dt) over the spectral shape (memoized when the
         workspace is enabled; treat the returned array as read-only)."""
-        if self.config.use_workspace and self.workspace is not None:
-            return self.workspace.integrating_factor(self.config.nu, dt)
-        return np.exp(-self.config.nu * self.grid.k_squared * dt).astype(
-            self.grid.dtype
-        )
+        with self.obs.spans.span("integrating_factor", category="integrating"):
+            if self.config.use_workspace and self.workspace is not None:
+                return self.workspace.integrating_factor(self.config.nu, dt)
+            return np.exp(-self.config.nu * self.grid.k_squared * dt).astype(
+                self.grid.dtype
+            )
 
     # -- schemes -----------------------------------------------------------------
 
@@ -260,54 +289,62 @@ class NavierStokesSolver:
         (or, the final one, ``self.u_hat``) in place.
         """
         ws = self.workspace
+        spans = self.obs.spans
         e_full = self._integrating_factor(dt)
-        r1 = self._nonlinear(self.u_hat, out=ws.spectral("rk_r1", 3))
-        u_star = ws.spectral("rk_stage", 3)
-        np.multiply(r1, dt, out=u_star)
-        u_star += self.u_hat
-        _imul_components(u_star, e_full)
-        r2 = self._nonlinear(u_star, out=ws.spectral("rk_r2", 3))
-        u = self.u_hat
-        r1 *= 0.5 * dt
-        u += r1
-        _imul_components(u, e_full)
-        r2 *= 0.5 * dt
-        u += r2
+        with spans.span("rk2.stage1", category="stage"):
+            r1 = self._nonlinear(self.u_hat, out=ws.spectral("rk_r1", 3))
+            u_star = ws.spectral("rk_stage", 3)
+            np.multiply(r1, dt, out=u_star)
+            u_star += self.u_hat
+            _imul_components(u_star, e_full)
+        with spans.span("rk2.stage2", category="stage"):
+            r2 = self._nonlinear(u_star, out=ws.spectral("rk_r2", 3))
+            u = self.u_hat
+            r1 *= 0.5 * dt
+            u += r1
+            _imul_components(u, e_full)
+            r2 *= 0.5 * dt
+            u += r2
 
     def _step_rk4(self, dt: float) -> None:
         """Classic RK4 with the exact viscous integrating factor, in place."""
         ws = self.workspace
+        spans = self.obs.spans
         e_half = self._integrating_factor(0.5 * dt)
         e_full = self._integrating_factor(dt)
         u0 = self.u_hat
         u_s = ws.spectral("rk_stage", 3)
         tmp = ws.spectral("rk_tmp", 3)
 
-        k1 = self._nonlinear(u0, out=ws.spectral("rk_k1", 3))
-        np.multiply(k1, 0.5 * dt, out=u_s)
-        u_s += u0
-        _imul_components(u_s, e_half)
-        k2 = self._nonlinear(u_s, out=ws.spectral("rk_k2", 3))
-        np.multiply(k2, 0.5 * dt, out=u_s)
-        _mul_components(u0, e_half, out=tmp)
-        u_s += tmp
-        k3 = self._nonlinear(u_s, out=ws.spectral("rk_k3", 3))
-        _mul_components(k3, e_half, out=u_s)
-        u_s *= dt
-        _mul_components(u0, e_full, out=tmp)
-        u_s += tmp
-        k4 = self._nonlinear(u_s, out=ws.spectral("rk_k4", 3))
+        with spans.span("rk4.stage1", category="stage"):
+            k1 = self._nonlinear(u0, out=ws.spectral("rk_k1", 3))
+            np.multiply(k1, 0.5 * dt, out=u_s)
+            u_s += u0
+            _imul_components(u_s, e_half)
+        with spans.span("rk4.stage2", category="stage"):
+            k2 = self._nonlinear(u_s, out=ws.spectral("rk_k2", 3))
+            np.multiply(k2, 0.5 * dt, out=u_s)
+            _mul_components(u0, e_half, out=tmp)
+            u_s += tmp
+        with spans.span("rk4.stage3", category="stage"):
+            k3 = self._nonlinear(u_s, out=ws.spectral("rk_k3", 3))
+            _mul_components(k3, e_half, out=u_s)
+            u_s *= dt
+            _mul_components(u0, e_full, out=tmp)
+            u_s += tmp
+        with spans.span("rk4.stage4", category="stage"):
+            k4 = self._nonlinear(u_s, out=ws.spectral("rk_k4", 3))
 
-        # u <- e_full u0 + dt/6 (e_full k1 + 2 e_half (k2 + k3) + k4)
-        k2 += k3
-        _imul_components(k2, e_half)
-        k2 *= 2.0
-        _imul_components(k1, e_full)
-        k1 += k2
-        k1 += k4
-        k1 *= dt / 6.0
-        _imul_components(u0, e_full)
-        u0 += k1
+            # u <- e_full u0 + dt/6 (e_full k1 + 2 e_half (k2 + k3) + k4)
+            k2 += k3
+            _imul_components(k2, e_half)
+            k2 *= 2.0
+            _imul_components(k1, e_full)
+            k1 += k2
+            k1 += k4
+            k1 *= dt / 6.0
+            _imul_components(u0, e_full)
+            u0 += k1
 
     # -- legacy (allocating) schemes ------------------------------------------
 
@@ -342,27 +379,41 @@ class NavierStokesSolver:
         """Advance one time step of size ``dt``."""
         if dt <= 0:
             raise ValueError("dt must be positive")
+        obs = self.obs
+        spans = obs.spans
         evals_before = self._nl_evals
-        if self.config.use_workspace:
-            if self.config.scheme == "rk2":
-                self._step_rk2(dt)
+        with (spans.span("solver.step", category="step", n=self.grid.n,
+                         scheme=self.config.scheme, dt=dt)
+              if obs.enabled else NULL_SPAN) as step_span:
+            if self.config.use_workspace:
+                if self.config.scheme == "rk2":
+                    self._step_rk2(dt)
+                else:
+                    self._step_rk4(dt)
             else:
-                self._step_rk4(dt)
-        else:
-            if self.config.scheme == "rk2":
-                self._step_rk2_legacy(dt)
+                if self.config.scheme == "rk2":
+                    self._step_rk2_legacy(dt)
+                else:
+                    self._step_rk4_legacy(dt)
+            with spans.span("forcing.post_step", category="forcing"):
+                self.forcing.post_step(self.u_hat, self.grid, dt)
+            self.time += dt
+            self.step_count += 1
+            every = self.config.diagnostics_every
+            if every > 0 and self.step_count % every == 0:
+                with spans.span("diagnostics.energy", category="diagnostics"):
+                    energy = kinetic_energy(self.u_hat, self.grid)
+                    dissipation = dissipation_rate(
+                        self.u_hat, self.grid, self.config.nu
+                    )
             else:
-                self._step_rk4_legacy(dt)
-        self.forcing.post_step(self.u_hat, self.grid, dt)
-        self.time += dt
-        self.step_count += 1
-        every = self.config.diagnostics_every
-        if every > 0 and self.step_count % every == 0:
-            energy = kinetic_energy(self.u_hat, self.grid)
-            dissipation = dissipation_rate(self.u_hat, self.grid, self.config.nu)
-        else:
-            energy = math.nan
-            dissipation = math.nan
+                energy = math.nan
+                dissipation = math.nan
+        if obs.enabled:
+            obs.metrics.counter("solver.steps").inc()
+            obs.metrics.histogram("solver.step.seconds").observe(
+                step_span.duration
+            )
         return StepResult(
             time=self.time,
             dt=dt,
@@ -376,10 +427,18 @@ class NavierStokesSolver:
         return [self.step(dt) for _ in range(nsteps)]
 
     def stable_dt(self, cfl: float = 0.5) -> float:
-        """A CFL-limited time step for the current field."""
+        """A CFL-limited time step for the current field.
+
+        The three inverse transforms inside :func:`cfl_number` reuse
+        workspace scratch (no full-grid allocations) and are timed under
+        their own ``diagnostics`` span, so adaptive-dt drivers see this
+        cost in the breakdown instead of it hiding in step time.
+        """
         if cfl <= 0:
             raise ValueError("cfl must be positive")
-        trial = cfl_number(self.u_hat, self.grid, dt=1.0)
+        ws = self.workspace if self.config.use_workspace else None
+        with self.obs.spans.span("diagnostics.cfl", category="diagnostics"):
+            trial = cfl_number(self.u_hat, self.grid, dt=1.0, workspace=ws)
         if trial == 0:
             return np.inf
         return cfl / trial

@@ -31,11 +31,15 @@ is ``"auto"``).
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.obs import NULL_OBS, NULL_SPAN
 from repro.spectral.grid import SpectralGrid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 __all__ = [
     "BufferPool",
@@ -67,19 +71,24 @@ class BufferPool:
     warmup pass every request is served from the pool.
     """
 
-    def __init__(self, max_per_key: int = 8):
+    def __init__(self, max_per_key: int = 8, obs: "Observability | None" = None):
         self._free: dict[tuple[tuple[int, ...], np.dtype], list[np.ndarray]] = {}
         self.max_per_key = max_per_key
         self.hits = 0
         self.misses = 0
+        self.obs = obs if obs is not None else NULL_OBS
 
     def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         key = (tuple(shape), np.dtype(dtype))
         stack = self._free.get(key)
         if stack:
             self.hits += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("pool.take.hits").inc()
             return stack.pop()
         self.misses += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("pool.take.misses").inc()
         return np.empty(key[0], dtype=key[1])
 
     def give(self, buf: np.ndarray) -> None:
@@ -87,6 +96,8 @@ class BufferPool:
         stack = self._free.setdefault(key, [])
         if len(stack) < self.max_per_key:
             stack.append(buf)
+        if self.obs.enabled:
+            self.obs.metrics.counter("pool.releases").inc()
 
 
 # -- transform backends -------------------------------------------------------
@@ -294,10 +305,12 @@ class SpectralWorkspace:
         grid: SpectralGrid,
         backend: str | TransformBackend | None = "auto",
         max_factors: int = 32,
+        obs: "Observability | None" = None,
     ):
         self.grid = grid
         self.backend = resolve_backend(backend)
-        self.pool = BufferPool()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.pool = BufferPool(obs=self.obs)
         self._buffers: dict[tuple[str, str, Optional[int]], np.ndarray] = {}
         self._factors: dict[tuple[float, float], np.ndarray] = {}
         self._max_factors = max_factors
@@ -320,6 +333,11 @@ class SpectralWorkspace:
             shape = base_shape if ncomp is None else (ncomp, *base_shape)
             buf = np.empty(shape, dtype=dtype)
             self._buffers[cache_key] = buf
+            if self.obs.enabled:
+                # Buffer creation is a warmup-only event; track the arena
+                # footprint high-water mark as it grows.
+                self.obs.metrics.counter("workspace.buffers").inc()
+                self.obs.metrics.gauge("workspace.bytes_peak").set_max(self.nbytes)
         return buf
 
     @property
@@ -437,8 +455,15 @@ class SpectralWorkspace:
             raise ValueError(f"expected {grid.physical_shape}, got {u.shape}")
         if out is None:
             out = self.spectral("fft_out")
-        self.backend.forward(u, out)
-        out /= grid.n**3
+        obs = self.obs
+        # Conditional so the disabled path never builds the kwargs dict.
+        with (obs.spans.span("fft.fwd", category="fft",
+                             backend=self.backend.name, n=grid.n)
+              if obs.enabled else NULL_SPAN):
+            self.backend.forward(u, out)
+            out /= grid.n**3
+        if obs.enabled:
+            obs.metrics.counter("fft.calls").inc()
         return out
 
     def ifft3d(self, u_hat: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -450,6 +475,12 @@ class SpectralWorkspace:
         if out is None:
             out = self.physical("ifft_out")
         work = self.spectral("ifft_work")
-        self.backend.inverse(u_hat, out, work)
-        out *= grid.n**3
+        obs = self.obs
+        with (obs.spans.span("fft.inv", category="fft",
+                             backend=self.backend.name, n=grid.n)
+              if obs.enabled else NULL_SPAN):
+            self.backend.inverse(u_hat, out, work)
+            out *= grid.n**3
+        if obs.enabled:
+            obs.metrics.counter("fft.calls").inc()
         return out

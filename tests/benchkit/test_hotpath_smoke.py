@@ -8,7 +8,13 @@ test run without measurable cost.
 
 import json
 
-from repro.benchkit.hotpath import benchmark_solver, run_suite, write_json
+from repro.benchkit.hotpath import (
+    benchmark_solver,
+    run_suite,
+    to_metrics_records,
+    write_json,
+    write_metrics_jsonl,
+)
 
 
 def test_benchmark_solver_smoke():
@@ -43,3 +49,23 @@ def test_run_suite_smoke(tmp_path):
         round_trip = json.load(fh)
     assert round_trip["suite"] == "solver_hotpath"
     assert round_trip["results"][0]["n"] == 16
+
+
+def test_suite_emits_metric_records(tmp_path):
+    payload = run_suite(grid_sizes=(16,), schemes=("rk2",),
+                        backends=("numpy",), steps=1, warmup=1,
+                        trace_alloc=False)
+    records = payload["metrics"]
+    assert records == to_metrics_records(payload)
+    # Three gauges per measured operating point, metric-record schema.
+    assert len(records) == 3 * len(payload["results"])
+    assert all(r["kind"] == "metric" and r["type"] == "gauge" for r in records)
+    names = {r["name"] for r in records}
+    assert names == {"solver.step.seconds", "solver.steps_per_sec",
+                     "solver.peak_alloc_bytes"}
+    assert all(set(r["labels"]) == {"n", "scheme", "backend", "workspace"}
+               for r in records)
+
+    path = write_metrics_jsonl(payload, str(tmp_path / "bench.jsonl"))
+    lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+    assert lines == records

@@ -21,10 +21,40 @@ class TestConversion:
         events = to_chrome_trace(tracer)
         meta = [e for e in events if e["ph"] == "M"]
         durations = [e for e in events if e["ph"] == "X"]
-        assert len(meta) == 2  # one thread_name per lane
+        # One thread_name per lane plus one process_name per lane prefix.
+        thread_names = [m for m in meta if m["name"] == "thread_name"]
+        process_names = [m for m in meta if m["name"] == "process_name"]
+        assert len(thread_names) == 2
+        assert len(process_names) == 2
         assert len(durations) == 2
-        names = {m["args"]["name"] for m in meta}
-        assert names == {"r0.mpi", "gpu0.compute"}
+        assert {m["args"]["name"] for m in thread_names} == {
+            "r0.mpi", "gpu0.compute"
+        }
+        assert {m["args"]["name"] for m in process_names} == {"r0", "gpu0"}
+
+    def test_lane_prefixes_group_into_pids(self):
+        t = Tracer()
+        t.record("fft", "rank0.fft", "f", 0.0, 1.0)
+        t.record("mpi", "rank0.mpi", "m", 0.0, 1.0)
+        t.record("fft", "rank1.fft", "f", 0.0, 1.0)
+        events = to_chrome_trace(t)
+        pid_of = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e.get("name") == "thread_name"
+        }
+        assert pid_of["rank0.fft"] == pid_of["rank0.mpi"]
+        assert pid_of["rank0.fft"] != pid_of["rank1.fft"]
+        # Duration events carry their lane's pid.
+        x = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in x} == set(pid_of.values())
+
+    def test_dotless_lane_is_own_process(self):
+        t = Tracer()
+        t.record("cpu", "main", "work", 0.0, 1.0)
+        events = to_chrome_trace(t)
+        proc = next(e for e in events if e["name"] == "process_name")
+        assert proc["args"]["name"] == "main"
 
     def test_times_in_microseconds(self, tracer):
         events = to_chrome_trace(tracer)
@@ -49,9 +79,10 @@ class TestConversion:
     def test_lanes_map_to_stable_tids(self, tracer):
         events = to_chrome_trace(tracer)
         by_name = {
-            e["name"]: e["tid"] for e in events if e["ph"] == "X"
+            (e["pid"], e["name"]): e["tid"] for e in events if e["ph"] == "X"
         }
-        assert by_name["a2a[0]"] != by_name["ffty"]
+        # Distinct (pid, tid) per lane even though tids restart per process.
+        assert len(set(by_name.items())) == 2
 
     def test_non_jsonable_meta_stringified(self):
         t = Tracer()
@@ -67,7 +98,17 @@ class TestWriting:
         doc = json.loads(path.read_text())
         assert "traceEvents" in doc
         assert doc["displayTimeUnit"] == "ms"
-        assert len(doc["traceEvents"]) == 4
+        # 2 process_name + 2 thread_name + 2 duration events.
+        assert len(doc["traceEvents"]) == 6
+
+    def test_metadata_lands_in_other_data(self, tracer, tmp_path):
+        path = write_chrome_trace(
+            tracer, tmp_path / "trace.json",
+            metadata={"repro_version": "1.0.0", "obj": object()},
+        )
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["repro_version"] == "1.0.0"
+        assert isinstance(doc["otherData"]["obj"], str)
 
     def test_export_of_real_simulation(self, machine, tmp_path):
         from repro.core import RunConfig, simulate_step
@@ -79,3 +120,22 @@ class TestWriting:
         doc = json.loads(path.read_text())
         cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
         assert {"mpi", "h2d", "d2h", "fft"} <= cats
+
+    def test_simulated_durations_monotone_nonnegative(self, machine, tmp_path):
+        from repro.core import RunConfig, simulate_step
+
+        timing = simulate_step(
+            RunConfig(n=3072, nodes=16, tasks_per_node=2, npencils=3), machine
+        )
+        events = to_chrome_trace(timing.tracer)
+        x = [e for e in events if e["ph"] == "X"]
+        assert x
+        assert all(e["dur"] >= 0 for e in x)
+        assert all(e["ts"] >= 0 for e in x)
+        # One thread_name metadata event per lane.
+        lanes = set(timing.tracer.lanes())
+        thread_names = [
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        ]
+        assert set(thread_names) == lanes
+        assert len(thread_names) == len(lanes)

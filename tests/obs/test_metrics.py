@@ -1,0 +1,203 @@
+"""Tests for the metrics registry and its exporters."""
+
+import json
+import math
+import tracemalloc
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_record,
+    write_jsonl,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("fft.calls")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(7)
+        c.reset()
+        assert c.value == 0.0
+
+    def test_record_schema(self):
+        c = Counter("fft.calls")
+        c.inc(3)
+        rec = c.to_record()
+        assert rec == {"kind": "metric", "name": "fft.calls",
+                       "type": "counter", "value": 3.0, "labels": {}}
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("bytes")
+        g.set(10)
+        g.inc(5)
+        assert g.value == 15.0
+
+    def test_set_max_tracks_high_water(self):
+        g = Gauge("peak")
+        g.set_max(10)
+        g.set_max(3)  # lower value does not regress the mark
+        assert g.value == 10.0
+        g.set_max(12)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_count_sum_last(self):
+        h = Histogram("t")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(7.0)
+        assert h.last == 4.0
+
+    def test_percentiles_linear_interpolation(self):
+        h = Histogram("t")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        assert h.percentile(50) == pytest.approx(2.5)
+        # numpy linear-interpolation convention at p90: rank 2.7 -> 3.7.
+        assert h.percentile(90) == pytest.approx(3.7)
+
+    def test_percentile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t").percentile(101)
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram("t").percentile(50))
+        assert math.isnan(Histogram("t").last)
+
+    def test_record_carries_quantiles(self):
+        h = Histogram("t")
+        for v in (1.0, 3.0):
+            h.observe(v)
+        rec = h.to_record()
+        assert rec["count"] == 2
+        assert rec["min"] == 1.0 and rec["max"] == 3.0
+        assert rec["p50"] == pytest.approx(2.0)
+        assert "value" not in rec
+
+    def test_empty_record(self):
+        rec = Histogram("t").to_record()
+        assert rec["count"] == 0 and rec["sum"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_reset_all(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.histogram("b").observe(1.0)
+        reg.reset()
+        assert reg.counter("a").value == 0.0
+        assert reg.histogram("b").count == 0
+
+    def test_snapshot_is_sorted_metric_records(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(2)
+        snap = reg.snapshot()
+        assert [r["name"] for r in snap] == ["a", "b"]
+        assert all(r["kind"] == "metric" for r in snap)
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("fft.calls", help="transform invocations").inc(9)
+        reg.histogram("step.seconds").observe(0.5)
+        text = reg.to_prometheus_text()
+        assert "# HELP fft_calls transform invocations" in text
+        assert "# TYPE fft_calls counter" in text
+        assert "fft_calls 9.0" in text
+        assert "# TYPE step_seconds summary" in text
+        assert 'step_seconds{quantile="0.50"} 0.5' in text
+        assert "step_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_write_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        path = reg.write_prometheus(tmp_path / "metrics.prom")
+        assert "# TYPE a counter" in path.read_text()
+
+
+class TestDisabledRegistry:
+    def test_null_singletons_shared(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.gauge("a") is reg.gauge("b")
+        assert reg.histogram("a") is reg.histogram("b")
+        assert len(reg) == 0
+
+    def test_null_mutators_are_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc(5)
+        reg.gauge("a").set_max(9)
+        reg.histogram("a").observe(1.0)
+        assert reg.counter("a").value == 0.0
+        assert reg.gauge("a").value == 0.0
+        assert math.isnan(reg.histogram("a").percentile(50))
+
+    def test_disabled_mode_allocates_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        # Warm the instruction path, then assert steady state is allocation-free.
+        for _ in range(3):
+            reg.counter("hot.counter").inc()
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        for _ in range(100):
+            reg.counter("hot.counter").inc()
+            reg.gauge("hot.gauge").set_max(1.0)
+            reg.histogram("hot.hist").observe(0.5)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Nothing retained; transient peak is a single bound method, far
+        # below what even one real instrument object would cost per call.
+        assert current == 0
+        assert peak < 512
+
+
+class TestExportHelpers:
+    def test_metric_record_defaults(self):
+        rec = metric_record("a", "counter", 1.0)
+        assert rec == {"kind": "metric", "name": "a", "type": "counter",
+                       "value": 1.0, "labels": {}}
+
+    def test_metric_record_labels_copied(self):
+        labels = {"n": 32}
+        rec = metric_record("a", "gauge", 1.0, labels)
+        labels["n"] = 64
+        assert rec["labels"] == {"n": 32}
+
+    def test_write_jsonl_round_trip(self, tmp_path):
+        records = [{"kind": "run", "n": 16}, metric_record("a", "counter", 2.0)]
+        path = write_jsonl(records, tmp_path / "m.jsonl")
+        lines = path.read_text().splitlines()
+        assert [json.loads(l) for l in lines] == records

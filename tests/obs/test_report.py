@@ -1,0 +1,48 @@
+"""Tests for the end-of-run per-phase breakdown."""
+
+import pytest
+
+from repro.obs import SpanTracer, phase_breakdown, render_breakdown
+
+
+def traced_run():
+    """step [0,10] containing fft [1,4] and nonlinear [5,7]."""
+    times = iter([0.0, 1.0, 4.0, 5.0, 7.0, 10.0])
+    st = SpanTracer(clock=lambda: next(times))
+    with st.span("solver.step", category="step"):
+        with st.span("fft.fwd", category="fft"):
+            pass
+        with st.span("rhs.nonlinear", category="nonlinear"):
+            pass
+    return st
+
+
+class TestPhaseBreakdown:
+    def test_rows_partition_wall_time(self):
+        rows = phase_breakdown(traced_run())
+        by_cat = {cat: sec for cat, sec, _ in rows}
+        assert by_cat == pytest.approx({"step": 5.0, "fft": 3.0, "nonlinear": 2.0})
+        assert sum(frac for _, _, frac in rows) == pytest.approx(1.0)
+
+    def test_rows_sorted_largest_first(self):
+        rows = phase_breakdown(traced_run())
+        secs = [sec for _, sec, _ in rows]
+        assert secs == sorted(secs, reverse=True)
+
+    def test_explicit_total_changes_fractions(self):
+        rows = phase_breakdown(traced_run(), total=20.0)
+        by_cat = {cat: frac for cat, _, frac in rows}
+        assert by_cat["step"] == pytest.approx(0.25)
+
+    def test_empty_tracer(self):
+        assert phase_breakdown(SpanTracer()) == []
+
+
+class TestRenderBreakdown:
+    def test_render_contains_rows_and_wall(self):
+        text = render_breakdown(traced_run(), title="t")
+        assert text.startswith("t (wall 10.000 s, 3 spans)")
+        assert "fft" in text and "%" in text
+
+    def test_render_empty(self):
+        assert "(no spans recorded)" in render_breakdown(SpanTracer())

@@ -1,0 +1,171 @@
+"""Tests for the wall-clock span tracer."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, SpanTracer
+from repro.sim.trace import Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each call returns the next scripted time."""
+
+    def __init__(self, *times):
+        self._times = list(times)
+
+    def __call__(self):
+        return self._times.pop(0)
+
+
+class TestSpanRecording:
+    def test_single_span_records_activity(self):
+        st = SpanTracer(clock=FakeClock(10.0, 13.0))
+        with st.span("solver.step"):
+            pass
+        (act,) = st.activities
+        assert act.name == "solver.step"
+        assert act.category == "solver"  # dotted prefix default
+        assert act.lane == "main"
+        # Epoch rebasing: first span starts at t=0.
+        assert act.start == 0.0
+        assert act.end == 3.0
+
+    def test_explicit_category_and_lane_and_meta(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0))
+        with st.span("fft.fwd", category="fft", lane="gpu0", n=32):
+            pass
+        (act,) = st.activities
+        assert act.category == "fft"
+        assert act.lane == "gpu0"
+        assert act.meta["n"] == 32
+
+    def test_nesting_order_inner_recorded_first(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0, 2.0, 4.0))
+        with st.span("outer"):
+            with st.span("inner"):
+                pass
+        assert [a.name for a in st.activities] == ["inner", "outer"]
+
+    def test_exclusive_time_subtracts_direct_children(self):
+        # outer [0, 4], inner [1, 2] -> outer exclusive 3.
+        st = SpanTracer(clock=FakeClock(0.0, 1.0, 2.0, 4.0))
+        with st.span("outer"):
+            with st.span("inner"):
+                pass
+        inner, outer = st.activities
+        assert inner.meta["exclusive"] == pytest.approx(1.0)
+        assert outer.meta["exclusive"] == pytest.approx(3.0)
+        assert outer.meta["depth"] == 0
+        assert inner.meta["depth"] == 1
+
+    def test_exclusive_only_counts_direct_children(self):
+        # a [0,10] > b [1,7] > c [2,3]: b's exclusive 5, a's 4 (not 3).
+        st = SpanTracer(clock=FakeClock(0.0, 1.0, 2.0, 3.0, 7.0, 10.0))
+        with st.span("a"):
+            with st.span("b"):
+                with st.span("c"):
+                    pass
+        by_name = {a.name: a for a in st.activities}
+        assert by_name["c"].meta["exclusive"] == pytest.approx(1.0)
+        assert by_name["b"].meta["exclusive"] == pytest.approx(5.0)
+        assert by_name["a"].meta["exclusive"] == pytest.approx(4.0)
+
+    def test_exclusive_by_category_sums_to_wall(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0, 2.0, 4.0))
+        with st.span("step.outer", category="step"):
+            with st.span("fft.inner", category="fft"):
+                pass
+        excl = st.exclusive_by_category()
+        assert sum(excl.values()) == pytest.approx(st.wall_time())
+
+    def test_depth_property_tracks_open_spans(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0, 2.0, 3.0))
+        assert st.depth == 0
+        with st.span("a"):
+            assert st.depth == 1
+            with st.span("b"):
+                assert st.depth == 2
+        assert st.depth == 0
+
+    def test_span_survives_exception(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0))
+        with pytest.raises(RuntimeError):
+            with st.span("boom"):
+                raise RuntimeError("x")
+        assert len(st) == 1
+        assert st.depth == 0
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        st = SpanTracer(enabled=False)
+        assert st.span("anything", n=3) is NULL_SPAN
+        assert st.span("other") is NULL_SPAN  # same object, no allocation
+
+    def test_disabled_records_nothing(self):
+        st = SpanTracer(enabled=False)
+        with st.span("a"):
+            with st.span("b"):
+                pass
+        assert len(st) == 0
+
+    def test_null_span_exposes_zero_duration(self):
+        assert NULL_SPAN.duration == 0.0
+        assert NULL_SPAN.exclusive == 0.0
+
+
+class TestChildAndMerge:
+    def test_child_shares_epoch(self):
+        clock = FakeClock(100.0, 101.0, 102.0, 104.0)
+        st = SpanTracer(clock=clock)
+        child = st.child("rank0")
+        with st.span("parent"):
+            pass
+        with child.span("local"):
+            pass
+        # Child's span rebased against the parent's epoch (t=100).
+        (act,) = child.activities
+        assert act.start == pytest.approx(2.0)
+        assert act.end == pytest.approx(4.0)
+        assert act.lane == "rank0"
+
+    def test_merge_applies_lane_prefix(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0))
+        child = st.child("local")
+        with child.span("nl.assemble"):
+            pass
+        st.merge(child, lane_prefix="rank0.")
+        assert [a.lane for a in st.activities] == ["rank0.local"]
+
+    def test_merge_accepts_plain_tracer(self):
+        st = SpanTracer()
+        t = Tracer()
+        t.record("fft", "gpu", "ffty", 0.0, 1.0)
+        st.merge(t, lane_prefix="r1.")
+        assert st.activities[0].lane == "r1.gpu"
+
+    def test_clear_drops_finished_spans(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0))
+        with st.span("a"):
+            pass
+        st.clear()
+        assert len(st) == 0
+
+    def test_to_tracer_is_shared_not_copy(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0))
+        tr = st.to_tracer()
+        with st.span("a"):
+            pass
+        assert len(tr) == 1
+
+
+class TestBreakdown:
+    def test_breakdown_unions_overlapping_intervals(self):
+        st = SpanTracer(clock=FakeClock(0.0, 1.0, 2.0, 3.0))
+        with st.span("fft.a", category="fft"):
+            pass
+        with st.span("fft.b", category="fft"):
+            pass
+        assert st.breakdown()["fft"] == pytest.approx(2.0)
+
+    def test_wall_time_empty(self):
+        assert SpanTracer().wall_time() == 0.0

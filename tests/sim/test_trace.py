@@ -83,6 +83,15 @@ def test_merge_with_lane_prefix():
     assert "node1.mpi" in t1.lanes()
 
 
+def test_merge_into_disabled_tracer_is_noop():
+    t1 = Tracer()
+    t1.enabled = False
+    t2 = Tracer()
+    t2.record("mpi", "mpi", "x", 0.0, 1.0)
+    t1.merge(t2)
+    assert len(t1) == 0
+
+
 def test_busy_time_by_category_matches_per_category_queries():
     t = make_tracer()
     by_cat = t.busy_time_by_category()

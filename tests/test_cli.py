@@ -53,6 +53,16 @@ class TestAutotune:
         assert "<-- best" in out
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
 class TestDns:
     def test_dns_runs(self, capsys):
         assert main(["dns", "--n", "16", "--steps", "3"]) == 0
@@ -61,6 +71,54 @@ class TestDns:
 
     def test_dns_forced(self, capsys):
         assert main(["dns", "--n", "16", "--steps", "2", "--forced"]) == 0
+
+    def test_dns_report_prints_breakdown(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "2", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "fft" in out
+
+    def test_dns_observability_artifacts(self, capsys, tmp_path):
+        """Tier-1 smoke: a short run writes schema-valid trace + metrics."""
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["dns", "--n", "16", "--steps", "2",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert all(e["dur"] >= 0 and e["ts"] >= 0
+                   for e in events if e["ph"] == "X")
+        assert any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+        # Exactly one thread_name metadata event per lane.
+        thread_names = [e["args"]["name"] for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(thread_names) == len(set(thread_names)) > 0
+        # The run's provenance (including the code version) is embedded.
+        from repro import __version__
+
+        assert doc["otherData"]["repro_version"] == __version__
+
+        records = [json.loads(l) for l in metrics.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"run", "step", "metric"}
+        steps = [r for r in records if r["kind"] == "step"]
+        assert [r["step"] for r in steps] == [1, 2]
+        assert all(r["wall_seconds"] > 0 for r in steps)
+        by_name = {r["name"]: r for r in records if r["kind"] == "metric"}
+        assert by_name["solver.steps"]["value"] == 2
+        assert by_name["solver.step.seconds"]["count"] == 2
+        assert by_name["fft.calls"]["value"] > 0
+
+    def test_dns_without_flags_records_nothing(self, capsys):
+        from repro.obs import NULL_OBS
+
+        before = len(NULL_OBS.spans)
+        assert main(["dns", "--n", "16", "--steps", "2"]) == 0
+        assert len(NULL_OBS.spans) == before
 
 
 class TestStudies:
