@@ -11,18 +11,28 @@ analyzing the full DNS:
   :mod:`repro.benchkit.stride_kernel`;
 * a hot-path harness timing the real solver with and without the
   pre-allocated :class:`~repro.spectral.SpectralWorkspace` —
-  :mod:`repro.benchkit.hotpath`.
+  :mod:`repro.benchkit.hotpath`;
+* an overlap-efficiency study of the async pencil pipeline (threaded
+  streams vs. the sync reference, Fig. 4) — :mod:`repro.benchkit.overlap`.
 """
 
 from repro.benchkit.a2a_kernel import StandaloneA2AKernel
 from repro.benchkit.hotpath import HotpathResult, benchmark_solver, run_suite
+from repro.benchkit.overlap import (
+    OverlapResult,
+    benchmark_overlap,
+    run_overlap_suite,
+)
 from repro.benchkit.stride_kernel import StridedCopyStudy, ZeroCopyBlockStudy
 
 __all__ = [
     "HotpathResult",
+    "OverlapResult",
     "StandaloneA2AKernel",
     "StridedCopyStudy",
     "ZeroCopyBlockStudy",
+    "benchmark_overlap",
     "benchmark_solver",
+    "run_overlap_suite",
     "run_suite",
 ]

@@ -1,0 +1,161 @@
+"""Overlap-efficiency benchmark for the async pencil pipeline.
+
+The paper's Fig. 4 claim is that H2D copies, pencil FFTs, D2H copies and
+the all-to-all can proceed concurrently; the figure of merit here is
+
+    overlap efficiency = (sum of per-stream busy seconds) / (wall seconds)
+
+measured on a real transform round trip.  Every pipeline stream records its
+operations on a ``stream.<name>`` span lane, so the numerator is exactly
+the work a fully serialized execution would have to pay end-to-end.  An
+efficiency of 1.0 means no overlap at all (the sync reference backend, by
+construction); values above 1.0 mean the worker-thread streams genuinely
+ran stages concurrently (NumPy's FFTs and copies release the GIL).
+
+The heavy sweep lives in ``benchmarks/test_pipeline_overlap.py`` (``bench``
+marker, writes ``BENCH_pipeline_overlap.json``); a smoke test covers this
+module inside tier-1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.benchkit.hotpath import write_json  # shared JSON artifact shape
+
+__all__ = [
+    "OverlapResult",
+    "benchmark_overlap",
+    "run_overlap_suite",
+    "write_json",
+]
+
+_STREAM_PREFIX = "stream."
+
+
+@dataclass(frozen=True)
+class OverlapResult:
+    """One measured operating point of the out-of-core pipeline."""
+
+    n: int
+    ranks: int
+    npencils: int
+    pipeline: str
+    inflight: int
+    repeats: int
+    wall_seconds: float
+    busy_seconds: float
+    overlap_efficiency: float
+    stage_busy: dict
+
+
+def benchmark_overlap(
+    n: int,
+    ranks: int = 2,
+    npencils: int = 4,
+    pipeline: str = "threads",
+    inflight: int = 3,
+    repeats: int = 2,
+    seed: int = 0,
+) -> OverlapResult:
+    """Time ``repeats`` inverse+forward round trips of the pencil engine.
+
+    A warmup round trip primes FFT plans and the arena/staging pools, then
+    the measured rounds accumulate per-stream busy time from the recorded
+    spans.  The busy/wall ratio is the overlap efficiency.
+    """
+    from repro.dist.outofcore import OutOfCoreSlabFFT
+    from repro.dist.virtual_mpi import VirtualComm
+    from repro.obs import Observability
+    from repro.spectral.grid import SpectralGrid
+
+    grid = SpectralGrid(n)
+    comm = VirtualComm(ranks)
+    obs = Observability.create()
+    rng = np.random.default_rng(seed)
+    fft = OutOfCoreSlabFFT(
+        grid, comm, npencils, obs=obs, pipeline=pipeline, inflight=inflight
+    )
+    shape = fft.decomp.local_spectral_shape()
+    spec = [
+        (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+            grid.cdtype
+        )
+        for _ in range(ranks)
+    ]
+    try:
+        fft.forward(fft.inverse(spec))  # warmup: FFT plans + pools
+        obs.spans.clear()
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fft.forward(fft.inverse(spec))
+        wall = time.perf_counter() - t0
+    finally:
+        fft.close()
+
+    stage_busy: dict[str, float] = {}
+    for act in obs.spans.to_tracer():
+        if act.lane.startswith(_STREAM_PREFIX):
+            key = act.lane[len(_STREAM_PREFIX):]
+            stage_busy[key] = stage_busy.get(key, 0.0) + act.duration
+    busy = sum(stage_busy.values())
+    return OverlapResult(
+        n=n,
+        ranks=ranks,
+        npencils=npencils,
+        pipeline=pipeline,
+        inflight=inflight,
+        repeats=repeats,
+        wall_seconds=wall,
+        busy_seconds=busy,
+        overlap_efficiency=busy / wall if wall > 0 else 0.0,
+        stage_busy={k: round(v, 6) for k, v in sorted(stage_busy.items())},
+    )
+
+
+def run_overlap_suite(
+    grid_sizes: Sequence[int] = (32, 64),
+    ranks: int = 2,
+    npencils: int = 4,
+    inflight_depths: Sequence[int] = (1, 3),
+    repeats: int = 2,
+) -> dict:
+    """Sweep sync vs. threads across grids and in-flight depths.
+
+    Returns a JSON-serializable payload whose ``efficiencies`` summary maps
+    ``n{n}-threads-inflight{k}`` to the busy/wall ratio (the sync reference
+    is included per grid as the 1.0-by-construction baseline).
+    """
+    results: list[OverlapResult] = []
+    for n in grid_sizes:
+        results.append(
+            benchmark_overlap(
+                n, ranks=ranks, npencils=npencils, pipeline="sync",
+                inflight=1, repeats=repeats,
+            )
+        )
+        for depth in inflight_depths:
+            results.append(
+                benchmark_overlap(
+                    n, ranks=ranks, npencils=npencils, pipeline="threads",
+                    inflight=depth, repeats=repeats,
+                )
+            )
+    efficiencies = {
+        f"n{r.n}-{r.pipeline}-inflight{r.inflight}": r.overlap_efficiency
+        for r in results
+    }
+    return {
+        "suite": "pipeline_overlap",
+        "grid_sizes": list(grid_sizes),
+        "ranks": ranks,
+        "npencils": npencils,
+        "inflight_depths": list(inflight_depths),
+        "repeats": repeats,
+        "results": [asdict(r) for r in results],
+        "efficiencies": efficiencies,
+    }

@@ -74,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-step + end-of-run metrics as JSONL")
     p.add_argument("--report", action="store_true",
                    help="print an end-of-run per-phase wall-clock breakdown")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="run the slab-distributed solver over this many "
+                        "virtual ranks instead of the serial one")
+    p.add_argument("--npencils", type=int, default=None,
+                   help="with --ranks: pencils per slab for the out-of-core "
+                        "engine (default: whole-slab transforms)")
+    p.add_argument("--pipeline", default="sync", choices=["sync", "threads"],
+                   help="out-of-core execution backend: inline reference or "
+                        "worker-thread streams with Fig. 4 overlap")
+    p.add_argument("--inflight", type=int, default=3,
+                   help="bounded in-flight pencil window (threads pipeline)")
+    p.add_argument("--dt", type=float, default=None,
+                   help="fixed time step for --ranks runs (default 0.25*dx)")
 
     for name in ("table1", "table2", "table3", "table4"):
         sub.add_parser(name, help=f"regenerate paper {name}")
@@ -176,6 +189,8 @@ def _cmd_dns(args) -> int:
 
     grid = SpectralGrid(args.n)
     rng = np.random.default_rng(0)
+    if args.ranks is not None:
+        return _cmd_dns_distributed(args, grid, rng, obs)
     forcing = BandForcing(k_force=2.5, eps_inj=1.0) if args.forced else None
     solver = NavierStokesSolver(
         grid,
@@ -235,6 +250,66 @@ def _cmd_dns(args) -> int:
         records.extend(step_records)
         records.extend(obs.metrics.snapshot())
         write_jsonl(records, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_dns_distributed(args, grid, rng, obs) -> int:
+    """``dns --ranks P``: the slab-distributed solver, optionally on the
+    out-of-core pencil pipeline (``--npencils/--pipeline/--inflight``)."""
+    from repro import __version__
+    from repro.dist import DistributedNavierStokesSolver, VirtualComm
+    from repro.spectral import SolverConfig, flow_statistics, random_isotropic_field
+
+    if args.forced:
+        print("error: --forced is not supported with --ranks", file=sys.stderr)
+        return 2
+    comm = VirtualComm(args.ranks)
+    solver = DistributedNavierStokesSolver(
+        grid,
+        comm,
+        random_isotropic_field(grid, rng, energy=1.0),
+        SolverConfig(nu=args.nu),
+        obs=obs,
+        npencils=args.npencils,
+        pipeline=args.pipeline,
+        inflight=args.inflight,
+    )
+    dt = args.dt if args.dt is not None else 0.25 * grid.dx
+    engine = (
+        f"out-of-core np={args.npencils} pipeline={args.pipeline} "
+        f"inflight={args.inflight}" if args.npencils else "whole-slab"
+    )
+    print(f"distributed dns: P={args.ranks} ranks, {engine}")
+    try:
+        for step in range(1, args.steps + 1):
+            result = solver.step(dt)
+            if step % max(1, args.steps // 10) == 0:
+                print(f"step {step:4d} t={result.time:.4f} "
+                      f"E={result.energy:.5f} eps={result.dissipation:.5f}")
+        print(flow_statistics(solver.gather_state(), grid, args.nu))
+    finally:
+        solver.close()
+    if args.report:
+        from repro.obs import render_breakdown
+
+        print()
+        print(render_breakdown(obs.spans,
+                               title=f"dns n={args.n} P={args.ranks} breakdown"))
+    if args.trace_out:
+        from repro.core.trace_export import write_chrome_trace
+
+        path = write_chrome_trace(
+            obs.spans.to_tracer(), args.trace_out,
+            metadata={"repro_version": __version__, "n": args.n,
+                      "ranks": args.ranks, "npencils": args.npencils,
+                      "pipeline": args.pipeline},
+        )
+        print(f"chrome trace written to {path}")
+    if args.metrics_out:
+        from repro.obs import write_jsonl
+
+        write_jsonl(obs.metrics.snapshot(), args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     return 0
 

@@ -54,7 +54,21 @@ class DistributedNavierStokesSolver:
         record spans on the main lane; rank-local work records into one
         child tracer per rank, merged back after every step under a
         ``rank<r>.`` lane prefix — so exported timelines group per rank,
-        exactly like the per-process rows of the paper's Fig. 10.
+        exactly like the per-process rows of the paper's Fig. 10.  With the
+        out-of-core engine each pipeline stream additionally records on a
+        ``stream.<name>`` lane (h2d / compute / d2h / comm).
+    npencils:
+        When set, the distributed transforms run through the out-of-core
+        pencil engine (:class:`~repro.dist.outofcore.OutOfCoreSlabFFT`)
+        with this many pencils per slab, under a byte-budgeted device
+        arena; ``pipeline``/``inflight``/``device_bytes`` are forwarded.
+        ``None`` (default) keeps the whole-slab
+        :class:`~repro.dist.slab_fft.SlabDistributedFFT`.
+    pipeline:
+        Out-of-core execution backend: ``"sync"`` (inline, bit-exact
+        reference) or ``"threads"`` (Fig. 4 overlap on worker threads).
+    inflight:
+        Bounded in-flight pencil window for ``pipeline="threads"``.
     """
 
     def __init__(
@@ -64,12 +78,29 @@ class DistributedNavierStokesSolver:
         u_hat_global: np.ndarray,
         config: Optional[SolverConfig] = None,
         obs: "Observability | None" = None,
+        npencils: Optional[int] = None,
+        pipeline: str = "sync",
+        inflight: int = 3,
+        device_bytes: Optional[float] = None,
     ):
         self.grid = grid
         self.comm = comm
         self.config = config or SolverConfig()
         self.obs = obs if obs is not None else NULL_OBS
-        self.fft = SlabDistributedFFT(grid, comm, obs=self.obs)
+        if npencils is None:
+            self.fft = SlabDistributedFFT(grid, comm, obs=self.obs)
+        else:
+            from repro.dist.outofcore import OutOfCoreSlabFFT
+
+            self.fft = OutOfCoreSlabFFT(
+                grid,
+                comm,
+                npencils,
+                device_bytes=device_bytes,
+                obs=self.obs,
+                pipeline=pipeline,
+                inflight=inflight,
+            )
         self.decomp: SlabDecomposition = self.fft.decomp
         self.views = [SlabGridView(grid, self.decomp, r) for r in range(comm.size)]
         self._rank_spans = [
@@ -98,6 +129,18 @@ class DistributedNavierStokesSolver:
         # memoizes through its SpectralWorkspace; ranks cache locally here
         # because each holds a different kz-slab of exp(-nu k^2 dt)).
         self._factor_cache: dict[float, list[np.ndarray]] = {}
+
+    def close(self) -> None:
+        """Release engine resources (stops out-of-core stream workers)."""
+        closer = getattr(self.fft, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "DistributedNavierStokesSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- local spectral operations ------------------------------------------
 

@@ -1,31 +1,55 @@
-"""Out-of-core slab FFT: the paper's batching, executed on real data.
+"""Out-of-core slab FFT: the paper's batched asynchronous algorithm, executed.
 
-The performance layer *times* the batched algorithm; this module *runs* it:
-a rank's slab lives in "host" memory (a NumPy array), while transforms may
-only touch "device" buffers drawn from a byte-budgeted arena sized like a
-GPU.  The slab is processed pencil-by-pencil exactly as Fig. 3/Fig. 4
-prescribe — split along x for the y-stage, along y for the z/x stages —
-and the arena enforces that no more than the planner's buffer allowance is
-ever resident, proving the algorithm's working set really is ``np`` times
-smaller than the slab.
+A rank's slab lives in "host" memory (a NumPy array) while transforms may
+only touch "device" buffers drawn from a byte-budgeted :class:`DeviceArena`
+sized like a GPU.  The slab is processed pencil-by-pencil exactly as
+Fig. 3 / Fig. 4 prescribe — split along x for the y-stage, along y for the
+z/x stages — and the arena enforces that no more than the planner's buffer
+allowance is ever resident.
 
-Numerically the result is identical to the in-core
-:class:`repro.dist.slab_fft.SlabDistributedFFT` (1-D FFTs over disjoint
-pencils are independent), which the tests assert.
+Since the async-runtime refactor the pencil loop is a
+:class:`repro.exec.PencilPipeline` over four streams:
+
+=========  ==================================================================
+``h2d``    copy the pencil's strided host view into a ring slot
+``compute``  the 1-D FFT stage(s), device-resident in and out
+``d2h``    copy the transformed pencil back to host memory
+``comm``   per-pencil chunked all-to-all (``VirtualComm.ialltoall``)
+=========  ==================================================================
+
+with events enforcing the Fig. 4 cross-stream edges (compute waits its
+pencil's H2D; D2H waits its compute; the exchange waits its D2H) and a
+bounded in-flight window gating H2D of pencil ``ip`` on full retirement of
+``ip - window``.  Device storage is a ring of flat buffers pre-claimed from
+the arena **once per transform stage** and re-viewed per pencil — the
+paper's persistent-buffer discipline (27 buffers claimed at startup,
+Sec. 3.5) — so no allocate/free sits on the pencil path.
+
+Backends are interchangeable: ``pipeline="sync"`` executes every operation
+inline in submission order (the bit-exact reference oracle),
+``pipeline="threads"`` runs the same operations on worker threads where
+NumPy's FFTs and copies release the GIL, so the copy-in of pencil ``ip+1``,
+the transform of ``ip``, and the exchange of ``ip-2`` genuinely overlap.
+The two produce bit-identical results (asserted by the determinism suite).
 """
 
 from __future__ import annotations
 
+import math
+import threading
+from contextlib import ExitStack, contextmanager
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.dist.decomp import SlabDecomposition
 from repro.dist.transpose import (
-    slab_transpose_physical_to_spectral,
-    slab_transpose_spectral_to_physical,
+    _PACK_POOL,
+    complete_chunk_exchange,
+    post_chunk_exchange,
 )
 from repro.dist.virtual_mpi import VirtualComm
+from repro.exec import PencilPipeline, PipelineStage, make_backend
 from repro.obs import NULL_OBS
 from repro.spectral.grid import SpectralGrid
 from repro.spectral.workspace import BufferPool
@@ -33,7 +57,14 @@ from repro.spectral.workspace import BufferPool
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
 
-__all__ = ["DeviceArena", "DeviceMemoryExceeded", "OutOfCoreSlabFFT"]
+__all__ = [
+    "DeviceArena",
+    "DeviceMemoryExceeded",
+    "OutOfCoreSlabFFT",
+    "PencilRings",
+]
+
+_KZ_AXIS, _Y_AXIS, _X_AXIS = 0, 1, 2
 
 
 class DeviceMemoryExceeded(RuntimeError):
@@ -46,13 +77,14 @@ class DeviceArena:
     Tracks live allocations and the high-water mark; ``allocate`` raises
     :class:`DeviceMemoryExceeded` when the budget would be exceeded —
     making "this slab does not fit, batch it" an *enforced* invariant
-    rather than a comment.
+    rather than a comment.  Accounting is thread-safe: ring claims happen
+    on the submitting thread while legacy upload/download helpers may run
+    on stream workers.
 
     Buffer storage is drawn from a
     :class:`~repro.spectral.workspace.BufferPool` (the same abstraction the
-    solver workspace uses), so the pencil loop recycles the same few arrays
-    instead of allocating one per upload — like the paper's 27 persistent
-    GPU buffers, the arena's memory is claimed once and reused.
+    solver workspace uses), so repeated claims recycle the same arrays
+    instead of allocating — like the paper's 27 persistent GPU buffers.
     """
 
     def __init__(
@@ -67,20 +99,23 @@ class DeviceArena:
         self.in_use = 0.0
         self.high_water = 0.0
         self._live: dict[int, int] = {}
+        self._lock = threading.Lock()
         self.obs = obs if obs is not None else NULL_OBS
         self.pool = pool if pool is not None else BufferPool(obs=self.obs)
 
     def allocate(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-        if self.in_use + nbytes > self.capacity:
-            raise DeviceMemoryExceeded(
-                f"allocation of {nbytes} B exceeds device budget "
-                f"({self.in_use:.0f}/{self.capacity:.0f} B in use)"
-            )
+        with self._lock:
+            if self.in_use + nbytes > self.capacity:
+                raise DeviceMemoryExceeded(
+                    f"allocation of {nbytes} B exceeds device budget "
+                    f"({self.in_use:.0f}/{self.capacity:.0f} B in use)"
+                )
+            self.in_use += nbytes
+            self.high_water = max(self.high_water, self.in_use)
         buf = self.pool.take(tuple(shape), dtype)
-        self.in_use += nbytes
-        self.high_water = max(self.high_water, self.in_use)
-        self._live[id(buf)] = nbytes
+        with self._lock:
+            self._live[id(buf)] = nbytes
         if self.obs.enabled:
             self.obs.metrics.counter("arena.acquires").inc()
             self.obs.metrics.gauge("arena.high_water_bytes").set_max(
@@ -89,30 +124,93 @@ class DeviceArena:
         return buf
 
     def free(self, buf: np.ndarray) -> None:
-        nbytes = self._live.pop(id(buf), None)
-        if nbytes is None:
-            raise KeyError("buffer was not allocated from this arena")
-        self.in_use -= nbytes
+        with self._lock:
+            nbytes = self._live.pop(id(buf), None)
+            if nbytes is None:
+                raise KeyError("buffer was not allocated from this arena")
+            self.in_use -= nbytes
         self.pool.give(buf)
         if self.obs.enabled:
             self.obs.metrics.counter("arena.releases").inc()
 
+    @contextmanager
+    def lease(self, shape: tuple[int, ...], dtype):
+        """Context-managed allocate/free: accounting survives exceptions.
+
+        ``with arena.lease(shape, dtype) as buf:`` guarantees the bytes are
+        returned even if the transform inside raises mid-pencil — the bug
+        the bare allocate/free pairs used to have.
+        """
+        buf = self.allocate(shape, dtype)
+        try:
+            yield buf
+        finally:
+            self.free(buf)
+
     def upload(self, host_view: np.ndarray) -> np.ndarray:
         """H2D: copy a strided host view into a fresh device buffer."""
         buf = self.allocate(host_view.shape, host_view.dtype)
-        with self.obs.spans.span("arena.h2d", category="h2d"):
-            np.copyto(buf, host_view)
+        try:
+            with self.obs.spans.span("arena.h2d", category="h2d"):
+                np.copyto(buf, host_view)
+        except BaseException:
+            self.free(buf)
+            raise
         if self.obs.enabled:
             self.obs.metrics.counter("arena.h2d_bytes").inc(buf.nbytes)
         return buf
 
     def download_and_free(self, buf: np.ndarray, host_view: np.ndarray) -> None:
         """D2H: copy a device buffer back into (strided) host memory."""
-        with self.obs.spans.span("arena.d2h", category="d2h"):
-            np.copyto(host_view, buf)
-        if self.obs.enabled:
-            self.obs.metrics.counter("arena.d2h_bytes").inc(buf.nbytes)
-        self.free(buf)
+        try:
+            with self.obs.spans.span("arena.d2h", category="d2h"):
+                np.copyto(host_view, buf)
+        finally:
+            if self.obs.enabled:
+                self.obs.metrics.counter("arena.d2h_bytes").inc(buf.nbytes)
+            self.free(buf)
+
+
+class PencilRings:
+    """Persistent per-stage device rings: ``window`` flat slots per role.
+
+    The paper claims its GPU buffers once and reuses them for every pencil
+    of every stage; this is that discipline under arena accounting.  Each
+    *role* ("cpx", "real") gets ``window`` flat byte buffers leased from
+    the arena (``arena.lease`` via an :class:`~contextlib.ExitStack`, so
+    accounting survives any failure); :meth:`view` re-views slot
+    ``item % window`` as the pencil's exact shape/dtype — no allocate/free
+    ever sits between H2D, compute, and D2H.
+    """
+
+    def __init__(self, arena: DeviceArena, window: int, roles: dict[str, int]):
+        self.window = int(window)
+        self._stack = ExitStack()
+        self._slots: dict[str, list[np.ndarray]] = {}
+        try:
+            for role, max_nbytes in roles.items():
+                padded = -(-int(max_nbytes) // 16) * 16  # align for any dtype
+                self._slots[role] = [
+                    self._stack.enter_context(
+                        arena.lease((padded,), np.uint8)
+                    )
+                    for _ in range(self.window)
+                ]
+        except BaseException:
+            self._stack.close()
+            raise
+
+    def view(
+        self, role: str, item: int, shape: tuple[int, ...], dtype
+    ) -> np.ndarray:
+        """Slot ``item % window`` of ``role``, viewed as (shape, dtype)."""
+        flat = self._slots[role][item % self.window]
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        return flat[:nbytes].view(dtype).reshape(shape)
+
+    def close(self) -> None:
+        """Return every slot's bytes to the arena."""
+        self._stack.close()
 
 
 class OutOfCoreSlabFFT:
@@ -122,10 +220,18 @@ class OutOfCoreSlabFFT:
     ----------
     npencils:
         Pencils per slab (``np`` from the memory planner); each stage holds
-        one pencil buffer at a time in the arena.
+        at most ``inflight`` pencils' ring slots in the arena.
     device_bytes:
-        Arena capacity; defaults to exactly twice one pencil's bytes (one
-        working + headroom), making any batching error fail loudly.
+        Arena capacity; defaults to just over one stage ring (``inflight``
+        in-flight pencils), making any batching error fail loudly.
+    pipeline:
+        ``"sync"`` — every stream operation executes inline in submission
+        order (the bit-exact reference); ``"threads"`` — one worker thread
+        per stream, the Fig. 4 overlap on real data.
+    inflight:
+        Bounded in-flight window (ring slots per role).  3 is the paper's
+        triple buffering; forced to 1 under ``pipeline="sync"`` where
+        deeper windows cannot overlap anyway.
     """
 
     def __init__(
@@ -135,6 +241,8 @@ class OutOfCoreSlabFFT:
         npencils: int,
         device_bytes: float | None = None,
         obs: "Observability | None" = None,
+        pipeline: str = "sync",
+        inflight: int = 3,
     ):
         self.grid = grid
         self.comm = comm
@@ -142,111 +250,354 @@ class OutOfCoreSlabFFT:
         self.decomp = SlabDecomposition(grid.n, comm.size)
         if npencils < 1 or grid.n % npencils != 0:
             raise ValueError(f"npencils={npencils} must divide N={grid.n}")
+        if pipeline not in ("sync", "threads"):
+            raise ValueError(
+                f"pipeline={pipeline!r} must be 'sync' or 'threads'"
+            )
+        if inflight < 1:
+            raise ValueError(f"inflight={inflight} must be >= 1")
         self.npencils = npencils
-        # Largest pencil buffer of any stage: the half-complex x extent does
-        # not divide evenly, so pencils are array_split-uneven (the real
-        # code's x split is even in real space; half-complex adds one).
-        import math
+        self.pipeline = pipeline
+        self.inflight = 1 if pipeline == "sync" else int(inflight)
 
-        nxh = grid.n // 2 + 1
-        itemsize = np.dtype(grid.cdtype).itemsize
-        pencil_bytes = (
-            self.decomp.mz * grid.n * math.ceil(nxh / npencils) * itemsize
-        )
+        n = grid.n
+        d = self.decomp
+        nxh = n // 2 + 1
+        ci = np.dtype(grid.cdtype).itemsize
+        ri = np.dtype(grid.dtype).itemsize
+        # Largest pencil of each stage family (array_split is uneven: the
+        # first slices carry the ceil).
+        cx = math.ceil(nxh / npencils)  # x-split width (y-FFT stages)
+        wy = math.ceil(d.my / npencils)  # y-split width (z/x-FFT stages)
+        self._bytes_xpencil = d.mz * n * cx * ci
+        self._bytes_ycpx = n * wy * nxh * ci
+        self._bytes_yreal = n * wy * n * ri
+        per_item = max(self._bytes_xpencil, self._bytes_ycpx + self._bytes_yreal)
         self.arena = DeviceArena(
-            device_bytes if device_bytes is not None else 2.05 * pencil_bytes,
+            device_bytes
+            if device_bytes is not None
+            else 1.05 * self.inflight * per_item,
             obs=self.obs,
         )
+        self._backend = make_backend(pipeline, obs=self.obs)
+        # Metric instruments are pre-created on the constructing thread so
+        # stream workers only ever mutate existing counters.
+        if self.obs.enabled:
+            m = self.obs.metrics
+            self._m_h2d = m.counter("arena.h2d_bytes")
+            self._m_d2h = m.counter("arena.d2h_bytes")
+            self._m_xpose = m.counter("transpose.bytes_moved")
+            self._m_chunks = m.counter("transpose.chunks")
+            self._m_xcount = m.counter("transpose.count")
+            m.gauge("arena.high_water_bytes")
+        else:
+            self._m_h2d = self._m_d2h = None
+            self._m_xpose = self._m_chunks = self._m_xcount = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop worker streams (threads backend); the object stays usable
+        for nothing afterwards — create a new one per run configuration."""
+        self._backend.shutdown()
+
+    def __enter__(self) -> "OutOfCoreSlabFFT":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared pieces -------------------------------------------------------
 
     def _splits(self, extent: int) -> list[slice]:
         """np.array_split boundaries of ``extent`` into ``npencils`` slices."""
         edges = np.linspace(0, extent, self.npencils + 1).astype(int)
-        return [
-            slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a
-        ]
+        return [slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a]
 
-    # -- pencil-batched 1-D stages ------------------------------------------
+    def _run(self, stages: list[PipelineStage], nitems: int) -> None:
+        PencilPipeline(
+            self._backend, stages, window=self.inflight
+        ).run(nitems)
 
-    def _batched_fft(
-        self, local: np.ndarray, axis: int, split_axis: int, inverse: bool
-    ) -> np.ndarray:
-        """Transform ``axis`` pencil-by-pencil (split along ``split_axis``).
+    def _copy_h2d(self, dst: np.ndarray, src: np.ndarray) -> None:
+        np.copyto(dst, src)
+        if self._m_h2d is not None:
+            self._m_h2d.inc(dst.nbytes)
 
-        Each pencil is uploaded to the arena, transformed on the "device",
-        and downloaded back — the H2D / compute / D2H cycle of Fig. 4, with
-        residency enforced by the arena budget.
+    def _copy_d2h(self, dst: np.ndarray, src: np.ndarray) -> None:
+        np.copyto(dst, src)
+        if self._m_d2h is not None:
+            self._m_d2h.inc(src.nbytes)
+
+    def _exchange_pencil(
+        self,
+        sources: Sequence[np.ndarray],
+        outs: Sequence[np.ndarray],
+        pack_axis: int,
+        unpack_axis: int,
+        chunk: slice,
+        chunk_axis: int,
+        block_extent: int,
+    ) -> None:
+        """Post + complete one pencil's all-to-all (runs on the comm stream).
+
+        The pack phase records its own nested span on the comm stream's
+        tracer (same thread as the enclosing ``a2a[i]`` span), matching the
+        ``pack``/``mpi`` category split of :func:`transpose_exchange`.
         """
-        out = np.empty_like(local)
-        n = self.grid.n
-        spans = self.obs.spans
-        for pencil_slice in self._splits(local.shape[split_axis]):
-            sl = [slice(None)] * local.ndim
-            sl[split_axis] = pencil_slice
-            view = local[tuple(sl)]
-            buf = self.arena.upload(view)
-            # The transform's output buffer is device-resident too.
-            result = self.arena.allocate(buf.shape, buf.dtype)
-            with spans.span("fft.pencil", category="fft"):
-                if inverse:
-                    np.multiply(np.fft.ifft(buf, axis=axis), n, out=result)
-                else:
-                    result[:] = np.fft.fft(buf, axis=axis)
-            self.arena.free(buf)
-            self.arena.download_and_free(result, out[tuple(sl)])
-        return out
+        spans = getattr(self._backend.stream("comm"), "_spans", self.obs.spans)
+        with spans.span("transpose.pack", category="pack"):
+            handle, send = post_chunk_exchange(
+                self.comm, sources, pack_axis, chunk, chunk_axis,
+                pool=_PACK_POOL,
+            )
+        nbytes = complete_chunk_exchange(
+            handle, send, outs, unpack_axis, chunk, chunk_axis,
+            block_extent, pool=_PACK_POOL,
+        )
+        if self._m_xpose is not None:
+            self._m_xpose.inc(nbytes)
+            self._m_chunks.inc()
 
-    # -- full transforms ----------------------------------------------------------
+    # -- full transforms -----------------------------------------------------
 
     def inverse(self, spectral_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
         """kz-slabs -> y-slabs of the real field, never exceeding the arena.
 
         Stage order and pencil split axes follow the paper: y-FFTs on
-        x-split pencils, global transpose, then z and the c2r x transform
-        on y-split pencils.
+        x-split pencils (with the per-pencil exchange pipelined behind
+        them), then z and the c2r x transform on y-split pencils.
         """
         d = self.decomp
         n = self.grid.n
-        work = []
+        P = self.comm.size
+        cdtype = self.grid.cdtype
         for r, loc in enumerate(spectral_locals):
             if loc.shape != d.local_spectral_shape():
                 raise ValueError(f"rank {r}: bad shape {loc.shape}")
-            # Stage A: iFFT y, pencils split along x (Fig. 6).
-            work.append(self._batched_fft(loc, axis=1, split_axis=2, inverse=True))
-        work = slab_transpose_spectral_to_physical(self.comm, work, obs=self.obs)
-        out = []
-        for loc in work:
-            # Stage B: iFFT z then irFFT x, pencils split along y (Fig. 3).
-            loc = self._batched_fft(loc, axis=0, split_axis=1, inverse=True)
-            # The c2r transform changes the x extent; do it pencil-wise too
-            # (uneven y split; output is real so the buffers are smaller).
-            phys = np.empty((n, d.my, n), dtype=self.grid.dtype)
-            for ys in self._splits(d.my):
-                buf = self.arena.upload(loc[:, ys, :])
-                res = np.fft.irfft(buf, n=n, axis=2) * n
-                self.arena.free(buf)
-                phys[:, ys, :] = res
-            out.append(phys.astype(self.grid.dtype, copy=False))
+        nxh = n // 2 + 1
+        xsplits = self._splits(nxh)
+        work = [np.empty(d.local_spectral_shape(), dtype=cdtype) for _ in range(P)]
+        t_out = [np.empty((n, d.my, nxh), dtype=cdtype) for _ in range(P)]
+
+        # Phase 1 (Fig. 4): per (x-pencil, rank) — H2D, y-iFFT, D2H — and
+        # per pencil, the s2p exchange of that x-chunk on the comm stream.
+        rings = PencilRings(
+            self.arena, self.inflight, {"cpx": self._bytes_xpencil}
+        )
+        try:
+            def pencil(i: int) -> tuple[int, slice]:
+                ip, r = divmod(i, P)
+                return r, xsplits[ip]
+
+            def shape_of(xs: slice) -> tuple[int, int, int]:
+                return (d.mz, n, xs.stop - xs.start)
+
+            def h2d(i: int) -> None:
+                r, xs = pencil(i)
+                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                self._copy_h2d(slot, spectral_locals[r][:, :, xs])
+
+            def fft(i: int) -> None:
+                r, xs = pencil(i)
+                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                np.multiply(np.fft.ifft(slot, axis=_Y_AXIS), n, out=slot)
+
+            def d2h(i: int) -> None:
+                r, xs = pencil(i)
+                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                self._copy_d2h(work[r][:, :, xs], slot)
+
+            def comm_op(i: int) -> None:
+                xs = xsplits[i // P]
+                self._exchange_pencil(
+                    work, t_out, pack_axis=_Y_AXIS, unpack_axis=_KZ_AXIS,
+                    chunk=xs, chunk_axis=_X_AXIS, block_extent=d.my,
+                )
+
+            self._run(
+                [
+                    PipelineStage("h2d", "h2d", "h2d", fn=h2d),
+                    PipelineStage("fft.y", "compute", "fft", fn=fft),
+                    PipelineStage("d2h", "d2h", "d2h", fn=d2h),
+                    PipelineStage(
+                        "a2a", "comm", "mpi", fn=comm_op,
+                        when=lambda i: i % P == P - 1,
+                    ),
+                ],
+                len(xsplits) * P,
+            )
+        finally:
+            rings.close()
+        if self._m_xcount is not None:
+            self._m_xcount.inc()
+
+        # Phase 2: per (y-pencil, rank) — z-iFFT then the c2r x transform,
+        # fused on-device (one H2D/D2H round trip per pencil).
+        ysplits = self._splits(d.my)
+        out = [
+            np.empty((n, d.my, n), dtype=self.grid.dtype) for _ in range(P)
+        ]
+        rings = PencilRings(
+            self.arena,
+            self.inflight,
+            {"cpx": self._bytes_ycpx, "real": self._bytes_yreal},
+        )
+        try:
+            def pencil2(i: int) -> tuple[int, slice]:
+                ip, r = divmod(i, P)
+                return r, ysplits[ip]
+
+            def h2d2(i: int) -> None:
+                r, ys = pencil2(i)
+                slot = rings.view(
+                    "cpx", i, (n, ys.stop - ys.start, nxh), cdtype
+                )
+                self._copy_h2d(slot, t_out[r][:, ys, :])
+
+            def fft2(i: int) -> None:
+                r, ys = pencil2(i)
+                w = ys.stop - ys.start
+                slot = rings.view("cpx", i, (n, w, nxh), cdtype)
+                np.multiply(np.fft.ifft(slot, axis=_KZ_AXIS), n, out=slot)
+                real = rings.view("real", i, (n, w, n), self.grid.dtype)
+                np.multiply(
+                    np.fft.irfft(slot, n=n, axis=_X_AXIS), n, out=real
+                )
+
+            def d2h2(i: int) -> None:
+                r, ys = pencil2(i)
+                real = rings.view(
+                    "real", i, (n, ys.stop - ys.start, n), self.grid.dtype
+                )
+                self._copy_d2h(out[r][:, ys, :], real)
+
+            self._run(
+                [
+                    PipelineStage("h2d", "h2d", "h2d", fn=h2d2),
+                    PipelineStage("fft.zx", "compute", "fft", fn=fft2),
+                    PipelineStage("d2h", "d2h", "d2h", fn=d2h2),
+                ],
+                len(ysplits) * P,
+            )
+        finally:
+            rings.close()
         return out
 
     def forward(self, physical_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
         """y-slabs of the real field -> kz-slabs of coefficients."""
         d = self.decomp
         n = self.grid.n
-        work = []
+        P = self.comm.size
+        cdtype = self.grid.cdtype
         for r, loc in enumerate(physical_locals):
             if loc.shape != d.local_physical_shape():
                 raise ValueError(f"rank {r}: bad shape {loc.shape}")
-            half = np.empty((n, d.my, n // 2 + 1), dtype=self.grid.cdtype)
-            for ys in self._splits(d.my):
-                buf = self.arena.upload(loc[:, ys, :])
-                res = np.fft.rfft(buf, axis=2)
-                self.arena.free(buf)
-                half[:, ys, :] = res
-            work.append(self._batched_fft(half, axis=0, split_axis=1, inverse=False))
-        work = slab_transpose_physical_to_spectral(self.comm, work, obs=self.obs)
-        return [
-            (
-                self._batched_fft(loc, axis=1, split_axis=2, inverse=False) / n**3
-            ).astype(self.grid.cdtype, copy=False)
-            for loc in work
+        nxh = n // 2 + 1
+        ysplits = self._splits(d.my)
+        half = [np.empty((n, d.my, nxh), dtype=cdtype) for _ in range(P)]
+        t_out = [np.empty((d.mz, n, nxh), dtype=cdtype) for _ in range(P)]
+
+        # Phase 1 (Fig. 4): per (y-pencil, rank) — H2D, fused r2c-x + c2c-z
+        # FFTs, D2H — and per pencil, its p2s exchange (a y-sub-range of
+        # every peer's contribution) pipelined on the comm stream.
+        rings = PencilRings(
+            self.arena,
+            self.inflight,
+            {"real": self._bytes_yreal, "cpx": self._bytes_ycpx},
+        )
+        try:
+            def pencil(i: int) -> tuple[int, slice]:
+                ip, r = divmod(i, P)
+                return r, ysplits[ip]
+
+            def h2d(i: int) -> None:
+                r, ys = pencil(i)
+                slot = rings.view(
+                    "real", i, (n, ys.stop - ys.start, n), self.grid.dtype
+                )
+                self._copy_h2d(slot, physical_locals[r][:, ys, :])
+
+            def fft(i: int) -> None:
+                r, ys = pencil(i)
+                w = ys.stop - ys.start
+                real = rings.view("real", i, (n, w, n), self.grid.dtype)
+                cpx = rings.view("cpx", i, (n, w, nxh), cdtype)
+                cpx[:] = np.fft.rfft(real, axis=_X_AXIS)
+                cpx[:] = np.fft.fft(cpx, axis=_KZ_AXIS)
+
+            def d2h(i: int) -> None:
+                r, ys = pencil(i)
+                cpx = rings.view(
+                    "cpx", i, (n, ys.stop - ys.start, nxh), cdtype
+                )
+                self._copy_d2h(half[r][:, ys, :], cpx)
+
+            def comm_op(i: int) -> None:
+                ys = ysplits[i // P]
+                self._exchange_pencil(
+                    half, t_out, pack_axis=_KZ_AXIS, unpack_axis=_Y_AXIS,
+                    chunk=ys, chunk_axis=_Y_AXIS, block_extent=d.my,
+                )
+
+            self._run(
+                [
+                    PipelineStage("h2d", "h2d", "h2d", fn=h2d),
+                    PipelineStage("fft.xz", "compute", "fft", fn=fft),
+                    PipelineStage("d2h", "d2h", "d2h", fn=d2h),
+                    PipelineStage(
+                        "a2a", "comm", "mpi", fn=comm_op,
+                        when=lambda i: i % P == P - 1,
+                    ),
+                ],
+                len(ysplits) * P,
+            )
+        finally:
+            rings.close()
+        if self._m_xcount is not None:
+            self._m_xcount.inc()
+
+        # Phase 2: per (x-pencil, rank) — the final y-FFT + normalization.
+        xsplits = self._splits(nxh)
+        out = [
+            np.empty(d.local_spectral_shape(), dtype=cdtype) for _ in range(P)
         ]
+        rings = PencilRings(
+            self.arena, self.inflight, {"cpx": self._bytes_xpencil}
+        )
+        try:
+            norm = float(n) ** 3
+
+            def pencil2(i: int) -> tuple[int, slice]:
+                ip, r = divmod(i, P)
+                return r, xsplits[ip]
+
+            def shape_of(xs: slice) -> tuple[int, int, int]:
+                return (d.mz, n, xs.stop - xs.start)
+
+            def h2d2(i: int) -> None:
+                r, xs = pencil2(i)
+                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                self._copy_h2d(slot, t_out[r][:, :, xs])
+
+            def fft2(i: int) -> None:
+                r, xs = pencil2(i)
+                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                np.divide(np.fft.fft(slot, axis=_Y_AXIS), norm, out=slot)
+
+            def d2h2(i: int) -> None:
+                r, xs = pencil2(i)
+                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                self._copy_d2h(out[r][:, :, xs], slot)
+
+            self._run(
+                [
+                    PipelineStage("h2d", "h2d", "h2d", fn=h2d2),
+                    PipelineStage("fft.y", "compute", "fft", fn=fft2),
+                    PipelineStage("d2h", "d2h", "d2h", fn=d2h2),
+                ],
+                len(xsplits) * P,
+            )
+        finally:
+            rings.close()
+        return out

@@ -5,40 +5,78 @@ axis; the all-to-all exchanges them; the unpack step concatenates the
 received blocks along another axis.  These three steps are exactly what the
 production code implements with strided GPU copies + ``MPI_(I)ALLTOALL`` —
 here they move real NumPy data so correctness can be asserted.
+
+Two execution shapes are provided:
+
+* :func:`transpose_exchange` — one bulk-synchronous exchange of the whole
+  slab (the baseline of paper Fig. 4, top);
+* :func:`chunked_transpose_exchange` — the slab cut into chunks along an
+  axis untouched by (or aligned with) the exchange, each chunk posted as a
+  non-blocking :meth:`~repro.dist.virtual_mpi.VirtualComm.ialltoall` with a
+  bounded number of requests in flight, so packing chunk ``j+1`` overlaps
+  the outstanding exchange of chunk ``j`` — the paper's batched all-to-all
+  (Fig. 4, bottom).  The out-of-core pipeline posts these chunks from its
+  comm stream, one per pencil.
+
+Pack staging buffers are drawn from a shared
+:class:`~repro.spectral.workspace.BufferPool` and recycled after each
+exchange completes, instead of `np.ascontiguousarray` allocating a fresh
+array per peer-block per transpose.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
-from repro.dist.virtual_mpi import VirtualComm
+from repro.dist.virtual_mpi import PendingAlltoall, VirtualComm
 from repro.obs import NULL_OBS
+from repro.spectral.workspace import BufferPool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
 
 __all__ = [
+    "chunked_transpose_exchange",
+    "complete_chunk_exchange",
     "pack_blocks",
-    "slab_transpose_spectral_to_physical",
+    "post_chunk_exchange",
     "slab_transpose_physical_to_spectral",
+    "slab_transpose_spectral_to_physical",
     "transpose_exchange",
     "unpack_blocks",
 ]
 
+#: Shared staging pool for pack blocks (threads safely: BufferPool locks).
+_PACK_POOL = BufferPool(max_per_key=32)
 
-def pack_blocks(local: np.ndarray, axis: int, parts: int) -> list[np.ndarray]:
+
+def pack_blocks(
+    local: np.ndarray,
+    axis: int,
+    parts: int,
+    pool: Optional[BufferPool] = None,
+) -> list[np.ndarray]:
     """Split ``local`` into ``parts`` equal contiguous blocks along ``axis``.
 
     This is the "pack" of the paper's Sec. 3.3: the blocks are made
     contiguous (the GPU does this with a strided D2H copy so packing and the
-    device-to-host move are a single operation).
+    device-to-host move are a single operation).  With ``pool``, block
+    storage is recycled across exchanges — return the blocks via
+    ``pool.give`` once the collective that consumed them completed.
     """
     extent = local.shape[axis]
     if extent % parts != 0:
         raise ValueError(f"axis extent {extent} not divisible by {parts}")
-    return [np.ascontiguousarray(b) for b in np.split(local, parts, axis=axis)]
+    if pool is None:
+        return [np.ascontiguousarray(b) for b in np.split(local, parts, axis=axis)]
+    out = []
+    for view in np.split(local, parts, axis=axis):
+        buf = pool.take(view.shape, view.dtype)
+        np.copyto(buf, view)
+        out.append(buf)
+    return out
 
 
 def unpack_blocks(blocks: Sequence[np.ndarray], axis: int) -> np.ndarray:
@@ -52,6 +90,7 @@ def transpose_exchange(
     pack_axis: int,
     unpack_axis: int,
     obs: "Observability | None" = None,
+    pool: Optional[BufferPool] = None,
 ) -> list[np.ndarray]:
     """One full distributed transpose over ``comm``.
 
@@ -62,11 +101,15 @@ def transpose_exchange(
     ``transpose.bytes_moved`` counter.
     """
     obs = obs if obs is not None else NULL_OBS
+    pool = pool if pool is not None else _PACK_POOL
     spans = obs.spans
     with spans.span("transpose.pack", category="pack"):
-        send = [pack_blocks(loc, pack_axis, comm.size) for loc in locals_]
+        send = [pack_blocks(loc, pack_axis, comm.size, pool=pool) for loc in locals_]
     with spans.span("transpose.a2a", category="mpi"):
         recv = comm.alltoall(send)
+    for bufs in send:  # the collective copied them; recycle the staging
+        for buf in bufs:
+            pool.give(buf)
     with spans.span("transpose.unpack", category="pack"):
         out = [unpack_blocks(blocks, unpack_axis) for blocks in recv]
     if obs.enabled:
@@ -74,6 +117,134 @@ def transpose_exchange(
         obs.metrics.counter("transpose.count").inc()
         obs.metrics.counter("transpose.bytes_moved").inc(rec.total_bytes)
     return out
+
+
+# -- chunked non-blocking exchange (the paper's batched all-to-all) -----------
+
+
+def post_chunk_exchange(
+    comm: VirtualComm,
+    locals_: Sequence[np.ndarray],
+    pack_axis: int,
+    chunk: slice,
+    chunk_axis: int,
+    pool: Optional[BufferPool] = None,
+) -> tuple[PendingAlltoall, list[list[np.ndarray]]]:
+    """Pack one chunk on every rank and post its non-blocking all-to-all.
+
+    Returns the pending handle plus the pooled send blocks (which must be
+    handed to :func:`complete_chunk_exchange` so they are recycled only
+    after the exchange completed — the MPI aliasing rule).
+    """
+    pool = pool if pool is not None else _PACK_POOL
+    sl = [slice(None)] * locals_[0].ndim
+    sl[chunk_axis] = chunk
+    send = [
+        pack_blocks(loc[tuple(sl)], pack_axis, comm.size, pool=pool)
+        for loc in locals_
+    ]
+    return comm.ialltoall(send), send
+
+
+def complete_chunk_exchange(
+    handle: PendingAlltoall,
+    send: list[list[np.ndarray]],
+    outs: Sequence[np.ndarray],
+    unpack_axis: int,
+    chunk: slice,
+    chunk_axis: int,
+    block_extent: int,
+    pool: Optional[BufferPool] = None,
+) -> int:
+    """Wait one posted chunk exchange and scatter it into ``outs``.
+
+    When ``chunk_axis != unpack_axis`` the received blocks are concatenated
+    along ``unpack_axis`` at the chunk's position on ``chunk_axis`` (the
+    chunked axis rides through the transpose untouched).  When
+    ``chunk_axis == unpack_axis`` each peer ``r``'s block lands at offset
+    ``r * block_extent + chunk.start`` — the chunk is a sub-range of every
+    peer's contribution to the unpacked axis.  Returns the exchanged bytes.
+    """
+    pool = pool if pool is not None else _PACK_POOL
+    recv = handle.wait()
+    for bufs in send:
+        for buf in bufs:
+            pool.give(buf)
+    nbytes = 0
+    for s, blocks in enumerate(recv):
+        for r, block in enumerate(blocks):
+            nbytes += block.nbytes
+            sl = [slice(None)] * outs[s].ndim
+            if chunk_axis == unpack_axis:
+                sl[unpack_axis] = slice(
+                    r * block_extent + chunk.start,
+                    r * block_extent + chunk.stop,
+                )
+            else:
+                sl[unpack_axis] = slice(
+                    r * block.shape[unpack_axis], (r + 1) * block.shape[unpack_axis]
+                )
+                sl[chunk_axis] = chunk
+            outs[s][tuple(sl)] = block
+    return nbytes
+
+
+def chunked_transpose_exchange(
+    comm: VirtualComm,
+    locals_: Sequence[np.ndarray],
+    pack_axis: int,
+    unpack_axis: int,
+    nchunks: int,
+    chunk_axis: int,
+    obs: "Observability | None" = None,
+    pool: Optional[BufferPool] = None,
+    window: int = 2,
+) -> list[np.ndarray]:
+    """The full transpose as ``nchunks`` pipelined non-blocking exchanges.
+
+    Bit-identical to :func:`transpose_exchange` (pure data movement, same
+    values), but posts at most ``window`` outstanding requests: packing
+    chunk ``j+1`` overlaps the in-flight exchange of chunk ``j``, the
+    paper's batched-all-to-all structure on real data.
+    """
+    obs = obs if obs is not None else NULL_OBS
+    pool = pool if pool is not None else _PACK_POOL
+    first = locals_[0]
+    out_shape = list(first.shape)
+    out_shape[pack_axis] = first.shape[pack_axis] // comm.size
+    out_shape[unpack_axis] = first.shape[unpack_axis] * comm.size
+    outs = [np.empty(tuple(out_shape), dtype=first.dtype) for _ in locals_]
+    block_extent = first.shape[unpack_axis]
+
+    edges = np.linspace(0, first.shape[chunk_axis], nchunks + 1).astype(int)
+    chunks = [slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+    pending: list[tuple[PendingAlltoall, list, slice]] = []
+    nbytes_total = 0
+    for chunk in chunks:
+        with obs.spans.span("transpose.pack", category="pack"):
+            handle, send = post_chunk_exchange(
+                comm, locals_, pack_axis, chunk, chunk_axis, pool=pool
+            )
+        pending.append((handle, send, chunk))
+        if len(pending) > window:
+            handle, send, done_chunk = pending.pop(0)
+            with obs.spans.span("transpose.a2a", category="mpi"):
+                nbytes_total += complete_chunk_exchange(
+                    handle, send, outs, unpack_axis, done_chunk,
+                    chunk_axis, block_extent, pool=pool,
+                )
+    for handle, send, chunk in pending:
+        with obs.spans.span("transpose.a2a", category="mpi"):
+            nbytes_total += complete_chunk_exchange(
+                handle, send, outs, unpack_axis, chunk,
+                chunk_axis, block_extent, pool=pool,
+            )
+    if obs.enabled:
+        obs.metrics.counter("transpose.count").inc()
+        obs.metrics.counter("transpose.chunks").inc(len(chunks))
+        obs.metrics.counter("transpose.bytes_moved").inc(nbytes_total)
+    return outs
 
 
 # -- the two slab transposes of the DNS step ---------------------------------

@@ -19,7 +19,7 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["CollectiveRecord", "VirtualComm"]
+__all__ = ["CollectiveRecord", "PendingAlltoall", "VirtualComm"]
 
 T = TypeVar("T")
 
@@ -48,6 +48,38 @@ class _CommStats:
         return sum(1 for r in self.records if r.kind == kind)
 
 
+class PendingAlltoall:
+    """Handle for a posted non-blocking all-to-all (``MPI_IALLTOALL``).
+
+    Mirrors the request-object contract the paper's production code relies
+    on to overlap communication with pencil transforms: ``post`` captures
+    the send buffers (they must stay untouched until completion, exactly as
+    MPI requires), :meth:`wait` completes the exchange and returns the
+    received blocks.  Completion is idempotent; bytes are accounted to the
+    communicator's stats at completion time under kind ``"ialltoall"``.
+    """
+
+    __slots__ = ("_comm", "_send", "_recv")
+
+    def __init__(self, comm: "VirtualComm", send: Sequence[Sequence[np.ndarray]]):
+        comm._check_alltoall(send)
+        self._comm = comm
+        self._send: Sequence[Sequence[np.ndarray]] | None = send
+        self._recv: list[list[np.ndarray]] | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self._recv is not None
+
+    def wait(self) -> list[list[np.ndarray]]:
+        """Complete the exchange; ``recv[s][r] = send[r][s]`` (copies)."""
+        if self._recv is None:
+            assert self._send is not None
+            self._recv = self._comm._exchange(self._send, kind="ialltoall")
+            self._send = None  # send buffers may be reused from here on
+        return self._recv
+
+
 class VirtualComm:
     """A communicator over ``size`` in-process virtual ranks."""
 
@@ -66,12 +98,7 @@ class VirtualComm:
 
     # -- collectives -----------------------------------------------------------
 
-    def alltoall(self, send: Sequence[Sequence[np.ndarray]]) -> list[list[np.ndarray]]:
-        """All-to-all: ``send[r][s]`` travels from rank r to rank s.
-
-        Returns ``recv`` with ``recv[s][r] = send[r][s]`` (copies, so later
-        in-place edits on either side cannot alias).
-        """
+    def _check_alltoall(self, send: Sequence[Sequence[np.ndarray]]) -> None:
         self._check_per_rank(send)
         for r, bufs in enumerate(send):
             if len(bufs) != self.size:
@@ -79,6 +106,10 @@ class VirtualComm:
                     f"{self.name}: rank {r} provided {len(bufs)} blocks, "
                     f"expected {self.size}"
                 )
+
+    def _exchange(
+        self, send: Sequence[Sequence[np.ndarray]], kind: str
+    ) -> list[list[np.ndarray]]:
         recv = [
             [np.array(send[r][s], copy=True) for r in range(self.size)]
             for s in range(self.size)
@@ -86,9 +117,27 @@ class VirtualComm:
         p2p = int(send[0][0].nbytes) if self.size else 0
         total = sum(int(b.nbytes) for bufs in send for b in bufs)
         self.stats.records.append(
-            CollectiveRecord("alltoall", total, p2p, self.size)
+            CollectiveRecord(kind, total, p2p, self.size)
         )
         return recv
+
+    def alltoall(self, send: Sequence[Sequence[np.ndarray]]) -> list[list[np.ndarray]]:
+        """All-to-all: ``send[r][s]`` travels from rank r to rank s.
+
+        Returns ``recv`` with ``recv[s][r] = send[r][s]`` (copies, so later
+        in-place edits on either side cannot alias).
+        """
+        self._check_alltoall(send)
+        return self._exchange(send, kind="alltoall")
+
+    def ialltoall(self, send: Sequence[Sequence[np.ndarray]]) -> PendingAlltoall:
+        """Post a non-blocking all-to-all; complete it with ``.wait()``.
+
+        The send blocks must not be modified (or recycled into a buffer
+        pool) until :meth:`PendingAlltoall.wait` returns — the same aliasing
+        contract as a real ``MPI_IALLTOALL`` request.
+        """
+        return PendingAlltoall(self, send)
 
     def allreduce(
         self, values: Sequence[T], op: Callable[[T, T], T] | None = None

@@ -1,0 +1,58 @@
+"""Backend-neutral async stream/event execution runtime.
+
+The paper's defining optimization — pencils pipelined through the GPU on
+concurrent streams with events enforcing cross-stream order (Fig. 4) — as a
+reusable runtime with interchangeable executors:
+
+* :mod:`repro.exec.api` — the :class:`Stream` / :class:`Event` vocabulary;
+* :mod:`repro.exec.threads` — real NumPy work on worker threads (GIL
+  released inside FFTs and copies, so stages genuinely overlap);
+* :mod:`repro.exec.sync` — the same operations inline: the bit-exact
+  reference oracle;
+* :mod:`repro.exec.simcuda` — the simulated CUDA runtime adapted to the
+  same interface, so the performance model shares the scheduler;
+* :mod:`repro.exec.pipeline` — :class:`PencilPipeline`, the Fig. 4
+  schedule (bounded in-flight window, per-stage streams, event edges).
+"""
+
+from repro.exec.api import (
+    DependencyFailed,
+    Event,
+    ExecBackend,
+    ExecError,
+    Stream,
+)
+from repro.exec.pipeline import PencilPipeline, PipelineStage
+from repro.exec.sync import SyncBackend, SyncEvent, SyncStream
+from repro.exec.threads import ThreadBackend, ThreadEvent, ThreadStream
+
+__all__ = [
+    "DependencyFailed",
+    "Event",
+    "ExecBackend",
+    "ExecError",
+    "PencilPipeline",
+    "PipelineStage",
+    "Stream",
+    "SyncBackend",
+    "SyncEvent",
+    "SyncStream",
+    "ThreadBackend",
+    "ThreadEvent",
+    "ThreadStream",
+    "make_backend",
+]
+
+
+def make_backend(kind: str, obs=None) -> ExecBackend:
+    """Build a real-execution backend by name (``"sync"`` or ``"threads"``).
+
+    The simulated backend is constructed explicitly from a
+    :class:`repro.cuda.CudaDevice` via
+    :class:`repro.exec.simcuda.SimCudaBackend` (it needs an engine).
+    """
+    if kind == "sync":
+        return SyncBackend(obs=obs)
+    if kind == "threads":
+        return ThreadBackend(obs=obs)
+    raise ValueError(f"unknown exec backend {kind!r} (use 'sync' or 'threads')")

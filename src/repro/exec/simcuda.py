@@ -1,0 +1,112 @@
+"""Adapter: the simulated CUDA runtime behind the exec Stream/Event API.
+
+:class:`repro.cuda.CudaStream` / :class:`repro.cuda.CudaEvent` already model
+the FIFO + record/wait semantics the exec API specifies — this adapter only
+translates the vocabulary, so the *same* :class:`repro.exec.PencilPipeline`
+schedule that drives real NumPy work on threads can be replayed on the
+discrete-event engine with cost-model durations.  Both emit the same span
+categories (h2d / fft / d2h / mpi) on one lane per stream, so
+``trace_export`` renders simulated and measured runs identically.
+
+Operations here are *priced*, not executed: ``submit`` uses its ``cost``
+seconds of virtual time (``fn`` is ignored).  Events are the simulated
+stream's completion signals; they fire when :meth:`SimCudaBackend.
+synchronize` runs the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cuda.runtime import CudaDevice, CudaEvent, CudaStream
+from repro.exec.api import Event, ExecBackend, ExecError, Stream
+
+__all__ = ["SimCudaBackend", "SimEvent", "SimStream"]
+
+
+class SimEvent(Event):
+    """Wraps a simulated :class:`CudaEvent` (completion = signal fired)."""
+
+    __slots__ = ("cuda_event", "name")
+
+    def __init__(self, cuda_event: CudaEvent):
+        self.cuda_event = cuda_event
+        self.name = cuda_event.name
+
+    @property
+    def done(self) -> bool:
+        return self.cuda_event.complete
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return None
+
+    @property
+    def time(self) -> Optional[float]:
+        """Virtual completion time (None until the engine ran past it)."""
+        return self.cuda_event.time
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        if not self.cuda_event.complete:
+            raise ExecError(
+                f"simulated event {self.name!r} pending — run the engine "
+                "(SimCudaBackend.synchronize) to advance virtual time"
+            )
+
+
+class SimStream(Stream):
+    __slots__ = ("name", "lane", "_cuda")
+
+    def __init__(self, cuda_stream: CudaStream):
+        self._cuda = cuda_stream
+        self.name = cuda_stream.name
+        self.lane = cuda_stream.lane
+
+    def submit(
+        self,
+        name: str,
+        category: str,
+        fn: Optional[Callable[[], object]] = None,
+        cost: float = 0.0,
+        **meta: object,
+    ) -> SimEvent:
+        signal = self._cuda.delay(name, category, float(cost), **meta)
+        return SimEvent(CudaEvent(signal, name=name))
+
+    def wait_event(self, event: Event) -> None:
+        if isinstance(event, SimEvent):
+            self._cuda.wait_event(event.cuda_event)
+        elif not event.done:
+            raise ExecError(
+                "simulated streams can only wait on simulated or "
+                "already-complete events"
+            )
+
+    def synchronize(self) -> None:
+        signal = self._cuda.synchronize_signal()
+        if not signal.fired:
+            self._cuda.device.engine.run()
+
+
+class SimCudaBackend(ExecBackend):
+    """Exec backend over one simulated :class:`CudaDevice`."""
+
+    __slots__ = ("device", "_streams")
+
+    kind = "sim"
+
+    def __init__(self, device: CudaDevice):
+        self.device = device
+        self._streams: dict[str, SimStream] = {}
+
+    def stream(self, name: str) -> SimStream:
+        if name not in self._streams:
+            self._streams[name] = SimStream(self.device.stream(name))
+        return self._streams[name]
+
+    def synchronize(self) -> None:
+        """Run the engine until every enqueued operation completed."""
+        self.device.engine.run()
+
+    def shutdown(self) -> None:
+        self._streams.clear()

@@ -157,6 +157,16 @@ class SpanTracer:
             category = name.split(".", 1)[0]
         return _Span(self, name, category, lane or self.lane, meta)
 
+    def ensure_epoch(self) -> None:
+        """Pin t=0 to *now* if no span has set it yet.
+
+        Call from the main thread before handing child tracers to worker
+        threads: the first-span epoch write is otherwise racy when several
+        workers open their first span concurrently.
+        """
+        if self.enabled and self._epoch[0] is None:
+            self._epoch[0] = self.clock()
+
     def child(self, lane: str) -> "SpanTracer":
         """A tracer sharing this one's clock, epoch, and enabled flag.
 

@@ -31,6 +31,7 @@ is ``"auto"``).
 from __future__ import annotations
 
 import os
+import threading
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -77,25 +78,35 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.obs = obs if obs is not None else NULL_OBS
+        # take/give are called from exec-stream worker threads (pack staging,
+        # arena rings), so the free-list mutations must be atomic.
+        self._lock = threading.Lock()
 
     def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         key = (tuple(shape), np.dtype(dtype))
-        stack = self._free.get(key)
-        if stack:
-            self.hits += 1
-            if self.obs.enabled:
-                self.obs.metrics.counter("pool.take.hits").inc()
-            return stack.pop()
-        self.misses += 1
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                self.hits += 1
+                hit = True
+                buf = stack.pop()
+            else:
+                self.misses += 1
+                hit = False
+                buf = None
         if self.obs.enabled:
-            self.obs.metrics.counter("pool.take.misses").inc()
-        return np.empty(key[0], dtype=key[1])
+            name = "pool.take.hits" if hit else "pool.take.misses"
+            self.obs.metrics.counter(name).inc()
+        if buf is None:
+            buf = np.empty(key[0], dtype=key[1])
+        return buf
 
     def give(self, buf: np.ndarray) -> None:
         key = (buf.shape, buf.dtype)
-        stack = self._free.setdefault(key, [])
-        if len(stack) < self.max_per_key:
-            stack.append(buf)
+        with self._lock:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self.max_per_key:
+                stack.append(buf)
         if self.obs.enabled:
             self.obs.metrics.counter("pool.releases").inc()
 

@@ -1,0 +1,51 @@
+"""Tier-1 smoke test for the pipeline overlap benchmark harness.
+
+The full sweep lives in ``benchmarks/test_pipeline_overlap.py`` (``bench``
+marker); this runs the same code on a 16^3 grid so the harness — span
+accounting per stream, busy/wall arithmetic, JSON shape — is exercised on
+every test run without measurable cost.
+"""
+
+import json
+
+from repro.benchkit.overlap import (
+    benchmark_overlap,
+    run_overlap_suite,
+    write_json,
+)
+
+
+def test_benchmark_overlap_smoke():
+    r = benchmark_overlap(16, ranks=2, npencils=4, pipeline="sync",
+                          inflight=1, repeats=1)
+    assert r.n == 16 and r.pipeline == "sync" and r.inflight == 1
+    assert r.wall_seconds > 0
+    assert r.busy_seconds > 0
+    # Every pipeline stream contributed busy time.
+    assert set(r.stage_busy) == {"h2d", "compute", "d2h", "comm"}
+    # Inline execution cannot overlap: busy is bounded by wall (plus span
+    # bookkeeping jitter).
+    assert r.overlap_efficiency <= 1.1
+
+
+def test_benchmark_overlap_threads_smoke():
+    r = benchmark_overlap(16, ranks=2, npencils=4, pipeline="threads",
+                          inflight=2, repeats=1)
+    assert r.pipeline == "threads" and r.inflight == 2
+    assert r.overlap_efficiency > 0
+
+
+def test_run_overlap_suite_smoke(tmp_path):
+    payload = run_overlap_suite(grid_sizes=(16,), ranks=2, npencils=4,
+                                inflight_depths=(2,), repeats=1)
+    assert payload["suite"] == "pipeline_overlap"
+    assert len(payload["results"]) == 2  # sync baseline + one threads point
+    assert set(payload["efficiencies"]) == {
+        "n16-sync-inflight1", "n16-threads-inflight2"
+    }
+
+    path = write_json(payload, str(tmp_path / "overlap.json"))
+    with open(path, encoding="utf-8") as fh:
+        round_trip = json.load(fh)
+    assert round_trip["suite"] == "pipeline_overlap"
+    assert round_trip["results"][0]["stage_busy"]

@@ -1,0 +1,159 @@
+"""Determinism suite: the threaded pipeline is bit-identical to sync.
+
+The async runtime's correctness contract (and the paper's, Sec. 3.4) is
+that asynchrony reorders *execution*, never *data*: every pencil's FFTs are
+independent and every chunked exchange moves the same bytes, so the
+worker-thread pipeline must produce arrays that are bit-for-bit equal to
+the inline reference — across worker interleavings, in-flight depths and
+pencil counts.  Also covers arena accounting under mid-pipeline failures
+(the ``lease`` context manager satellite).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.dist_solver import DistributedNavierStokesSolver
+from repro.dist.outofcore import DeviceArena, DeviceMemoryExceeded, OutOfCoreSlabFFT
+from repro.dist.virtual_mpi import VirtualComm
+from repro.spectral.grid import SpectralGrid
+from repro.spectral.solver import SolverConfig
+
+
+def _spectral_field(grid, P, seed=0):
+    from repro.dist.decomp import SlabDecomposition
+
+    d = SlabDecomposition(grid.n, P)
+    rng = np.random.default_rng(seed)
+    shape = d.local_spectral_shape()
+    return [
+        (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+            grid.cdtype
+        )
+        for _ in range(P)
+    ]
+
+
+class TestBitIdenticalTransforms:
+    @pytest.mark.parametrize("inflight", [1, 2, 3])
+    @pytest.mark.parametrize("n,P,npencils", [(16, 2, 4), (24, 3, 4), (16, 4, 8)])
+    def test_threads_match_sync_reference(self, n, P, npencils, inflight):
+        grid = SpectralGrid(n)
+        spec = _spectral_field(grid, P)
+
+        with OutOfCoreSlabFFT(
+            grid, VirtualComm(P), npencils, pipeline="sync"
+        ) as ref:
+            ref_phys = ref.inverse(spec)
+            ref_spec = ref.forward(ref_phys)
+
+        with OutOfCoreSlabFFT(
+            grid, VirtualComm(P), npencils, pipeline="threads",
+            inflight=inflight,
+        ) as fft:
+            phys = fft.inverse(spec)
+            back = fft.forward(phys)
+            for a, b in zip(phys, ref_phys):
+                assert np.array_equal(a, b)  # bit-identical, not allclose
+            for a, b in zip(back, ref_spec):
+                assert np.array_equal(a, b)
+            assert fft.arena.in_use == 0
+
+    def test_repeated_threaded_runs_are_stable(self):
+        grid = SpectralGrid(16)
+        spec = _spectral_field(grid, 2)
+        with OutOfCoreSlabFFT(
+            grid, VirtualComm(2), 4, pipeline="threads"
+        ) as fft:
+            first = fft.inverse(spec)
+            for _ in range(3):
+                again = fft.inverse(spec)
+                for a, b in zip(again, first):
+                    assert np.array_equal(a, b)
+
+
+class TestBitIdenticalSolverStep:
+    def test_full_step_threads_vs_sync(self):
+        n, P = 16, 2
+        grid = SpectralGrid(n)
+        rng = np.random.default_rng(3)
+        shape = (3, *grid.spectral_shape)
+        u0 = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+            grid.cdtype
+        )
+        cfg = SolverConfig(nu=0.02, scheme="rk2", phase_shift=True, seed=11)
+
+        states = {}
+        for pipeline in ("sync", "threads"):
+            with DistributedNavierStokesSolver(
+                grid, VirtualComm(P), u0, cfg,
+                npencils=4, pipeline=pipeline, inflight=3,
+            ) as solver:
+                r1 = solver.step(1e-3)
+                r2 = solver.step(1e-3)
+                states[pipeline] = solver.gather_state()
+                assert r2.time > r1.time
+        assert np.array_equal(states["sync"], states["threads"])
+
+
+class TestArenaAccountingUnderFailure:
+    def test_lease_returns_bytes_on_exception(self):
+        arena = DeviceArena(1000)
+        with pytest.raises(RuntimeError, match="boom"):
+            with arena.lease((10,), np.float64) as buf:
+                assert arena.in_use == 80
+                buf[:] = 1.0
+                raise RuntimeError("boom")
+        assert arena.in_use == 0
+        assert arena.high_water == 80
+
+    def test_lease_nested_budget(self):
+        arena = DeviceArena(200)
+        with arena.lease((10,), np.float64):
+            with pytest.raises(DeviceMemoryExceeded):
+                with arena.lease((20,), np.float64):
+                    pass  # pragma: no cover - never entered
+        assert arena.in_use == 0
+
+    @pytest.mark.parametrize("pipeline", ["sync", "threads"])
+    def test_mid_pipeline_failure_releases_all_bytes(self, pipeline):
+        grid = SpectralGrid(16)
+        P = 2
+        spec = _spectral_field(grid, P)
+        fft = OutOfCoreSlabFFT(grid, VirtualComm(P), 4, pipeline=pipeline)
+        calls = {"n": 0}
+        real_d2h = fft._copy_d2h
+
+        def failing_d2h(dst, src):
+            calls["n"] += 1
+            if calls["n"] == 3:  # fail mid-flight, several pencils in
+                raise RuntimeError("injected d2h failure")
+            real_d2h(dst, src)
+
+        fft._copy_d2h = failing_d2h
+        with pytest.raises(RuntimeError, match="injected d2h failure"):
+            fft.inverse(spec)
+        assert fft.arena.in_use == 0  # every ring slot returned
+
+        # The engine stays usable: restore the copy and run clean.
+        fft._copy_d2h = real_d2h
+        with OutOfCoreSlabFFT(
+            grid, VirtualComm(P), 4, pipeline="sync"
+        ) as ref:
+            expect = ref.inverse(spec)
+        got = fft.inverse(spec)
+        for a, b in zip(got, expect):
+            assert np.array_equal(a, b)
+        assert fft.arena.in_use == 0
+        fft.close()
+
+    def test_whole_slab_overflow_leaves_clean_arena(self):
+        grid = SpectralGrid(16)
+        P = 2
+        spec = _spectral_field(grid, P)
+        fft = OutOfCoreSlabFFT(
+            grid, VirtualComm(P), 4, device_bytes=64, pipeline="threads"
+        )
+        with pytest.raises(DeviceMemoryExceeded):
+            fft.inverse(spec)
+        assert fft.arena.in_use == 0
+        fft.close()

@@ -1,0 +1,187 @@
+"""Tests for PencilPipeline: the Fig. 4 schedule on every backend."""
+
+import threading
+
+import pytest
+
+from repro.cuda.runtime import CudaDevice
+from repro.exec import (
+    PencilPipeline,
+    PipelineStage,
+    SyncBackend,
+    ThreadBackend,
+)
+from repro.exec.simcuda import SimCudaBackend
+from repro.machine.summit import summit_gpu
+from repro.obs import Observability
+from repro.sim.engine import Engine
+from repro.sim.resources import LinkSet
+from repro.sim.trace import Tracer
+
+
+def _sim_backend():
+    eng = Engine()
+    links = LinkSet(eng)
+    dram = links.link("dram", 135e9)
+    dev = CudaDevice(eng, links, summit_gpu(), dram, name="gpu0", tracer=Tracer())
+    return SimCudaBackend(dev)
+
+
+def _stage_recorder(log, lock):
+    def make(stage_name):
+        def fn(i):
+            with lock:
+                log.append((stage_name, i))
+        return fn
+    return make
+
+
+class TestScheduleOrdering:
+    @pytest.mark.parametrize("backend_factory", [SyncBackend, ThreadBackend])
+    def test_per_item_stage_order(self, backend_factory):
+        backend = backend_factory()
+        log, lock = [], threading.Lock()
+        make = _stage_recorder(log, lock)
+        stages = [
+            PipelineStage("h2d", "h2d", "h2d", fn=make("h2d")),
+            PipelineStage("fft", "compute", "fft", fn=make("fft")),
+            PipelineStage("d2h", "d2h", "d2h", fn=make("d2h")),
+        ]
+        PencilPipeline(backend, stages, window=2).run(6)
+        backend.shutdown()
+        for i in range(6):
+            seen = [s for s, j in log if j == i]
+            assert seen == ["h2d", "fft", "d2h"], f"item {i}: {seen}"
+
+    def test_when_filter_skips_items(self):
+        backend = SyncBackend()
+        log, lock = [], threading.Lock()
+        make = _stage_recorder(log, lock)
+        stages = [
+            PipelineStage("work", "compute", "fft", fn=make("work")),
+            PipelineStage(
+                "comm", "comm", "mpi", fn=make("comm"),
+                when=lambda i: i % 3 == 2,
+            ),
+        ]
+        PencilPipeline(backend, stages, window=2).run(6)
+        assert [i for s, i in log if s == "comm"] == [2, 5]
+
+    def test_window_bounds_in_flight_items(self):
+        backend = ThreadBackend()
+        lock = threading.Lock()
+        live, peak = [0], [0]
+
+        def enter(i):
+            with lock:
+                live[0] += 1
+                peak[0] = max(peak[0], live[0])
+
+        def leave(i):
+            with lock:
+                live[0] -= 1
+
+        stages = [
+            PipelineStage("first", "h2d", "h2d", fn=enter),
+            PipelineStage("last", "d2h", "d2h", fn=leave),
+        ]
+        PencilPipeline(backend, stages, window=2).run(30)
+        backend.shutdown()
+        # With a window of 2, at most 2 items are between their first and
+        # final stage at any instant (plus transient submit-side slack of 1).
+        assert peak[0] <= 3
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(ValueError):
+            PencilPipeline(SyncBackend(), [], window=2)
+
+    def test_bad_window_rejected(self):
+        stage = PipelineStage("x", "s", fn=lambda i: None)
+        with pytest.raises(ValueError):
+            PencilPipeline(SyncBackend(), [stage], window=0)
+
+
+class TestErrorPropagation:
+    @pytest.mark.parametrize("backend_factory", [SyncBackend, ThreadBackend])
+    def test_stage_error_raises_and_backend_is_reusable(self, backend_factory):
+        backend = backend_factory()
+
+        def maybe_boom(i):
+            if i == 3:
+                raise RuntimeError("pencil 3 failed")
+
+        stages = [PipelineStage("work", "compute", "fft", fn=maybe_boom)]
+        pipe = PencilPipeline(backend, stages, window=2)
+        with pytest.raises(RuntimeError, match="pencil 3 failed"):
+            pipe.run(6)
+        # After the failure the same pipeline object runs clean work.
+        ok = []
+        PencilPipeline(
+            backend,
+            [PipelineStage("work", "compute", "fft", fn=ok.append)],
+            window=2,
+        ).run(3)
+        backend.shutdown()
+        assert ok == [0, 1, 2]
+
+
+class TestSimCudaParity:
+    def test_costed_schedule_overlaps_in_virtual_time(self):
+        backend = _sim_backend()
+        stages = [
+            PipelineStage("h2d", "h2d", "h2d", cost=lambda i: 1.0),
+            PipelineStage("fft", "compute", "fft", cost=lambda i: 1.0),
+            PipelineStage("d2h", "d2h", "d2h", cost=lambda i: 1.0),
+        ]
+        PencilPipeline(backend, stages, window=3).run(4)
+        end = backend.device.engine.now
+        # Serial execution would cost 12 virtual seconds; a full pipeline
+        # retires one item per second after a 2-second fill: 6 seconds.
+        assert end == pytest.approx(6.0)
+
+    def test_same_schedule_same_categories_as_threads(self):
+        """The sim adapter and the threaded executor must emit the same span
+        categories under the same schedule, so trace_export renders
+        one-lane-per-stream timelines for both (measured vs. modeled)."""
+        stages_fn = [
+            PipelineStage("h2d", "h2d", "h2d", fn=lambda i: None),
+            PipelineStage("fft", "compute", "fft", fn=lambda i: None),
+            PipelineStage("d2h", "d2h", "d2h", fn=lambda i: None),
+        ]
+        obs = Observability.create()
+        tb = ThreadBackend(obs=obs)
+        PencilPipeline(tb, stages_fn, window=2).run(3)
+        tb.shutdown()
+        measured = obs.spans.to_tracer()
+
+        stages_cost = [
+            PipelineStage("h2d", "h2d", "h2d", cost=lambda i: 1e-3),
+            PipelineStage("fft", "compute", "fft", cost=lambda i: 1e-3),
+            PipelineStage("d2h", "d2h", "d2h", cost=lambda i: 1e-3),
+        ]
+        sim = _sim_backend()
+        PencilPipeline(sim, stages_cost, window=2).run(3)
+        modeled = sim.device.tracer
+
+        mcats = {a.category for a in measured}
+        scats = {a.category for a in modeled}
+        assert mcats == scats == {"h2d", "fft", "d2h"}
+        # One lane per stream on both sides (prefix differs: stream. vs gpu0.)
+        assert {a.lane for a in measured} == {
+            "stream.h2d", "stream.compute", "stream.d2h"
+        }
+        assert {a.lane for a in modeled} == {
+            "gpu0.h2d", "gpu0.compute", "gpu0.d2h"
+        }
+        # Same operation names item-for-item.
+        assert {a.name for a in measured} == {a.name for a in modeled}
+
+    def test_sim_event_wait_before_engine_run_is_an_error(self):
+        from repro.exec.api import ExecError
+
+        backend = _sim_backend()
+        ev = backend.stream("compute").submit("op", "fft", cost=1.0)
+        with pytest.raises(ExecError, match="pending"):
+            ev.wait()
+        backend.synchronize()
+        ev.wait()  # complete after the engine ran

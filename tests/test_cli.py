@@ -121,6 +121,41 @@ class TestDns:
         assert len(NULL_OBS.spans) == before
 
 
+class TestDnsDistributed:
+    def test_ranks_whole_slab(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "2", "--ranks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "P=2 ranks, whole-slab" in out
+        assert "Re_lambda" in out
+
+    def test_ranks_out_of_core_threads(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "2", "--ranks", "2",
+                     "--npencils", "4", "--pipeline", "threads",
+                     "--inflight", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "out-of-core np=4 pipeline=threads inflight=2" in out
+
+    def test_ranks_report_has_stream_categories(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "2", "--ranks", "2",
+                     "--npencils", "4", "--pipeline", "threads",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "h2d" in out and "d2h" in out and "mpi" in out
+
+    def test_ranks_trace_has_stream_lanes(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["dns", "--n", "16", "--steps", "1", "--ranks", "2",
+                     "--npencils", "4", "--trace-out", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        names = {e.get("args", {}).get("name") for e in doc["traceEvents"]
+                 if e.get("ph") == "M"}
+        assert any(n and n.startswith("stream.") for n in names)
+
+    def test_forced_with_ranks_rejected(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "1", "--ranks", "2",
+                     "--forced"]) == 2
+
+
 class TestStudies:
     def test_validation_command_exit_code(self, capsys):
         assert main(["validation", "--n", "16"]) == 0
