@@ -10,6 +10,7 @@ Subcommands expose the reproduction's main entry points:
 ``table1-4``     regenerate a paper table with paper-vs-model errors
 ``fig7-10``      regenerate a paper figure
 ``projection``   the exascale what-if study
+``verify``       fuzz + schedule-exploration verification of the pipeline
 ===============  ==========================================================
 """
 
@@ -87,6 +88,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bounded in-flight pencil window (threads pipeline)")
     p.add_argument("--dt", type=float, default=None,
                    help="fixed time step for --ranks runs (default 0.25*dx)")
+    p.add_argument("--fuzz", type=int, metavar="SEED", default=None,
+                   help="with --ranks/--npencils: run under the fuzzing "
+                        "backend with this seed (adversarial delays/faults; "
+                        "the result must be bit-identical regardless)")
+    p.add_argument("--fuzz-profile", default="chaos",
+                   help="fuzz profile name for --fuzz "
+                        "(calm|jittery|stormy|faulty|flaky-net|chaos)")
+
+    p = sub.add_parser(
+        "verify",
+        help="fuzz + schedule-exploration verification of the async pipeline",
+    )
+    p.add_argument("--n", type=int, default=16, help="grid size (default 16)")
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--npencils", type=int, default=4)
+    p.add_argument("--inflight", type=int, default=3)
+    p.add_argument("--steps", type=int, default=1,
+                   help="solver steps per fuzz case")
+    p.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                   help="comma-separated fuzz seeds (default 101,202,303)")
+    p.add_argument("--seed-base", type=int, default=None, metavar="B",
+                   help="use seeds B,B+1,B+2 (e.g. a CI date stamp); "
+                        "overridden by --seeds")
+    p.add_argument("--profiles", default=None, metavar="P1,P2,...",
+                   help="comma-separated profile names "
+                        "(default calm,jittery,stormy,faulty,flaky-net)")
+    p.add_argument("--orders", type=int, default=8,
+                   help="schedule-explorer replay orders to sample")
+    p.add_argument("--watchdog", type=float, default=30.0,
+                   help="per-case deadlock watchdog in seconds")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write per-case fault/verify metrics as JSONL")
 
     for name in ("table1", "table2", "table3", "table4"):
         sub.add_parser(name, help=f"regenerate paper {name}")
@@ -264,7 +297,27 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
     if args.forced:
         print("error: --forced is not supported with --ranks", file=sys.stderr)
         return 2
+    fuzz = monitor = plan = None
+    if args.fuzz is not None:
+        if args.npencils is None:
+            print("error: --fuzz requires --npencils (out-of-core engine)",
+                  file=sys.stderr)
+            return 2
+        from repro.verify import CommFaultPlan, InvariantMonitor, fuzz_profile
+
+        try:
+            fuzz = fuzz_profile(args.fuzz_profile, args.fuzz)
+        except KeyError:
+            print(f"error: unknown fuzz profile {args.fuzz_profile!r}",
+                  file=sys.stderr)
+            return 2
+        monitor = InvariantMonitor()
+        if fuzz.comm_drop_rate > 0.0 or fuzz.comm_late_rate > 0.0:
+            plan = CommFaultPlan(seed=fuzz.seed, drop_rate=fuzz.comm_drop_rate,
+                                 late_rate=fuzz.comm_late_rate)
     comm = VirtualComm(args.ranks)
+    if plan is not None:
+        comm.fault_injector = plan
     solver = DistributedNavierStokesSolver(
         grid,
         comm,
@@ -274,12 +327,16 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
         npencils=args.npencils,
         pipeline=args.pipeline,
         inflight=args.inflight,
+        fuzz=fuzz,
+        monitor=monitor,
     )
     dt = args.dt if args.dt is not None else 0.25 * grid.dx
     engine = (
         f"out-of-core np={args.npencils} pipeline={args.pipeline} "
         f"inflight={args.inflight}" if args.npencils else "whole-slab"
     )
+    if fuzz is not None:
+        engine += f" fuzz={fuzz.name}@{fuzz.seed}"
     print(f"distributed dns: P={args.ranks} ranks, {engine}")
     try:
         for step in range(1, args.steps + 1):
@@ -290,6 +347,15 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
         print(flow_statistics(solver.gather_state(), grid, args.nu))
     finally:
         solver.close()
+    if monitor is not None:
+        stats = getattr(solver.fft._backend, "stats", {})
+        comm_faults = plan.injected if plan is not None else 0
+        print(f"fuzz: {stats.get('injected', 0)} op fault(s) injected "
+              f"({stats.get('recovered', 0)} recovered), "
+              f"{comm_faults} comm fault(s), "
+              f"{monitor.checks} invariant check(s), "
+              f"{len(monitor.violations)} violation(s)")
+        monitor.assert_quiescent()
     if args.report:
         from repro.obs import render_breakdown
 
@@ -314,6 +380,56 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    """``repro verify``: the fuzz matrix + schedule exploration (CI job).
+
+    Every line of the report names the (seed, profile) pair that produced
+    it, so a CI failure reproduces locally with
+    ``repro verify --seeds SEED --profiles NAME`` or interactively with
+    ``repro dns --ranks P --npencils NP --pipeline threads --fuzz SEED``.
+    """
+    from repro.verify import DEFAULT_SEEDS, PROFILES, run_verification
+
+    if args.seeds is not None:
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    elif args.seed_base is not None:
+        seeds = (args.seed_base, args.seed_base + 1, args.seed_base + 2)
+    else:
+        seeds = DEFAULT_SEEDS
+    if args.profiles is not None:
+        profiles = tuple(p for p in args.profiles.split(",") if p)
+        unknown = [p for p in profiles if p not in PROFILES]
+        if unknown:
+            print(f"error: unknown profile(s) {unknown}; "
+                  f"choose from {sorted(PROFILES)}", file=sys.stderr)
+            return 2
+    else:
+        profiles = None
+    kwargs = {} if profiles is None else {"profiles": profiles}
+    print(f"verify: n={args.n} P={args.ranks} np={args.npencils} "
+          f"inflight={args.inflight} seeds={list(seeds)}")
+    report = run_verification(
+        n=args.n,
+        ranks=args.ranks,
+        npencils=args.npencils,
+        inflight=args.inflight,
+        steps=args.steps,
+        seeds=seeds,
+        orders=args.orders,
+        watchdog_seconds=args.watchdog,
+        verbose=True,
+        **kwargs,
+    )
+    print()
+    print(report.render())
+    if args.metrics_out:
+        from repro.obs import write_jsonl
+
+        write_jsonl(report.metrics_records, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return 0 if report.passed else 1
+
+
 def _cmd_report(module_name: str) -> int:
     import importlib
 
@@ -336,6 +452,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_step(args)
     if args.command == "dns":
         return _cmd_dns(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "projection":
         from repro.experiments.projection import run
 

@@ -35,6 +35,7 @@ _GLYPHS = {
     "integrating": "I",
     "forcing": "f",
     "diagnostics": "D",
+    "verify": "v",
 }
 
 #: Painting order: later entries overwrite earlier ones when intervals

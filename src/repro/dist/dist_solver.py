@@ -82,12 +82,19 @@ class DistributedNavierStokesSolver:
         pipeline: str = "sync",
         inflight: int = 3,
         device_bytes: Optional[float] = None,
+        fuzz=None,
+        monitor=None,
     ):
         self.grid = grid
         self.comm = comm
         self.config = config or SolverConfig()
         self.obs = obs if obs is not None else NULL_OBS
         if npencils is None:
+            if fuzz is not None or monitor is not None:
+                raise ValueError(
+                    "fuzz/monitor verification hooks require the "
+                    "out-of-core engine (set npencils)"
+                )
             self.fft = SlabDistributedFFT(grid, comm, obs=self.obs)
         else:
             from repro.dist.outofcore import OutOfCoreSlabFFT
@@ -100,6 +107,8 @@ class DistributedNavierStokesSolver:
                 obs=self.obs,
                 pipeline=pipeline,
                 inflight=inflight,
+                fuzz=fuzz,
+                monitor=monitor,
             )
         self.decomp: SlabDecomposition = self.fft.decomp
         self.views = [SlabGridView(grid, self.decomp, r) for r in range(comm.size)]

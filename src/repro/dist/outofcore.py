@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from contextlib import ExitStack, contextmanager
 from typing import TYPE_CHECKING, Sequence
 
@@ -48,7 +49,7 @@ from repro.dist.transpose import (
     complete_chunk_exchange,
     post_chunk_exchange,
 )
-from repro.dist.virtual_mpi import VirtualComm
+from repro.dist.virtual_mpi import TransientCommFault, VirtualComm
 from repro.exec import PencilPipeline, PipelineStage, make_backend
 from repro.obs import NULL_OBS
 from repro.spectral.grid import SpectralGrid
@@ -102,6 +103,10 @@ class DeviceArena:
         self._lock = threading.Lock()
         self.obs = obs if obs is not None else NULL_OBS
         self.pool = pool if pool is not None else BufferPool(obs=self.obs)
+        #: Optional invariant monitor (repro.verify.invariants): notified on
+        #: every allocate/free so fuzzed runs can assert no double-lease and
+        #: that in_use returns to zero.
+        self.monitor = None
 
     def allocate(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
@@ -116,6 +121,13 @@ class DeviceArena:
         buf = self.pool.take(tuple(shape), dtype)
         with self._lock:
             self._live[id(buf)] = nbytes
+            # Under the lock: the monitor must observe allocate/free in
+            # their true order, or a recycled buffer's next lease could
+            # race ahead of this one's free notification.
+            if self.monitor is not None:
+                self.monitor.on_arena_allocate(
+                    buf, nbytes, in_use=self.in_use, capacity=self.capacity
+                )
         if self.obs.enabled:
             self.obs.metrics.counter("arena.acquires").inc()
             self.obs.metrics.gauge("arena.high_water_bytes").set_max(
@@ -129,6 +141,8 @@ class DeviceArena:
             if nbytes is None:
                 raise KeyError("buffer was not allocated from this arena")
             self.in_use -= nbytes
+            if self.monitor is not None:
+                self.monitor.on_arena_free(buf, in_use=self.in_use)
         self.pool.give(buf)
         if self.obs.enabled:
             self.obs.metrics.counter("arena.releases").inc()
@@ -183,8 +197,15 @@ class PencilRings:
     ever sits between H2D, compute, and D2H.
     """
 
-    def __init__(self, arena: DeviceArena, window: int, roles: dict[str, int]):
+    def __init__(
+        self,
+        arena: DeviceArena,
+        window: int,
+        roles: dict[str, int],
+        monitor=None,
+    ):
         self.window = int(window)
+        self.monitor = monitor if monitor is not None else arena.monitor
         self._stack = ExitStack()
         self._slots: dict[str, list[np.ndarray]] = {}
         try:
@@ -204,7 +225,10 @@ class PencilRings:
         self, role: str, item: int, shape: tuple[int, ...], dtype
     ) -> np.ndarray:
         """Slot ``item % window`` of ``role``, viewed as (shape, dtype)."""
-        flat = self._slots[role][item % self.window]
+        slot = item % self.window
+        if self.monitor is not None:
+            self.monitor.on_ring_view(role, slot, item)
+        flat = self._slots[role][slot]
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
         return flat[:nbytes].view(dtype).reshape(shape)
 
@@ -232,6 +256,24 @@ class OutOfCoreSlabFFT:
         Bounded in-flight window (ring slots per role).  3 is the paper's
         triple buffering; forced to 1 under ``pipeline="sync"`` where
         deeper windows cannot overlap anyway.
+    backend:
+        Explicit :class:`~repro.exec.ExecBackend` overriding ``pipeline``
+        (verification hook: the schedule explorer injects a
+        :class:`repro.verify.explorer.ReplayBackend` here to execute the
+        recorded event graph in arbitrary legal interleavings).
+    fuzz:
+        Optional :class:`repro.verify.fuzz.FuzzProfile`; wraps the backend
+        in a :class:`~repro.verify.fuzz.FuzzBackend` injecting seeded
+        delays, dispatch reordering, and transient faults.
+    monitor:
+        Optional :class:`repro.verify.invariants.InvariantMonitor`
+        registered on the arena, its pool, and every pencil ring.
+    comm_retries, retry_backoff:
+        Transient-comm-fault budget: each pencil exchange retries up to
+        ``comm_retries`` times on :class:`TransientCommFault` with
+        exponential backoff starting at ``retry_backoff`` seconds — so
+        injected dropped/late chunks degrade gracefully instead of
+        poisoning the pipeline.
     """
 
     def __init__(
@@ -243,6 +285,11 @@ class OutOfCoreSlabFFT:
         obs: "Observability | None" = None,
         pipeline: str = "sync",
         inflight: int = 3,
+        backend=None,
+        fuzz=None,
+        monitor=None,
+        comm_retries: int = 3,
+        retry_backoff: float = 0.002,
     ):
         self.grid = grid
         self.comm = comm
@@ -250,15 +297,22 @@ class OutOfCoreSlabFFT:
         self.decomp = SlabDecomposition(grid.n, comm.size)
         if npencils < 1 or grid.n % npencils != 0:
             raise ValueError(f"npencils={npencils} must divide N={grid.n}")
-        if pipeline not in ("sync", "threads"):
+        if backend is None and pipeline not in ("sync", "threads"):
             raise ValueError(
                 f"pipeline={pipeline!r} must be 'sync' or 'threads'"
             )
         if inflight < 1:
             raise ValueError(f"inflight={inflight} must be >= 1")
+        if comm_retries < 0:
+            raise ValueError(f"comm_retries={comm_retries} must be >= 0")
         self.npencils = npencils
-        self.pipeline = pipeline
-        self.inflight = 1 if pipeline == "sync" else int(inflight)
+        self.pipeline = pipeline if backend is None else backend.kind
+        self.inflight = (
+            1 if (backend is None and pipeline == "sync") else int(inflight)
+        )
+        self.monitor = monitor
+        self.comm_retries = int(comm_retries)
+        self.retry_backoff = float(retry_backoff)
 
         n = grid.n
         d = self.decomp
@@ -279,7 +333,18 @@ class OutOfCoreSlabFFT:
             else 1.05 * self.inflight * per_item,
             obs=self.obs,
         )
-        self._backend = make_backend(pipeline, obs=self.obs)
+        if monitor is not None:
+            self.arena.monitor = monitor
+            self.arena.pool.monitor = monitor
+            configure = getattr(monitor, "configure", None)
+            if configure is not None:
+                configure(window=self.inflight)
+        if backend is not None:
+            self._backend = backend
+        else:
+            self._backend = make_backend(
+                pipeline, obs=self.obs, fuzz=fuzz, monitor=monitor
+            )
         # Metric instruments are pre-created on the constructing thread so
         # stream workers only ever mutate existing counters.
         if self.obs.enabled:
@@ -289,10 +354,15 @@ class OutOfCoreSlabFFT:
             self._m_xpose = m.counter("transpose.bytes_moved")
             self._m_chunks = m.counter("transpose.chunks")
             self._m_xcount = m.counter("transpose.count")
+            self._m_comm_faults = m.counter("comm.faults.transient")
+            self._m_comm_retries = m.counter("comm.retries")
+            self._m_comm_recovered = m.counter("comm.faults.recovered")
             m.gauge("arena.high_water_bytes")
         else:
             self._m_h2d = self._m_d2h = None
             self._m_xpose = self._m_chunks = self._m_xcount = None
+            self._m_comm_faults = None
+            self._m_comm_retries = self._m_comm_recovered = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -344,17 +414,55 @@ class OutOfCoreSlabFFT:
         The pack phase records its own nested span on the comm stream's
         tracer (same thread as the enclosing ``a2a[i]`` span), matching the
         ``pack``/``mpi`` category split of :func:`transpose_exchange`.
+
+        Transient comm faults (:class:`TransientCommFault`, injected by the
+        verification subsystem's fault-capable comm shim) are retried with
+        exponential backoff up to ``comm_retries`` times: a *late* chunk
+        re-waits the same posted handle, a *dropped* chunk re-packs and
+        re-posts from the unchanged source arrays.  Faults are injected
+        before any byte moves, so every retry starts from clean state and
+        recovered exchanges are bit-identical to fault-free ones.
         """
         spans = getattr(self._backend.stream("comm"), "_spans", self.obs.spans)
-        with spans.span("transpose.pack", category="pack"):
-            handle, send = post_chunk_exchange(
-                self.comm, sources, pack_axis, chunk, chunk_axis,
-                pool=_PACK_POOL,
-            )
-        nbytes = complete_chunk_exchange(
-            handle, send, outs, unpack_axis, chunk, chunk_axis,
-            block_extent, pool=_PACK_POOL,
-        )
+        attempt = 0
+        delay = self.retry_backoff
+        handle = send = None
+        while True:
+            try:
+                if handle is None:
+                    with spans.span("transpose.pack", category="pack"):
+                        handle, send = post_chunk_exchange(
+                            self.comm, sources, pack_axis, chunk, chunk_axis,
+                            pool=_PACK_POOL,
+                        )
+                nbytes = complete_chunk_exchange(
+                    handle, send, outs, unpack_axis, chunk, chunk_axis,
+                    block_extent, pool=_PACK_POOL,
+                )
+                break
+            except TransientCommFault as fault:
+                if self._m_comm_faults is not None:
+                    self._m_comm_faults.inc()
+                if attempt >= self.comm_retries:
+                    raise
+                attempt += 1
+                if fault.dropped and send is not None:
+                    # The posted send evaporated: recycle its staging and
+                    # re-pack from the (unchanged) source arrays.
+                    for bufs in send:
+                        for buf in bufs:
+                            _PACK_POOL.give(buf)
+                    handle = send = None
+                with spans.span(
+                    "verify.retry", category="verify",
+                    attempt=attempt, dropped=fault.dropped,
+                ):
+                    time.sleep(delay)
+                delay *= 2.0
+                if self._m_comm_retries is not None:
+                    self._m_comm_retries.inc()
+        if attempt > 0 and self._m_comm_recovered is not None:
+            self._m_comm_recovered.inc()
         if self._m_xpose is not None:
             self._m_xpose.inc(nbytes)
             self._m_chunks.inc()

@@ -19,9 +19,43 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["CollectiveRecord", "PendingAlltoall", "VirtualComm"]
+__all__ = [
+    "CollectiveRecord",
+    "CommFaultInjector",
+    "PendingAlltoall",
+    "TransientCommFault",
+    "VirtualComm",
+]
 
 T = TypeVar("T")
+
+
+class TransientCommFault(RuntimeError):
+    """A collective failed in a way a retry can recover from.
+
+    ``dropped`` distinguishes the two injected failure shapes of the
+    verification subsystem (:mod:`repro.verify.faults`): a *dropped* chunk
+    means the posted send evaporated — the caller must re-pack and re-post
+    the exchange; a *late* chunk (``dropped=False``) means the request is
+    still live — waiting the same handle again succeeds.
+    """
+
+    def __init__(self, message: str, dropped: bool = False):
+        super().__init__(message)
+        self.dropped = dropped
+
+
+class CommFaultInjector:
+    """Hook interface consulted by :class:`VirtualComm` before collectives.
+
+    The default implementation injects nothing; the verification subsystem
+    registers a seeded :class:`repro.verify.faults.CommFaultPlan` on
+    ``comm.fault_injector`` to make exchanges fail transiently.
+    """
+
+    def check(self, kind: str, comm: "VirtualComm") -> None:
+        """Called before a collective of ``kind`` moves bytes; may raise
+        :class:`TransientCommFault` to make this attempt fail."""
 
 
 @dataclass(frozen=True)
@@ -89,6 +123,8 @@ class VirtualComm:
         self.size = size
         self.name = name
         self.stats = _CommStats()
+        #: Optional :class:`CommFaultInjector`; consulted before exchanges.
+        self.fault_injector: CommFaultInjector | None = None
 
     def _check_per_rank(self, data: Sequence) -> None:
         if len(data) != self.size:
@@ -110,6 +146,11 @@ class VirtualComm:
     def _exchange(
         self, send: Sequence[Sequence[np.ndarray]], kind: str
     ) -> list[list[np.ndarray]]:
+        # Fault injection happens *before* any byte moves, so a failed
+        # attempt leaves no partial state and the same exchange can be
+        # retried (late chunk) or re-posted (dropped chunk).
+        if self.fault_injector is not None:
+            self.fault_injector.check(kind, self)
         recv = [
             [np.array(send[r][s], copy=True) for r in range(self.size)]
             for s in range(self.size)

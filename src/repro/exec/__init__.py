@@ -44,15 +44,33 @@ __all__ = [
 ]
 
 
-def make_backend(kind: str, obs=None) -> ExecBackend:
+def make_backend(kind: str, obs=None, fuzz=None, monitor=None) -> ExecBackend:
     """Build a real-execution backend by name (``"sync"`` or ``"threads"``).
 
     The simulated backend is constructed explicitly from a
     :class:`repro.cuda.CudaDevice` via
     :class:`repro.exec.simcuda.SimCudaBackend` (it needs an engine).
+
+    With ``fuzz`` (a :class:`repro.verify.fuzz.FuzzProfile`) the backend is
+    wrapped in a :class:`~repro.verify.fuzz.FuzzBackend` that injects seeded
+    delays, reordered dispatch, and transient faults at stream-op
+    boundaries; ``monitor`` (a
+    :class:`repro.verify.invariants.InvariantMonitor`) additionally makes
+    every operation report begin/end so buffer-reuse invariants can be
+    checked under adversarial timing.
     """
     if kind == "sync":
-        return SyncBackend(obs=obs)
-    if kind == "threads":
-        return ThreadBackend(obs=obs)
-    raise ValueError(f"unknown exec backend {kind!r} (use 'sync' or 'threads')")
+        backend: ExecBackend = SyncBackend(obs=obs)
+    elif kind == "threads":
+        backend = ThreadBackend(obs=obs)
+    else:
+        raise ValueError(
+            f"unknown exec backend {kind!r} (use 'sync' or 'threads')"
+        )
+    if fuzz is not None or monitor is not None:
+        # Imported lazily: repro.verify depends on repro.exec, not the
+        # other way around (the hook is the only coupling point).
+        from repro.verify.fuzz import FuzzBackend
+
+        backend = FuzzBackend(backend, profile=fuzz, obs=obs, monitor=monitor)
+    return backend

@@ -81,6 +81,9 @@ class BufferPool:
         # take/give are called from exec-stream worker threads (pack staging,
         # arena rings), so the free-list mutations must be atomic.
         self._lock = threading.Lock()
+        #: Optional invariant monitor (repro.verify.invariants): notified on
+        #: every take/give so fuzzed runs can assert no double-release.
+        self.monitor = None
 
     def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         key = (tuple(shape), np.dtype(dtype))
@@ -94,19 +97,29 @@ class BufferPool:
                 self.misses += 1
                 hit = False
                 buf = None
+            # Monitor hooks run under the pool lock so the monitor observes
+            # take/give in their true serialization (calling them outside
+            # would let a delayed give notification race a concurrent take).
+            if buf is not None and self.monitor is not None:
+                self.monitor.on_pool_take(buf, fresh=False)
         if self.obs.enabled:
             name = "pool.take.hits" if hit else "pool.take.misses"
             self.obs.metrics.counter(name).inc()
         if buf is None:
             buf = np.empty(key[0], dtype=key[1])
+            if self.monitor is not None:
+                self.monitor.on_pool_take(buf, fresh=True)
         return buf
 
     def give(self, buf: np.ndarray) -> None:
         key = (buf.shape, buf.dtype)
         with self._lock:
             stack = self._free.setdefault(key, [])
-            if len(stack) < self.max_per_key:
+            stored = len(stack) < self.max_per_key
+            if stored:
                 stack.append(buf)
+            if self.monitor is not None:
+                self.monitor.on_pool_give(buf, stored=stored)
         if self.obs.enabled:
             self.obs.metrics.counter("pool.releases").inc()
 

@@ -1,0 +1,71 @@
+"""Fault-injection and schedule-exploration verification (paper Sec. 3.4).
+
+The async pipeline's whole claim is that its event graph makes asynchrony
+*invisible in the data*: any timing, any interleaving, any transient fault
+that retries cleanly must yield bytes identical to the inline reference.
+This package stress-tests that claim from three directions:
+
+* :mod:`repro.verify.fuzz` — :class:`FuzzBackend` decorates a real exec
+  backend with seeded delays, reordered dispatch, and retryable transient
+  faults at every stream-op boundary;
+* :mod:`repro.verify.faults` — :class:`CommFaultPlan` makes the virtual
+  communicator drop or delay all-to-all chunks, exercising the out-of-core
+  engine's retry/backoff path;
+* :mod:`repro.verify.explorer` — :class:`ReplayBackend` records the
+  pipeline's event graph and re-executes it in sampled legal topological
+  orders, proving determinism over interleavings the OS scheduler would
+  never produce, and proving deadlock-freedom structurally;
+* :mod:`repro.verify.invariants` — :class:`InvariantMonitor` asserts the
+  device-buffer discipline (no double lease, rings never recycled under
+  in-flight operations, in-flight window respected) *inside* fuzzed runs;
+* :mod:`repro.verify.harness` — :func:`run_verification`, the whole matrix
+  behind ``repro verify`` and the CI ``verify`` job.
+"""
+
+from repro.verify.explorer import (
+    ReplayBackend,
+    ReplayEvent,
+    ReplayStream,
+    ScheduleDeadlock,
+    ScheduleGraph,
+)
+from repro.verify.faults import CommFaultPlan
+from repro.verify.fuzz import (
+    PROFILES,
+    FuzzBackend,
+    FuzzProfile,
+    TransientFault,
+    fuzz_profile,
+)
+from repro.verify.harness import (
+    DEFAULT_PROFILES,
+    DEFAULT_SEEDS,
+    FuzzCase,
+    VerificationReport,
+    run_verification,
+)
+from repro.verify.invariants import InvariantMonitor, InvariantViolation
+from repro.verify.watchdog import DeadlockTimeout, watchdog
+
+__all__ = [
+    "CommFaultPlan",
+    "DEFAULT_PROFILES",
+    "DEFAULT_SEEDS",
+    "DeadlockTimeout",
+    "FuzzBackend",
+    "FuzzCase",
+    "FuzzProfile",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "PROFILES",
+    "ReplayBackend",
+    "ReplayEvent",
+    "ReplayStream",
+    "ScheduleDeadlock",
+    "ScheduleGraph",
+    "TransientFault",
+    "VerificationReport",
+    "fuzz_profile",
+    "run_verification",
+    "watchdog",
+]

@@ -146,6 +146,69 @@ class TestArenaAccountingUnderFailure:
         assert fft.arena.in_use == 0
         fft.close()
 
+    def test_concurrent_lease_release_from_two_threads(self):
+        import threading
+
+        arena = DeviceArena(100_000)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                barrier.wait()
+                for _ in range(300):
+                    n = int(rng.integers(1, 50))
+                    with arena.lease((n,), np.float64) as buf:
+                        buf[:] = seed  # touch the lease
+                        if arena.in_use > arena.capacity:
+                            raise AssertionError("in_use exceeded capacity")
+                        if not np.all(buf == seed):
+                            raise AssertionError("lease aliased across threads")
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in (1, 2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert arena.in_use == 0
+        assert arena.high_water > 0
+
+    def test_concurrent_leases_hold_monitor_invariants(self):
+        import threading
+
+        from repro.verify import InvariantMonitor
+
+        mon = InvariantMonitor()
+        arena = DeviceArena(100_000)
+        arena.monitor = mon
+        arena.pool.monitor = mon
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                barrier.wait()
+                for _ in range(200):
+                    with arena.lease((int(rng.integers(1, 40)),), np.float64):
+                        pass
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in (3, 4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert arena.in_use == 0
+        mon.assert_quiescent()
+        assert mon.ok and mon.checks >= 800
+
     def test_whole_slab_overflow_leaves_clean_arena(self):
         grid = SpectralGrid(16)
         P = 2

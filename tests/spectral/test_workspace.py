@@ -221,6 +221,62 @@ class TestBufferPool:
         pool.take((8,), np.float64)
         assert pool.misses == misses_before + 1
 
+    def test_concurrent_take_give_from_two_threads(self):
+        import threading
+
+        pool = BufferPool(max_per_key=8)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            try:
+                barrier.wait()
+                for _ in range(500):
+                    buf = pool.take((16,), np.float64)
+                    buf[:] = tag
+                    # The pool must never hand one buffer to both threads:
+                    # nobody else writes our value while we hold it.
+                    if not np.all(buf == tag):
+                        raise AssertionError("buffer shared between threads")
+                    pool.give(buf)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in (1.0, 2.0)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert pool.hits + pool.misses == 1000
+
+    def test_concurrent_monitor_sees_no_double_insert(self):
+        import threading
+
+        from repro.verify import InvariantMonitor
+
+        pool = BufferPool(max_per_key=4)
+        mon = InvariantMonitor()
+        pool.monitor = mon
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(400):
+                    pool.give(pool.take((8,), np.float64))
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert mon.ok and mon.checks >= 1600
+
 
 class TestBackends:
     def test_available_backends_has_numpy_and_scipy(self):
