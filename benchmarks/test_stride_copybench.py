@@ -1,0 +1,61 @@
+"""Measured stride-copy bandwidth sweep (the Fig. 7 companion artifact).
+
+Run explicitly (excluded from tier-1 by ``testpaths`` and the markers)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_stride_copybench.py -v
+
+Writes ``BENCH_stride_copy.json`` at the repo root: for every (Fig. 7
+chunk size, strategy) pair the measured wall time and bandwidth of the
+executable engine next to the paper's analytic curve at 216 MB.  The
+assertions check the *shape* of the measurement, not absolute numbers
+(the measured side times host memcpy on whatever box runs the bench):
+
+* per-chunk copies must be slower than the single strided descriptor copy
+  at the smallest chunk size (the paper's order-of-magnitude observation);
+* measured per-chunk bandwidth must grow from the smallest to the largest
+  chunk (amortizing per-call overhead), mirroring the model's slope.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.benchkit.copybench import run_copybench, write_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_stride_copy.json"
+
+
+@pytest.mark.bench
+@pytest.mark.copybench
+def test_stride_copybench_suite():
+    payload = run_copybench(repeats=5)
+    write_json(payload, str(JSON_PATH))
+
+    by = {(r["chunk_bytes"], r["strategy"]): r for r in payload["results"]}
+    chunks = payload["chunk_sizes"]
+    small, large = min(chunks), max(chunks)
+
+    # Every point carries both curves.
+    for r in payload["results"]:
+        assert r["measured_seconds"] > 0
+        assert r["measured_bandwidth"] > 0
+        assert r["model_seconds"] > 0
+
+    # Paper Sec. 4.2: one memcpy per chunk is dominated by per-call
+    # overhead at small chunks; the 2-D descriptor copy is not.
+    assert (
+        by[(small, "per_chunk")]["measured_seconds"]
+        > by[(small, "memcpy2d")]["measured_seconds"]
+    )
+
+    # Bandwidth must rise with chunk size for the per-chunk strategy
+    # (fewer, larger calls) — the defining slope of Fig. 7.
+    assert (
+        by[(large, "per_chunk")]["measured_bandwidth"]
+        > by[(small, "per_chunk")]["measured_bandwidth"]
+    )
+    assert (
+        by[(large, "per_chunk")]["model_bandwidth"]
+        > by[(small, "per_chunk")]["model_bandwidth"]
+    )

@@ -13,10 +13,13 @@ analyzing the full DNS:
   pre-allocated :class:`~repro.spectral.SpectralWorkspace` —
   :mod:`repro.benchkit.hotpath`;
 * an overlap-efficiency study of the async pencil pipeline (threaded
-  streams vs. the sync reference, Fig. 4) — :mod:`repro.benchkit.overlap`.
+  streams vs. the sync reference, Fig. 4) — :mod:`repro.benchkit.overlap`;
+* a measured-vs-model sweep of the *executable* copy engines over the
+  Fig. 7 chunk sizes — :mod:`repro.benchkit.copybench`.
 """
 
 from repro.benchkit.a2a_kernel import StandaloneA2AKernel
+from repro.benchkit.copybench import CopyBenchPoint, run_copybench
 from repro.benchkit.hotpath import HotpathResult, benchmark_solver, run_suite
 from repro.benchkit.overlap import (
     OverlapResult,
@@ -26,6 +29,7 @@ from repro.benchkit.overlap import (
 from repro.benchkit.stride_kernel import StridedCopyStudy, ZeroCopyBlockStudy
 
 __all__ = [
+    "CopyBenchPoint",
     "HotpathResult",
     "OverlapResult",
     "StandaloneA2AKernel",
@@ -33,6 +37,7 @@ __all__ = [
     "ZeroCopyBlockStudy",
     "benchmark_overlap",
     "benchmark_solver",
+    "run_copybench",
     "run_overlap_suite",
     "run_suite",
 ]

@@ -24,17 +24,27 @@ __all__ = ["StridedCopyStudy", "StrideStudyPoint", "ZeroCopyBlockStudy"]
 
 @dataclass(frozen=True)
 class StrideStudyPoint:
-    """Timing of one (chunk size, strategy) combination."""
+    """Timing of one (chunk size, strategy) combination.
+
+    ``total_bytes_hint`` is required: a defaulted 0.0 made ``bandwidth``
+    silently return 0 for hand-constructed points.
+    """
 
     chunk_bytes: float
     strategy: CopyStrategy
     time_s: float
+    total_bytes_hint: float
+
+    def __post_init__(self):
+        if self.total_bytes_hint <= 0:
+            raise ValueError(
+                "total_bytes_hint must be positive (it is the numerator "
+                "of bandwidth)"
+            )
 
     @property
     def bandwidth(self) -> float:
         return 0.0 if self.time_s == 0 else self.total_bytes_hint / self.time_s
-
-    total_bytes_hint: float = 0.0
 
 
 class StridedCopyStudy:

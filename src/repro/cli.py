@@ -11,6 +11,7 @@ Subcommands expose the reproduction's main entry points:
 ``fig7-10``      regenerate a paper figure
 ``projection``   the exascale what-if study
 ``verify``       fuzz + schedule-exploration verification of the pipeline
+``tune``         probe the strided-copy engines on real pencil layouts
 ===============  ==========================================================
 """
 
@@ -95,6 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fuzz-profile", default="chaos",
                    help="fuzz profile name for --fuzz "
                         "(calm|jittery|stormy|faulty|flaky-net|chaos)")
+    p.add_argument("--copy-strategy", default="auto",
+                   choices=["auto", "per_chunk", "memcpy2d", "zero_copy"],
+                   help="with --npencils: host<->device strided-copy "
+                        "strategy (Sec. 4.2 / Fig. 7); auto probes all "
+                        "three on the first pencil of each layout")
+
+    p = sub.add_parser(
+        "tune",
+        help="probe the strided-copy engines on this run's pencil layouts",
+    )
+    p.add_argument("--n", type=int, default=32, help="grid size (default 32)")
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--npencils", type=int, default=4)
+    p.add_argument("--pipeline", default="sync", choices=["sync", "threads"])
+    p.add_argument("--inflight", type=int, default=3)
+    p.add_argument("--no-model", dest="model", action="store_false",
+                   help="skip the Fig. 7 analytic ranking of the same "
+                        "layouts (the deterministic sim-backend choice)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the probe records as JSON")
 
     p = sub.add_parser(
         "verify",
@@ -120,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-case deadlock watchdog in seconds")
     p.add_argument("--metrics-out", metavar="PATH", default=None,
                    help="write per-case fault/verify metrics as JSONL")
+    p.add_argument("--copy-strategy", default="memcpy2d",
+                   choices=["auto", "per_chunk", "memcpy2d", "zero_copy"],
+                   help="strided-copy engine used by every case (all "
+                        "strategies must be bit-identical)")
 
     for name in ("table1", "table2", "table3", "table4"):
         sub.add_parser(name, help=f"regenerate paper {name}")
@@ -329,11 +354,13 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
         inflight=args.inflight,
         fuzz=fuzz,
         monitor=monitor,
+        copy_strategy=args.copy_strategy,
     )
     dt = args.dt if args.dt is not None else 0.25 * grid.dx
     engine = (
         f"out-of-core np={args.npencils} pipeline={args.pipeline} "
-        f"inflight={args.inflight}" if args.npencils else "whole-slab"
+        f"inflight={args.inflight} copy={args.copy_strategy}"
+        if args.npencils else "whole-slab"
     )
     if fuzz is not None:
         engine += f" fuzz={fuzz.name}@{fuzz.seed}"
@@ -380,6 +407,82 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    """``repro tune``: probe every copy engine on the run's pencil layouts.
+
+    Builds the out-of-core FFT with ``copy_strategy="auto"``, round-trips a
+    random field (inverse then forward), and prints the autotuner's probe
+    table: measured bandwidth per (layout, strategy) with the winner marked.
+    With ``--model`` the Fig. 7 analytic ranking of the same layouts is
+    appended (this is the choice the simulated-CUDA backend would make).
+    """
+    import numpy as np
+
+    from repro.cuda.copyengine import ChunkLayout, CopyAutotuner
+    from repro.dist.outofcore import OutOfCoreSlabFFT
+    from repro.dist.virtual_mpi import VirtualComm
+    from repro.spectral.grid import SpectralGrid
+
+    grid = SpectralGrid(args.n)
+    P = args.ranks
+    rng = np.random.default_rng(11)
+    shape = None
+    print(f"tune: n={args.n} P={P} np={args.npencils} "
+          f"pipeline={args.pipeline}")
+    with OutOfCoreSlabFFT(
+        grid, VirtualComm(P), args.npencils,
+        pipeline=args.pipeline, inflight=args.inflight,
+        copy_strategy="auto",
+    ) as fft:
+        shape = fft.decomp.local_spectral_shape()
+        spec = [
+            (rng.standard_normal(shape)
+             + 1j * rng.standard_normal(shape)).astype(grid.cdtype)
+            for _ in range(P)
+        ]
+        fft.forward(fft.inverse(spec))
+        tuner = fft.copy_tuner
+        print()
+        print(tuner.report())
+        records = tuner.records()
+        chosen = {r["strategy"] for r in records if r["winner"]}
+        print()
+        print(f"measured winners: {sorted(chosen)} "
+              f"over {len({tuple(r['shape']) for r in records})} layout(s)")
+        if args.model:
+            model = CopyAutotuner(obs=None)
+            probed = set()
+            for r in tuner.results:
+                if not r.winner or r.key in probed:
+                    continue
+                probed.add(r.key)
+                # Rebuild the probe's exact chunk geometry (the models only
+                # consume chunk_bytes and nchunks; the real shape stays in
+                # the key for display).
+                itemsize = np.dtype(r.key[1]).itemsize
+                elems = max(r.chunk_bytes // itemsize, 1)
+                layout = ChunkLayout(
+                    shape=(r.nchunks, elems),
+                    lead_ndim=1 if r.nchunks > 1 else 0,
+                    chunk_elems=elems,
+                    itemsize=itemsize,
+                )
+                model._choose_model((*r.key[:2], "sim"), layout)
+            print()
+            print("Fig. 7 model ranking (the sim-backend choice):")
+            print(model.report())
+            records = records + model.records()
+        if args.json:
+            import json
+            from pathlib import Path
+
+            Path(args.json).write_text(
+                json.dumps({"suite": "tune", "records": records}, indent=2)
+            )
+            print(f"probe records written to {args.json}")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     """``repro verify``: the fuzz matrix + schedule exploration (CI job).
 
@@ -418,6 +521,7 @@ def _cmd_verify(args) -> int:
         orders=args.orders,
         watchdog_seconds=args.watchdog,
         verbose=True,
+        copy_strategy=args.copy_strategy,
         **kwargs,
     )
     print()
@@ -454,6 +558,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_dns(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "projection":
         from repro.experiments.projection import run
 

@@ -12,9 +12,23 @@ semantics and costs on the discrete-event engine:
   strategies compared in the paper's Fig. 7;
 * :mod:`repro.cuda.kernels` — zero-copy kernel throughput vs thread blocks
   (Fig. 8), pack/unpack and pointwise kernels;
-* :mod:`repro.cuda.cufft` — batched 1-D FFT cost model (c2c and r2c/c2r).
+* :mod:`repro.cuda.cufft` — batched 1-D FFT cost model (c2c and r2c/c2r);
+* :mod:`repro.cuda.copyengine` — *executable* versions of the three copy
+  strategies plus the runtime autotuner that picks between them.
 """
 
+from repro.cuda.copyengine import (
+    AutoEngine,
+    Batched2DEngine,
+    ChunkLayout,
+    CopyAutotuner,
+    CopyEngine,
+    ENGINE_NAMES,
+    PerChunkEngine,
+    ProbeResult,
+    ZeroCopyEngine,
+    make_engine,
+)
 from repro.cuda.runtime import CudaDevice, CudaEvent, CudaStream
 from repro.cuda.memcpy import (
     CopyStrategy,
@@ -32,8 +46,18 @@ from repro.cuda.kernels import (
 )
 
 __all__ = [
+    "AutoEngine",
+    "Batched2DEngine",
+    "ChunkLayout",
+    "CopyAutotuner",
+    "CopyEngine",
     "CopyStrategy",
     "CudaDevice",
+    "ENGINE_NAMES",
+    "PerChunkEngine",
+    "ProbeResult",
+    "ZeroCopyEngine",
+    "make_engine",
     "CudaEvent",
     "CudaStream",
     "CufftPlan",

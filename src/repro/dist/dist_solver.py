@@ -69,6 +69,12 @@ class DistributedNavierStokesSolver:
         reference) or ``"threads"`` (Fig. 4 overlap on worker threads).
     inflight:
         Bounded in-flight pencil window for ``pipeline="threads"``.
+    copy_strategy:
+        How the out-of-core engine moves pencils between strided host
+        views and device ring slots (``per_chunk``, ``memcpy2d``,
+        ``zero_copy``, or ``auto`` for the runtime autotuner); forwarded
+        to :class:`~repro.dist.outofcore.OutOfCoreSlabFFT`.  All
+        strategies are bit-identical.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class DistributedNavierStokesSolver:
         device_bytes: Optional[float] = None,
         fuzz=None,
         monitor=None,
+        copy_strategy: str = "memcpy2d",
     ):
         self.grid = grid
         self.comm = comm
@@ -109,6 +116,7 @@ class DistributedNavierStokesSolver:
                 inflight=inflight,
                 fuzz=fuzz,
                 monitor=monitor,
+                copy_strategy=copy_strategy,
             )
         self.decomp: SlabDecomposition = self.fft.decomp
         self.views = [SlabGridView(grid, self.decomp, r) for r in range(comm.size)]

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.cuda.copyengine import Batched2DEngine, CopyEngine, make_engine
 from repro.dist.decomp import SlabDecomposition
 from repro.dist.transpose import (
     _PACK_POOL,
@@ -93,6 +94,7 @@ class DeviceArena:
         capacity_bytes: float,
         pool: BufferPool | None = None,
         obs: "Observability | None" = None,
+        copy_engine: "CopyEngine | None" = None,
     ):
         if capacity_bytes <= 0:
             raise ValueError("device capacity must be positive")
@@ -103,6 +105,14 @@ class DeviceArena:
         self._lock = threading.Lock()
         self.obs = obs if obs is not None else NULL_OBS
         self.pool = pool if pool is not None else BufferPool(obs=self.obs)
+        #: Strided-copy strategy for :meth:`upload` / :meth:`download_and_free`
+        #: (the monolithic helpers); defaults to the cudaMemcpy2DAsync
+        #: analogue, the pre-copy-engine behaviour.
+        self.copy_engine = (
+            copy_engine
+            if copy_engine is not None
+            else Batched2DEngine(obs=self.obs)
+        )
         #: Optional invariant monitor (repro.verify.invariants): notified on
         #: every allocate/free so fuzzed runs can assert no double-lease and
         #: that in_use returns to zero.
@@ -165,8 +175,7 @@ class DeviceArena:
         """H2D: copy a strided host view into a fresh device buffer."""
         buf = self.allocate(host_view.shape, host_view.dtype)
         try:
-            with self.obs.spans.span("arena.h2d", category="h2d"):
-                np.copyto(buf, host_view)
+            self.copy_engine.h2d(buf, host_view)
         except BaseException:
             self.free(buf)
             raise
@@ -177,8 +186,7 @@ class DeviceArena:
     def download_and_free(self, buf: np.ndarray, host_view: np.ndarray) -> None:
         """D2H: copy a device buffer back into (strided) host memory."""
         try:
-            with self.obs.spans.span("arena.d2h", category="d2h"):
-                np.copyto(host_view, buf)
+            self.copy_engine.d2h(host_view, buf)
         finally:
             if self.obs.enabled:
                 self.obs.metrics.counter("arena.d2h_bytes").inc(buf.nbytes)
@@ -203,9 +211,13 @@ class PencilRings:
         window: int,
         roles: dict[str, int],
         monitor=None,
+        engine: "CopyEngine | None" = None,
     ):
         self.window = int(window)
         self.monitor = monitor if monitor is not None else arena.monitor
+        #: Strided-copy strategy for :meth:`load` / :meth:`store`; defaults
+        #: to the arena's engine so rings and legacy helpers agree.
+        self.engine = engine if engine is not None else arena.copy_engine
         self._stack = ExitStack()
         self._slots: dict[str, list[np.ndarray]] = {}
         try:
@@ -231,6 +243,39 @@ class PencilRings:
         flat = self._slots[role][slot]
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
         return flat[:nbytes].view(dtype).reshape(shape)
+
+    def load(
+        self,
+        role: str,
+        item: int,
+        shape: tuple[int, ...],
+        dtype,
+        src: np.ndarray,
+        spans=None,
+    ) -> np.ndarray:
+        """H2D: fill slot ``item % window`` from a (strided) host view.
+
+        The configured copy engine moves the bytes and records the
+        ``arena.h2d`` span on ``spans`` (pass the owning stream's tracer
+        when calling from a pipeline stage).  Returns the filled view.
+        """
+        slot = self.view(role, item, shape, dtype)
+        self.engine.h2d(slot, src, spans=spans)
+        return slot
+
+    def store(
+        self,
+        role: str,
+        item: int,
+        shape: tuple[int, ...],
+        dtype,
+        dst: np.ndarray,
+        spans=None,
+    ) -> np.ndarray:
+        """D2H: copy slot ``item % window`` into a (strided) host view."""
+        slot = self.view(role, item, shape, dtype)
+        self.engine.d2h(dst, slot, spans=spans)
+        return slot
 
     def close(self) -> None:
         """Return every slot's bytes to the arena."""
@@ -274,6 +319,16 @@ class OutOfCoreSlabFFT:
         exponential backoff starting at ``retry_backoff`` seconds — so
         injected dropped/late chunks degrade gracefully instead of
         poisoning the pipeline.
+    copy_strategy:
+        How pencils move between strided host views and ring slots
+        (paper Sec. 4.2, Fig. 7): ``"per_chunk"`` (one virtual
+        ``cudaMemcpyAsync`` per contiguous run), ``"memcpy2d"`` (a single
+        strided-descriptor copy — the historical behaviour and default),
+        ``"zero_copy"`` (block-partitioned concurrent gather), or
+        ``"auto"`` (a :class:`~repro.cuda.copyengine.CopyAutotuner`
+        probes every engine on the first pencil of each layout and caches
+        the winner).  All strategies move identical bytes, so results are
+        bit-identical regardless of the choice.
     """
 
     def __init__(
@@ -290,6 +345,7 @@ class OutOfCoreSlabFFT:
         monitor=None,
         comm_retries: int = 3,
         retry_backoff: float = 0.002,
+        copy_strategy: str = "memcpy2d",
     ):
         self.grid = grid
         self.comm = comm
@@ -313,6 +369,10 @@ class OutOfCoreSlabFFT:
         self.monitor = monitor
         self.comm_retries = int(comm_retries)
         self.retry_backoff = float(retry_backoff)
+        self.copy_strategy = copy_strategy
+        self._copy_engine = make_engine(
+            copy_strategy, obs=self.obs, kind=self.pipeline
+        )
 
         n = grid.n
         d = self.decomp
@@ -332,6 +392,7 @@ class OutOfCoreSlabFFT:
             if device_bytes is not None
             else 1.05 * self.inflight * per_item,
             obs=self.obs,
+            copy_engine=self._copy_engine,
         )
         if monitor is not None:
             self.arena.monitor = monitor
@@ -366,10 +427,17 @@ class OutOfCoreSlabFFT:
 
     # -- lifecycle -----------------------------------------------------------
 
+    @property
+    def copy_tuner(self):
+        """The :class:`~repro.cuda.copyengine.CopyAutotuner` behind
+        ``copy_strategy="auto"`` (``None`` for a fixed strategy)."""
+        return getattr(self._copy_engine, "tuner", None)
+
     def close(self) -> None:
         """Stop worker streams (threads backend); the object stays usable
         for nothing afterwards — create a new one per run configuration."""
         self._backend.shutdown()
+        self._copy_engine.close()
 
     def __enter__(self) -> "OutOfCoreSlabFFT":
         return self
@@ -389,15 +457,28 @@ class OutOfCoreSlabFFT:
             self._backend, stages, window=self.inflight
         ).run(nitems)
 
-    def _copy_h2d(self, dst: np.ndarray, src: np.ndarray) -> None:
-        np.copyto(dst, src)
-        if self._m_h2d is not None:
-            self._m_h2d.inc(dst.nbytes)
+    def _stream_spans(self, name: str):
+        """The stream's own span tracer, when the backend records one.
 
-    def _copy_d2h(self, dst: np.ndarray, src: np.ndarray) -> None:
-        np.copyto(dst, src)
+        Span tracers are single-threaded; copy-engine spans emitted from a
+        stage fn must land on the tracer owned by the stream whose worker
+        runs the fn (same pattern as :meth:`_exchange_pencil`).
+        """
+        return getattr(self._backend.stream(name), "_spans", self.obs.spans)
+
+    def _rings(self, roles: dict[str, int]) -> PencilRings:
+        """A per-stage ring wired to this engine's copy strategy."""
+        return PencilRings(
+            self.arena, self.inflight, roles, engine=self._copy_engine
+        )
+
+    def _note_h2d(self, nbytes: int) -> None:
+        if self._m_h2d is not None:
+            self._m_h2d.inc(nbytes)
+
+    def _note_d2h(self, nbytes: int) -> None:
         if self._m_d2h is not None:
-            self._m_d2h.inc(src.nbytes)
+            self._m_d2h.inc(nbytes)
 
     def _exchange_pencil(
         self,
@@ -490,9 +571,9 @@ class OutOfCoreSlabFFT:
 
         # Phase 1 (Fig. 4): per (x-pencil, rank) — H2D, y-iFFT, D2H — and
         # per pencil, the s2p exchange of that x-chunk on the comm stream.
-        rings = PencilRings(
-            self.arena, self.inflight, {"cpx": self._bytes_xpencil}
-        )
+        rings = self._rings({"cpx": self._bytes_xpencil})
+        sp_h2d = self._stream_spans("h2d")
+        sp_d2h = self._stream_spans("d2h")
         try:
             def pencil(i: int) -> tuple[int, slice]:
                 ip, r = divmod(i, P)
@@ -503,8 +584,11 @@ class OutOfCoreSlabFFT:
 
             def h2d(i: int) -> None:
                 r, xs = pencil(i)
-                slot = rings.view("cpx", i, shape_of(xs), cdtype)
-                self._copy_h2d(slot, spectral_locals[r][:, :, xs])
+                slot = rings.load(
+                    "cpx", i, shape_of(xs), cdtype,
+                    spectral_locals[r][:, :, xs], spans=sp_h2d,
+                )
+                self._note_h2d(slot.nbytes)
 
             def fft(i: int) -> None:
                 r, xs = pencil(i)
@@ -513,8 +597,11 @@ class OutOfCoreSlabFFT:
 
             def d2h(i: int) -> None:
                 r, xs = pencil(i)
-                slot = rings.view("cpx", i, shape_of(xs), cdtype)
-                self._copy_d2h(work[r][:, :, xs], slot)
+                slot = rings.store(
+                    "cpx", i, shape_of(xs), cdtype,
+                    work[r][:, :, xs], spans=sp_d2h,
+                )
+                self._note_d2h(slot.nbytes)
 
             def comm_op(i: int) -> None:
                 xs = xsplits[i // P]
@@ -546,11 +633,11 @@ class OutOfCoreSlabFFT:
         out = [
             np.empty((n, d.my, n), dtype=self.grid.dtype) for _ in range(P)
         ]
-        rings = PencilRings(
-            self.arena,
-            self.inflight,
-            {"cpx": self._bytes_ycpx, "real": self._bytes_yreal},
+        rings = self._rings(
+            {"cpx": self._bytes_ycpx, "real": self._bytes_yreal}
         )
+        sp_h2d = self._stream_spans("h2d")
+        sp_d2h = self._stream_spans("d2h")
         try:
             def pencil2(i: int) -> tuple[int, slice]:
                 ip, r = divmod(i, P)
@@ -558,10 +645,11 @@ class OutOfCoreSlabFFT:
 
             def h2d2(i: int) -> None:
                 r, ys = pencil2(i)
-                slot = rings.view(
-                    "cpx", i, (n, ys.stop - ys.start, nxh), cdtype
+                slot = rings.load(
+                    "cpx", i, (n, ys.stop - ys.start, nxh), cdtype,
+                    t_out[r][:, ys, :], spans=sp_h2d,
                 )
-                self._copy_h2d(slot, t_out[r][:, ys, :])
+                self._note_h2d(slot.nbytes)
 
             def fft2(i: int) -> None:
                 r, ys = pencil2(i)
@@ -575,10 +663,11 @@ class OutOfCoreSlabFFT:
 
             def d2h2(i: int) -> None:
                 r, ys = pencil2(i)
-                real = rings.view(
-                    "real", i, (n, ys.stop - ys.start, n), self.grid.dtype
+                real = rings.store(
+                    "real", i, (n, ys.stop - ys.start, n), self.grid.dtype,
+                    out[r][:, ys, :], spans=sp_d2h,
                 )
-                self._copy_d2h(out[r][:, ys, :], real)
+                self._note_d2h(real.nbytes)
 
             self._run(
                 [
@@ -609,11 +698,11 @@ class OutOfCoreSlabFFT:
         # Phase 1 (Fig. 4): per (y-pencil, rank) — H2D, fused r2c-x + c2c-z
         # FFTs, D2H — and per pencil, its p2s exchange (a y-sub-range of
         # every peer's contribution) pipelined on the comm stream.
-        rings = PencilRings(
-            self.arena,
-            self.inflight,
-            {"real": self._bytes_yreal, "cpx": self._bytes_ycpx},
+        rings = self._rings(
+            {"real": self._bytes_yreal, "cpx": self._bytes_ycpx}
         )
+        sp_h2d = self._stream_spans("h2d")
+        sp_d2h = self._stream_spans("d2h")
         try:
             def pencil(i: int) -> tuple[int, slice]:
                 ip, r = divmod(i, P)
@@ -621,10 +710,11 @@ class OutOfCoreSlabFFT:
 
             def h2d(i: int) -> None:
                 r, ys = pencil(i)
-                slot = rings.view(
-                    "real", i, (n, ys.stop - ys.start, n), self.grid.dtype
+                slot = rings.load(
+                    "real", i, (n, ys.stop - ys.start, n), self.grid.dtype,
+                    physical_locals[r][:, ys, :], spans=sp_h2d,
                 )
-                self._copy_h2d(slot, physical_locals[r][:, ys, :])
+                self._note_h2d(slot.nbytes)
 
             def fft(i: int) -> None:
                 r, ys = pencil(i)
@@ -636,10 +726,11 @@ class OutOfCoreSlabFFT:
 
             def d2h(i: int) -> None:
                 r, ys = pencil(i)
-                cpx = rings.view(
-                    "cpx", i, (n, ys.stop - ys.start, nxh), cdtype
+                cpx = rings.store(
+                    "cpx", i, (n, ys.stop - ys.start, nxh), cdtype,
+                    half[r][:, ys, :], spans=sp_d2h,
                 )
-                self._copy_d2h(half[r][:, ys, :], cpx)
+                self._note_d2h(cpx.nbytes)
 
             def comm_op(i: int) -> None:
                 ys = ysplits[i // P]
@@ -670,9 +761,9 @@ class OutOfCoreSlabFFT:
         out = [
             np.empty(d.local_spectral_shape(), dtype=cdtype) for _ in range(P)
         ]
-        rings = PencilRings(
-            self.arena, self.inflight, {"cpx": self._bytes_xpencil}
-        )
+        rings = self._rings({"cpx": self._bytes_xpencil})
+        sp_h2d = self._stream_spans("h2d")
+        sp_d2h = self._stream_spans("d2h")
         try:
             norm = float(n) ** 3
 
@@ -685,8 +776,11 @@ class OutOfCoreSlabFFT:
 
             def h2d2(i: int) -> None:
                 r, xs = pencil2(i)
-                slot = rings.view("cpx", i, shape_of(xs), cdtype)
-                self._copy_h2d(slot, t_out[r][:, :, xs])
+                slot = rings.load(
+                    "cpx", i, shape_of(xs), cdtype,
+                    t_out[r][:, :, xs], spans=sp_h2d,
+                )
+                self._note_h2d(slot.nbytes)
 
             def fft2(i: int) -> None:
                 r, xs = pencil2(i)
@@ -695,8 +789,11 @@ class OutOfCoreSlabFFT:
 
             def d2h2(i: int) -> None:
                 r, xs = pencil2(i)
-                slot = rings.view("cpx", i, shape_of(xs), cdtype)
-                self._copy_d2h(out[r][:, :, xs], slot)
+                slot = rings.store(
+                    "cpx", i, shape_of(xs), cdtype,
+                    out[r][:, :, xs], spans=sp_d2h,
+                )
+                self._note_d2h(slot.nbytes)
 
             self._run(
                 [

@@ -1,0 +1,52 @@
+"""Tier-1 smoke test for the strided-copy benchmark harness.
+
+The full sweep lives in ``benchmarks/test_stride_copybench.py`` (``bench``
++ ``copybench`` markers); this runs a two-chunk, one-repeat slice so the
+harness — engine timing, model pairing, JSON shape — is exercised on every
+test run without measurable cost.
+"""
+
+import json
+
+from repro.benchkit.copybench import run_copybench, write_json
+from repro.cuda.copyengine import ENGINE_NAMES
+
+
+def test_run_copybench_smoke(tmp_path):
+    payload = run_copybench(
+        chunk_sizes=(4096, 65536),
+        total_bytes=256 * 1024,
+        repeats=1,
+    )
+    assert payload["suite"] == "stride_copy"
+    assert payload["chunk_sizes"] == [4096, 65536]
+    assert len(payload["results"]) == 2 * len(ENGINE_NAMES)
+    for record in payload["results"]:
+        assert record["strategy"] in ENGINE_NAMES
+        assert record["measured_seconds"] > 0
+        assert record["measured_bandwidth"] > 0
+        assert record["model_seconds"] > 0
+        assert record["model_bandwidth"] > 0
+
+    # One measured winner per chunk size, drawn from the engine set.
+    winners = payload["measured_winners"]
+    assert set(winners) == {"4096", "65536"} or set(winners) == {4096, 65536}
+    assert all(w in ENGINE_NAMES for w in winners.values())
+
+    path = write_json(payload, str(tmp_path / "copy.json"))
+    with open(path, encoding="utf-8") as fh:
+        round_trip = json.load(fh)
+    assert round_trip["suite"] == "stride_copy"
+
+
+def test_model_ranks_per_chunk_worst_at_small_chunks():
+    payload = run_copybench(
+        chunk_sizes=(2048,), total_bytes=128 * 1024, repeats=1
+    )
+    by_strategy = {
+        r["strategy"]: r for r in payload["results"]
+    }
+    assert (
+        by_strategy["per_chunk"]["model_seconds"]
+        > by_strategy["memcpy2d"]["model_seconds"]
+    )

@@ -2,8 +2,50 @@
 
 import pytest
 
-from repro.benchkit.stride_kernel import StridedCopyStudy, ZeroCopyBlockStudy
+from repro.benchkit.stride_kernel import (
+    StrideStudyPoint,
+    StridedCopyStudy,
+    ZeroCopyBlockStudy,
+)
 from repro.cuda.memcpy import CopyStrategy
+
+
+class TestStrideStudyPoint:
+    """Regression: total_bytes_hint used to default to 0.0, which made
+    ``bandwidth`` silently return 0 for hand-constructed points."""
+
+    def test_hand_constructed_point_has_nonzero_bandwidth(self):
+        point = StrideStudyPoint(
+            chunk_bytes=8192.0,
+            strategy=CopyStrategy.MEMCPY_2D_ASYNC,
+            time_s=0.01,
+            total_bytes_hint=216 * 1024**2,
+        )
+        assert point.bandwidth == pytest.approx(216 * 1024**2 / 0.01)
+
+    def test_total_bytes_hint_is_required(self):
+        with pytest.raises(TypeError):
+            StrideStudyPoint(
+                chunk_bytes=8192.0,
+                strategy=CopyStrategy.MEMCPY_2D_ASYNC,
+                time_s=0.01,
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_non_positive_hint_rejected(self, bad):
+        with pytest.raises(ValueError, match="total_bytes_hint"):
+            StrideStudyPoint(
+                chunk_bytes=8192.0,
+                strategy=CopyStrategy.MEMCPY_2D_ASYNC,
+                time_s=0.01,
+                total_bytes_hint=bad,
+            )
+
+    def test_sweep_points_carry_the_study_total(self):
+        study = StridedCopyStudy(total_bytes=4 * 1024**2)
+        for point in study.sweep([4096.0]):
+            assert point.total_bytes_hint == 4 * 1024**2
+            assert point.bandwidth > 0.0
 
 
 class TestStridedCopyStudy:

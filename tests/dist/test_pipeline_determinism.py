@@ -121,21 +121,21 @@ class TestArenaAccountingUnderFailure:
         spec = _spectral_field(grid, P)
         fft = OutOfCoreSlabFFT(grid, VirtualComm(P), 4, pipeline=pipeline)
         calls = {"n": 0}
-        real_d2h = fft._copy_d2h
+        real_d2h = fft._copy_engine.d2h
 
-        def failing_d2h(dst, src):
+        def failing_d2h(dst, src, spans=None, stream=None):
             calls["n"] += 1
             if calls["n"] == 3:  # fail mid-flight, several pencils in
                 raise RuntimeError("injected d2h failure")
-            real_d2h(dst, src)
+            return real_d2h(dst, src, spans=spans, stream=stream)
 
-        fft._copy_d2h = failing_d2h
+        fft._copy_engine.d2h = failing_d2h
         with pytest.raises(RuntimeError, match="injected d2h failure"):
             fft.inverse(spec)
         assert fft.arena.in_use == 0  # every ring slot returned
 
         # The engine stays usable: restore the copy and run clean.
-        fft._copy_d2h = real_d2h
+        fft._copy_engine.d2h = real_d2h
         with OutOfCoreSlabFFT(
             grid, VirtualComm(P), 4, pipeline="sync"
         ) as ref:

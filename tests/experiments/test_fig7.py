@@ -1,0 +1,95 @@
+"""Tests for the Fig. 7 reproduction: strided-copy time vs chunk size."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.memcpy import CopyStrategy
+from repro.experiments import fig7, paperdata
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig7.run()
+
+
+class TestSweepStructure:
+    def test_sweeps_the_paper_chunk_sizes(self, result):
+        assert result.chunk_sizes == paperdata.FIG7_CHUNK_SIZES
+        for strategy in CopyStrategy:
+            assert {p.chunk_bytes for p in result.series(strategy)} == set(
+                map(float, paperdata.FIG7_CHUNK_SIZES)
+            )
+
+    def test_every_point_moves_the_full_pencil(self, result):
+        for p in result.points:
+            assert p.total_bytes_hint == pytest.approx(
+                paperdata.FIG7_TOTAL_BYTES
+            )
+
+    def test_bandwidth_is_never_silently_zero(self, result):
+        # Regression guard for the total_bytes_hint=0.0 default bug: a
+        # sweep point must never report zero bandwidth.
+        for p in result.points:
+            assert p.bandwidth > 0.0
+
+
+class TestPaperClaims:
+    def test_finer_granularity_costs_more_for_every_strategy(self, result):
+        """Sec. 4.2 claim 3: times decrease monotonically with chunk size."""
+        for strategy in CopyStrategy:
+            times = [
+                result.time_at(strategy, float(c))
+                for c in result.chunk_sizes
+            ]
+            assert all(a > b for a, b in zip(times, times[1:])), strategy
+
+    def test_per_chunk_is_much_slower_at_small_chunks(self, result):
+        """Sec. 4.2 claim 1: per-chunk memcpyAsync loses badly below
+        100s-of-KB chunks — >5x everywhere under ~40KB, >30x at the
+        smallest chunk."""
+        smallest = float(min(result.chunk_sizes))
+        for other in (
+            CopyStrategy.ZERO_COPY_KERNEL,
+            CopyStrategy.MEMCPY_2D_ASYNC,
+        ):
+            assert result.time_at(
+                CopyStrategy.MEMCPY_ASYNC_PER_CHUNK, smallest
+            ) > 30 * result.time_at(other, smallest)
+        for c in result.chunk_sizes:
+            if c >= 40 * 1024:
+                continue
+            per_chunk = result.time_at(
+                CopyStrategy.MEMCPY_ASYNC_PER_CHUNK, float(c)
+            )
+            for other in (
+                CopyStrategy.ZERO_COPY_KERNEL,
+                CopyStrategy.MEMCPY_2D_ASYNC,
+            ):
+                assert per_chunk > 5 * result.time_at(other, float(c))
+
+    def test_zero_copy_and_memcpy2d_within_order_of_magnitude(self, result):
+        """Sec. 4.2 claim 2: the two good strategies are comparable."""
+        for c in result.chunk_sizes:
+            zc = result.time_at(CopyStrategy.ZERO_COPY_KERNEL, float(c))
+            m2d = result.time_at(CopyStrategy.MEMCPY_2D_ASYNC, float(c))
+            assert 0.1 < zc / m2d < 10.0
+
+    def test_bandwidth_spread_spans_an_order_of_magnitude(self, result):
+        """The paper's headline: chunk size changes bandwidth by >10x."""
+        bws = [
+            p.bandwidth
+            for p in result.series(CopyStrategy.MEMCPY_ASYNC_PER_CHUNK)
+        ]
+        assert max(bws) / min(bws) > 10.0
+
+
+class TestReport:
+    def test_report_lists_every_chunk_size(self, result):
+        text = result.report()
+        assert "216 MB" in text
+        for c in result.chunk_sizes:
+            assert f"{c / 1024:8.1f}KB" in text
+
+    def test_time_at_unknown_point_raises(self, result):
+        with pytest.raises(KeyError):
+            result.time_at(CopyStrategy.ZERO_COPY_KERNEL, 1.0)

@@ -1,0 +1,56 @@
+"""Tests for the Fig. 8 reproduction: zero-copy bandwidth vs blocks."""
+
+import pytest
+
+from repro.benchkit.stride_kernel import ZeroCopyBlockStudy
+from repro.experiments import fig8, paperdata
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig8.run()
+
+
+class TestScaling:
+    def test_bandwidth_is_monotone_in_blocks(self, result):
+        bws = [result.zero_copy_bw[b] for b in result.blocks]
+        assert all(a <= b for a, b in zip(bws, bws[1:]))
+
+    def test_single_block_is_far_from_peak(self, result):
+        assert result.zero_copy_bw[1] < 0.2 * result.zero_copy_bw[80]
+
+    def test_saturated_kernel_matches_memcpy2d_reference(self, result):
+        """Sec. 4.2: enough blocks bring the kernel to the memcpy2D level."""
+        peak = result.zero_copy_bw[result.blocks[-1]]
+        assert peak == pytest.approx(result.memcpy2d_bw, rel=0.15)
+
+
+class TestSaturation:
+    def test_saturation_matches_block_study(self, result):
+        assert (
+            result.saturation_blocks
+            == ZeroCopyBlockStudy().saturation_blocks()
+        )
+
+    def test_saturation_near_paper_value(self, result):
+        """'about 16 blocks' in the paper; accept a 10-20 band."""
+        assert (
+            10
+            <= result.saturation_blocks
+            <= 1.3 * paperdata.FIG8_SATURATION_BLOCKS
+        )
+
+    def test_saturation_uses_small_sm_fraction(self, result):
+        """The headline claim: near-peak throughput from a small fraction
+        of the GPU's SMs."""
+        assert result.sm_fraction_at_saturation < 0.25
+        sat_bw = ZeroCopyBlockStudy().zero_copy_bw(result.saturation_blocks)
+        assert sat_bw > 0.9 * result.zero_copy_bw[80]
+
+
+class TestReport:
+    def test_report_names_saturation_and_reference(self, result):
+        text = result.report()
+        assert f"saturation at {result.saturation_blocks} blocks" in text
+        assert "cudaMemcpy2DAsync reference" in text
+        assert f"~{paperdata.FIG8_SATURATION_BLOCKS}" in text

@@ -170,6 +170,44 @@ class TestStudies:
         assert "Re_lambda" in capsys.readouterr().out
 
 
+class TestTune:
+    def test_tune_reports_measured_and_model_winners(self, capsys):
+        assert main(["tune", "--n", "16", "--ranks", "2",
+                     "--npencils", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "<- winner" in out
+        assert "measured winners:" in out
+        # The Fig. 7 model ranking must surface a non-default strategy
+        # for the tiny pencil chunks this operating point produces.
+        assert "Fig. 7 model ranking" in out
+        model_rows = [
+            line for line in out.splitlines()
+            if "model <- winner" in line
+        ]
+        assert any("zero_copy" in line for line in model_rows)
+
+    def test_tune_no_model_skips_ranking(self, capsys):
+        assert main(["tune", "--n", "16", "--ranks", "2",
+                     "--npencils", "4", "--no-model"]) == 0
+        assert "Fig. 7 model ranking" not in capsys.readouterr().out
+
+    def test_tune_json_records(self, capsys, tmp_path):
+        path = tmp_path / "tune.json"
+        assert main(["tune", "--n", "16", "--ranks", "2",
+                     "--npencils", "4", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["suite"] == "tune"
+        assert doc["records"]
+        strategies = {r["strategy"] for r in doc["records"]}
+        assert {"per_chunk", "zero_copy", "memcpy2d"} <= strategies
+        assert any(r["winner"] for r in doc["records"])
+
+    def test_dns_copy_strategy_flag(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "1", "--ranks", "2",
+                     "--npencils", "4", "--copy-strategy", "zero_copy"]) == 0
+        assert "copy=zero_copy" in capsys.readouterr().out
+
+
 class TestReports:
     def test_table1_report(self, capsys):
         assert main(["table1"]) == 0
