@@ -1,0 +1,51 @@
+"""Wall-clock strong scaling: process-pool ranks vs in-process reference.
+
+Run explicitly (excluded from tier-1 by ``testpaths`` and the ``bench``
+marker)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_real_ranks.py -v
+
+Writes ``BENCH_real_ranks.json`` at the repo root.  Bit-equality between
+the backends is asserted unconditionally; the wall-clock acceptance number
+(procs >= 1.3x virtual at 64^3, 4 ranks) is asserted only when the runner
+actually has >= 4 cores — on fewer cores the process backend pays dispatch
+overhead with no parallel capacity, and the JSON records that honestly via
+``cores_available`` and the per-rank ``worker_cpu_seconds``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.benchkit.realranks import run_realranks_suite, write_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_real_ranks.json"
+
+
+@pytest.mark.bench
+def test_real_ranks_suite():
+    payload = run_realranks_suite(
+        grid_sizes=(32, 64), rank_counts=(2, 4), steps=3, warmup=1
+    )
+    write_json(payload, str(JSON_PATH))
+
+    # Both backends must compute the identical trajectory, always.
+    assert payload["bit_identical"], "no procs/virtual cells were compared"
+    for key, ok in payload["bit_identical"].items():
+        assert ok, f"{key}: procs final energy differs from virtual"
+
+    # The acceptance speedup needs real cores to exist.
+    cores = payload["cores_available"] or 1
+    if cores >= 4:
+        speedup = payload["speedups"]["n64-P4-procs"]
+        assert speedup >= 1.3, (
+            f"procs speedup {speedup:.2f}x below the 1.3x floor on a "
+            f"{cores}-core runner (see {JSON_PATH})"
+        )
+    else:
+        pytest.skip(
+            f"only {cores} core(s) available; wall-clock floor needs >= 4 "
+            f"(sweep still written to {JSON_PATH})"
+        )

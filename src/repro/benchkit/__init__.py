@@ -15,12 +15,20 @@ analyzing the full DNS:
 * an overlap-efficiency study of the async pencil pipeline (threaded
   streams vs. the sync reference, Fig. 4) — :mod:`repro.benchkit.overlap`;
 * a measured-vs-model sweep of the *executable* copy engines over the
-  Fig. 7 chunk sizes — :mod:`repro.benchkit.copybench`.
+  Fig. 7 chunk sizes — :mod:`repro.benchkit.copybench`;
+* a wall-clock strong-scaling sweep of the distributed solver on the
+  process-pool comm backend vs the in-process reference —
+  :mod:`repro.benchkit.realranks` (emits ``BENCH_real_ranks.json``).
 """
 
 from repro.benchkit.a2a_kernel import StandaloneA2AKernel
 from repro.benchkit.copybench import CopyBenchPoint, run_copybench
 from repro.benchkit.hotpath import HotpathResult, benchmark_solver, run_suite
+from repro.benchkit.realranks import (
+    RealRanksResult,
+    benchmark_comm_backend,
+    run_realranks_suite,
+)
 from repro.benchkit.overlap import (
     OverlapResult,
     benchmark_overlap,
@@ -32,12 +40,15 @@ __all__ = [
     "CopyBenchPoint",
     "HotpathResult",
     "OverlapResult",
+    "RealRanksResult",
     "StandaloneA2AKernel",
     "StridedCopyStudy",
     "ZeroCopyBlockStudy",
+    "benchmark_comm_backend",
     "benchmark_overlap",
     "benchmark_solver",
     "run_copybench",
     "run_overlap_suite",
+    "run_realranks_suite",
     "run_suite",
 ]

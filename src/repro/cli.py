@@ -18,6 +18,7 @@ Subcommands expose the reproduction's main entry points:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -79,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=None,
                    help="run the slab-distributed solver over this many "
                         "virtual ranks instead of the serial one")
+    p.add_argument("--comm", default="virtual",
+                   choices=["virtual", "procs", "mpi"],
+                   help="with --ranks: communicator backend — in-process "
+                        "virtual ranks (bit-exact reference), one worker "
+                        "process per rank over shared memory, or mpi4py "
+                        "when importable")
     p.add_argument("--npencils", type=int, default=None,
                    help="with --ranks: pencils per slab for the out-of-core "
                         "engine (default: whole-slab transforms)")
@@ -340,14 +347,21 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
         if fuzz.comm_drop_rate > 0.0 or fuzz.comm_late_rate > 0.0:
             plan = CommFaultPlan(seed=fuzz.seed, drop_rate=fuzz.comm_drop_rate,
                                  late_rate=fuzz.comm_late_rate)
-    comm = VirtualComm(args.ranks)
+    from repro.mpi.procs import make_comm
+
+    try:
+        comm = make_comm(args.comm, args.ranks,
+                         fft_backend=args.fft_backend)
+    except RuntimeError as exc:  # mpi requested but mpi4py missing
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if plan is not None:
         comm.fault_injector = plan
     solver = DistributedNavierStokesSolver(
         grid,
         comm,
         random_isotropic_field(grid, rng, energy=1.0),
-        SolverConfig(nu=args.nu),
+        SolverConfig(nu=args.nu, fft_backend=args.fft_backend),
         obs=obs,
         npencils=args.npencils,
         pipeline=args.pipeline,
@@ -364,7 +378,10 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
     )
     if fuzz is not None:
         engine += f" fuzz={fuzz.name}@{fuzz.seed}"
-    print(f"distributed dns: P={args.ranks} ranks, {engine}")
+    print(f"distributed dns: P={args.ranks} ranks, comm={args.comm}, {engine}")
+    if args.comm == "procs":
+        print(f"worker pids: {comm.worker_pids} "
+              f"(cores available: {os.cpu_count()})")
     try:
         for step in range(1, args.steps + 1):
             result = solver.step(dt)
@@ -374,6 +391,13 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
         print(flow_statistics(solver.gather_state(), grid, args.nu))
     finally:
         solver.close()
+        closer = getattr(comm, "close", None)
+        if closer is not None:
+            closer()
+    if getattr(comm, "worker_cpu_seconds", None):
+        total_cpu = sum(comm.worker_cpu_seconds)
+        print(f"worker cpu: {total_cpu:.2f}s across "
+              f"{len(comm.worker_cpu_seconds)} rank processes")
     if monitor is not None:
         stats = getattr(solver.fft._backend, "stats", {})
         comm_faults = plan.injected if plan is not None else 0

@@ -102,7 +102,9 @@ class DistributedNavierStokesSolver:
                     "fuzz/monitor verification hooks require the "
                     "out-of-core engine (set npencils)"
                 )
-            self.fft = SlabDistributedFFT(grid, comm, obs=self.obs)
+            self.fft = SlabDistributedFFT(
+                grid, comm, obs=self.obs, fft_backend=self.config.fft_backend
+            )
         else:
             from repro.dist.outofcore import OutOfCoreSlabFFT
 

@@ -8,6 +8,14 @@ reverses this (x, z, transpose, y).
 
 One all-to-all per 3-D transform — the defining property of the slab
 decomposition that lets the paper send fewer, larger messages.
+
+The 1-D line transforms go through the pluggable providers of
+:func:`repro.spectral.workspace.resolve_line_fft`; when the communicator is
+a process-pool backend (:class:`repro.mpi.procs.ProcsComm`) the whole
+stage sequence is *fused* into the workers' pack/unpack dispatches via
+``comm.rank_transpose`` — FFTs run in the process that owns the slab, and
+pyFFTW plans (when available) are built and cached worker-side.  Both paths
+execute the identical kernel sequence, so results are bit-equal.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.dist.transpose import (
 from repro.dist.virtual_mpi import VirtualComm
 from repro.obs import NULL_OBS
 from repro.spectral.grid import SpectralGrid
+from repro.spectral.workspace import resolve_line_fft
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
@@ -38,6 +47,10 @@ class SlabDistributedFFT:
 
     Normalization matches :mod:`repro.spectral.transforms`: forward carries
     1/N^3; a forward/inverse round trip is the identity.
+
+    ``fft_backend`` selects the 1-D line-transform provider (``numpy`` /
+    ``scipy`` / ``fftw`` / ``auto``) used on both the inline and the fused
+    process-pool path.
 
     Examples
     --------
@@ -59,11 +72,19 @@ class SlabDistributedFFT:
         grid: SpectralGrid,
         comm: VirtualComm,
         obs: "Observability | None" = None,
+        fft_backend: str = "numpy",
     ):
         self.grid = grid
         self.comm = comm
         self.decomp = SlabDecomposition(grid.n, comm.size)
         self.obs = obs if obs is not None else NULL_OBS
+        self.fft_backend = fft_backend
+        resolve_line_fft(fft_backend)  # fail fast on unavailable backends
+
+    @property
+    def _fused(self) -> bool:
+        """Whether the comm offers the fused worker-side transpose."""
+        return getattr(self.comm, "rank_transpose", None) is not None
 
     # -- inverse: Fourier -> physical (y, transpose, z, x) --------------------
 
@@ -75,16 +96,32 @@ class SlabDistributedFFT:
         for r, loc in enumerate(spectral_locals):
             if loc.shape != shaped:
                 raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
+        if self._fused:
+            out = self.comm.rank_transpose(
+                spectral_locals,
+                pack_axis=_Y_AXIS,
+                unpack_axis=_KZ_AXIS,
+                pre="inv_y",
+                post="inv_zx",
+                n=n,
+                out_dtype=self.grid.dtype,
+                fft=self.fft_backend,
+                obs=self.obs,
+            )
+            if self.obs.enabled:
+                self.obs.metrics.counter("fft.calls").inc()
+            return out
+        lf = resolve_line_fft(self.fft_backend)
         spans = self.obs.spans
         # 1-D inverse FFTs in y (local: kz-slabs hold complete y lines).
         with spans.span("fft.y", category="fft"):
-            work = [np.fft.ifft(loc, axis=_Y_AXIS) * n for loc in spectral_locals]
+            work = [lf.ifft(loc, axis=_Y_AXIS) * n for loc in spectral_locals]
         # Global transpose to y-slabs (complete z lines).
         work = slab_transpose_spectral_to_physical(self.comm, work, obs=self.obs)
         # z, then the complex-to-real x transform.
         with spans.span("fft.zx", category="fft"):
-            work = [np.fft.ifft(loc, axis=_KZ_AXIS) * n for loc in work]
-            out = [np.fft.irfft(loc, n=n, axis=_X_AXIS) * n for loc in work]
+            work = [lf.ifft(loc, axis=_KZ_AXIS) * n for loc in work]
+            out = [lf.irfft(loc, n=n, axis=_X_AXIS) * n for loc in work]
         if self.obs.enabled:
             self.obs.metrics.counter("fft.calls").inc()
         return [o.astype(self.grid.dtype, copy=False) for o in out]
@@ -99,13 +136,29 @@ class SlabDistributedFFT:
         for r, loc in enumerate(physical_locals):
             if loc.shape != shaped:
                 raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
+        if self._fused:
+            out = self.comm.rank_transpose(
+                physical_locals,
+                pack_axis=_KZ_AXIS,
+                unpack_axis=_Y_AXIS,
+                pre="fwd_xz",
+                post="fwd_y",
+                n=n,
+                out_dtype=self.grid.cdtype,
+                fft=self.fft_backend,
+                obs=self.obs,
+            )
+            if self.obs.enabled:
+                self.obs.metrics.counter("fft.calls").inc()
+            return out
+        lf = resolve_line_fft(self.fft_backend)
         spans = self.obs.spans
         with spans.span("fft.xz", category="fft"):
-            work = [np.fft.rfft(loc, axis=_X_AXIS) for loc in physical_locals]
-            work = [np.fft.fft(loc, axis=_KZ_AXIS) for loc in work]
+            work = [lf.rfft(loc, axis=_X_AXIS) for loc in physical_locals]
+            work = [lf.fft(loc, axis=_KZ_AXIS) for loc in work]
         work = slab_transpose_physical_to_spectral(self.comm, work, obs=self.obs)
         with spans.span("fft.y", category="fft"):
-            out = [np.fft.fft(loc, axis=_Y_AXIS) / n**3 for loc in work]
+            out = [lf.fft(loc, axis=_Y_AXIS) / n**3 for loc in work]
         if self.obs.enabled:
             self.obs.metrics.counter("fft.calls").inc()
         return [o.astype(self.grid.cdtype, copy=False) for o in out]

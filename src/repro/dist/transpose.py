@@ -102,6 +102,19 @@ def transpose_exchange(
     """
     obs = obs if obs is not None else NULL_OBS
     pool = pool if pool is not None else _PACK_POOL
+    rank_transpose = getattr(comm, "rank_transpose", None)
+    if rank_transpose is not None:
+        # Process-pool comms fuse pack -> exchange -> unpack worker-side
+        # (shared-memory rings); pure data movement, bit-identical to the
+        # in-process path below.
+        out = rank_transpose(
+            locals_, pack_axis=pack_axis, unpack_axis=unpack_axis, obs=obs
+        )
+        if obs.enabled:
+            rec = comm.stats.records[-1]
+            obs.metrics.counter("transpose.count").inc()
+            obs.metrics.counter("transpose.bytes_moved").inc(rec.total_bytes)
+        return out
     spans = obs.spans
     with spans.span("transpose.pack", category="pack"):
         send = [pack_blocks(loc, pack_axis, comm.size, pool=pool) for loc in locals_]

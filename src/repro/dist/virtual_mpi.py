@@ -8,12 +8,22 @@ keeping the code structured exactly like its message-passing counterpart
 (pack -> alltoall -> unpack).
 
 Byte accounting: every collective records the total bytes exchanged and the
-per-peer message size, so the functional layer can be cross-checked against
-the cost model's message-size bookkeeping (:mod:`repro.mpi.costmodel`).
+true per-peer message sizes (min/max over every (src, dst) pair, not just
+``send[0][0]``), so the functional layer can be cross-checked against the
+cost model's message-size bookkeeping (:mod:`repro.mpi.costmodel`) even for
+uneven decompositions.
+
+Aliasing contract: collectives return *independent* per-rank results.  An
+in-place edit on one rank's ``bcast`` / ``allreduce`` / ``allgather`` /
+``alltoall`` result never mutates another rank's — the semantics every real
+MPI has (each rank owns its receive buffer), and the contract the
+process-pool backend (:mod:`repro.mpi.procs`) enforces physically with
+separate address spaces.
 """
 
 from __future__ import annotations
 
+import copy as _copy
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
@@ -60,12 +70,39 @@ class CommFaultInjector:
 
 @dataclass(frozen=True)
 class CollectiveRecord:
-    """One logged collective operation."""
+    """One logged collective operation.
+
+    ``p2p_bytes`` is the *largest* per-peer message (for balanced exchanges
+    every message has this size, preserving the historical meaning);
+    ``p2p_min_bytes`` / ``p2p_max_bytes`` bound the true per-peer sizes so
+    uneven decompositions are accounted honestly, and ``messages`` counts
+    the point-to-point messages behind the collective.
+    """
 
     kind: str
     total_bytes: int
     p2p_bytes: int
     ranks: int
+    p2p_min_bytes: int = 0
+    p2p_max_bytes: int = 0
+    messages: int = 0
+
+    @property
+    def uniform(self) -> bool:
+        """True when every per-peer message had the same size."""
+        return self.p2p_min_bytes == self.p2p_max_bytes
+
+
+def _copy_result(value: T) -> T:
+    """An independent copy of one rank's collective result.
+
+    ndarrays are copied with NumPy (cheap, exact); other objects take a
+    ``deepcopy``, mirroring what a real MPI's pickle round trip would
+    produce.  Immutable builtins round-trip to themselves either way.
+    """
+    if isinstance(value, np.ndarray):
+        return np.array(value, copy=True)  # type: ignore[return-value]
+    return _copy.deepcopy(value)
 
 
 @dataclass
@@ -155,10 +192,20 @@ class VirtualComm:
             [np.array(send[r][s], copy=True) for r in range(self.size)]
             for s in range(self.size)
         ]
-        p2p = int(send[0][0].nbytes) if self.size else 0
-        total = sum(int(b.nbytes) for bufs in send for b in bufs)
+        # True per-peer sizes over every (src, dst) message — uneven slab
+        # decompositions make these differ, so min/max (not send[0][0])
+        # must be recorded for the cost-model cross-check to hold.
+        sizes = [int(b.nbytes) for bufs in send for b in bufs]
         self.stats.records.append(
-            CollectiveRecord(kind, total, p2p, self.size)
+            CollectiveRecord(
+                kind,
+                total_bytes=sum(sizes),
+                p2p_bytes=max(sizes),
+                ranks=self.size,
+                p2p_min_bytes=min(sizes),
+                p2p_max_bytes=max(sizes),
+                messages=len(sizes),
+            )
         )
         return recv
 
@@ -183,37 +230,71 @@ class VirtualComm:
     def allreduce(
         self, values: Sequence[T], op: Callable[[T, T], T] | None = None
     ) -> list[T]:
-        """All-reduce with ``op`` (default: addition); all ranks get the result."""
+        """All-reduce with ``op`` (default: addition); all ranks get the result.
+
+        Every rank receives an *independent copy* of the reduction — an
+        in-place edit on one rank's result leaves the others (and the
+        inputs) untouched, exactly as with per-process receive buffers.
+        """
         self._check_per_rank(values)
         if op is None:
             op = lambda a, b: a + b  # noqa: E731
         acc = values[0]
         for v in values[1:]:
             acc = op(acc, v)
-        nbytes = int(getattr(values[0], "nbytes", 0))
+        sizes = [int(getattr(v, "nbytes", 0)) for v in values]
         self.stats.records.append(
-            CollectiveRecord("allreduce", nbytes * self.size, nbytes, self.size)
+            CollectiveRecord(
+                "allreduce",
+                total_bytes=sum(sizes),
+                p2p_bytes=max(sizes),
+                ranks=self.size,
+                p2p_min_bytes=min(sizes),
+                p2p_max_bytes=max(sizes),
+                messages=self.size,
+            )
         )
-        return [acc for _ in range(self.size)]
+        return [_copy_result(acc) for _ in range(self.size)]
 
     def allgather(self, values: Sequence[T]) -> list[list[T]]:
-        """Every rank receives the full list of per-rank values."""
+        """Every rank receives the full list of per-rank values.
+
+        Each rank's list holds independent copies — rank-local lists do not
+        share element objects across ranks (the aliasing bug real MPI
+        semantics forbid).
+        """
         self._check_per_rank(values)
-        nbytes = int(getattr(values[0], "nbytes", 0))
+        sizes = [int(getattr(v, "nbytes", 0)) for v in values]
         self.stats.records.append(
-            CollectiveRecord("allgather", nbytes * self.size, nbytes, self.size)
+            CollectiveRecord(
+                "allgather",
+                total_bytes=sum(sizes),
+                p2p_bytes=max(sizes),
+                ranks=self.size,
+                p2p_min_bytes=min(sizes),
+                p2p_max_bytes=max(sizes),
+                messages=self.size * self.size,
+            )
         )
-        return [list(values) for _ in range(self.size)]
+        return [[_copy_result(v) for v in values] for _ in range(self.size)]
 
     def bcast(self, value: T, root: int = 0) -> list[T]:
-        """Root's value delivered to every rank."""
+        """Root's value delivered to every rank, as independent copies."""
         if not 0 <= root < self.size:
             raise ValueError(f"invalid root {root}")
         nbytes = int(getattr(value, "nbytes", 0))
         self.stats.records.append(
-            CollectiveRecord("bcast", nbytes * (self.size - 1), nbytes, self.size)
+            CollectiveRecord(
+                "bcast",
+                total_bytes=nbytes * (self.size - 1),
+                p2p_bytes=nbytes,
+                ranks=self.size,
+                p2p_min_bytes=nbytes,
+                p2p_max_bytes=nbytes,
+                messages=self.size - 1,
+            )
         )
-        return [value for _ in range(self.size)]
+        return [_copy_result(value) for _ in range(self.size)]
 
     # -- Cartesian splitting (for the 2-D pencil decomposition) -----------------
 

@@ -11,16 +11,23 @@ Two halves:
   transfers exactly as the paper observes.
 
 The *functional* MPI used to verify numerical correctness of the transposes
-is separate: :mod:`repro.dist.virtual_mpi` really moves NumPy data.
+is separate: :mod:`repro.dist.virtual_mpi` really moves NumPy data — and
+:mod:`repro.mpi.procs` runs the same surface over real worker processes
+(one per rank, shared-memory rings), built by :func:`make_comm`.
 """
 
 from repro.mpi.costmodel import ExchangeShape, alltoall_p2p_bytes, slab_exchange_shape
+from repro.mpi.procs import COMM_KINDS, Mpi4pyComm, ProcsComm, make_comm
 from repro.mpi.simmpi import SimComm, SimRequest
 
 __all__ = [
+    "COMM_KINDS",
     "ExchangeShape",
+    "Mpi4pyComm",
+    "ProcsComm",
     "SimComm",
     "SimRequest",
     "alltoall_p2p_bytes",
+    "make_comm",
     "slab_exchange_shape",
 ]

@@ -1,0 +1,726 @@
+"""Process-pool comm backend: every rank in its own worker process.
+
+:class:`VirtualComm` timeshares all ranks inside one interpreter, which is
+perfect for bit-level determinism tests but hides real parallelism and
+tolerates aliasing no real MPI would.  :class:`ProcsComm` keeps the exact
+same collective surface (``alltoall`` / ``ialltoall`` / ``allreduce`` /
+``allgather`` / ``bcast`` / ``cart_2d``, stats, fault-injector hook) while
+running each rank's transform work in a dedicated **worker process**, so
+``DistributedNavierStokesSolver --ranks N`` genuinely uses N cores — the
+structural step the paper takes for granted (ranks are separate address
+spaces whose compute/communication overlap must be orchestrated explicitly).
+
+Architecture (bulk-synchronous, driver-coordinated):
+
+* one daemon worker process per rank, fed small control messages over a
+  :func:`multiprocessing.Pipe`; arrays move through per-worker
+  :class:`multiprocessing.shared_memory.SharedMemory` segments;
+* each segment is laid out per exchange as ``[inbox | outbox | ring]``,
+  where the **ring** holds one packed block per destination rank.  During
+  a transpose, worker *r* writes its per-peer blocks into its own ring;
+  after a driver-side barrier every worker *s* reads slot *s* directly out
+  of every peer's ring — the bytes cross process boundaries through shared
+  memory, never through pickles;
+* the paper's fused stages ride along: the pre-exchange 1-D FFTs (y for
+  the inverse, x+z for the forward) run in the same worker dispatch that
+  packs the ring, and the post-exchange FFTs in the dispatch that unpacks
+  it, via the pluggable line-transform providers of
+  :func:`repro.spectral.workspace.resolve_line_fft` — so pyFFTW plans (when
+  present) are built and cached *inside the workers*;
+* the fault-injector hook stays on the driver: it is consulted between the
+  pack and unpack phases (exactly where :meth:`VirtualComm.alltoall`
+  consults it), and a ``dropped`` fault re-dispatches the pack stage from
+  the workers' untouched inboxes — the re-pack/re-post recovery of the
+  verification subsystem, now across real process boundaries.
+
+Collectives not on the transform hot path (``allreduce`` of scalar
+diagnostics, ``bcast``, ``allgather``, the chunked ``ialltoall`` of the
+out-of-core engine) inherit the driver-side :class:`VirtualComm`
+implementations unchanged — they are pure data permutations whose cost is
+dwarfed by the FFT work, and keeping them identical is what makes the
+``virtual`` vs ``procs`` bit-equality suite meaningful.
+
+An optional mpi4py transport (:class:`Mpi4pyComm`) dispatches the same
+fused stages onto an ``MPIPoolExecutor`` when mpi4py is importable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+import weakref
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _shm
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.dist.virtual_mpi import CollectiveRecord, TransientCommFault, VirtualComm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+
+__all__ = ["COMM_KINDS", "Mpi4pyComm", "ProcsComm", "make_comm"]
+
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    return (int(nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# -- fused stage kernels -------------------------------------------------------
+#
+# Shared by the driver (for dtype/shape metadata probes) and the workers
+# (for the actual compute).  Each takes (array, n, line_fft_provider) and
+# must match the inline path of repro.dist.slab_fft bit-for-bit: same
+# operations, same order, same normalization.
+
+_KZ_AXIS, _Y_AXIS, _X_AXIS = 0, 1, 2
+
+
+def _k_inv_y(a, n, lf):
+    """Inverse stage 1: 1-D inverse FFTs in y on the kz-slab."""
+    return lf.ifft(a, axis=_Y_AXIS) * n
+
+
+def _k_inv_zx(a, n, lf):
+    """Inverse stage 2: z then complex-to-real x on the y-slab."""
+    return lf.irfft(lf.ifft(a, axis=_KZ_AXIS) * n, n=n, axis=_X_AXIS) * n
+
+
+def _k_fwd_xz(a, n, lf):
+    """Forward stage 1: real-to-complex x then z on the y-slab."""
+    return lf.fft(lf.rfft(a, axis=_X_AXIS), axis=_KZ_AXIS)
+
+
+def _k_fwd_y(a, n, lf):
+    """Forward stage 2: y FFTs plus the 1/N^3 normalization."""
+    return lf.fft(a, axis=_Y_AXIS) / n**3
+
+
+_KERNELS = {
+    "inv_y": _k_inv_y,
+    "inv_zx": _k_inv_zx,
+    "fwd_xz": _k_fwd_xz,
+    "fwd_y": _k_fwd_y,
+}
+
+
+def _pre_meta(pre: Optional[str], shape, dtype, n, lf):
+    """(shape, dtype) of the pre-kernel output, probed on the provider."""
+    shape = tuple(shape)
+    dtype = np.dtype(dtype)
+    if pre is None:
+        return shape, dtype
+    if pre == "inv_y":
+        out = lf.ifft(np.zeros(2, dtype=dtype), axis=0)
+        return shape, out.dtype
+    if pre == "fwd_xz":
+        out = lf.fft(lf.rfft(np.zeros(2, dtype=dtype), axis=0), axis=0)
+        return (shape[0], shape[1], shape[2] // 2 + 1), out.dtype
+    raise ValueError(f"unknown pre kernel {pre!r}")
+
+
+def _post_meta(post: Optional[str], gathered_shape, gathered_dtype, n, out_dtype):
+    """(shape, dtype) the post-kernel result is cast to and stored as."""
+    gathered_shape = tuple(gathered_shape)
+    if post is None:
+        return gathered_shape, np.dtype(out_dtype or gathered_dtype)
+    if post == "inv_zx":
+        if out_dtype is None:
+            raise ValueError("inv_zx requires an explicit out_dtype")
+        return (gathered_shape[0], gathered_shape[1], n), np.dtype(out_dtype)
+    if post == "fwd_y":
+        if out_dtype is None:
+            raise ValueError("fwd_y requires an explicit out_dtype")
+        return gathered_shape, np.dtype(out_dtype)
+    raise ValueError(f"unknown post kernel {post!r}")
+
+
+# -- the worker process --------------------------------------------------------
+
+
+def _attach_segment(name: str, start_method: str) -> _shm.SharedMemory:
+    seg = _shm.SharedMemory(name=name)
+    # Attaching registers the segment with a resource tracker (until 3.13's
+    # track=False there is no opt-out).  Forked workers share the driver's
+    # tracker (ProcsComm starts it before forking), whose name cache is a
+    # set — the duplicate register is harmless and the driver's unlink
+    # clears it once.  Spawned workers get *private* trackers that would
+    # unlink driver-owned memory when the worker exits, yanking live
+    # segments from under its peers — drop those registrations.
+    if start_method != "fork":  # pragma: no cover - spawn/forkserver only
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    return seg
+
+
+def _worker_main(rank: int, size: int, conn, start_method: str) -> None:
+    """Worker loop: attach shared segments, execute fused stages on demand."""
+    from repro.spectral.workspace import resolve_line_fft
+
+    segs: list[Optional[_shm.SharedMemory]] = [None] * size
+
+    def _view(seg, shape, dtype, offset):
+        return np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=seg.buf,
+                          offset=int(offset))
+
+    while True:
+        msg = conn.recv()
+        op = msg["op"]
+        try:
+            if op == "exit":
+                conn.send({"ok": True, "cpu_seconds": time.process_time()})
+                break
+            if op == "ping":
+                conn.send({"ok": True, "pid": os.getpid()})
+                continue
+            if op == "attach":
+                for seg in segs:
+                    if seg is not None:
+                        seg.close()
+                segs = [
+                    _attach_segment(name, start_method) for name in msg["names"]
+                ]
+                conn.send({"ok": True})
+                continue
+
+            lf = resolve_line_fft(msg["fft"])
+            n = msg["n"]
+            spans = []
+            if op == "stage1":
+                t0 = time.perf_counter()
+                src = _view(segs[rank], msg["in_shape"], msg["in_dtype"],
+                            msg["in_off"])
+                pre = msg["pre"]
+                mid = _KERNELS[pre](src, n, lf) if pre else src
+                t1 = time.perf_counter()
+                bshape = tuple(msg["block_shape"])
+                bdtype = np.dtype(msg["block_dtype"])
+                bbytes = int(np.prod(bshape)) * bdtype.itemsize
+                base = msg["ring_off"]
+                for dst, block in enumerate(
+                    np.split(mid, size, axis=msg["pack_axis"])
+                ):
+                    slot = _view(segs[rank], bshape, bdtype,
+                                 base + dst * _aligned(bbytes))
+                    np.copyto(slot, block)
+                t2 = time.perf_counter()
+                if pre:
+                    spans.append((f"proc.{pre}", "fft", t0, t1))
+                spans.append(("proc.pack", "pack", t1, t2))
+            elif op == "stage2":
+                t0 = time.perf_counter()
+                bshape = tuple(msg["block_shape"])
+                bdtype = np.dtype(msg["block_dtype"])
+                bbytes = int(np.prod(bshape)) * bdtype.itemsize
+                slot_off = msg["ring_off"] + rank * _aligned(bbytes)
+                gathered = np.concatenate(
+                    [_view(segs[r], bshape, bdtype, slot_off) for r in range(size)],
+                    axis=msg["unpack_axis"],
+                )
+                t1 = time.perf_counter()
+                post = msg["post"]
+                out = _KERNELS[post](gathered, n, lf) if post else gathered
+                out = out.astype(np.dtype(msg["out_dtype"]), copy=False)
+                dst = _view(segs[rank], msg["out_shape"], msg["out_dtype"],
+                            msg["out_off"])
+                np.copyto(dst, out)
+                t2 = time.perf_counter()
+                spans.append(("proc.unpack", "pack", t0, t1))
+                if post:
+                    spans.append((f"proc.{post}", "fft", t1, t2))
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            conn.send({"ok": True, "spans": spans if msg.get("trace") else []})
+        except Exception:
+            conn.send({"ok": False, "error": traceback.format_exc()})
+
+
+def _cleanup(workers, segments) -> None:
+    """Finalizer shared by close() and GC: stop workers, free shared memory."""
+    for proc, conn in workers:
+        try:
+            if proc.is_alive():
+                conn.send({"op": "exit"})
+        except Exception:
+            pass
+    for proc, conn in workers:
+        try:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+            conn.close()
+        except Exception:
+            pass
+    workers.clear()
+    for seg in segments:
+        try:
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        except Exception:
+            pass
+    segments.clear()
+
+
+class ProcsComm(VirtualComm):
+    """A :class:`VirtualComm` whose rank work runs on a process pool.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (= worker processes).
+    name:
+        Communicator name (diagnostics only).
+    fft_backend:
+        Default line-transform provider workers use for fused stages
+        (``numpy`` / ``scipy`` / ``fftw`` / ``auto``); per-call overrides
+        ride on the stage messages.  Plans live in the workers.
+    arena_bytes:
+        Initial per-worker shared-memory segment size; grown on demand
+        (powers of two) when an exchange needs more.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap,
+        inherits the imported interpreter) and falls back to ``spawn``.
+    fault_retry_budget:
+        Attempts per exchange when a driver-side fault injector raises
+        :class:`~repro.dist.virtual_mpi.TransientCommFault`; must exceed
+        the plan's ``max_consecutive`` for recovery to be guaranteed.
+    """
+
+    kind = "procs"
+
+    def __init__(
+        self,
+        size: int,
+        name: str = "world",
+        fft_backend: str = "numpy",
+        arena_bytes: int = 1 << 20,
+        start_method: Optional[str] = None,
+        fault_retry_budget: int = 4,
+    ):
+        super().__init__(size, name=name)
+        self.fft_backend = fft_backend
+        self.fault_retry_budget = int(fault_retry_budget)
+        self.fault_retries = 0
+        self.worker_cpu_seconds: list[float] = []
+        if start_method is None:
+            start_method = os.environ.get("REPRO_PROCS_START") or (
+                "fork" if "fork" in __import__("multiprocessing").get_all_start_methods()
+                else "spawn"
+            )
+        self._start_method = start_method
+        ctx = get_context(start_method)
+        if start_method == "fork":
+            # Start the resource tracker *before* forking so every worker
+            # inherits the same tracker fd: attach-time registers then land
+            # in one shared name set (deduplicated) instead of spawning a
+            # private tracker per worker that would warn about — or unlink —
+            # driver-owned segments at worker exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        self._workers: list[tuple] = []
+        self._segments: list[_shm.SharedMemory] = []
+        self._seg_bytes = 0
+        for rank in range(size):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(rank, size, child_conn, start_method),
+                name=f"{name}-rank{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._workers, self._segments
+        )
+        for _, conn in self._workers:
+            conn.send({"op": "ping"})
+        self.worker_pids = [self._reply(r)["pid"] for r in range(size)]
+        self._ensure_capacity(arena_bytes)
+
+    # -- worker plumbing ----------------------------------------------------
+
+    def _reply(self, rank: int) -> dict:
+        proc, conn = self._workers[rank]
+        reply = conn.recv()
+        if not reply.get("ok"):
+            raise RuntimeError(
+                f"{self.name}: rank {rank} worker failed:\n{reply.get('error')}"
+            )
+        return reply
+
+    def _broadcast_wait(self, msgs: Sequence[dict]) -> list[dict]:
+        """Send one message per worker, then collect every reply.
+
+        All workers run their op concurrently — this is where the wall-clock
+        parallelism comes from.
+        """
+        for (_, conn), msg in zip(self._workers, msgs):
+            conn.send(msg)
+        return [self._reply(r) for r in range(self.size)]
+
+    def _ensure_capacity(self, per_worker_bytes: int) -> None:
+        if per_worker_bytes <= self._seg_bytes:
+            return
+        nbytes = 1 << max(int(per_worker_bytes) - 1, 1).bit_length()
+        new = [
+            _shm.SharedMemory(create=True, size=nbytes) for _ in range(self.size)
+        ]
+        names = [seg.name for seg in new]
+        self._broadcast_wait(
+            [{"op": "attach", "names": names} for _ in range(self.size)]
+        )
+        old = list(self._segments)
+        self._segments[:] = new
+        self._seg_bytes = nbytes
+        for seg in old:
+            seg.close()
+            seg.unlink()
+
+    def close(self) -> None:
+        """Stop the workers and release shared memory (idempotent)."""
+        if not self._workers:
+            return
+        for _, conn in self._workers:
+            try:
+                conn.send({"op": "exit"})
+            except Exception:
+                pass
+        for rank, (proc, conn) in enumerate(self._workers):
+            try:
+                reply = conn.recv()
+                if reply.get("ok"):
+                    self.worker_cpu_seconds.append(float(reply["cpu_seconds"]))
+            except (EOFError, OSError):
+                pass
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+            conn.close()
+        self._workers.clear()
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._segments.clear()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "ProcsComm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the fused transpose -------------------------------------------------
+
+    def rank_transpose(
+        self,
+        locals_: Sequence[np.ndarray],
+        pack_axis: int,
+        unpack_axis: int,
+        pre: Optional[str] = None,
+        post: Optional[str] = None,
+        n: Optional[int] = None,
+        out_dtype=None,
+        fft: Optional[str] = None,
+        kind: str = "alltoall",
+        obs: "Observability | None" = None,
+    ) -> list[np.ndarray]:
+        """Pack -> shared-memory all-to-all -> unpack, executed on the pool.
+
+        Optional ``pre`` / ``post`` kernels fuse the slab FFT stages into
+        the same worker dispatches (so compute runs where the data already
+        sits).  Bit-identical to packing with
+        :func:`repro.dist.transpose.pack_blocks` and exchanging through
+        :meth:`VirtualComm.alltoall` — pure data movement plus the exact
+        inline kernel sequence.
+        """
+        if not self._workers:
+            raise RuntimeError(f"{self.name}: communicator is closed")
+        self._check_per_rank(locals_)
+        first = locals_[0]
+        for r, loc in enumerate(locals_):
+            if loc.shape != first.shape or loc.dtype != first.dtype:
+                raise ValueError(
+                    f"{self.name}: rank {r} local {loc.shape}/{loc.dtype} "
+                    f"differs from rank 0 {first.shape}/{first.dtype}"
+                )
+        if n is None:
+            n = first.shape[pack_axis]
+        fft_name = fft if fft is not None else self.fft_backend
+        from repro.spectral.workspace import resolve_line_fft
+
+        lf = resolve_line_fft(fft_name)
+        mid_shape, mid_dtype = _pre_meta(pre, first.shape, first.dtype, n, lf)
+        if mid_shape[pack_axis] % self.size != 0:
+            raise ValueError(
+                f"pack axis extent {mid_shape[pack_axis]} not divisible by "
+                f"{self.size}"
+            )
+        block_shape = list(mid_shape)
+        block_shape[pack_axis] //= self.size
+        block_shape = tuple(block_shape)
+        block_bytes = int(np.prod(block_shape)) * np.dtype(mid_dtype).itemsize
+        gathered_shape = list(block_shape)
+        gathered_shape[unpack_axis] *= self.size
+        out_shape, out_dt = _post_meta(
+            post, gathered_shape, mid_dtype, n, out_dtype
+        )
+        out_bytes = int(np.prod(out_shape)) * out_dt.itemsize
+
+        in_off = 0
+        out_off = _aligned(first.nbytes)
+        ring_off = out_off + _aligned(out_bytes)
+        self._ensure_capacity(ring_off + self.size * _aligned(block_bytes))
+
+        trace = obs is not None and obs.enabled
+        common = {
+            "fft": fft_name,
+            "n": int(n),
+            "block_shape": block_shape,
+            "block_dtype": np.dtype(mid_dtype).str,
+            "ring_off": ring_off,
+            "trace": trace,
+        }
+        stage1 = {
+            "op": "stage1",
+            "pre": pre,
+            "in_off": in_off,
+            "in_shape": first.shape,
+            "in_dtype": first.dtype.str,
+            "pack_axis": pack_axis,
+            **common,
+        }
+        stage2 = {
+            "op": "stage2",
+            "post": post,
+            "unpack_axis": unpack_axis,
+            "out_off": out_off,
+            "out_shape": out_shape,
+            "out_dtype": out_dt.str,
+            **common,
+        }
+
+        for r, loc in enumerate(locals_):
+            dst = np.ndarray(loc.shape, dtype=loc.dtype,
+                             buffer=self._segments[r].buf, offset=in_off)
+            np.copyto(dst, loc)
+
+        replies = self._broadcast_wait([stage1] * self.size)
+        # The barrier between pack and unpack is where the collective
+        # "happens": consult the fault injector here, exactly where the
+        # in-process comm does.  A dropped exchange re-dispatches the pack
+        # stage — the workers' inboxes are untouched, so the re-pack is the
+        # re-post recovery real MPI retry loops perform.
+        for attempt in range(self.fault_retry_budget):
+            if self.fault_injector is None:
+                break
+            try:
+                self.fault_injector.check(kind, self)
+                break
+            except TransientCommFault as fault:
+                if attempt == self.fault_retry_budget - 1:
+                    raise
+                self.fault_retries += 1
+                if fault.dropped:
+                    replies = self._broadcast_wait([stage1] * self.size)
+
+        sizes = [block_bytes] * (self.size * self.size)
+        self.stats.records.append(
+            CollectiveRecord(
+                kind,
+                total_bytes=sum(sizes),
+                p2p_bytes=block_bytes,
+                ranks=self.size,
+                p2p_min_bytes=block_bytes,
+                p2p_max_bytes=block_bytes,
+                messages=len(sizes),
+            )
+        )
+
+        replies2 = self._broadcast_wait([stage2] * self.size)
+        outs = []
+        for r in range(self.size):
+            src = np.ndarray(out_shape, dtype=out_dt,
+                             buffer=self._segments[r].buf, offset=out_off)
+            outs.append(np.array(src, copy=True))
+        if trace:
+            self._merge_worker_spans(obs, (replies, replies2))
+        return outs
+
+    def _merge_worker_spans(self, obs: "Observability", reply_rounds) -> None:
+        """Fold worker-side stage timings into the shared span timeline.
+
+        Worker clocks are ``time.perf_counter`` — on Linux the same
+        monotonic base as the driver's — so their intervals land coherently
+        on ``rank<r>.proc`` lanes next to the driver's spans.
+        """
+        spans = obs.spans
+        spans.ensure_epoch()
+        epoch = spans._epoch[0]
+        tracer = spans.to_tracer()
+        for replies in reply_rounds:
+            for r, reply in enumerate(replies):
+                for sname, category, t0, t1 in reply.get("spans", ()):
+                    tracer.record(
+                        category, f"rank{r}.proc", sname,
+                        t0 - epoch, t1 - epoch, exclusive=t1 - t0,
+                    )
+
+
+# -- optional mpi4py transport -------------------------------------------------
+
+
+def _mpi_stage1(local, pre, n, pack_axis, parts, fft):  # pragma: no cover - mpi4py
+    from repro.spectral.workspace import resolve_line_fft
+
+    lf = resolve_line_fft(fft)
+    mid = _KERNELS[pre](local, n, lf) if pre else local
+    return [np.ascontiguousarray(b) for b in np.split(mid, parts, axis=pack_axis)]
+
+
+def _mpi_stage2(blocks, post, n, unpack_axis, out_dtype, fft):  # pragma: no cover
+    from repro.spectral.workspace import resolve_line_fft
+
+    lf = resolve_line_fft(fft)
+    gathered = np.concatenate(list(blocks), axis=unpack_axis)
+    out = _KERNELS[post](gathered, n, lf) if post else gathered
+    return out.astype(np.dtype(out_dtype), copy=False)
+
+
+class Mpi4pyComm(VirtualComm):
+    """mpi4py-backed transport for the fused rank work (optional).
+
+    Same surface and semantics as :class:`ProcsComm`, but the fused stages
+    run on an :class:`mpi4py.futures.MPIPoolExecutor`; blocks travel as MPI
+    messages (pickle transport) instead of shared-memory rings.  Only
+    constructible when mpi4py is importable — gate with :meth:`available`.
+    """
+
+    kind = "mpi"
+
+    def __init__(self, size: int, name: str = "world", fft_backend: str = "numpy"):
+        if not self.available():  # pragma: no cover - exercised via make_comm
+            raise RuntimeError(
+                "mpi4py is not importable in this environment; "
+                "use --comm procs (multiprocessing + shared memory) instead"
+            )
+        super().__init__(size, name=name)
+        from mpi4py.futures import MPIPoolExecutor  # pragma: no cover
+
+        self.fft_backend = fft_backend  # pragma: no cover
+        self._pool = MPIPoolExecutor(max_workers=size)  # pragma: no cover
+
+    @staticmethod
+    def available() -> bool:
+        try:
+            import mpi4py  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def rank_transpose(  # pragma: no cover - requires mpi4py
+        self, locals_, pack_axis, unpack_axis, pre=None, post=None, n=None,
+        out_dtype=None, fft=None, kind="alltoall", obs=None,
+    ):
+        self._check_per_rank(locals_)
+        if n is None:
+            n = locals_[0].shape[pack_axis]
+        fft_name = fft if fft is not None else self.fft_backend
+        packed = list(self._pool.map(
+            _mpi_stage1, locals_,
+            [pre] * self.size, [n] * self.size, [pack_axis] * self.size,
+            [self.size] * self.size, [fft_name] * self.size,
+        ))
+        if self.fault_injector is not None:
+            for attempt in range(4):
+                try:
+                    self.fault_injector.check(kind, self)
+                    break
+                except TransientCommFault as fault:
+                    if attempt == 3:
+                        raise
+                    if fault.dropped:
+                        packed = list(self._pool.map(
+                            _mpi_stage1, locals_,
+                            [pre] * self.size, [n] * self.size,
+                            [pack_axis] * self.size, [self.size] * self.size,
+                            [fft_name] * self.size,
+                        ))
+        sizes = [int(b.nbytes) for bufs in packed for b in bufs]
+        self.stats.records.append(
+            CollectiveRecord(
+                kind, total_bytes=sum(sizes), p2p_bytes=max(sizes),
+                ranks=self.size, p2p_min_bytes=min(sizes),
+                p2p_max_bytes=max(sizes), messages=len(sizes),
+            )
+        )
+        routed = [[packed[r][s] for r in range(self.size)]
+                  for s in range(self.size)]
+        out_dt = np.dtype(out_dtype) if out_dtype is not None else None
+        return list(self._pool.map(
+            _mpi_stage2, routed,
+            [post] * self.size, [n] * self.size, [unpack_axis] * self.size,
+            [(out_dt or routed[0][0].dtype).str] * self.size,
+            [fft_name] * self.size,
+        ))
+
+    def close(self) -> None:  # pragma: no cover - requires mpi4py
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown()
+            self._pool = None
+
+
+# -- factory -------------------------------------------------------------------
+
+COMM_KINDS = ("virtual", "procs", "mpi")
+
+
+def make_comm(kind: str, size: int, name: str = "world", **kwargs) -> VirtualComm:
+    """Build a communicator backend by name.
+
+    ``virtual``
+        The in-process :class:`~repro.dist.virtual_mpi.VirtualComm`
+        (bit-exact reference; timeshares one interpreter).
+    ``procs``
+        :class:`ProcsComm` — one worker process per rank with shared-memory
+        ring buffers (extra kwargs: ``fft_backend``, ``arena_bytes``,
+        ``start_method``).
+    ``mpi``
+        :class:`Mpi4pyComm` when mpi4py is importable, else a
+        :class:`RuntimeError` naming the fallback.
+    """
+    if kind == "virtual":
+        kwargs.pop("fft_backend", None)  # line providers resolve elsewhere
+        kwargs.pop("arena_bytes", None)
+        kwargs.pop("start_method", None)
+        if kwargs:
+            raise TypeError(f"unexpected kwargs for virtual comm: {kwargs}")
+        return VirtualComm(size, name=name)
+    if kind == "procs":
+        return ProcsComm(size, name=name, **kwargs)
+    if kind == "mpi":
+        if not Mpi4pyComm.available():
+            raise RuntimeError(
+                "comm backend 'mpi' needs mpi4py, which is not importable "
+                "here; use 'procs' for real multicore parallelism without it"
+            )
+        kwargs.pop("arena_bytes", None)
+        kwargs.pop("start_method", None)
+        return Mpi4pyComm(size, name=name, **kwargs)
+    raise ValueError(f"unknown comm kind {kind!r}; choose from {COMM_KINDS}")

@@ -45,12 +45,16 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "BufferPool",
     "FftwBackend",
+    "FftwLineTransforms",
+    "LineTransforms",
     "NumpyBackend",
     "ScipyBackend",
+    "ScipyLineTransforms",
     "SpectralWorkspace",
     "TransformBackend",
     "available_backends",
     "resolve_backend",
+    "resolve_line_fft",
 ]
 
 _Z_AXIS, _Y_AXIS, _X_AXIS = 0, 1, 2
@@ -306,6 +310,136 @@ def resolve_backend(name: str | TransformBackend | None = "auto") -> TransformBa
     if not cls.available():
         raise ValueError(f"FFT backend {name!r} is not available in this environment")
     return cls()
+
+
+# -- 1-D line transforms (the distributed slab path) ---------------------------
+
+
+class LineTransforms:
+    """Axis-at-a-time 1-D transforms behind the same backend names.
+
+    The distributed slab FFT (:mod:`repro.dist.slab_fft`) transforms one
+    axis at a time between global transposes, so it needs 1-D ``fft`` /
+    ``ifft`` / ``rfft`` / ``irfft`` rather than the 3-D ``rfftn`` of
+    :class:`TransformBackend`.  Providers share the backend registry and
+    availability gates, so ``--fft-backend`` selects both at once; the
+    process-pool comm backend (:mod:`repro.mpi.procs`) resolves a provider
+    *inside each worker*, which is where pyFFTW plans end up living.
+    """
+
+    name = "numpy"
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    def fft(self, a: np.ndarray, axis: int) -> np.ndarray:
+        return np.fft.fft(a, axis=axis)
+
+    def ifft(self, a: np.ndarray, axis: int) -> np.ndarray:
+        return np.fft.ifft(a, axis=axis)
+
+    def rfft(self, a: np.ndarray, axis: int) -> np.ndarray:
+        return np.fft.rfft(a, axis=axis)
+
+    def irfft(self, a: np.ndarray, n: int, axis: int) -> np.ndarray:
+        return np.fft.irfft(a, n=n, axis=axis)
+
+
+class ScipyLineTransforms(LineTransforms):
+    """``scipy.fft`` 1-D transforms (single worker: line batches are the
+    parallelism unit in the distributed path, not intra-call threads)."""
+
+    name = "scipy"
+
+    available = ScipyBackend.available
+
+    def fft(self, a, axis):
+        import scipy.fft
+
+        return scipy.fft.fft(a, axis=axis, workers=1)
+
+    def ifft(self, a, axis):
+        import scipy.fft
+
+        return scipy.fft.ifft(a, axis=axis, workers=1)
+
+    def rfft(self, a, axis):
+        import scipy.fft
+
+        return scipy.fft.rfft(a, axis=axis, workers=1)
+
+    def irfft(self, a, n, axis):
+        import scipy.fft
+
+        return scipy.fft.irfft(a, n=n, axis=axis, workers=1)
+
+
+class FftwLineTransforms(LineTransforms):
+    """pyFFTW's numpy-compatible interface with its plan cache enabled.
+
+    Constructed lazily inside whichever process calls it, so under the
+    process-pool comm backend every rank worker owns its own plan cache.
+    """
+
+    name = "fftw"
+
+    available = FftwBackend.available
+
+    def __init__(self):
+        import pyfftw.interfaces
+
+        pyfftw.interfaces.cache.enable()
+        self._fft = pyfftw.interfaces.numpy_fft
+
+    def fft(self, a, axis):
+        return self._fft.fft(a, axis=axis)
+
+    def ifft(self, a, axis):
+        return self._fft.ifft(a, axis=axis)
+
+    def rfft(self, a, axis):
+        return self._fft.rfft(a, axis=axis)
+
+    def irfft(self, a, n, axis):
+        return self._fft.irfft(a, n=n, axis=axis)
+
+
+_LINE_BACKENDS: dict[str, type[LineTransforms]] = {
+    "numpy": LineTransforms,
+    "scipy": ScipyLineTransforms,
+    "fftw": FftwLineTransforms,
+}
+_line_cache: dict[str, LineTransforms] = {}
+
+
+def resolve_line_fft(name: str | LineTransforms | None = "auto") -> LineTransforms:
+    """Instantiate (and cache) a 1-D line-transform provider by name.
+
+    Same resolution rules as :func:`resolve_backend`: ``"auto"`` consults
+    ``REPRO_FFT_BACKEND`` and defaults to ``numpy``.  Instances are cached
+    per name per process, so plan caches (pyFFTW) persist for the process
+    lifetime.
+    """
+    if isinstance(name, LineTransforms):
+        return name
+    if name is None:
+        name = "auto"
+    if name == "auto":
+        name = os.environ.get("REPRO_FFT_BACKEND", "numpy").lower()
+    provider = _line_cache.get(name)
+    if provider is not None:
+        return provider
+    cls = _LINE_BACKENDS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown FFT backend {name!r}; choose from {sorted(_LINE_BACKENDS)}"
+        )
+    if not cls.available():
+        raise ValueError(f"FFT backend {name!r} is not available in this environment")
+    provider = cls()
+    _line_cache[name] = provider
+    return provider
 
 
 # -- the workspace -------------------------------------------------------------

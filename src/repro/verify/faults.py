@@ -65,6 +65,19 @@ class CommFaultPlan(CommFaultInjector):
         self.dropped = 0
         self.late = 0
 
+    # The plan must cross process boundaries (the process-pool backend can
+    # ship comm state to spawned workers, and schedule-exploration manifests
+    # serialize plans).  Locks don't pickle; the Generator does — bit-exact,
+    # so a round-tripped plan replays the identical fault sequence.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def check(self, kind: str, comm) -> None:
         if kind not in self.kinds:
             return

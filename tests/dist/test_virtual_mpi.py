@@ -81,6 +81,105 @@ class TestOtherCollectives:
             VirtualComm(0)
 
 
+class TestAliasingContract:
+    """Collectives must hand every rank an *independent* result.
+
+    The historical implementation returned the same object to all ranks
+    (``[acc] * size``) — an in-place edit on one rank silently mutated the
+    others, semantics no real MPI has and exactly the class of bug the
+    process-pool backend surfaces as a virtual-vs-procs mismatch.
+    """
+
+    def test_bcast_results_do_not_alias(self):
+        comm = VirtualComm(3)
+        out = comm.bcast(np.zeros(4), root=0)
+        out[0][:] = 99.0
+        assert np.all(out[1] == 0.0)
+        assert np.all(out[2] == 0.0)
+
+    def test_bcast_does_not_alias_the_input(self):
+        comm = VirtualComm(2)
+        value = np.zeros(4)
+        out = comm.bcast(value, root=0)
+        out[1][:] = 7.0
+        assert np.all(value == 0.0)
+
+    def test_allreduce_results_do_not_alias(self):
+        comm = VirtualComm(3)
+        out = comm.allreduce([np.ones(2), np.ones(2), np.ones(2)])
+        out[0][:] = -1.0
+        assert np.all(out[1] == 3.0)
+        assert np.all(out[2] == 3.0)
+
+    def test_allreduce_result_does_not_alias_inputs(self):
+        comm = VirtualComm(2)
+        a, b = np.ones(2), np.ones(2)
+        out = comm.allreduce([a, b])
+        out[0][:] = 50.0
+        assert np.all(a == 1.0) and np.all(b == 1.0)
+
+    def test_allgather_elements_do_not_alias_across_ranks(self):
+        comm = VirtualComm(2)
+        out = comm.allgather([np.zeros(3), np.ones(3)])
+        out[0][0][:] = 42.0
+        assert np.all(out[1][0] == 0.0)
+
+    def test_allgather_elements_do_not_alias_inputs(self):
+        comm = VirtualComm(2)
+        values = [np.zeros(3), np.ones(3)]
+        out = comm.allgather(values)
+        out[0][0][:] = 42.0
+        assert np.all(values[0] == 0.0)
+
+
+class TestByteAccounting:
+    """Per-peer sizes must be recorded truthfully, not from send[0][0]."""
+
+    def test_uneven_blocks_recorded_min_max(self):
+        comm = VirtualComm(2)
+        send = [
+            [np.zeros(1, dtype=np.float64), np.zeros(4, dtype=np.float64)],
+            [np.zeros(2, dtype=np.float64), np.zeros(8, dtype=np.float64)],
+        ]
+        comm.alltoall(send)
+        rec = comm.stats.records[-1]
+        assert rec.p2p_min_bytes == 8
+        assert rec.p2p_max_bytes == 64
+        assert rec.p2p_bytes == 64  # largest message, not send[0][0] (=8)
+        assert rec.total_bytes == 8 + 32 + 16 + 64
+        assert rec.messages == 4
+        assert not rec.uniform
+
+    def test_uniform_blocks_stay_uniform(self):
+        comm = VirtualComm(2)
+        send = [[np.zeros(4, dtype=np.float32)] * 2 for _ in range(2)]
+        comm.alltoall(send)
+        rec = comm.stats.records[-1]
+        assert rec.uniform
+        assert rec.p2p_min_bytes == rec.p2p_max_bytes == rec.p2p_bytes == 16
+
+    def test_matches_costmodel_p2p_bytes(self):
+        """The functional layer's accounting equals the analytic model's.
+
+        Blocks shaped (nv, q, n/np, n/P, n/P) in float32 are exactly one
+        peer message of the paper's batched exchange, so the recorded
+        per-peer size must equal ``alltoall_p2p_bytes`` with no slack.
+        """
+        from repro.mpi.costmodel import alltoall_p2p_bytes
+
+        n, P, npencils, nv, q = 16, 4, 2, 3, 2
+        comm = VirtualComm(P)
+        block = np.zeros(
+            (nv, q, n // npencils, n // P, n // P), dtype=np.float32
+        )
+        comm.alltoall([[block] * P for _ in range(P)])
+        rec = comm.stats.records[-1]
+        model = alltoall_p2p_bytes(n, P, npencils, nv=nv, q=q, wordsize=4)
+        assert rec.p2p_bytes == model
+        assert rec.p2p_min_bytes == rec.p2p_max_bytes == model
+        assert rec.total_bytes == P * P * model
+
+
 class TestCartesian:
     def test_cart_2d_shapes(self):
         comm = VirtualComm(6)

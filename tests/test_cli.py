@@ -125,7 +125,7 @@ class TestDnsDistributed:
     def test_ranks_whole_slab(self, capsys):
         assert main(["dns", "--n", "16", "--steps", "2", "--ranks", "2"]) == 0
         out = capsys.readouterr().out
-        assert "P=2 ranks, whole-slab" in out
+        assert "P=2 ranks, comm=virtual, whole-slab" in out
         assert "Re_lambda" in out
 
     def test_ranks_out_of_core_threads(self, capsys):
