@@ -229,7 +229,18 @@ def write_metrics_jsonl(payload: dict, path: str) -> str:
 
 
 def write_json(payload: dict, path: str) -> str:
-    """Write the suite payload as pretty-printed JSON; returns ``path``."""
+    """Write the suite payload as pretty-printed JSON; returns ``path``.
+
+    Every ``BENCH_*.json`` writer routes through here, so each artifact is
+    stamped with the shared :func:`repro.obs.runs.run_provenance` record
+    (git sha, cores_available, timestamp) — a baseline with no provenance
+    can't answer "which commit, on what machine?".  A caller-supplied
+    ``provenance`` key wins.
+    """
+    if isinstance(payload, dict) and "provenance" not in payload:
+        from repro.obs.runs import run_provenance
+
+        payload = {**payload, "provenance": run_provenance()}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

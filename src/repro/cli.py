@@ -12,7 +12,16 @@ Subcommands expose the reproduction's main entry points:
 ``projection``   the exascale what-if study
 ``verify``       fuzz + schedule-exploration verification of the pipeline
 ``tune``         probe the strided-copy engines on real pencil layouts
+``obs``          run registry, live event tail, and the perf-regression gate
 ===============  ==========================================================
+
+Every ``dns`` / ``verify`` / ``tune`` invocation registers itself under
+``.repro/runs/<run_id>/`` (override with ``$REPRO_RUNS_DIR``): a manifest
+with git sha / config / seeds / artifact paths, the run's event stream, and
+any flight-recorder post-mortems.  ``repro obs report`` lists them,
+``repro obs tail`` follows the latest, and ``repro obs diff`` compares two
+metrics / bench artifacts with a regression threshold (non-zero exit on
+regression — the CI gate).
 """
 
 from __future__ import annotations
@@ -153,6 +162,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="strided-copy engine used by every case (all "
                         "strategies must be bit-identical)")
 
+    p = sub.add_parser(
+        "obs",
+        help="observability: saved-run registry, event tail, perf diff",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "report", help="list saved runs and their outcomes"
+    )
+    q.add_argument("--runs-dir", default=None, metavar="DIR",
+                   help="registry root (default .repro/runs or "
+                        "$REPRO_RUNS_DIR)")
+    q.add_argument("--kind", default=None,
+                   help="only runs of this kind (dns|verify|tune|...)")
+    q.add_argument("--last", type=int, default=10,
+                   help="show the most recent K runs (default 10)")
+
+    q = obs_sub.add_parser(
+        "tail", help="print (or follow) a run's recent events"
+    )
+    q.add_argument("run_id", nargs="?", default=None,
+                   help="run to tail (default: the latest)")
+    q.add_argument("--runs-dir", default=None, metavar="DIR")
+    q.add_argument("--kind", default=None,
+                   help="with no run_id: latest run of this kind")
+    q.add_argument("--lines", type=int, default=20,
+                   help="events to print (default 20)")
+    q.add_argument("--follow", action="store_true",
+                   help="keep streaming until the run finishes")
+
+    q = obs_sub.add_parser(
+        "diff",
+        help="thresholded perf comparison; exits non-zero on regression",
+    )
+    q.add_argument("baseline", help="baseline artifact "
+                                    "(BENCH_*.json or metrics JSONL)")
+    q.add_argument("current", help="current artifact to gate")
+    q.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative tolerance before a directed measure "
+                        "gates (default 0.10)")
+    q.add_argument("--only", action="append", default=None, metavar="SUBSTR",
+                   help="restrict to measure keys containing SUBSTR "
+                        "(repeatable)")
+    q.add_argument("--verbose", action="store_true",
+                   help="show unchanged and informational measures too")
+
     for name in ("table1", "table2", "table3", "table4"):
         sub.add_parser(name, help=f"regenerate paper {name}")
     for name in ("fig7", "fig8", "fig9", "fig10"):
@@ -235,27 +290,108 @@ def _cmd_step(args) -> int:
     return 0
 
 
+from contextlib import contextmanager
+
+
+@contextmanager
+def _registered_run(kind: str, config: dict, seeds=()):
+    """Register one CLI invocation in the run registry.
+
+    Yields a :class:`~repro.obs.runs.RunHandle`; the manifest is finalized
+    ``ok`` on clean exit or ``error`` (with the exception recorded) when the
+    body raises — a crashed run still says what it was.
+    """
+    from repro.obs.runs import RunRegistry
+
+    run = RunRegistry().start(kind, config=config, seeds=seeds,
+                              argv=sys.argv[1:])
+    try:
+        yield run
+    except BaseException as exc:
+        run.finish(status="error", error=f"{type(exc).__name__}: {exc}")
+        raise
+    else:
+        # A body that already judged itself (e.g. verify setting "fail")
+        # keeps its verdict; only still-"running" runs finalize to ok.
+        status = "ok" if run.manifest.status == "running" else run.manifest.status
+        run.finish(status=status)
+
+
+@contextmanager
+def _flight_recording(run, events_level: str = "info"):
+    """Flight recorder + event log for one run, installed process-globally.
+
+    Yields ``(events, flight)``.  On an exception the recorder dumps a
+    post-mortem into the run directory before re-raising (failure paths
+    that *hang* instead — watchdog expiry, worker stalls — dump through
+    :func:`repro.obs.flight.dump_current_flight` themselves).
+    """
+    from repro.obs import EventLog, FlightRecorder
+    from repro.obs.flight import (
+        current_flight,
+        install_excepthook,
+        install_flight,
+        uninstall_flight,
+    )
+
+    events = EventLog(run_id=run.run_id, sink=run.events_path,
+                      level=events_level)
+    flight = FlightRecorder(run_id=run.run_id, artifact_dir=run.dir)
+    flight.watch_events(events)
+    previous = current_flight()
+    install_flight(flight)
+    install_excepthook()
+    try:
+        yield events, flight
+    except BaseException as exc:
+        path = flight.dump(reason=f"error-{type(exc).__name__}")
+        run.add_artifact("flight_dump", path)
+        raise
+    finally:
+        events.close()
+        if previous is not None:
+            install_flight(previous)
+        else:
+            uninstall_flight()
+
+
 def _cmd_dns(args) -> int:
+    from repro.spectral import SpectralGrid
+
+    config = {
+        "n": args.n, "steps": args.steps, "nu": args.nu,
+        "forced": args.forced, "fft_backend": args.fft_backend,
+        "ranks": args.ranks, "comm": args.comm, "npencils": args.npencils,
+        "pipeline": args.pipeline, "inflight": args.inflight,
+        "copy_strategy": args.copy_strategy,
+    }
+    seeds = [args.fuzz] if args.fuzz is not None else []
+    with _registered_run("dns", config, seeds=seeds) as run:
+        with _flight_recording(run) as (events, flight):
+            grid = SpectralGrid(args.n)
+            return _run_dns(args, grid, run, events, flight)
+
+
+def _run_dns(args, grid, run, events, flight) -> int:
     import numpy as np
 
     from repro import __version__
-    from repro.obs import NULL_OBS, Observability
+    from repro.obs import Observability
     from repro.spectral import (
         BandForcing,
         NavierStokesSolver,
         SolverConfig,
-        SpectralGrid,
         flow_statistics,
         random_isotropic_field,
     )
 
-    observing = bool(args.trace_out or args.metrics_out or args.report)
-    obs = Observability.create() if observing else NULL_OBS
+    # The flight recorder is always on (bounded ring, near-zero overhead);
+    # traces / metrics / reports stay opt-in outputs of the same bundle.
+    obs = Observability.create(events=events, flight=flight)
 
-    grid = SpectralGrid(args.n)
     rng = np.random.default_rng(0)
     if args.ranks is not None:
-        return _cmd_dns_distributed(args, grid, rng, obs)
+        return _cmd_dns_distributed(args, grid, rng, obs, run=run)
     forcing = BandForcing(k_force=2.5, eps_inj=1.0) if args.forced else None
     solver = NavierStokesSolver(
         grid,
@@ -269,9 +405,12 @@ def _cmd_dns(args) -> int:
         forcing=forcing,
         obs=obs,
     )
+    events.info("dns.start", n=args.n, steps=args.steps, nu=args.nu)
     step_records: list[dict] = []
     for step in range(1, args.steps + 1):
         result = solver.step(solver.stable_dt(cfl=0.5))
+        events.debug("dns.step", step=step, t=result.time,
+                     energy=result.energy)
         if obs.enabled:
             step_records.append({
                 "kind": "step",
@@ -285,6 +424,7 @@ def _cmd_dns(args) -> int:
         if step % max(1, args.steps // 10) == 0:
             print(f"step {step:4d} t={result.time:.4f} E={result.energy:.5f} "
                   f"eps={result.dissipation:.5f}")
+    events.info("dns.finish", steps=args.steps)
     print(flow_statistics(solver.u_hat, grid, args.nu))
 
     run_meta = {
@@ -296,17 +436,21 @@ def _cmd_dns(args) -> int:
         "workspace": not args.legacy,
     }
     if args.report:
-        from repro.obs import render_breakdown
+        from repro.obs import render_breakdown, render_percentiles
 
         print()
         print(render_breakdown(obs.spans,
                                title=f"dns n={args.n} phase breakdown"))
+        print()
+        print(render_percentiles(obs.metrics,
+                                 title=f"dns n={args.n} percentiles"))
     if args.trace_out:
         from repro.core.trace_export import write_chrome_trace
 
         path = write_chrome_trace(
             obs.spans.to_tracer(), args.trace_out, metadata=run_meta
         )
+        run.add_artifact("chrome_trace", path)
         print(f"chrome trace written to {path}")
     if args.metrics_out:
         from repro.obs import write_jsonl
@@ -315,11 +459,12 @@ def _cmd_dns(args) -> int:
         records.extend(step_records)
         records.extend(obs.metrics.snapshot())
         write_jsonl(records, args.metrics_out)
+        run.add_artifact("metrics", args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     return 0
 
 
-def _cmd_dns_distributed(args, grid, rng, obs) -> int:
+def _cmd_dns_distributed(args, grid, rng, obs, run=None) -> int:
     """``dns --ranks P``: the slab-distributed solver, optionally on the
     out-of-core pencil pipeline (``--npencils/--pipeline/--inflight``)."""
     from repro import __version__
@@ -382,9 +527,14 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
     if args.comm == "procs":
         print(f"worker pids: {comm.worker_pids} "
               f"(cores available: {os.cpu_count()})")
+    events = obs.events
+    events.info("dns.start", n=args.n, ranks=args.ranks, comm=args.comm,
+                steps=args.steps)
     try:
         for step in range(1, args.steps + 1):
             result = solver.step(dt)
+            events.debug("dns.step", step=step, t=result.time,
+                         energy=result.energy)
             if step % max(1, args.steps // 10) == 0:
                 print(f"step {step:4d} t={result.time:.4f} "
                       f"E={result.energy:.5f} eps={result.dissipation:.5f}")
@@ -394,6 +544,7 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
         closer = getattr(comm, "close", None)
         if closer is not None:
             closer()
+    events.info("dns.finish", steps=args.steps)
     if getattr(comm, "worker_cpu_seconds", None):
         total_cpu = sum(comm.worker_cpu_seconds)
         print(f"worker cpu: {total_cpu:.2f}s across "
@@ -408,11 +559,15 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
               f"{len(monitor.violations)} violation(s)")
         monitor.assert_quiescent()
     if args.report:
-        from repro.obs import render_breakdown
+        from repro.obs import render_breakdown, render_percentiles
 
         print()
         print(render_breakdown(obs.spans,
                                title=f"dns n={args.n} P={args.ranks} breakdown"))
+        print()
+        print(render_percentiles(
+            obs.metrics, title=f"dns n={args.n} P={args.ranks} percentiles"
+        ))
     if args.trace_out:
         from repro.core.trace_export import write_chrome_trace
 
@@ -422,16 +577,28 @@ def _cmd_dns_distributed(args, grid, rng, obs) -> int:
                       "ranks": args.ranks, "npencils": args.npencils,
                       "pipeline": args.pipeline},
         )
+        if run is not None:
+            run.add_artifact("chrome_trace", path)
         print(f"chrome trace written to {path}")
     if args.metrics_out:
         from repro.obs import write_jsonl
 
         write_jsonl(obs.metrics.snapshot(), args.metrics_out)
+        if run is not None:
+            run.add_artifact("metrics", args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     return 0
 
 
 def _cmd_tune(args) -> int:
+    config = {"n": args.n, "ranks": args.ranks, "npencils": args.npencils,
+              "pipeline": args.pipeline, "inflight": args.inflight,
+              "model": args.model}
+    with _registered_run("tune", config) as run:
+        return _run_tune(args, run)
+
+
+def _run_tune(args, run) -> int:
     """``repro tune``: probe every copy engine on the run's pencil layouts.
 
     Builds the out-of-core FFT with ``copy_strategy="auto"``, round-trips a
@@ -500,9 +667,13 @@ def _cmd_tune(args) -> int:
             import json
             from pathlib import Path
 
+            from repro.obs.runs import run_provenance
+
             Path(args.json).write_text(
-                json.dumps({"suite": "tune", "records": records}, indent=2)
+                json.dumps({"suite": "tune", "records": records,
+                            "provenance": run_provenance()}, indent=2)
             )
+            run.add_artifact("probe_records", args.json)
             print(f"probe records written to {args.json}")
     return 0
 
@@ -535,27 +706,149 @@ def _cmd_verify(args) -> int:
     kwargs = {} if profiles is None else {"profiles": profiles}
     print(f"verify: n={args.n} P={args.ranks} np={args.npencils} "
           f"inflight={args.inflight} seeds={list(seeds)}")
-    report = run_verification(
-        n=args.n,
-        ranks=args.ranks,
-        npencils=args.npencils,
-        inflight=args.inflight,
-        steps=args.steps,
-        seeds=seeds,
-        orders=args.orders,
-        watchdog_seconds=args.watchdog,
-        verbose=True,
-        copy_strategy=args.copy_strategy,
-        **kwargs,
-    )
-    print()
-    print(report.render())
-    if args.metrics_out:
-        from repro.obs import write_jsonl
+    config = {
+        "n": args.n, "ranks": args.ranks, "npencils": args.npencils,
+        "inflight": args.inflight, "steps": args.steps,
+        "profiles": list(profiles) if profiles else list(PROFILES),
+        "orders": args.orders, "copy_strategy": args.copy_strategy,
+    }
+    with _registered_run("verify", config, seeds=seeds) as run:
+        report = run_verification(
+            n=args.n,
+            ranks=args.ranks,
+            npencils=args.npencils,
+            inflight=args.inflight,
+            steps=args.steps,
+            seeds=seeds,
+            orders=args.orders,
+            watchdog_seconds=args.watchdog,
+            verbose=True,
+            copy_strategy=args.copy_strategy,
+            artifact_dir=str(run.dir),
+            run_id=run.run_id,
+            **kwargs,
+        )
+        print()
+        print(report.render())
+        for i, dump in enumerate(report.flight_dumps):
+            run.add_artifact(f"flight_dump_{i}", dump)
+        if args.metrics_out:
+            from repro.obs import write_jsonl
 
-        write_jsonl(report.metrics_records, args.metrics_out)
-        print(f"metrics written to {args.metrics_out}")
+            write_jsonl(report.metrics_records, args.metrics_out)
+            run.add_artifact("metrics", args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        run.manifest.status = "ok" if report.passed else "fail"
     return 0 if report.passed else 1
+
+
+def _cmd_obs_report(args) -> int:
+    """``repro obs report``: one line per saved run, newest last."""
+    from repro.obs.runs import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    runs = registry.runs()
+    if args.kind:
+        runs = [h for h in runs if h.manifest.kind == args.kind]
+    if not runs:
+        print(f"no runs under {registry.root}")
+        return 1
+    shown = runs[-args.last:]
+    print(f"runs under {registry.root} "
+          f"({len(shown)} of {len(runs)} shown):")
+    for h in shown:
+        m = h.manifest
+        wall = (f"{m.wall_seconds:8.2f}s" if m.wall_seconds is not None
+                else "  (live)")
+        sha = str((m.provenance or {}).get("git_sha", "unknown"))[:9]
+        print(f"  {m.run_id:<34} {m.status:<7} {wall} "
+              f"sha={sha} artifacts={len(m.artifacts)}")
+    return 0
+
+
+def _format_event(line: str) -> str:
+    import json
+
+    try:
+        rec = json.loads(line)
+    except ValueError:
+        return line
+    skip = {"kind", "ts", "level", "name", "run_id", "seq"}
+    fields = " ".join(f"{k}={rec[k]}" for k in rec if k not in skip)
+    ts = rec.get("ts", 0.0)
+    return (f"  {ts:.3f} [{rec.get('level', '?'):<5}] "
+            f"{rec.get('name', '?')} {fields}".rstrip())
+
+
+def _cmd_obs_tail(args) -> int:
+    """``repro obs tail``: recent events of one run; ``--follow`` streams
+    new lines until the manifest leaves the ``running`` state."""
+    import time as _time
+
+    from repro.obs.runs import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    if args.run_id:
+        try:
+            run = registry.get(args.run_id)
+        except (OSError, ValueError):
+            print(f"error: no run {args.run_id!r} under {registry.root}",
+                  file=sys.stderr)
+            return 1
+    else:
+        run = registry.latest(kind=args.kind)
+        if run is None:
+            print(f"no runs under {registry.root}")
+            return 1
+    path = run.events_path
+    print(f"run {run.run_id} [{run.manifest.status}] events: {path}")
+    lines = (path.read_text(encoding="utf-8").splitlines()
+             if path.is_file() else [])
+    for line in lines[-args.lines:]:
+        print(_format_event(line))
+    if not args.follow:
+        return 0
+    seen = len(lines)
+    while True:
+        _time.sleep(0.2)
+        lines = (path.read_text(encoding="utf-8").splitlines()
+                 if path.is_file() else [])
+        for line in lines[seen:]:
+            print(_format_event(line))
+        seen = len(lines)
+        try:
+            status = registry.get(run.run_id).manifest.status
+        except (OSError, ValueError):  # pragma: no cover - run dir vanished
+            status = "gone"
+        if status != "running":
+            print(f"run finished: {status}")
+            return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    """``repro obs diff``: the perf-regression gate (exit 1 on regression)."""
+    from repro.obs.diff import diff_files
+
+    try:
+        result = diff_files(args.baseline, args.current,
+                            tolerance=args.tolerance, only=args.only)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render(verbose=args.verbose))
+    return 0 if result.passed else 1
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "tail":
+        return _cmd_obs_tail(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command}"
+    )  # pragma: no cover
 
 
 def _cmd_report(module_name: str) -> int:
@@ -584,6 +877,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "projection":
         from repro.experiments.projection import run
 

@@ -57,11 +57,19 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from repro.dist.virtual_mpi import CollectiveRecord, TransientCommFault, VirtualComm
+from repro.obs.flight import current_flight, dump_current_flight
+from repro.obs.heartbeat import HeartbeatBoard, HeartbeatWriter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
 
-__all__ = ["COMM_KINDS", "Mpi4pyComm", "ProcsComm", "make_comm"]
+__all__ = ["COMM_KINDS", "Mpi4pyComm", "ProcsComm", "WorkerStallError",
+           "make_comm"]
+
+
+class WorkerStallError(RuntimeError):
+    """A rank worker went silent (dead, or heartbeat older than the stall
+    timeout) while the driver was waiting on the barrier for its reply."""
 
 _ALIGN = 64
 
@@ -161,9 +169,27 @@ def _attach_segment(name: str, start_method: str) -> _shm.SharedMemory:
     return seg
 
 
-def _worker_main(rank: int, size: int, conn, start_method: str) -> None:
-    """Worker loop: attach shared segments, execute fused stages on demand."""
+def _worker_main(rank: int, size: int, conn, start_method: str,
+                 hb_name: Optional[str] = None,
+                 hb_interval: float = 0.2) -> None:
+    """Worker loop: attach shared segments, execute fused stages on demand.
+
+    When a heartbeat board name is given, a daemon thread beats this rank's
+    slot every ``hb_interval`` seconds (liveness) and every completed op
+    marks progress (throughput) — the driver's stall detector and live
+    per-rank gauges read that slot; see :mod:`repro.obs.heartbeat`.
+    """
     from repro.spectral.workspace import resolve_line_fft
+
+    heartbeat: Optional[HeartbeatWriter] = None
+    if hb_name is not None:
+        try:
+            heartbeat = HeartbeatWriter(
+                hb_name, rank, interval=hb_interval,
+                unregister=start_method != "fork",
+            ).start()
+        except Exception:  # pragma: no cover - board gone; run untelemetered
+            heartbeat = None
 
     segs: list[Optional[_shm.SharedMemory]] = [None] * size
 
@@ -176,6 +202,8 @@ def _worker_main(rank: int, size: int, conn, start_method: str) -> None:
         op = msg["op"]
         try:
             if op == "exit":
+                if heartbeat is not None:
+                    heartbeat.stop()
                 conn.send({"ok": True, "cpu_seconds": time.process_time()})
                 break
             if op == "ping":
@@ -238,12 +266,14 @@ def _worker_main(rank: int, size: int, conn, start_method: str) -> None:
                     spans.append((f"proc.{post}", "fft", t1, t2))
             else:
                 raise ValueError(f"unknown op {op!r}")
+            if heartbeat is not None:
+                heartbeat.mark_progress()
             conn.send({"ok": True, "spans": spans if msg.get("trace") else []})
         except Exception:
             conn.send({"ok": False, "error": traceback.format_exc()})
 
 
-def _cleanup(workers, segments) -> None:
+def _cleanup(workers, segments, boards=None) -> None:
     """Finalizer shared by close() and GC: stop workers, free shared memory."""
     for proc, conn in workers:
         try:
@@ -269,6 +299,13 @@ def _cleanup(workers, segments) -> None:
         except Exception:
             pass
     segments.clear()
+    for board in boards or ():
+        try:
+            board.close()
+        except Exception:
+            pass
+    if boards:
+        boards.clear()
 
 
 class ProcsComm(VirtualComm):
@@ -294,6 +331,16 @@ class ProcsComm(VirtualComm):
         Attempts per exchange when a driver-side fault injector raises
         :class:`~repro.dist.virtual_mpi.TransientCommFault`; must exceed
         the plan's ``max_consecutive`` for recovery to be guaranteed.
+    heartbeat_interval:
+        Worker heartbeat period in seconds (see
+        :mod:`repro.obs.heartbeat`); ``None`` disables the telemetry
+        channel entirely.
+    stall_timeout:
+        Seconds of heartbeat silence (or a dead worker process) after
+        which a barrier wait raises :class:`WorkerStallError` — after
+        dumping the installed flight recorder — instead of blocking
+        forever.  Defaults to ``$REPRO_PROCS_STALL`` or 30 s; ``None``
+        restores the old wait-forever behaviour.
     """
 
     kind = "procs"
@@ -306,12 +353,19 @@ class ProcsComm(VirtualComm):
         arena_bytes: int = 1 << 20,
         start_method: Optional[str] = None,
         fault_retry_budget: int = 4,
+        heartbeat_interval: Optional[float] = 0.2,
+        stall_timeout: Optional[float] = None,
     ):
         super().__init__(size, name=name)
         self.fft_backend = fft_backend
         self.fault_retry_budget = int(fault_retry_budget)
         self.fault_retries = 0
         self.worker_cpu_seconds: list[float] = []
+        if stall_timeout is None:
+            env = os.environ.get("REPRO_PROCS_STALL")
+            stall_timeout = float(env) if env else 30.0
+        self.stall_timeout = stall_timeout if stall_timeout > 0 else None
+        self.stalls_detected = 0
         if start_method is None:
             start_method = os.environ.get("REPRO_PROCS_START") or (
                 "fork" if "fork" in __import__("multiprocessing").get_all_start_methods()
@@ -331,11 +385,19 @@ class ProcsComm(VirtualComm):
         self._workers: list[tuple] = []
         self._segments: list[_shm.SharedMemory] = []
         self._seg_bytes = 0
+        self.heartbeat_board: Optional[HeartbeatBoard] = None
+        self._boards: list[HeartbeatBoard] = []
+        hb_name = None
+        if heartbeat_interval is not None and heartbeat_interval > 0:
+            self.heartbeat_board = HeartbeatBoard(size)
+            self._boards.append(self.heartbeat_board)
+            hb_name = self.heartbeat_board.name
         for rank in range(size):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(rank, size, child_conn, start_method),
+                args=(rank, size, child_conn, start_method, hb_name,
+                      heartbeat_interval),
                 name=f"{name}-rank{rank}",
                 daemon=True,
             )
@@ -343,8 +405,11 @@ class ProcsComm(VirtualComm):
             child_conn.close()
             self._workers.append((proc, parent_conn))
         self._finalizer = weakref.finalize(
-            self, _cleanup, self._workers, self._segments
+            self, _cleanup, self._workers, self._segments, self._boards
         )
+        flight = current_flight()
+        if flight is not None and self.heartbeat_board is not None:
+            flight.add_heartbeat_provider(self.heartbeats)
         for _, conn in self._workers:
             conn.send({"op": "ping"})
         self.worker_pids = [self._reply(r)["pid"] for r in range(size)]
@@ -352,9 +417,69 @@ class ProcsComm(VirtualComm):
 
     # -- worker plumbing ----------------------------------------------------
 
+    def heartbeats(self) -> list[dict]:
+        """Per-rank heartbeat records (empty when telemetry is disabled)."""
+        if self.heartbeat_board is None:
+            return []
+        return self.heartbeat_board.read_all()
+
+    def live_worker_cpu_seconds(self) -> list[float]:
+        """Per-rank worker CPU seconds *right now*, streamed through the
+        heartbeat channel — no need to wait for :meth:`close`."""
+        if self.heartbeat_board is None:
+            return []
+        return self.heartbeat_board.cpu_seconds()
+
+    def _stall_check(self, rank: int) -> None:
+        """Raise :class:`WorkerStallError` if the awaited worker is silent.
+
+        Silent = its process is dead, or its heartbeat age exceeds the
+        stall timeout.  A worker that is merely *slow* keeps beating (the
+        heartbeat thread runs while NumPy holds the compute) and is never
+        flagged.  Dumps the installed flight recorder first, so the hang
+        leaves a timeline with per-rank heartbeat ages, not a blank
+        terminal.
+        """
+        proc, _ = self._workers[rank]
+        age = None
+        if self.heartbeat_board is not None:
+            rec = self.heartbeat_board.read_all()[rank]
+            age = rec["age_seconds"]
+        dead = not proc.is_alive()
+        timed_out = (
+            age is not None
+            and self.stall_timeout is not None
+            and age > self.stall_timeout
+        )
+        if not dead and not timed_out:
+            return
+        self.stalls_detected += 1
+        ages = (
+            [f"{a:.1f}s" if a != float("inf") else "never"
+             for a in self.heartbeat_board.ages()]
+            if self.heartbeat_board is not None else []
+        )
+        reason = "died" if dead else f"heartbeat silent for {age:.1f}s"
+        dump_current_flight(f"procs-stall-rank{rank}")
+        raise WorkerStallError(
+            f"{self.name}: rank {rank} worker {reason} while the driver "
+            f"waited on the barrier (per-rank heartbeat ages: {ages})"
+        )
+
     def _reply(self, rank: int) -> dict:
         proc, conn = self._workers[rank]
-        reply = conn.recv()
+        if self.stall_timeout is None:
+            reply = conn.recv()
+        else:
+            while True:
+                if conn.poll(min(0.2, self.stall_timeout)):
+                    try:
+                        reply = conn.recv()
+                    except EOFError:
+                        self._stall_check(rank)
+                        raise
+                    break
+                self._stall_check(rank)
         if not reply.get("ok"):
             raise RuntimeError(
                 f"{self.name}: rank {rank} worker failed:\n{reply.get('error')}"
@@ -365,10 +490,16 @@ class ProcsComm(VirtualComm):
         """Send one message per worker, then collect every reply.
 
         All workers run their op concurrently — this is where the wall-clock
-        parallelism comes from.
+        parallelism comes from.  A broken pipe on dispatch means the worker
+        is already gone; surface it as the stall it is (with heartbeat
+        ages) rather than a bare ``BrokenPipeError``.
         """
-        for (_, conn), msg in zip(self._workers, msgs):
-            conn.send(msg)
+        for rank, ((_, conn), msg) in enumerate(zip(self._workers, msgs)):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                self._stall_check(rank)
+                raise
         return [self._reply(r) for r in range(self.size)]
 
     def _ensure_capacity(self, per_worker_bytes: int) -> None:
@@ -400,11 +531,21 @@ class ProcsComm(VirtualComm):
                 pass
         for rank, (proc, conn) in enumerate(self._workers):
             try:
+                # Drain stale stage replies (an aborted exchange may have
+                # left them queued) until the exit reply with the final
+                # cpu reading arrives.
                 reply = conn.recv()
+                while reply.get("ok") and "cpu_seconds" not in reply:
+                    reply = conn.recv()
                 if reply.get("ok"):
                     self.worker_cpu_seconds.append(float(reply["cpu_seconds"]))
             except (EOFError, OSError):
-                pass
+                # The exit reply was lost with the worker; the heartbeat
+                # board still has its last streamed cpu reading.
+                if self.heartbeat_board is not None:
+                    self.worker_cpu_seconds.append(
+                        self.heartbeat_board.read(rank)["cpu_seconds"]
+                    )
             proc.join(timeout=2.0)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
@@ -417,6 +558,10 @@ class ProcsComm(VirtualComm):
             except FileNotFoundError:  # pragma: no cover
                 pass
         self._segments.clear()
+        for board in self._boards:
+            board.close()
+        self._boards.clear()
+        self.heartbeat_board = None
         self._finalizer.detach()
 
     def __enter__(self) -> "ProcsComm":
@@ -560,6 +705,10 @@ class ProcsComm(VirtualComm):
             outs.append(np.array(src, copy=True))
         if trace:
             self._merge_worker_spans(obs, (replies, replies2))
+        if obs is not None and obs.enabled and self.heartbeat_board is not None:
+            # Live per-rank gauges (cpu seconds, heartbeat age, ops) — the
+            # cross-process view `repro obs tail` and --report render.
+            self.heartbeat_board.export_gauges(obs.metrics)
         return outs
 
     def _merge_worker_spans(self, obs: "Observability", reply_rounds) -> None:
@@ -573,6 +722,7 @@ class ProcsComm(VirtualComm):
         spans.ensure_epoch()
         epoch = spans._epoch[0]
         tracer = spans.to_tracer()
+        flight = spans.flight
         for replies in reply_rounds:
             for r, reply in enumerate(replies):
                 for sname, category, t0, t1 in reply.get("spans", ()):
@@ -580,6 +730,14 @@ class ProcsComm(VirtualComm):
                         category, f"rank{r}.proc", sname,
                         t0 - epoch, t1 - epoch, exclusive=t1 - t0,
                     )
+                    if flight is not None:
+                        # record() bypasses _Span.__exit__, so feed the
+                        # flight ring directly — a post-mortem of a hung
+                        # exchange needs the worker lanes too.
+                        flight.record_span(
+                            f"rank{r}.proc", sname, category,
+                            t0 - epoch, t1 - epoch,
+                        )
 
 
 # -- optional mpi4py transport -------------------------------------------------
@@ -709,6 +867,8 @@ def make_comm(kind: str, size: int, name: str = "world", **kwargs) -> VirtualCom
         kwargs.pop("fft_backend", None)  # line providers resolve elsewhere
         kwargs.pop("arena_bytes", None)
         kwargs.pop("start_method", None)
+        kwargs.pop("heartbeat_interval", None)
+        kwargs.pop("stall_timeout", None)
         if kwargs:
             raise TypeError(f"unexpected kwargs for virtual comm: {kwargs}")
         return VirtualComm(size, name=name)
@@ -722,5 +882,7 @@ def make_comm(kind: str, size: int, name: str = "world", **kwargs) -> VirtualCom
             )
         kwargs.pop("arena_bytes", None)
         kwargs.pop("start_method", None)
+        kwargs.pop("heartbeat_interval", None)
+        kwargs.pop("stall_timeout", None)
         return Mpi4pyComm(size, name=name, **kwargs)
     raise ValueError(f"unknown comm kind {kind!r}; choose from {COMM_KINDS}")

@@ -24,6 +24,15 @@ from typing import Callable, Optional
 
 import time
 
+from repro.obs.events import EVENT_LEVELS, NULL_EVENTS, EventLog
+from repro.obs.flight import (
+    FlightRecorder,
+    current_flight,
+    dump_current_flight,
+    install_excepthook,
+    install_flight,
+    uninstall_flight,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -32,21 +41,31 @@ from repro.obs.metrics import (
     metric_record,
     write_jsonl,
 )
-from repro.obs.report import phase_breakdown, render_breakdown
+from repro.obs.report import phase_breakdown, render_breakdown, render_percentiles
 from repro.obs.spans import NULL_SPAN, SpanTracer
 
 __all__ = [
     "Counter",
+    "EVENT_LEVELS",
+    "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_OBS",
     "NULL_SPAN",
     "Observability",
     "SpanTracer",
+    "current_flight",
+    "dump_current_flight",
+    "install_excepthook",
+    "install_flight",
     "metric_record",
     "phase_breakdown",
     "render_breakdown",
+    "render_percentiles",
+    "uninstall_flight",
     "write_jsonl",
 ]
 
@@ -61,12 +80,14 @@ class Observability:
     instrumentation point into a no-op.
     """
 
-    __slots__ = ("spans", "metrics", "enabled")
+    __slots__ = ("spans", "metrics", "events", "flight", "enabled")
 
     def __init__(
         self,
         spans: Optional[SpanTracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        events: "EventLog | None" = None,
+        flight: Optional[FlightRecorder] = None,
         enabled: bool = True,
     ):
         self.enabled = enabled
@@ -74,13 +95,33 @@ class Observability:
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(enabled=enabled)
         )
+        self.events = events if events is not None else NULL_EVENTS
+        self.flight = flight
+        if flight is not None:
+            self.spans.attach_flight(flight)
+            flight.watch_metrics(self.metrics)
+            flight.watch_events(self.events)
 
     @classmethod
     def create(
-        cls, clock: Callable[[], float] = time.perf_counter, lane: str = "main"
+        cls,
+        clock: Callable[[], float] = time.perf_counter,
+        lane: str = "main",
+        events: "EventLog | None" = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> "Observability":
-        """An enabled bundle with a fresh tracer on ``lane``."""
-        return cls(spans=SpanTracer(clock=clock, lane=lane))
+        """An enabled bundle with a fresh tracer on ``lane``.
+
+        Pass ``flight=FlightRecorder(...)`` to keep a bounded post-mortem
+        ring of the bundle's spans/events/metrics (see
+        :mod:`repro.obs.flight`), and ``events=EventLog(...)`` for a
+        structured narrative track alongside the spans.
+        """
+        return cls(
+            spans=SpanTracer(clock=clock, lane=lane),
+            events=events,
+            flight=flight,
+        )
 
     @staticmethod
     def disabled() -> "Observability":

@@ -1,0 +1,177 @@
+"""Leveled, structured events correlated by run id.
+
+Spans time *how long* things took; metrics count *how much* happened.
+Events record *that something happened* — a step started, a worker was
+flagged silent, a comm fault was injected and recovered — with a level, a
+monotonic sequence number, and arbitrary structured fields.  They are the
+flight recorder's narrative track: when a run hangs, the last few events
+say which step / pencil / rank the system was working on.
+
+One :class:`EventLog` serves both the live JSONL sink (``events.jsonl``
+inside the run directory, streamed line-by-line so ``repro obs tail`` can
+follow a run in flight) and the in-memory ring consumed by
+:class:`repro.obs.flight.FlightRecorder`.  The record schema::
+
+    {"kind": "event", "seq": 17, "ts": 12.034, "level": "warn",
+     "name": "procs.stall", "run_id": "dns-20260807-...", "rank": 3, ...}
+
+``ts`` is seconds on the log's clock (wall epoch by default, so events are
+correlatable with external logs; inject a fake clock in tests).
+
+The module-level :data:`NULL_EVENTS` is the shared disabled log: emitting
+to it is a single attribute check and no allocation, same discipline as
+:data:`repro.obs.NULL_OBS`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = ["EVENT_LEVELS", "EventLog", "NULL_EVENTS"]
+
+#: Level name -> numeric severity (higher is more severe).
+EVENT_LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
+class _NullEventLog:
+    """Shared no-op event log for un-instrumented call paths."""
+
+    __slots__ = ()
+    enabled = False
+    run_id = None
+
+    def event(self, level: str, name: str, **fields: object) -> None:
+        pass
+
+    def debug(self, name: str, **fields: object) -> None:
+        pass
+
+    def info(self, name: str, **fields: object) -> None:
+        pass
+
+    def warn(self, name: str, **fields: object) -> None:
+        pass
+
+    def error(self, name: str, **fields: object) -> None:
+        pass
+
+    def recent(self, count: Optional[int] = None) -> list[dict]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+class EventLog:
+    """Thread-safe structured event log with a bounded in-memory ring.
+
+    Parameters
+    ----------
+    run_id:
+        Correlation id stamped on every record (the run-registry id for
+        CLI runs; any string for library use).
+    sink:
+        Optional path: events at or above ``level`` are appended there as
+        JSONL, flushed per line so a crash loses at most the line being
+        written.
+    level:
+        Minimum level written to the sink.  The ring keeps *every* level —
+        post-mortems want the debug chatter that live logs suppress.
+    capacity:
+        Ring size (events kept for :meth:`recent` / the flight recorder).
+    clock:
+        Seconds source; default :func:`time.time` for cross-process
+        correlatable timestamps.
+    """
+
+    def __init__(
+        self,
+        run_id: Optional[str] = None,
+        sink: Optional[Union[str, Path]] = None,
+        level: str = "info",
+        capacity: int = 1024,
+        clock: Callable[[], float] = time.time,
+    ):
+        if level not in EVENT_LEVELS:
+            raise ValueError(
+                f"unknown level {level!r}; choose from {sorted(EVENT_LEVELS)}"
+            )
+        self.enabled = True
+        self.run_id = run_id
+        self.clock = clock
+        self.sink_level = EVENT_LEVELS[level]
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._fh = None
+        self.sink_path: Optional[Path] = None
+        if sink is not None:
+            self.sink_path = Path(sink)
+            self._fh = self.sink_path.open("a", encoding="utf-8")
+
+    # -- emitting -----------------------------------------------------------
+
+    def event(self, level: str, name: str, **fields: object) -> dict:
+        """Record one event; returns the record dict."""
+        severity = EVENT_LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown level {level!r}")
+        rec: dict = {"kind": "event", "ts": self.clock(), "level": level,
+                     "name": name}
+        if self.run_id is not None:
+            rec["run_id"] = self.run_id
+        rec.update(fields)
+        with self._lock:
+            self._seq += 1
+            rec["seq"] = self._seq
+            self._ring.append(rec)
+            if self._fh is not None and severity >= self.sink_level:
+                self._fh.write(json.dumps(rec, default=str))
+                self._fh.write("\n")
+                self._fh.flush()
+        return rec
+
+    def debug(self, name: str, **fields: object) -> dict:
+        return self.event("debug", name, **fields)
+
+    def info(self, name: str, **fields: object) -> dict:
+        return self.event("info", name, **fields)
+
+    def warn(self, name: str, **fields: object) -> dict:
+        return self.event("warn", name, **fields)
+
+    def error(self, name: str, **fields: object) -> dict:
+        return self.event("error", name, **fields)
+
+    # -- reading ------------------------------------------------------------
+
+    def recent(self, count: Optional[int] = None) -> list[dict]:
+        """The last ``count`` events (all ring contents by default)."""
+        with self._lock:
+            events = list(self._ring)
+        return events if count is None else events[-count:]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def close(self) -> None:
+        """Close the JSONL sink (ring stays readable); idempotent."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Shared disabled event log; the un-instrumented path.
+NULL_EVENTS = _NullEventLog()

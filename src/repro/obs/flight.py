@@ -1,0 +1,286 @@
+"""Always-on flight recorder: a bounded ring of recent telemetry.
+
+The paper's Fig. 10 analysis existed because NVTX instrumentation was *on*
+during the production runs — hangs and stragglers at 18432^3 were diagnosed
+from timelines that already existed, not from reruns.  The
+:class:`FlightRecorder` is that discipline for this reproduction: a bounded
+in-memory ring of the most recent finished spans, structured events, and
+(on dump) a metrics snapshot, cheap enough to leave enabled on every run,
+which serializes a post-mortem artifact
+
+* on demand (:meth:`FlightRecorder.dump`),
+* on unhandled exception (:func:`install_excepthook`),
+* from the :func:`repro.verify.watchdog.watchdog` when a fuzzed or
+  schedule-explored run deadlocks, and
+* from the :class:`repro.mpi.procs.ProcsComm` stall detector when a worker
+  process goes silent.
+
+Steady-state overhead is one deque append per finished span (the
+:class:`~repro.obs.spans.SpanTracer` feeds the ring from ``_Span.__exit__``
+when a recorder is attached) — no serialization, no I/O, no growth beyond
+``capacity``.  The expensive parts (metrics snapshot, heartbeat read, JSON
+encode) happen only at dump time, when the run is already dead or dying.
+
+A dump also captures what a ring of *finished* spans cannot: the currently
+**open** spans of every registered tracer (a hung ``PencilPipeline`` is a
+span that never exited) and per-rank heartbeat ages from any registered
+provider (a stalled ``ProcsComm`` worker is a heartbeat that stopped
+aging).  Together these answer "where was everyone when it stopped?".
+
+One recorder may be installed process-globally (:func:`install_flight`) so
+far-flung failure paths — the watchdog's timer thread, ``sys.excepthook``
+— can find it without threading a handle through every call site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import weakref
+from collections import deque
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = [
+    "FlightRecorder",
+    "current_flight",
+    "dump_current_flight",
+    "install_excepthook",
+    "install_flight",
+    "uninstall_flight",
+]
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans + events with on-demand post-mortems.
+
+    Parameters
+    ----------
+    capacity:
+        Spans (and events) retained; older entries fall off the ring.
+    run_id:
+        Correlation id stamped on every dump (the run-registry id).
+    artifact_dir:
+        Default directory for :meth:`dump` artifacts (defaults to the
+        current directory at dump time).
+    clock:
+        Seconds source used for dump timestamps and heartbeat ages;
+        injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        run_id: Optional[str] = None,
+        artifact_dir: Optional[Union[str, Path]] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.capacity = int(capacity)
+        self.run_id = run_id
+        self.artifact_dir = Path(artifact_dir) if artifact_dir else None
+        self.clock = clock
+        self.enabled = True
+        self._spans: deque[dict] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._tracers: "weakref.WeakSet" = weakref.WeakSet()
+        self._event_logs: "weakref.WeakSet" = weakref.WeakSet()
+        self._heartbeat_providers: list[Callable[[], object]] = []
+        self._metrics_sources: "weakref.WeakSet" = weakref.WeakSet()
+        self.dumps: list[Path] = []
+
+    # -- feeding ------------------------------------------------------------
+
+    def record_span(self, lane: str, name: str, category: str,
+                    start: float, end: float) -> None:
+        """Hot-path hook called by :class:`~repro.obs.spans.SpanTracer`.
+
+        One dict build + deque append; everything else is deferred to dump
+        time.  The deque handles eviction, so steady state never grows.
+        """
+        self._spans.append({
+            "lane": lane, "name": name, "category": category,
+            "start": start, "end": end,
+        })
+
+    def watch_tracer(self, tracer) -> None:
+        """Register a tracer whose *open* spans should appear in dumps."""
+        self._tracers.add(tracer)
+
+    def watch_events(self, log) -> None:
+        """Register an :class:`~repro.obs.events.EventLog` ring to dump."""
+        if getattr(log, "enabled", False):
+            self._event_logs.add(log)
+
+    def watch_metrics(self, registry) -> None:
+        """Register a metrics registry to snapshot at dump time."""
+        if getattr(registry, "enabled", False):
+            self._metrics_sources.add(registry)
+
+    def add_heartbeat_provider(self, provider: Callable[[], object]) -> None:
+        """Register a zero-arg callable returning per-rank heartbeat dicts.
+
+        :class:`repro.mpi.procs.ProcsComm` registers its heartbeat board
+        here; providers that raise at dump time are recorded as errors
+        rather than aborting the post-mortem.
+        """
+        self._heartbeat_providers.append(provider)
+
+    # -- snapshotting -------------------------------------------------------
+
+    def recent_spans(self, count: Optional[int] = None) -> list[dict]:
+        with self._lock:
+            spans = list(self._spans)
+        return spans if count is None else spans[-count:]
+
+    def open_spans(self) -> list[dict]:
+        """Currently-open spans of every watched tracer (the hung ones)."""
+        out: list[dict] = []
+        for tracer in list(self._tracers):
+            try:
+                stack = list(tracer._stack)
+            except Exception:
+                continue
+            for span in stack:
+                out.append({
+                    "lane": getattr(span, "lane", "?"),
+                    "name": getattr(span, "name", "?"),
+                    "category": getattr(span, "category", "?"),
+                    "start": getattr(span, "start", None),
+                    "open": True,
+                })
+        return out
+
+    def heartbeats(self) -> list[object]:
+        """Per-rank heartbeat records from every registered provider."""
+        out: list[object] = []
+        for provider in self._heartbeat_providers:
+            try:
+                got = provider()
+            except Exception as exc:  # provider died with the run
+                out.append({"error": f"{type(exc).__name__}: {exc}"})
+                continue
+            if isinstance(got, list):
+                out.extend(got)
+            else:
+                out.append(got)
+        return out
+
+    def snapshot(self, reason: str = "manual") -> dict:
+        """Everything a post-mortem needs, as one JSON-serializable dict."""
+        events: list[dict] = []
+        for log in list(self._event_logs):
+            events.extend(log.recent())
+        events.sort(key=lambda r: (r.get("ts", 0.0), r.get("seq", 0)))
+        metrics: list[dict] = []
+        for registry in list(self._metrics_sources):
+            try:
+                metrics.extend(registry.snapshot())
+            except Exception as exc:
+                metrics.append({"error": f"{type(exc).__name__}: {exc}"})
+        return {
+            "kind": "flight_dump",
+            "reason": reason,
+            "run_id": self.run_id,
+            "pid": os.getpid(),
+            "wall_time": self.clock(),
+            "capacity": self.capacity,
+            "spans": self.recent_spans(),
+            "open_spans": self.open_spans(),
+            "events": events,
+            "heartbeats": self.heartbeats(),
+            "metrics": metrics,
+        }
+
+    # -- dumping ------------------------------------------------------------
+
+    def dump(self, path: Optional[Union[str, Path]] = None,
+             reason: str = "manual") -> Path:
+        """Serialize a post-mortem artifact; returns the written path.
+
+        Default location is ``<artifact_dir>/flight-<reason>-<pid>.json``
+        (``artifact_dir`` falling back to the working directory).  Never
+        raises on encode problems: unserializable values degrade to
+        ``str``.
+        """
+        if path is None:
+            safe = "".join(c if c.isalnum() or c in "-_" else "-"
+                           for c in reason) or "manual"
+            base = self.artifact_dir if self.artifact_dir else Path.cwd()
+            base.mkdir(parents=True, exist_ok=True)
+            path = base / f"flight-{safe}-{os.getpid()}.json"
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = self.snapshot(reason=reason)
+        path.write_text(json.dumps(doc, indent=2, default=str) + "\n",
+                        encoding="utf-8")
+        self.dumps.append(path)
+        return path
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+# -- the process-global recorder -----------------------------------------------
+
+_CURRENT: Optional[FlightRecorder] = None
+_PREV_EXCEPTHOOK = None
+
+
+def install_flight(recorder: FlightRecorder) -> FlightRecorder:
+    """Make ``recorder`` the process-global flight recorder."""
+    global _CURRENT
+    _CURRENT = recorder
+    return recorder
+
+
+def uninstall_flight() -> None:
+    global _CURRENT
+    _CURRENT = None
+
+
+def current_flight() -> Optional[FlightRecorder]:
+    """The installed recorder, or None when flight recording is off."""
+    return _CURRENT
+
+
+def dump_current_flight(reason: str,
+                        path: Optional[Union[str, Path]] = None) -> Optional[Path]:
+    """Dump the installed recorder, if any; never raises.
+
+    This is the hook failure paths call (watchdog expiry, stall detector,
+    excepthook) — a post-mortem must not mask the original failure, so any
+    error during the dump is swallowed after a best-effort stderr note.
+    """
+    recorder = _CURRENT
+    if recorder is None or not recorder.enabled:
+        return None
+    try:
+        out = recorder.dump(path=path, reason=reason)
+        print(f"flight recorder: dumped {reason!r} post-mortem to {out}",
+              file=sys.stderr)
+        return out
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"flight recorder: dump failed: {exc}", file=sys.stderr)
+        return None
+
+
+def install_excepthook() -> None:
+    """Dump the installed recorder on any unhandled exception.
+
+    Chains to the previous hook so tracebacks still print.  Idempotent.
+    """
+    global _PREV_EXCEPTHOOK
+    if _PREV_EXCEPTHOOK is not None:
+        return
+    _PREV_EXCEPTHOOK = sys.excepthook
+
+    def hook(exc_type, exc, tb):
+        if not issubclass(exc_type, KeyboardInterrupt):
+            dump_current_flight(f"unhandled-{exc_type.__name__}")
+        _PREV_EXCEPTHOOK(exc_type, exc, tb)
+
+    sys.excepthook = hook

@@ -11,7 +11,7 @@ Three export formats share one record schema (see :func:`metric_record`):
   per solver step plus one ``metric`` record per registered metric at the
   end of the run (:func:`write_jsonl`).
 * **Prometheus text** — ``# TYPE`` headers plus ``name{label="v"} value``
-  lines; histograms export count/sum and p50/p90/p99 quantiles
+  lines; histograms export count/sum and p50/p90/p95/p99 quantiles
   (:meth:`MetricsRegistry.to_prometheus_text`).
 * **BENCH JSON** — :mod:`repro.benchkit.hotpath` emits its sweep results as
   the same record dicts, so benchmark artifacts and run logs are parsed by
@@ -51,7 +51,7 @@ def metric_record(
 
     ``{"kind": "metric", "name": ..., "type": "counter"|"gauge"|"histogram",
     "value": ..., "labels": {...}, ...}`` — histogram records carry
-    ``count/sum/min/max/p50/p90/p99`` in place of ``value``.
+    ``count/sum/min/max/p50/p90/p95/p99`` in place of ``value``.
     """
     rec: dict = {"kind": "metric", "name": name, "type": kind}
     if value is not None:
@@ -179,6 +179,7 @@ class Histogram:
             max=max(self._values),
             p50=self.percentile(50),
             p90=self.percentile(90),
+            p95=self.percentile(95),
             p99=self.percentile(99),
         )
 
@@ -311,7 +312,7 @@ class MetricsRegistry:
                 lines.append(f"# HELP {prom} {metric.help}")
             if isinstance(metric, Histogram):
                 lines.append(f"# TYPE {prom} summary")
-                for q in (50, 90, 99):
+                for q in (50, 90, 95, 99):
                     lines.append(
                         f'{prom}{{quantile="0.{q}"}} {_fmt(metric.percentile(q))}'
                     )

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.spans import SpanTracer
 
-__all__ = ["phase_breakdown", "render_breakdown"]
+__all__ = ["phase_breakdown", "render_breakdown", "render_percentiles"]
 
 
 def phase_breakdown(
@@ -53,4 +54,34 @@ def render_breakdown(
     width = max(len(cat) for cat, _, _ in rows)
     for cat, sec, frac in rows:
         out.append(f"  {cat:>{width}}: {sec:10.4f} s  {100.0 * frac:5.1f}%")
+    return "\n".join(out)
+
+
+def render_percentiles(
+    metrics: MetricsRegistry,
+    title: str = "latency percentiles",
+) -> str:
+    """p50/p95/p99 table over every histogram in a registry.
+
+    The tail view the mean hides: a solver whose ``solver.step.seconds``
+    p99 is 3x its p50 has a straggler problem that the per-phase breakdown
+    averages away.
+    """
+    names = sorted(
+        n for n in metrics.names() if isinstance(metrics.get(n), Histogram)
+    )
+    out = [title]
+    if not names:
+        out.append("  (no histograms recorded)")
+        return "\n".join(out)
+    width = max(len(n) for n in names)
+    out.append(f"  {'':>{width}}  {'count':>6} {'p50':>10} {'p95':>10} "
+               f"{'p99':>10}")
+    for name in names:
+        h = metrics.get(name)
+        out.append(
+            f"  {name:>{width}}  {h.count:>6d} "
+            f"{h.percentile(50):>10.4g} {h.percentile(95):>10.4g} "
+            f"{h.percentile(99):>10.4g}"
+        )
     return "\n".join(out)

@@ -1,0 +1,256 @@
+"""Run registry: one manifest + artifact directory per invocation.
+
+Fig. 10-style analysis is only possible when every run leaves artifacts
+behind — and ROADMAP item 1's multi-tenant service needs per-job
+provenance (what code, what config, what machine) as its admission-time
+cost history.  This module gives every ``dns`` / ``verify`` / ``tune`` /
+bench invocation a durable identity:
+
+* a **run id** (``dns-20260807-153002-1a2b``) correlating events, flight
+  dumps, traces, and metrics;
+* a **run directory** ``.repro/runs/<run_id>/`` holding the artifacts
+  (``manifest.json``, ``events.jsonl``, flight dumps, metric JSONL, chrome
+  traces);
+* a **manifest** recording git sha, repro version, python/platform,
+  ``cores_available``, the invocation's config and seeds, artifact paths,
+  and final status — written at start (status ``running``) and rewritten
+  at every mutation, so a crashed run still has a manifest saying what it
+  was and that it never finished.
+
+The registry root defaults to ``.repro/runs`` under the working directory;
+``$REPRO_RUNS_DIR`` overrides it (CI points this at an upload directory).
+``repro obs report`` renders the registry; ``repro obs tail`` follows the
+latest run's event stream; ``repro obs diff`` compares two runs' metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+__all__ = [
+    "RunHandle",
+    "RunManifest",
+    "RunRegistry",
+    "default_runs_root",
+    "git_sha",
+    "run_provenance",
+]
+
+MANIFEST_NAME = "manifest.json"
+EVENTS_NAME = "events.jsonl"
+
+
+def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
+    """The current git commit sha, or ``"unknown"`` outside a checkout.
+
+    ``$REPRO_GIT_SHA`` short-circuits the subprocess (CI sets it; tests can
+    pin it).
+    """
+    env = os.environ.get("REPRO_GIT_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True, text=True, timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_provenance() -> dict:
+    """The shared provenance stamp: who/what/where produced an artifact.
+
+    Used by both :class:`RunManifest` and every ``BENCH_*.json`` writer
+    (:func:`repro.benchkit.hotpath.write_json`), so benchmark artifacts and
+    run manifests answer "which commit, how many cores, when" the same way
+    — no more guessing whether ``BENCH_real_ranks.json`` numbers came from
+    a 1-core box.
+    """
+    from repro import __version__
+
+    return {
+        "git_sha": git_sha(),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cores_available": os.cpu_count(),
+        "timestamp_unix": time.time(),
+        "timestamp_iso": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def default_runs_root() -> Path:
+    """``$REPRO_RUNS_DIR`` or ``.repro/runs`` under the working directory."""
+    env = os.environ.get("REPRO_RUNS_DIR")
+    return Path(env) if env else Path(".repro") / "runs"
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to interpret (or re-run) one invocation."""
+
+    run_id: str
+    kind: str
+    status: str = "running"
+    created_unix: float = 0.0
+    created_iso: str = ""
+    finished_unix: Optional[float] = None
+    error: Optional[str] = None
+    argv: list[str] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    seeds: list[int] = field(default_factory=list)
+    artifacts: dict[str, str] = field(default_factory=dict)
+    provenance: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.finished_unix is None:
+            return None
+        return self.finished_unix - self.created_unix
+
+
+class RunHandle:
+    """One live run: its directory, manifest, and mutation helpers."""
+
+    def __init__(self, directory: Path, manifest: RunManifest):
+        self.dir = Path(directory)
+        self.manifest = manifest
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.run_id
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.dir / MANIFEST_NAME
+
+    @property
+    def events_path(self) -> Path:
+        """Where this run's :class:`~repro.obs.events.EventLog` streams."""
+        return self.dir / EVENTS_NAME
+
+    def save(self) -> Path:
+        """(Re)write the manifest; atomic via write-then-replace."""
+        tmp = self.manifest_path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(self.manifest.to_dict(), indent=2, default=str) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(self.manifest_path)
+        return self.manifest_path
+
+    def add_artifact(self, name: str, path: Union[str, Path]) -> Path:
+        """Record an artifact path in the manifest (relative when inside
+        the run dir) and persist."""
+        path = Path(path)
+        try:
+            rel = str(path.resolve().relative_to(self.dir.resolve()))
+        except ValueError:
+            rel = str(path)
+        self.manifest.artifacts[name] = rel
+        self.save()
+        return path
+
+    def artifact_path(self, name: str) -> Path:
+        """Absolute path of a recorded artifact."""
+        raw = Path(self.manifest.artifacts[name])
+        return raw if raw.is_absolute() else self.dir / raw
+
+    def finish(self, status: str = "ok", error: Optional[str] = None) -> None:
+        self.manifest.status = status
+        self.manifest.error = error
+        self.manifest.finished_unix = time.time()
+        self.save()
+
+
+class RunRegistry:
+    """The ``.repro/runs`` directory as an object.
+
+    ``start`` is what the CLI calls on every invocation; ``runs`` /
+    ``latest`` are what ``repro obs report`` / ``tail`` read back.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_runs_root()
+
+    def start(
+        self,
+        kind: str,
+        config: Optional[dict] = None,
+        seeds: Sequence[int] = (),
+        argv: Optional[Sequence[str]] = None,
+        run_id: Optional[str] = None,
+    ) -> RunHandle:
+        """Create the run directory and write the initial manifest."""
+        if run_id is None:
+            stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+            run_id = f"{kind}-{stamp}-{uuid.uuid4().hex[:6]}"
+        now = time.time()
+        manifest = RunManifest(
+            run_id=run_id,
+            kind=kind,
+            created_unix=now,
+            created_iso=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+            argv=list(argv if argv is not None else sys.argv),
+            config=dict(config or {}),
+            seeds=[int(s) for s in seeds],
+            provenance=run_provenance(),
+        )
+        handle = RunHandle(self.root / run_id, manifest)
+        handle.dir.mkdir(parents=True, exist_ok=True)
+        handle.save()
+        return handle
+
+    def run_dirs(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.iterdir()
+            if p.is_dir() and (p / MANIFEST_NAME).is_file()
+        )
+
+    def runs(self) -> list[RunHandle]:
+        """Every readable run, oldest first (unreadable manifests skipped)."""
+        out: list[RunHandle] = []
+        for p in self.run_dirs():
+            try:
+                doc = json.loads((p / MANIFEST_NAME).read_text(encoding="utf-8"))
+                out.append(RunHandle(p, RunManifest.from_dict(doc)))
+            except (OSError, ValueError, TypeError):
+                continue
+        out.sort(key=lambda h: h.manifest.created_unix)
+        return out
+
+    def latest(self, kind: Optional[str] = None) -> Optional[RunHandle]:
+        """The most recently created run (optionally of one kind)."""
+        candidates = [
+            h for h in self.runs()
+            if kind is None or h.manifest.kind == kind
+        ]
+        return candidates[-1] if candidates else None
+
+    def get(self, run_id: str) -> RunHandle:
+        path = self.root / run_id / MANIFEST_NAME
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        return RunHandle(self.root / run_id, RunManifest.from_dict(doc))

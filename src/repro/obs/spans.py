@@ -95,6 +95,9 @@ class _Span:
         tr.tracer.record(
             self.category, self.lane, self.name, self.start, end, **meta
         )
+        fl = tr.flight
+        if fl is not None:
+            fl.record_span(self.lane, self.name, self.category, self.start, end)
         return False
 
 
@@ -138,6 +141,9 @@ class SpanTracer:
         self.tracer = Tracer()
         self.tracer.enabled = enabled
         self._stack: list[_Span] = []
+        #: Optional :class:`repro.obs.flight.FlightRecorder` fed one ring
+        #: entry per finished span (attach via :meth:`attach_flight`).
+        self.flight = None
         # Shared one-element holder so child tracers rebase to the same t=0.
         self._epoch: list[Optional[float]] = _epoch if _epoch is not None else [None]
 
@@ -172,10 +178,20 @@ class SpanTracer:
 
         Use one child per virtual rank (or stream) so their spans land on
         distinct lanes but a common time base, then :meth:`merge` them back.
+        Children inherit the flight recorder, so a post-mortem ring sees
+        per-rank / per-stream spans too.
         """
-        return SpanTracer(
+        child = SpanTracer(
             clock=self.clock, lane=lane, enabled=self.enabled, _epoch=self._epoch
         )
+        if self.flight is not None:
+            child.attach_flight(self.flight)
+        return child
+
+    def attach_flight(self, recorder) -> None:
+        """Feed finished spans (and dump-time open spans) to ``recorder``."""
+        self.flight = recorder
+        recorder.watch_tracer(self)
 
     def merge(self, other: "SpanTracer | Tracer", lane_prefix: str = "") -> None:
         """Append another tracer's finished spans, optionally prefixing lanes."""

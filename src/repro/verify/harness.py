@@ -37,13 +37,19 @@ from repro.dist.dist_solver import DistributedNavierStokesSolver
 from repro.dist.outofcore import OutOfCoreSlabFFT
 from repro.dist.virtual_mpi import VirtualComm
 from repro.obs import Observability
+from repro.obs.flight import (
+    FlightRecorder,
+    current_flight,
+    install_flight,
+    uninstall_flight,
+)
 from repro.spectral.grid import SpectralGrid
 from repro.spectral.solver import SolverConfig
 from repro.verify.explorer import ReplayBackend
 from repro.verify.faults import CommFaultPlan
 from repro.verify.fuzz import FuzzProfile, fuzz_profile
 from repro.verify.invariants import InvariantMonitor
-from repro.verify.watchdog import watchdog
+from repro.verify.watchdog import DeadlockTimeout, watchdog
 
 __all__ = ["FuzzCase", "VerificationReport", "run_verification"]
 
@@ -66,6 +72,7 @@ class FuzzCase:
     comm_late: int = 0
     invariant_checks: int = 0
     wall_seconds: float = 0.0
+    flight_dump: Optional[str] = None
 
     def describe(self) -> str:
         status = "ok" if self.ok else f"FAIL ({self.error})"
@@ -89,6 +96,7 @@ class VerificationReport:
     explorer_error: Optional[str] = None
     violations: list[str] = field(default_factory=list)
     metrics_records: list[dict] = field(default_factory=list)
+    flight_dumps: list[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -115,6 +123,9 @@ class VerificationReport:
         if self.violations:
             lines.append(f"  invariant violations ({len(self.violations)}):")
             lines.extend(f"    {v}" for v in self.violations)
+        if self.flight_dumps:
+            lines.append(f"  flight dumps ({len(self.flight_dumps)}):")
+            lines.extend(f"    {p}" for p in self.flight_dumps)
         lines.append(
             f"  verdict: {'PASS' if self.passed else 'FAIL'} "
             f"({len(self.cases)} fuzz case(s), "
@@ -169,6 +180,8 @@ def run_verification(
     watchdog_seconds: float = 30.0,
     verbose: bool = False,
     copy_strategy: str = "memcpy2d",
+    artifact_dir: Optional[str] = None,
+    run_id: Optional[str] = None,
 ) -> VerificationReport:
     """Run the full fuzz matrix plus schedule exploration; see module doc.
 
@@ -176,6 +189,12 @@ def run_verification(
     both the reference and every fuzzed run (all strategies are
     bit-identical, so the matrix passes regardless of the choice — that
     is precisely what the copy-strategy determinism tests assert).
+
+    A :class:`~repro.obs.flight.FlightRecorder` is installed for the whole
+    matrix: a case that deadlocks (watchdog expiry) or fails leaves a
+    post-mortem dump under ``artifact_dir`` (default: working directory)
+    with the last spans, events, and heartbeat ages; the report lists every
+    dump written.
     """
     grid = SpectralGrid(n)
     config = SolverConfig(nu=0.02, scheme="rk2", phase_shift=True, seed=11)
@@ -185,22 +204,32 @@ def run_verification(
         copy_strategy=copy_strategy,
     )
     report = VerificationReport()
+    flight = FlightRecorder(capacity=512, run_id=run_id,
+                            artifact_dir=artifact_dir)
+    previous = current_flight()
+    install_flight(flight)
+    try:
+        for seed in seeds:
+            for name in profiles:
+                profile = fuzz_profile(name, seed)
+                case = _run_fuzz_case(
+                    grid, u0, config, reference, ranks, npencils, inflight,
+                    steps, dt, profile, watchdog_seconds, report,
+                    copy_strategy=copy_strategy, flight=flight,
+                )
+                report.cases.append(case)
+                if verbose:
+                    print(case.describe())
 
-    for seed in seeds:
-        for name in profiles:
-            profile = fuzz_profile(name, seed)
-            case = _run_fuzz_case(
-                grid, u0, config, reference, ranks, npencils, inflight,
-                steps, dt, profile, watchdog_seconds, report,
-                copy_strategy=copy_strategy,
-            )
-            report.cases.append(case)
-            if verbose:
-                print(case.describe())
-
-    _run_explorer(
-        grid, ranks, npencils, inflight, orders, watchdog_seconds, report
-    )
+        _run_explorer(
+            grid, ranks, npencils, inflight, orders, watchdog_seconds, report
+        )
+    finally:
+        if previous is not None:
+            install_flight(previous)
+        else:
+            uninstall_flight()
+        report.flight_dumps = [str(p) for p in flight.dumps]
     return report
 
 
@@ -218,6 +247,7 @@ def _run_fuzz_case(
     watchdog_seconds: float,
     report: VerificationReport,
     copy_strategy: str = "memcpy2d",
+    flight: Optional[FlightRecorder] = None,
 ) -> FuzzCase:
     case = FuzzCase(seed=profile.seed, profile=profile.name, ok=False)
     comm = VirtualComm(ranks)
@@ -230,7 +260,7 @@ def _run_fuzz_case(
         )
         comm.fault_injector = plan
     monitor = InvariantMonitor()
-    obs = Observability.create()
+    obs = Observability.create(flight=flight)
     start = time.perf_counter()
     solver = None
     try:
@@ -260,6 +290,15 @@ def _run_fuzz_case(
         case.ok = True
     except BaseException as exc:  # noqa: BLE001 - reported, not re-raised
         case.error = f"{type(exc).__name__}: {exc}"
+        if flight is not None:
+            if isinstance(exc, DeadlockTimeout):
+                # The watchdog already dumped via dump_current_flight.
+                if flight.dumps:
+                    case.flight_dump = str(flight.dumps[-1])
+            else:
+                case.flight_dump = str(flight.dump(
+                    reason=f"fuzz-fail-seed{profile.seed}-{profile.name}"
+                ))
     finally:
         case.wall_seconds = time.perf_counter() - start
         if solver is not None:

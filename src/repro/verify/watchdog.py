@@ -55,6 +55,13 @@ def watchdog(seconds: float, label: str = "fuzzed run"):
         yield
     except KeyboardInterrupt:
         if state["expired"]:
+            # The run is presumed hung: leave a post-mortem (ring of recent
+            # spans, open spans, heartbeat ages) before surfacing the
+            # timeout.  The dump runs on the main thread *after* the
+            # interrupt landed, so it cannot deadlock on the hung state.
+            from repro.obs.flight import dump_current_flight
+
+            dump_current_flight(f"deadlock-{label.replace(' ', '-')}")
             raise DeadlockTimeout(
                 f"{label} exceeded {seconds:.1f}s watchdog — presumed deadlock"
             ) from None

@@ -51,6 +51,28 @@ def test_run_suite_smoke(tmp_path):
     assert round_trip["results"][0]["n"] == 16
 
 
+def test_write_json_stamps_provenance(tmp_path, monkeypatch):
+    import os
+
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedc0de")
+    path = write_json({"suite": "x", "results": []},
+                      str(tmp_path / "b.json"))
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    prov = doc["provenance"]
+    assert prov["git_sha"] == "feedc0de"
+    assert prov["cores_available"] == os.cpu_count()
+    assert prov["timestamp_iso"].endswith("Z")
+
+
+def test_write_json_caller_provenance_wins(tmp_path):
+    path = write_json({"suite": "x", "provenance": {"git_sha": "pinned"}},
+                      str(tmp_path / "b.json"))
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["provenance"] == {"git_sha": "pinned"}
+
+
 def test_suite_emits_metric_records(tmp_path):
     payload = run_suite(grid_sizes=(16,), schemes=("rk2",),
                         backends=("numpy",), steps=1, warmup=1,

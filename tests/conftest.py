@@ -7,6 +7,13 @@ from repro.machine.summit import summit
 from repro.spectral.grid import SpectralGrid
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch):
+    """Every dns/verify/tune CLI invocation registers a run; point the
+    registry at a per-test directory so tests never write into the repo."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro-runs"))
+
+
 @pytest.fixture(scope="session")
 def machine():
     """The Summit machine model (immutable; session-scoped)."""

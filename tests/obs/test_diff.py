@@ -1,0 +1,153 @@
+"""Perf diff: direction classification, identity matching, the gate."""
+
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    compare_artifacts,
+    diff_files,
+    load_artifact,
+    measure_direction,
+)
+
+
+def bench_payload(seconds=0.10, rate=10.0, speedup=1.5):
+    return {
+        "suite": "solver_hotpath",
+        "results": [
+            {"n": 64, "scheme": "rk2", "backend": "numpy", "workspace": True,
+             "seconds_per_step": seconds, "steps_per_sec": rate,
+             "peak_alloc_bytes": 1000},
+        ],
+        "speedups": {"n64-rk2-numpy": speedup},
+    }
+
+
+def write(tmp_path, name, doc):
+    p = tmp_path / name
+    p.write_text(json.dumps(doc))
+    return p
+
+
+class TestDirections:
+    def test_known_measures(self):
+        assert measure_direction("seconds_per_step") == "lower"
+        assert measure_direction("steps_per_sec") == "higher"
+        assert measure_direction("worker_cpu_seconds") is None
+
+    def test_name_hints(self):
+        assert measure_direction("solver.step.seconds") == "lower"
+        assert measure_direction("a2a.bandwidth_gib") == "higher"
+        assert measure_direction("comm.retries") is None
+
+    def test_sweep_parameters_never_gate(self):
+        # chunk_bytes looks like a "lower is better" byte count but is a
+        # harness-chosen sweep parameter: identity, not a gate.
+        assert measure_direction("chunk_bytes") is None
+        assert measure_direction("fullgrid_bytes") is None
+
+
+class TestGate:
+    def test_identical_files_pass(self, tmp_path):
+        p = write(tmp_path, "a.json", bench_payload())
+        result = diff_files(p, p)
+        assert result.passed
+        assert result.regressions == []
+        assert "PASS" in result.render()
+
+    def test_20_percent_seconds_regression_fails(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_payload(seconds=0.10))
+        cur = write(tmp_path, "cur.json", bench_payload(seconds=0.12))
+        result = diff_files(base, cur)
+        assert not result.passed
+        keys = [r.key for r in result.regressions]
+        assert len(keys) == 1 and "seconds_per_step" in keys[0]
+        assert "FAIL" in result.render()
+        assert result.regressions[0].rel_change == pytest.approx(0.2)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_payload(seconds=0.10))
+        cur = write(tmp_path, "cur.json", bench_payload(seconds=0.105))
+        assert diff_files(base, cur).passed
+
+    def test_higher_is_better_direction(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_payload(speedup=1.5))
+        cur = write(tmp_path, "cur.json", bench_payload(speedup=1.0))
+        result = diff_files(base, cur)
+        assert [r.key for r in result.regressions] == ["speedup:n64-rk2-numpy"]
+
+    def test_improvement_reported_not_gated(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_payload(seconds=0.10))
+        cur = write(tmp_path, "cur.json", bench_payload(seconds=0.05))
+        result = diff_files(base, cur)
+        assert result.passed
+        assert any(r.status == "improved" for r in result.rows)
+
+    def test_missing_cells_reported_not_gated(self, tmp_path):
+        base_doc = bench_payload()
+        cur_doc = bench_payload()
+        cur_doc["results"].append({**base_doc["results"][0], "n": 128})
+        base = write(tmp_path, "base.json", base_doc)
+        cur = write(tmp_path, "cur.json", cur_doc)
+        result = diff_files(base, cur)
+        assert result.passed
+        assert any(r.status == "missing" for r in result.rows)
+
+    def test_only_filter_restricts_gate(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_payload(seconds=0.10))
+        cur = write(tmp_path, "cur.json",
+                    bench_payload(seconds=0.12, speedup=0.5))
+        result = diff_files(base, cur, only=["speedup"])
+        assert [r.key for r in result.rows] == ["speedup:n64-rk2-numpy"]
+
+    def test_empty_comparison_fails(self):
+        result = compare_artifacts({}, {})
+        assert not result.passed
+        assert "no comparable measures" in result.render()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_artifacts({}, {}, tolerance=-0.1)
+
+
+class TestLoaders:
+    def test_metrics_jsonl_roundtrip(self, tmp_path):
+        records = [
+            {"kind": "metric", "name": "solver.step.seconds",
+             "type": "histogram", "labels": {}, "count": 3, "sum": 0.3,
+             "p50": 0.1, "p95": 0.12, "p99": 0.14},
+            {"kind": "metric", "name": "transpose.bytes_moved",
+             "type": "counter", "value": 4096.0, "labels": {"ranks": 2}},
+            {"kind": "run", "n": 32},  # non-metric lines ignored
+        ]
+        p = tmp_path / "m.jsonl"
+        p.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        flat = load_artifact(p)
+        assert flat["solver.step.seconds.p95"] == (0.12, "lower")
+        assert flat["transpose.bytes_moved{ranks=2}"] == (4096.0, "lower")
+
+    def test_bench_json_identity_keys(self, tmp_path):
+        p = write(tmp_path, "b.json", bench_payload())
+        flat = load_artifact(p)
+        key = ("backend=numpy,n=64,scheme=rk2,workspace=True"
+               ":seconds_per_step")
+        assert flat[key] == (0.10, "lower")
+
+    def test_unrecognized_shape_raises(self, tmp_path):
+        p = write(tmp_path, "x.json", {"hello": "world"})
+        with pytest.raises(ValueError, match="unrecognized"):
+            load_artifact(p)
+
+    def test_metrics_histograms_gate_on_percentiles(self, tmp_path):
+        def rec(p95):
+            return {"kind": "metric", "name": "solver.step.seconds",
+                    "type": "histogram", "labels": {}, "count": 5,
+                    "sum": 0.5, "p50": 0.1, "p95": p95, "p99": p95}
+
+        base = tmp_path / "base.jsonl"
+        base.write_text(json.dumps(rec(0.10)) + "\n")
+        cur = tmp_path / "cur.jsonl"
+        cur.write_text(json.dumps(rec(0.20)) + "\n")
+        result = diff_files(base, cur)
+        assert not result.passed

@@ -1,0 +1,115 @@
+"""EventLog: ring semantics, leveled sinks, run-id correlation."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.events import EVENT_LEVELS, NULL_EVENTS, EventLog
+
+
+class TestEventRecords:
+    def test_record_schema(self):
+        clock = iter([1.5, 2.5])
+        log = EventLog(run_id="run-1", clock=lambda: next(clock))
+        rec = log.info("dns.step", step=3, energy=0.9)
+        assert rec == {"kind": "event", "ts": 1.5, "level": "info",
+                       "name": "dns.step", "run_id": "run-1", "step": 3,
+                       "energy": 0.9, "seq": 1}
+        assert log.warn("x")["seq"] == 2
+
+    def test_no_run_id_omits_field(self):
+        rec = EventLog().info("a")
+        assert "run_id" not in rec
+
+    def test_unknown_level_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown level"):
+            log.event("fatal", "boom")
+        with pytest.raises(ValueError, match="unknown level"):
+            EventLog(level="fatal")
+
+    def test_levels_are_ordered(self):
+        assert (EVENT_LEVELS["debug"] < EVENT_LEVELS["info"]
+                < EVENT_LEVELS["warn"] < EVENT_LEVELS["error"])
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.info("e", i=i)
+        assert [r["i"] for r in log.recent()] == [7, 8, 9]
+        assert len(log) == 3
+
+    def test_recent_count(self):
+        log = EventLog()
+        for i in range(5):
+            log.info("e", i=i)
+        assert [r["i"] for r in log.recent(2)] == [3, 4]
+
+    def test_ring_keeps_all_levels(self):
+        # Post-mortems want debug chatter even when the sink filters it.
+        log = EventLog(level="warn")
+        log.debug("quiet")
+        log.error("loud")
+        assert [r["name"] for r in log.recent()] == ["quiet", "loud"]
+
+
+class TestSink:
+    def test_sink_writes_jsonl_at_or_above_level(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(run_id="r", sink=path, level="info") as log:
+            log.debug("hidden")
+            log.info("shown", k=1)
+            log.error("also")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["name"] for r in lines] == ["shown", "also"]
+        assert lines[0]["run_id"] == "r"
+
+    def test_sink_appends_and_close_idempotent(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=path)
+        log.info("one")
+        log.close()
+        log.close()
+        log2 = EventLog(sink=path)
+        log2.info("two")
+        log2.close()
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["one", "two"]
+
+    def test_thread_safety_sequences_unique(self, tmp_path):
+        log = EventLog(sink=tmp_path / "e.jsonl", capacity=4096)
+
+        def emit():
+            for _ in range(200):
+                log.info("e")
+
+        threads = [threading.Thread(target=emit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        seqs = [r["seq"] for r in log.recent()]
+        assert len(seqs) == len(set(seqs)) == 800
+
+
+class TestNullEvents:
+    def test_null_is_inert(self):
+        assert NULL_EVENTS.enabled is False
+        assert NULL_EVENTS.info("x", a=1) is None
+        assert NULL_EVENTS.recent() == []
+        NULL_EVENTS.close()  # no-op
+
+    def test_null_event_costs_no_allocation(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        for _ in range(100):
+            NULL_EVENTS.debug("x")
+        current, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert current < 1024

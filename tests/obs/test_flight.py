@@ -1,0 +1,142 @@
+"""FlightRecorder: bounded ring, dumps, globals, excepthook."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.events import EventLog
+from repro.obs.flight import (
+    FlightRecorder,
+    current_flight,
+    dump_current_flight,
+    install_flight,
+    uninstall_flight,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_recorder():
+    uninstall_flight()
+    yield
+    uninstall_flight()
+
+
+def make_obs(flight, times):
+    it = iter(times)
+    return Observability.create(clock=lambda: next(it), flight=flight)
+
+
+class TestRing:
+    def test_spans_feed_ring_on_exit(self):
+        flight = FlightRecorder(capacity=8)
+        obs = make_obs(flight, [0.0, 1.0, 3.0, 4.0])
+        with obs.spans.span("solver.step"):
+            with obs.spans.span("fft.fwd"):
+                pass
+        spans = flight.recent_spans()
+        assert [s["name"] for s in spans] == ["fft.fwd", "solver.step"]
+        assert spans[0] == {"lane": "main", "name": "fft.fwd",
+                            "category": "fft", "start": 1.0, "end": 3.0}
+
+    def test_ring_bounded(self):
+        flight = FlightRecorder(capacity=4)
+        obs = make_obs(flight, iter(float(i) for i in range(100)))
+        for i in range(10):
+            with obs.spans.span(f"s{i}"):
+                pass
+        names = [s["name"] for s in flight.recent_spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_child_tracers_inherit_recorder(self):
+        flight = FlightRecorder()
+        obs = make_obs(flight, [0.0, 1.0])
+        child = obs.spans.child("rank0.local")
+        with child.span("pencil.fft"):
+            pass
+        assert flight.recent_spans()[0]["lane"] == "rank0.local"
+
+    def test_open_spans_visible(self):
+        # A hung pipeline is a span that never exited: it must appear in
+        # the post-mortem even though the ring only holds finished spans.
+        flight = FlightRecorder()
+        obs = make_obs(flight, [0.0, 1.0])
+        span = obs.spans.span("transpose.wait")
+        span.__enter__()
+        open_spans = flight.open_spans()
+        assert [s["name"] for s in open_spans] == ["transpose.wait"]
+        assert open_spans[0]["open"] is True
+        span.__exit__(None, None, None)
+        assert flight.open_spans() == []
+
+
+class TestDump:
+    def test_snapshot_sections(self):
+        flight = FlightRecorder(run_id="run-7", clock=lambda: 42.0)
+        events = EventLog(run_id="run-7")
+        obs = Observability.create(
+            clock=iter([0.0, 1.0]).__next__, events=events, flight=flight
+        )
+        with obs.spans.span("step"):
+            pass
+        obs.events.info("dns.step", step=1)
+        obs.metrics.counter("fft.calls").inc(3)
+        flight.add_heartbeat_provider(
+            lambda: [{"rank": 0, "age_seconds": 0.1}]
+        )
+        doc = flight.snapshot(reason="test")
+        assert doc["kind"] == "flight_dump"
+        assert doc["reason"] == "test"
+        assert doc["run_id"] == "run-7"
+        assert doc["wall_time"] == 42.0
+        assert [s["name"] for s in doc["spans"]] == ["step"]
+        assert [e["name"] for e in doc["events"]] == ["dns.step"]
+        assert doc["heartbeats"] == [{"rank": 0, "age_seconds": 0.1}]
+        assert any(m["name"] == "fft.calls" for m in doc["metrics"])
+
+    def test_failing_heartbeat_provider_degrades(self):
+        flight = FlightRecorder()
+
+        def bad():
+            raise OSError("board unlinked")
+
+        flight.add_heartbeat_provider(bad)
+        beats = flight.heartbeats()
+        assert beats == [{"error": "OSError: board unlinked"}]
+
+    def test_dump_writes_json(self, tmp_path):
+        flight = FlightRecorder(run_id="r", artifact_dir=tmp_path)
+        path = flight.dump(reason="unit test!")
+        assert path.parent == tmp_path
+        assert "unit-test" in path.name
+        doc = json.loads(path.read_text())
+        assert doc["reason"] == "unit test!"
+        assert flight.dumps == [path]
+
+    def test_dump_explicit_path(self, tmp_path):
+        flight = FlightRecorder()
+        out = flight.dump(path=tmp_path / "sub" / "f.json")
+        assert out.is_file()
+
+
+class TestGlobals:
+    def test_install_and_dump_current(self, tmp_path):
+        flight = FlightRecorder(artifact_dir=tmp_path)
+        assert current_flight() is None
+        assert dump_current_flight("nothing-installed") is None
+        install_flight(flight)
+        assert current_flight() is flight
+        out = dump_current_flight("stall")
+        assert out is not None and out.is_file()
+        uninstall_flight()
+        assert current_flight() is None
+
+    def test_dump_current_never_raises(self, tmp_path, capsys):
+        flight = FlightRecorder(artifact_dir=tmp_path)
+        install_flight(flight)
+        # Force a write failure: artifact path is a directory.
+        (tmp_path / "flight-bad-0.json").mkdir(parents=True)
+        assert dump_current_flight(
+            "bad", path=tmp_path / "flight-bad-0.json"
+        ) is None
+        assert "dump failed" in capsys.readouterr().err

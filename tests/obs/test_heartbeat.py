@@ -1,0 +1,137 @@
+"""Heartbeat board/writer: seqlock protocol, ages, stall detection.
+
+Board and writer run in one process here (the cross-process path is
+covered by the ProcsComm telemetry tests); shared memory semantics are
+identical, and single-process keeps the clock injectable.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.heartbeat import SLOT_FIELDS, HeartbeatBoard, HeartbeatWriter
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def board():
+    b = HeartbeatBoard(2)
+    yield b
+    b.close()
+
+
+def make_writer(board, rank=0, cpu=lambda: 1.25, wall=lambda: 100.0):
+    return HeartbeatWriter(board.name, rank, cpu_clock=cpu, wall_clock=wall)
+
+
+class TestProtocol:
+    def test_fields_roundtrip(self, board):
+        w = make_writer(board)
+        try:
+            w.beat()
+            w.mark_progress(ops=3)
+            rec = board.read(0)
+            assert rec["rank"] == 0
+            assert rec["wall_ts"] == 100.0
+            assert rec["cpu_seconds"] == 1.25
+            assert rec["ops_completed"] == 3.0
+            assert rec["beats"] == 2.0
+            assert rec["last_progress_ts"] == 100.0
+            assert rec["seq"] == 4  # two beats x (odd, even)
+        finally:
+            w.stop()
+
+    def test_slot_layout_documented(self):
+        assert SLOT_FIELDS[0] == "seq"
+        assert len(SLOT_FIELDS) == 6
+
+    def test_writers_do_not_cross_slots(self, board):
+        w0 = make_writer(board, rank=0, cpu=lambda: 1.0)
+        w1 = make_writer(board, rank=1, cpu=lambda: 2.0)
+        try:
+            w0.beat()
+            w1.beat()
+            assert board.read(0)["cpu_seconds"] == 1.0
+            assert board.read(1)["cpu_seconds"] == 2.0
+        finally:
+            w0.stop()
+            w1.stop()
+
+    def test_background_thread_beats(self, board):
+        import time
+
+        w = HeartbeatWriter(board.name, 0, interval=0.01)
+        try:
+            w.start()
+            deadline = time.time() + 2.0
+            while board.read(0)["beats"] < 3 and time.time() < deadline:
+                time.sleep(0.01)
+            assert board.read(0)["beats"] >= 3
+        finally:
+            w.stop()
+        # stop() writes a final beat and is idempotent.
+        final = board.read(0)["beats"]
+        w.stop()
+        assert board.read(0)["beats"] == final
+
+
+class TestAges:
+    def test_never_beaten_rank_is_infinitely_old(self, board):
+        ages = board.ages(now=50.0)
+        assert ages == [math.inf, math.inf]
+
+    def test_age_from_last_beat(self, board):
+        w = make_writer(board, rank=0, wall=lambda: 100.0)
+        try:
+            w.beat()
+        finally:
+            w.stop()
+        ages = board.ages(now=103.5)
+        assert ages[0] == pytest.approx(3.5)
+        assert ages[1] == math.inf
+
+    def test_stalled_threshold(self, board):
+        w = make_writer(board, rank=0, wall=lambda: 100.0)
+        try:
+            w.beat()
+        finally:
+            w.stop()
+        assert board.stalled(threshold=5.0, now=102.0) == [1]
+        assert board.stalled(threshold=1.0, now=102.0) == [0, 1]
+
+    def test_export_gauges(self, board):
+        w = make_writer(board, rank=0, wall=lambda: 100.0)
+        try:
+            w.mark_progress()
+        finally:
+            w.stop()
+        metrics = MetricsRegistry()
+        board.export_gauges(metrics, now=100.5)
+        assert metrics.gauge("rank0.cpu_seconds").value == 1.25
+        assert metrics.gauge("rank0.heartbeat_age_seconds").value == \
+            pytest.approx(0.5)
+        assert metrics.gauge("rank0.ops_completed").value == 1.0
+        # inf (never beaten) is encoded as -1 so exporters stay finite.
+        assert metrics.gauge("rank1.heartbeat_age_seconds").value == -1.0
+
+
+class TestLifecycle:
+    def test_board_requires_a_slot(self):
+        with pytest.raises(ValueError):
+            HeartbeatBoard(0)
+
+    def test_close_idempotent(self):
+        b = HeartbeatBoard(1)
+        b.close()
+        b.close()
+
+    def test_cpu_seconds_live_view(self, board):
+        ticks = iter([0.5, 2.5, 2.5])  # third tick: stop()'s final beat
+        w = make_writer(board, rank=0, cpu=lambda: next(ticks))
+        try:
+            w.beat()
+            assert board.cpu_seconds() == [0.5, 0.0]
+            w.beat()
+            assert board.cpu_seconds() == [2.5, 0.0]
+        finally:
+            w.stop()

@@ -224,3 +224,73 @@ class TestReports:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObs:
+    """The `repro obs` group: run registry queries and the perf gate."""
+
+    BASELINE = "BENCH_solver_hotpath.json"
+
+    def _repo_root(self):
+        import pathlib
+
+        return pathlib.Path(__file__).resolve().parent.parent
+
+    def test_dns_registers_a_run_manifest(self, capsys):
+        import os
+        import pathlib
+
+        assert main(["dns", "--n", "16", "--steps", "1"]) == 0
+        root = pathlib.Path(os.environ["REPRO_RUNS_DIR"])
+        manifests = sorted(root.glob("*/manifest.json"))
+        assert len(manifests) == 1
+        doc = json.loads(manifests[0].read_text())
+        assert doc["kind"] == "dns"
+        assert doc["status"] == "ok"
+        assert doc["config"]["n"] == 16
+        assert doc["provenance"]["git_sha"]
+        # Structured events ride along in the same run directory.
+        events = manifests[0].parent / "events.jsonl"
+        lines = [json.loads(l) for l in events.read_text().splitlines()]
+        names = {r["name"] for r in lines}
+        assert {"dns.start", "dns.finish"} <= names
+
+    def test_obs_report_lists_runs(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "1"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "dns-" in out
+        assert "ok" in out
+
+    def test_obs_report_empty_registry_exits_nonzero(self, capsys):
+        assert main(["obs", "report"]) == 1
+
+    def test_obs_tail_prints_events(self, capsys):
+        assert main(["dns", "--n", "16", "--steps", "1"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "tail"]) == 0
+        out = capsys.readouterr().out
+        assert "dns.start" in out
+        assert "dns.finish" in out
+
+    def test_obs_diff_baseline_against_itself_passes(self, capsys):
+        base = str(self._repo_root() / self.BASELINE)
+        assert main(["obs", "diff", base, base]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_obs_diff_synthetic_regression_fails(self, capsys, tmp_path):
+        base = self._repo_root() / self.BASELINE
+        doc = json.loads(base.read_text())
+        for rec in doc["results"]:
+            rec["seconds_per_step"] *= 1.20  # 20% slower than committed
+        cur = tmp_path / "current.json"
+        cur.write_text(json.dumps(doc))
+        assert main(["obs", "diff", str(base), str(cur)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL" in out
+
+    def test_obs_diff_missing_file_exits_2(self, capsys):
+        assert main(["obs", "diff", "/nonexistent/a.json",
+                     "/nonexistent/b.json"]) == 2
