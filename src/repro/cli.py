@@ -46,9 +46,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("plan", help="memory planning (Table 1 / Sec. 3.5)")
-    p.add_argument("n", type=int, help="linear problem size N")
+    p = sub.add_parser(
+        "plan",
+        help="memory planning and capacity quotes (Table 1 / Sec. 3.5)",
+    )
+    p.add_argument("n", type=int, nargs="?", default=None,
+                   help="linear problem size N")
     p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--machine", default="summit",
+                   choices=("summit", "titan", "sierra", "exascale"))
+    p.add_argument("--tasks-per-node", type=int, default=6)
+    p.add_argument("--q", default="1",
+                   help="pencils per all-to-all, or 'slab' (case C)")
+    p.add_argument("--copy-strategy", default="memcpy2d",
+                   choices=("per_chunk", "memcpy2d", "zero_copy", "auto"))
+    p.add_argument("--quote", action="store_true",
+                   help="price the configuration (registered run)")
+    p.add_argument("--sweep", action="store_true",
+                   help="sweep grids x copy strategies; write a bench JSON")
+    p.add_argument("--grids", type=int, nargs="*", default=None,
+                   help="sweep grid sizes (default: the Table 1 ladder)")
+    p.add_argument("--strategies", nargs="*", default=None,
+                   help="sweep copy strategies (default: memcpy2d)")
+    p.add_argument("--out", default="BENCH_capacity.json",
+                   help="sweep output path")
+    p.add_argument("--validate", action="store_true",
+                   help="payload-vs-metadata parity matrix (exit 1 on drift)")
 
     p = sub.add_parser("autotune", help="rank MPI configurations")
     p.add_argument("n", type=int)
@@ -229,22 +252,81 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_plan(args) -> int:
-    from repro.core.planner import MemoryPlanner
-    from repro.machine.summit import summit
+    import json
 
-    machine = summit()
-    planner = MemoryPlanner(machine)
-    print(f"minimum nodes (D=25): {planner.min_nodes(args.n)}")
-    valid = planner.valid_node_counts(args.n)
-    print(f"valid node counts   : {valid}")
-    nodes = args.nodes if args.nodes is not None else (valid[-1] if valid else None)
-    if nodes is None:
-        print("problem does not fit on this machine")
-        return 1
-    row = planner.plan(args.n, nodes)
-    print(f"plan for {nodes} nodes: mem/node {row.memory_per_node_gib:.1f} GiB, "
-          f"np={row.npencils}, pencil {row.pencil_gib:.2f} GiB")
-    return 0
+    from repro.plan import CapacityPlanner, bench_payload, validate_matrix
+
+    if args.validate:
+        reports = validate_matrix()
+        for report in reports:
+            print(report.report())
+        failed = [r for r in reports if not r.matched]
+        print(f"parity: {len(reports) - len(failed)}/{len(reports)} matched")
+        return 1 if failed else 0
+
+    planner = CapacityPlanner(args.machine)
+    try:
+        if args.sweep:
+            quotes = planner.sweep(
+                grids=args.grids or (3072, 6144, 12288, 18432),
+                node_counts=(args.nodes,) if args.nodes else None,
+                copy_strategies=tuple(args.strategies or ("memcpy2d",)),
+                tasks_per_node=args.tasks_per_node,
+                q=args.q if args.q == "slab" else int(args.q),
+            )
+            doc = bench_payload(quotes, machine=args.machine)
+            with open(args.out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+            for q in quotes:
+                print(f"  N={q.n:6d} @ {q.nodes:5d} nodes "
+                      f"[{q.copy_strategy:>9}]: {q.seconds_per_step:8.2f} s/step")
+            print(f"{len(quotes)} quotes written to {args.out}")
+            return 0
+
+        if args.quote:
+            if args.n is None:
+                print("error: --quote needs a problem size N", file=sys.stderr)
+                return 2
+            config = {"machine": args.machine, "n": args.n,
+                      "nodes": args.nodes, "tasks_per_node": args.tasks_per_node,
+                      "q": args.q, "copy_strategy": args.copy_strategy}
+            with _registered_run("plan", config) as run, \
+                    _flight_recording(run) as (events, _flight):
+                events.info("plan.quote.start", machine=args.machine,
+                            n=args.n, nodes=args.nodes)
+                quote = planner.quote(
+                    args.n, args.nodes, tasks_per_node=args.tasks_per_node,
+                    q=args.q if args.q == "slab" else int(args.q),
+                    copy_strategy=args.copy_strategy,
+                )
+                quote_path = run.dir / "quote.json"
+                with open(quote_path, "w") as fh:
+                    json.dump(quote.to_record(), fh, indent=2, sort_keys=True)
+                run.add_artifact("quote", quote_path)
+                events.info("plan.quote.finish", feasible=quote.feasible,
+                            seconds_per_step=quote.seconds_per_step)
+                print(quote.report())
+                print(f"run {run.run_id}: quote saved to {quote_path}")
+            return 0 if quote.feasible else 1
+
+        if args.n is None:
+            print("error: give a problem size N (or --sweep/--validate)",
+                  file=sys.stderr)
+            return 2
+        mem = planner.planner
+        print(f"minimum nodes (D=25): {mem.min_nodes(args.n)}")
+        valid = mem.valid_node_counts(args.n)
+        print(f"valid node counts   : {valid}")
+        nodes = args.nodes if args.nodes is not None else (valid[-1] if valid else None)
+        if nodes is None:
+            print("problem does not fit on this machine")
+            return 1
+        row = mem.plan(args.n, nodes)
+        print(f"plan for {nodes} nodes: mem/node {row.memory_per_node_gib:.1f} GiB, "
+              f"np={row.npencils}, pencil {row.pencil_gib:.2f} GiB")
+        return 0
+    finally:
+        planner.close()
 
 
 def _cmd_autotune(args) -> int:

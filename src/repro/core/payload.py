@@ -1,0 +1,285 @@
+"""The payload/metadata seam: pricing data movement without moving bytes.
+
+Every layer of the executable data plane — :class:`~repro.dist.outofcore.
+DeviceArena`, the :mod:`repro.cuda.copyengine` engines, the pack/unpack
+transposes, :class:`~repro.dist.virtual_mpi.VirtualComm` — was written
+against real NumPy arrays, which caps virtual experiments near 128^3: the
+paper's 18432^3 slab on 3072 nodes simply does not fit in one process.  The
+accounting those layers emit, however, depends only on *geometry*: shapes,
+dtypes and strides determine every byte counter, arena gauge,
+:class:`~repro.dist.virtual_mpi.CollectiveRecord` and Fig. 7 model cost.
+
+:class:`ArrayDescriptor` captures exactly that geometry — an ndarray
+stand-in carrying ``shape``/``dtype``/``strides`` and reproducing NumPy's
+view arithmetic (basic slicing, ``view``, ``reshape``) without owning a
+single payload byte.  A :class:`PayloadPolicy` of ``"metadata"`` makes the
+data plane allocate and "copy" descriptors instead of buffers while walking
+the identical Fig. 4 schedule, so the cost plane (spans, counters, priced
+copies, collective stats) is bit-identical to a payload run — the invariant
+the parity suite in ``tests/plan`` pins down and the capacity planner
+(:mod:`repro.plan`) builds on.
+
+Descriptors advertise themselves structurally through the
+``__array_descriptor__`` class attribute so byte-moving layers can test
+``is_descriptor(x)`` (or the attribute directly) without importing this
+module — keeping ``repro.cuda`` free of new dependencies on ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayDescriptor",
+    "PayloadPolicy",
+    "empty_array",
+    "is_descriptor",
+]
+
+
+class PayloadPolicy(enum.Enum):
+    """Whether the data plane moves real bytes or shape/dtype descriptors.
+
+    ``PAYLOAD``
+        Historical behaviour: NumPy arrays are allocated, copied and
+        exchanged; results are numerically meaningful.
+    ``METADATA``
+        Only :class:`ArrayDescriptor` geometry flows through the pipeline;
+        no payload bytes exist, but every span, byte counter, arena gauge,
+        collective record and model-priced cost is emitted identically.
+    """
+
+    PAYLOAD = "payload"
+    METADATA = "metadata"
+
+    @classmethod
+    def coerce(cls, value: "PayloadPolicy | str") -> "PayloadPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown payload policy {value!r} (use 'payload' or "
+                f"'metadata')"
+            ) from None
+
+    @property
+    def moves_bytes(self) -> bool:
+        return self is PayloadPolicy.PAYLOAD
+
+
+def is_descriptor(x: object) -> bool:
+    """True for :class:`ArrayDescriptor` (and anything descriptor-shaped)."""
+    return bool(getattr(x, "__array_descriptor__", False))
+
+
+def _contiguous_strides(shape: Sequence[int], itemsize: int) -> tuple[int, ...]:
+    strides = [0] * len(shape)
+    step = itemsize
+    for k in range(len(shape) - 1, -1, -1):
+        strides[k] = step
+        step *= shape[k]
+    return tuple(strides)
+
+
+class ArrayDescriptor:
+    """Shape/dtype/strides of an array, with NumPy's view arithmetic.
+
+    Supports exactly the operations the out-of-core data plane performs on
+    its arrays — basic slicing (``a[:, ys, :]``), flat-byte re-viewing
+    (``flat[:nbytes].view(dtype).reshape(shape)``), contiguous ``copy`` and
+    shape-checked ``__setitem__`` — each computing the shape and strides a
+    real ndarray view would have, verified element-for-element by the
+    Hypothesis property suite.  ``nbytes`` follows ndarray semantics:
+    ``size * itemsize`` of the *view*, independent of the base allocation.
+    """
+
+    __slots__ = ("shape", "dtype", "strides")
+
+    #: Structural marker: lets byte-moving layers detect descriptors via
+    #: ``getattr(x, "__array_descriptor__", False)`` without importing us.
+    __array_descriptor__ = True
+
+    def __init__(
+        self,
+        shape: Iterable[int],
+        dtype,
+        strides: Sequence[int] | None = None,
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in self.shape):
+            raise ValueError(f"negative extent in shape {self.shape}")
+        self.dtype = np.dtype(dtype)
+        if strides is None:
+            self.strides = _contiguous_strides(self.shape, self.dtype.itemsize)
+        else:
+            if len(strides) != len(self.shape):
+                raise ValueError(
+                    f"strides rank {len(strides)} != shape rank "
+                    f"{len(self.shape)}"
+                )
+            self.strides = tuple(int(s) for s in strides)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, shape: Iterable[int], dtype) -> "ArrayDescriptor":
+        """A fresh C-contiguous descriptor (the ``np.empty`` analogue)."""
+        return cls(shape, dtype)
+
+    @classmethod
+    def of(cls, arr) -> "ArrayDescriptor":
+        """The descriptor of an existing ndarray (or descriptor)."""
+        return cls(arr.shape, arr.dtype, strides=arr.strides)
+
+    # -- ndarray-compatible geometry -----------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    @property
+    def is_contiguous(self) -> bool:
+        """C-contiguity, with NumPy's convention that extent-0/1 axes are
+        stride-agnostic."""
+        if self.size == 0:
+            return True
+        expected = self.itemsize
+        for k in range(self.ndim - 1, -1, -1):
+            if self.shape[k] == 1:
+                continue
+            if self.strides[k] != expected:
+                return False
+            expected *= self.shape[k]
+        return True
+
+    # -- view arithmetic -----------------------------------------------------
+
+    def __getitem__(
+        self, index: Union[int, slice, tuple]
+    ) -> "ArrayDescriptor":
+        if not isinstance(index, tuple):
+            index = (index,)
+        if len(index) > self.ndim:
+            raise IndexError(
+                f"too many indices ({len(index)}) for {self.ndim}-d "
+                f"descriptor"
+            )
+        shape: list[int] = []
+        strides: list[int] = []
+        for axis, idx in enumerate(index):
+            extent = self.shape[axis]
+            stride = self.strides[axis]
+            if isinstance(idx, slice):
+                start, stop, step = idx.indices(extent)
+                shape.append(len(range(start, stop, step)))
+                strides.append(stride * step)
+            elif isinstance(idx, (int, np.integer)):
+                if not -extent <= idx < extent:
+                    raise IndexError(
+                        f"index {idx} out of bounds for axis {axis} with "
+                        f"extent {extent}"
+                    )
+                # integer indexing drops the axis (no offset to track —
+                # descriptors are address-free)
+            else:
+                raise TypeError(
+                    f"descriptors support basic indexing only, got "
+                    f"{type(idx).__name__}"
+                )
+        shape.extend(self.shape[len(index):])
+        strides.extend(self.strides[len(index):])
+        return ArrayDescriptor(shape, self.dtype, strides=strides)
+
+    def __setitem__(self, index, value) -> None:
+        """Shape-checked assignment that moves no bytes.
+
+        Mirrors ``view[...] = value``: the target view's shape must equal
+        the value's (or the value must be scalar).  This is what lets
+        descriptor blocks scatter into descriptor outputs through the
+        unchanged ``outs[s][sl] = block`` unpack code.
+        """
+        target = self[index]
+        vshape = getattr(value, "shape", None)
+        if vshape is None or vshape == ():
+            return  # scalar broadcast: always legal
+        if tuple(vshape) != target.shape:
+            raise ValueError(
+                f"could not broadcast value of shape {tuple(vshape)} into "
+                f"view of shape {target.shape}"
+            )
+
+    def view(self, dtype) -> "ArrayDescriptor":
+        """Reinterpret the last axis as ``dtype`` (NumPy ``view`` rules)."""
+        dtype = np.dtype(dtype)
+        if dtype.itemsize == self.itemsize:
+            return ArrayDescriptor(self.shape, dtype, strides=self.strides)
+        if self.ndim == 0:
+            raise ValueError(
+                "cannot change itemsize of a 0-d descriptor view"
+            )
+        if self.shape[-1] != 1 and self.strides[-1] != self.itemsize:
+            raise ValueError(
+                "to change itemsize the last axis must be contiguous"
+            )
+        last_bytes = self.shape[-1] * self.itemsize
+        if last_bytes % dtype.itemsize != 0:
+            raise ValueError(
+                f"last-axis size {last_bytes} B is not divisible by new "
+                f"itemsize {dtype.itemsize}"
+            )
+        shape = self.shape[:-1] + (last_bytes // dtype.itemsize,)
+        strides = self.strides[:-1] + (dtype.itemsize,)
+        return ArrayDescriptor(shape, dtype, strides=strides)
+
+    def reshape(self, *shape) -> "ArrayDescriptor":
+        """Contiguous reshape (all the pipeline ever needs)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        new = ArrayDescriptor(shape, self.dtype)
+        if new.size != self.size:
+            raise ValueError(
+                f"cannot reshape descriptor of size {self.size} into "
+                f"shape {new.shape}"
+            )
+        if not self.is_contiguous:
+            raise ValueError("cannot reshape a non-contiguous descriptor")
+        return new
+
+    def copy(self) -> "ArrayDescriptor":
+        """A fresh contiguous descriptor (the ``np.ascontiguousarray`` /
+        ``np.array(..., copy=True)`` analogue)."""
+        return ArrayDescriptor(self.shape, self.dtype)
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayDescriptor(shape={self.shape}, dtype={self.dtype}, "
+            f"strides={self.strides})"
+        )
+
+
+def empty_array(
+    shape: Iterable[int], dtype, policy: "PayloadPolicy | str"
+):
+    """``np.empty`` or :meth:`ArrayDescriptor.empty` depending on policy."""
+    if PayloadPolicy.coerce(policy).moves_bytes:
+        return np.empty(tuple(shape), dtype=dtype)
+    return ArrayDescriptor.empty(shape, dtype)

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.core.payload import ArrayDescriptor, PayloadPolicy, is_descriptor
 from repro.cuda.copyengine import Batched2DEngine, CopyEngine, make_engine
 from repro.dist.decomp import SlabDecomposition
 from repro.dist.transpose import (
@@ -95,9 +96,11 @@ class DeviceArena:
         pool: BufferPool | None = None,
         obs: "Observability | None" = None,
         copy_engine: "CopyEngine | None" = None,
+        payload_policy: "PayloadPolicy | str" = PayloadPolicy.PAYLOAD,
     ):
         if capacity_bytes <= 0:
             raise ValueError("device capacity must be positive")
+        self.payload_policy = PayloadPolicy.coerce(payload_policy)
         self.capacity = float(capacity_bytes)
         self.in_use = 0.0
         self.high_water = 0.0
@@ -128,7 +131,13 @@ class DeviceArena:
                 )
             self.in_use += nbytes
             self.high_water = max(self.high_water, self.in_use)
-        buf = self.pool.take(tuple(shape), dtype)
+        # Metadata mode leases a descriptor instead of pool storage; every
+        # accounting step above and below (budget check, high-water mark,
+        # live map, monitor hooks, metrics) is byte-for-byte identical.
+        if self.payload_policy.moves_bytes:
+            buf = self.pool.take(tuple(shape), dtype)
+        else:
+            buf = ArrayDescriptor.empty(tuple(shape), dtype)
         with self._lock:
             self._live[id(buf)] = nbytes
             # Under the lock: the monitor must observe allocate/free in
@@ -153,7 +162,8 @@ class DeviceArena:
             self.in_use -= nbytes
             if self.monitor is not None:
                 self.monitor.on_arena_free(buf, in_use=self.in_use)
-        self.pool.give(buf)
+        if not is_descriptor(buf):
+            self.pool.give(buf)
         if self.obs.enabled:
             self.obs.metrics.counter("arena.releases").inc()
 
@@ -329,6 +339,15 @@ class OutOfCoreSlabFFT:
         probes every engine on the first pencil of each layout and caches
         the winner).  All strategies move identical bytes, so results are
         bit-identical regardless of the choice.
+    payload_policy:
+        ``"payload"`` (default) moves real NumPy data; ``"metadata"`` runs
+        the identical Fig. 4 schedule over
+        :class:`~repro.core.payload.ArrayDescriptor` geometry — no FFT
+        math, no byte movement — while emitting the same spans, byte
+        counters, arena accounting, collective records and model-priced
+        copy costs (the capacity planner's validation seam; parity with
+        the payload path is asserted by ``tests/plan``).  Inputs must then
+        be descriptors of the per-rank slab shapes.
     """
 
     def __init__(
@@ -346,9 +365,12 @@ class OutOfCoreSlabFFT:
         comm_retries: int = 3,
         retry_backoff: float = 0.002,
         copy_strategy: str = "memcpy2d",
+        payload_policy: "PayloadPolicy | str" = PayloadPolicy.PAYLOAD,
     ):
         self.grid = grid
         self.comm = comm
+        self.payload_policy = PayloadPolicy.coerce(payload_policy)
+        self._payload = self.payload_policy.moves_bytes
         self.obs = obs if obs is not None else NULL_OBS
         self.decomp = SlabDecomposition(grid.n, comm.size)
         if npencils < 1 or grid.n % npencils != 0:
@@ -393,6 +415,7 @@ class OutOfCoreSlabFFT:
             else 1.05 * self.inflight * per_item,
             obs=self.obs,
             copy_engine=self._copy_engine,
+            payload_policy=self.payload_policy,
         )
         if monitor is not None:
             self.arena.monitor = monitor
@@ -451,6 +474,12 @@ class OutOfCoreSlabFFT:
         """np.array_split boundaries of ``extent`` into ``npencils`` slices."""
         edges = np.linspace(0, extent, self.npencils + 1).astype(int)
         return [slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+    def _empty(self, shape: tuple[int, ...], dtype):
+        """A host work array (payload) or its descriptor (metadata)."""
+        if self._payload:
+            return np.empty(shape, dtype=dtype)
+        return ArrayDescriptor.empty(shape, dtype)
 
     def _run(self, stages: list[PipelineStage], nitems: int) -> None:
         PencilPipeline(
@@ -532,7 +561,8 @@ class OutOfCoreSlabFFT:
                     # re-pack from the (unchanged) source arrays.
                     for bufs in send:
                         for buf in bufs:
-                            _PACK_POOL.give(buf)
+                            if not is_descriptor(buf):
+                                _PACK_POOL.give(buf)
                     handle = send = None
                 with spans.span(
                     "verify.retry", category="verify",
@@ -566,8 +596,8 @@ class OutOfCoreSlabFFT:
                 raise ValueError(f"rank {r}: bad shape {loc.shape}")
         nxh = n // 2 + 1
         xsplits = self._splits(nxh)
-        work = [np.empty(d.local_spectral_shape(), dtype=cdtype) for _ in range(P)]
-        t_out = [np.empty((n, d.my, nxh), dtype=cdtype) for _ in range(P)]
+        work = [self._empty(d.local_spectral_shape(), cdtype) for _ in range(P)]
+        t_out = [self._empty((n, d.my, nxh), cdtype) for _ in range(P)]
 
         # Phase 1 (Fig. 4): per (x-pencil, rank) — H2D, y-iFFT, D2H — and
         # per pencil, the s2p exchange of that x-chunk on the comm stream.
@@ -593,7 +623,8 @@ class OutOfCoreSlabFFT:
             def fft(i: int) -> None:
                 r, xs = pencil(i)
                 slot = rings.view("cpx", i, shape_of(xs), cdtype)
-                np.multiply(np.fft.ifft(slot, axis=_Y_AXIS), n, out=slot)
+                if self._payload:
+                    np.multiply(np.fft.ifft(slot, axis=_Y_AXIS), n, out=slot)
 
             def d2h(i: int) -> None:
                 r, xs = pencil(i)
@@ -631,7 +662,7 @@ class OutOfCoreSlabFFT:
         # fused on-device (one H2D/D2H round trip per pencil).
         ysplits = self._splits(d.my)
         out = [
-            np.empty((n, d.my, n), dtype=self.grid.dtype) for _ in range(P)
+            self._empty((n, d.my, n), self.grid.dtype) for _ in range(P)
         ]
         rings = self._rings(
             {"cpx": self._bytes_ycpx, "real": self._bytes_yreal}
@@ -655,11 +686,13 @@ class OutOfCoreSlabFFT:
                 r, ys = pencil2(i)
                 w = ys.stop - ys.start
                 slot = rings.view("cpx", i, (n, w, nxh), cdtype)
-                np.multiply(np.fft.ifft(slot, axis=_KZ_AXIS), n, out=slot)
+                if self._payload:
+                    np.multiply(np.fft.ifft(slot, axis=_KZ_AXIS), n, out=slot)
                 real = rings.view("real", i, (n, w, n), self.grid.dtype)
-                np.multiply(
-                    np.fft.irfft(slot, n=n, axis=_X_AXIS), n, out=real
-                )
+                if self._payload:
+                    np.multiply(
+                        np.fft.irfft(slot, n=n, axis=_X_AXIS), n, out=real
+                    )
 
             def d2h2(i: int) -> None:
                 r, ys = pencil2(i)
@@ -692,8 +725,8 @@ class OutOfCoreSlabFFT:
                 raise ValueError(f"rank {r}: bad shape {loc.shape}")
         nxh = n // 2 + 1
         ysplits = self._splits(d.my)
-        half = [np.empty((n, d.my, nxh), dtype=cdtype) for _ in range(P)]
-        t_out = [np.empty((d.mz, n, nxh), dtype=cdtype) for _ in range(P)]
+        half = [self._empty((n, d.my, nxh), cdtype) for _ in range(P)]
+        t_out = [self._empty((d.mz, n, nxh), cdtype) for _ in range(P)]
 
         # Phase 1 (Fig. 4): per (y-pencil, rank) — H2D, fused r2c-x + c2c-z
         # FFTs, D2H — and per pencil, its p2s exchange (a y-sub-range of
@@ -721,8 +754,9 @@ class OutOfCoreSlabFFT:
                 w = ys.stop - ys.start
                 real = rings.view("real", i, (n, w, n), self.grid.dtype)
                 cpx = rings.view("cpx", i, (n, w, nxh), cdtype)
-                cpx[:] = np.fft.rfft(real, axis=_X_AXIS)
-                cpx[:] = np.fft.fft(cpx, axis=_KZ_AXIS)
+                if self._payload:
+                    cpx[:] = np.fft.rfft(real, axis=_X_AXIS)
+                    cpx[:] = np.fft.fft(cpx, axis=_KZ_AXIS)
 
             def d2h(i: int) -> None:
                 r, ys = pencil(i)
@@ -759,7 +793,7 @@ class OutOfCoreSlabFFT:
         # Phase 2: per (x-pencil, rank) — the final y-FFT + normalization.
         xsplits = self._splits(nxh)
         out = [
-            np.empty(d.local_spectral_shape(), dtype=cdtype) for _ in range(P)
+            self._empty(d.local_spectral_shape(), cdtype) for _ in range(P)
         ]
         rings = self._rings({"cpx": self._bytes_xpencil})
         sp_h2d = self._stream_spans("h2d")
@@ -785,7 +819,8 @@ class OutOfCoreSlabFFT:
             def fft2(i: int) -> None:
                 r, xs = pencil2(i)
                 slot = rings.view("cpx", i, shape_of(xs), cdtype)
-                np.divide(np.fft.fft(slot, axis=_Y_AXIS), norm, out=slot)
+                if self._payload:
+                    np.divide(np.fft.fft(slot, axis=_Y_AXIS), norm, out=slot)
 
             def d2h2(i: int) -> None:
                 r, xs = pencil2(i)

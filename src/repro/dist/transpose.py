@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from repro.core.payload import ArrayDescriptor, is_descriptor
 from repro.dist.virtual_mpi import PendingAlltoall, VirtualComm
 from repro.obs import NULL_OBS
 from repro.spectral.workspace import BufferPool
@@ -69,6 +70,18 @@ def pack_blocks(
     extent = local.shape[axis]
     if extent % parts != 0:
         raise ValueError(f"axis extent {extent} not divisible by {parts}")
+    if is_descriptor(local):
+        # Metadata mode: the "packed" block is a contiguous descriptor of
+        # the split view — same shape, dtype and nbytes as the staged
+        # ndarray block, but no pool storage is drawn (there are no bytes
+        # to stage).
+        step = extent // parts
+        sl = [slice(None)] * local.ndim
+        out = []
+        for p in range(parts):
+            sl[axis] = slice(p * step, (p + 1) * step)
+            out.append(local[tuple(sl)].copy())
+        return out
     if pool is None:
         return [np.ascontiguousarray(b) for b in np.split(local, parts, axis=axis)]
     out = []
@@ -81,7 +94,12 @@ def pack_blocks(
 
 def unpack_blocks(blocks: Sequence[np.ndarray], axis: int) -> np.ndarray:
     """Concatenate per-peer blocks along ``axis`` (the "unpack" step)."""
-    return np.concatenate(list(blocks), axis=axis)
+    blocks = list(blocks)
+    if blocks and is_descriptor(blocks[0]):
+        shape = list(blocks[0].shape)
+        shape[axis] = sum(b.shape[axis] for b in blocks)
+        return ArrayDescriptor.empty(tuple(shape), blocks[0].dtype)
+    return np.concatenate(blocks, axis=axis)
 
 
 def transpose_exchange(
@@ -122,7 +140,8 @@ def transpose_exchange(
         recv = comm.alltoall(send)
     for bufs in send:  # the collective copied them; recycle the staging
         for buf in bufs:
-            pool.give(buf)
+            if not is_descriptor(buf):
+                pool.give(buf)
     with spans.span("transpose.unpack", category="pack"):
         out = [unpack_blocks(blocks, unpack_axis) for blocks in recv]
     if obs.enabled:
@@ -182,7 +201,8 @@ def complete_chunk_exchange(
     recv = handle.wait()
     for bufs in send:
         for buf in bufs:
-            pool.give(buf)
+            if not is_descriptor(buf):  # metadata blocks never staged
+                pool.give(buf)
     nbytes = 0
     for s, blocks in enumerate(recv):
         for r, block in enumerate(blocks):
@@ -226,7 +246,13 @@ def chunked_transpose_exchange(
     out_shape = list(first.shape)
     out_shape[pack_axis] = first.shape[pack_axis] // comm.size
     out_shape[unpack_axis] = first.shape[unpack_axis] * comm.size
-    outs = [np.empty(tuple(out_shape), dtype=first.dtype) for _ in locals_]
+    if is_descriptor(first):
+        outs = [
+            ArrayDescriptor.empty(tuple(out_shape), first.dtype)
+            for _ in locals_
+        ]
+    else:
+        outs = [np.empty(tuple(out_shape), dtype=first.dtype) for _ in locals_]
     block_extent = first.shape[unpack_axis]
 
     edges = np.linspace(0, first.shape[chunk_axis], nchunks + 1).astype(int)

@@ -96,12 +96,16 @@ class CollectiveRecord:
 def _copy_result(value: T) -> T:
     """An independent copy of one rank's collective result.
 
-    ndarrays are copied with NumPy (cheap, exact); other objects take a
-    ``deepcopy``, mirroring what a real MPI's pickle round trip would
-    produce.  Immutable builtins round-trip to themselves either way.
+    ndarrays are copied with NumPy (cheap, exact); metadata-mode
+    descriptors (:mod:`repro.core.payload`) produce a fresh contiguous
+    descriptor — same shape, dtype and ``nbytes``, no payload; other
+    objects take a ``deepcopy``, mirroring what a real MPI's pickle round
+    trip would produce.  Immutable builtins round-trip to themselves.
     """
     if isinstance(value, np.ndarray):
         return np.array(value, copy=True)  # type: ignore[return-value]
+    if getattr(value, "__array_descriptor__", False):
+        return value.copy()  # type: ignore[union-attr]
     return _copy.deepcopy(value)
 
 
@@ -189,7 +193,7 @@ class VirtualComm:
         if self.fault_injector is not None:
             self.fault_injector.check(kind, self)
         recv = [
-            [np.array(send[r][s], copy=True) for r in range(self.size)]
+            [_copy_result(send[r][s]) for r in range(self.size)]
             for s in range(self.size)
         ]
         # True per-peer sizes over every (src, dst) message — uneven slab

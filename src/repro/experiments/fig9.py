@@ -9,6 +9,7 @@ best approach the performance of the dotted green line."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.config import Algorithm, RunConfig
 from repro.core.executor import simulate_step
@@ -17,7 +18,12 @@ from repro.experiments import paperdata
 from repro.machine.spec import MachineSpec
 from repro.machine.summit import summit
 
-__all__ = ["Fig9Result", "run"]
+__all__ = ["Fig9Result", "paper_cases", "run"]
+
+
+def paper_cases() -> tuple[tuple[int, int], ...]:
+    """The paper's (n, nodes) strong-scaling points from Table 3."""
+    return tuple((row.n, row.nodes) for row in paperdata.TABLE3)
 
 _SERIES = ("gpu_a", "gpu_b", "gpu_c", "mpi_only")
 
@@ -42,16 +48,28 @@ class Fig9Result:
         return "\n".join(lines)
 
 
-def run(machine: MachineSpec | None = None) -> Fig9Result:
+def run(
+    machine: MachineSpec | None = None,
+    cases: Sequence[tuple[int, int]] | None = None,
+) -> Fig9Result:
+    """Time-per-step curves over any (n, nodes) cases (default: Table 3).
+
+    The capacity planner (:meth:`repro.plan.CapacityPlanner.fig9`) passes
+    planner-derived cases to regenerate the figure at scales or on machine
+    models the paper never ran.
+    """
     machine = machine or summit()
     planner = MemoryPlanner(machine)
-    node_counts = tuple(row.nodes for row in paperdata.TABLE3)
-    sizes = {row.nodes: row.n for row in paperdata.TABLE3}
+    cases = tuple(cases) if cases is not None else paper_cases()
+    node_counts = tuple(nodes for _, nodes in cases)
+    sizes = {nodes: n for n, nodes in cases}
 
     times: dict[str, dict[int, float]] = {s: {} for s in _SERIES}
     for nodes in node_counts:
         n = sizes[nodes]
         np_ = planner.plan(n, nodes).npencils
+        while n % np_ != 0:
+            np_ += 1
         configs = {
             "gpu_a": RunConfig(n=n, nodes=nodes, tasks_per_node=6, npencils=np_,
                                q_pencils_per_a2a=1),

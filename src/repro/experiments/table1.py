@@ -1,8 +1,16 @@
-"""Table 1 reproduction: node counts, memory per node, pencils per slab."""
+"""Table 1 reproduction: node counts, memory per node, pencils per slab.
+
+The case list is *not* hard-coded to the paper's four rows: ``run`` takes
+any sequence of (n, nodes) cases — the capacity planner
+(:class:`repro.plan.CapacityPlanner.table1`) passes sweeps at arbitrary
+machine scale — and defaults to the paper ladder.  Model-vs-paper
+comparison rows are emitted only for cases the paper actually published.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.planner import MemoryPlanner, PlanRow
 from repro.experiments import paperdata
@@ -10,7 +18,12 @@ from repro.experiments.report import ComparisonRow, format_table
 from repro.machine.spec import MachineSpec
 from repro.machine.summit import summit
 
-__all__ = ["Table1Result", "run"]
+__all__ = ["Table1Result", "paper_cases", "run"]
+
+
+def paper_cases() -> tuple[tuple[int, int], ...]:
+    """The paper's (n, nodes) ladder from Table 1."""
+    return tuple((ref.n, ref.nodes) for ref in paperdata.TABLE1)
 
 
 @dataclass(frozen=True)
@@ -32,14 +45,21 @@ class Table1Result:
         return format_table("Table 1 — memory planning", self.comparisons + extra)
 
 
-def run(machine: MachineSpec | None = None) -> Table1Result:
+def run(
+    machine: MachineSpec | None = None,
+    cases: Sequence[tuple[int, int]] | None = None,
+) -> Table1Result:
     machine = machine or summit()
     planner = MemoryPlanner(machine)
+    references = {(ref.n, ref.nodes): ref for ref in paperdata.TABLE1}
     rows: list[PlanRow] = []
     comparisons: list[ComparisonRow] = []
-    for ref in paperdata.TABLE1:
-        row = planner.plan(ref.n, ref.nodes)
+    for n, nodes in cases if cases is not None else paper_cases():
+        row = planner.plan(n, nodes)
         rows.append(row)
+        ref = references.get((n, nodes))
+        if ref is None:
+            continue
         comparisons.append(
             ComparisonRow(
                 f"{ref.n}^3 @ {ref.nodes}: mem/node",

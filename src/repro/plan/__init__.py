@@ -1,0 +1,41 @@
+"""Capacity planning: the cost plane of the payload/metadata seam.
+
+:mod:`repro.plan.capacity` prices arbitrary (grid, node count, copy
+strategy) configurations on registered machine models — including the
+paper's production 18432^3 / 3072-node Summit run — in milliseconds,
+because the metadata payload policy never allocates or moves grid data.
+:mod:`repro.plan.validate` is the trust anchor: it runs the real
+out-of-core pipeline under both payload policies at small sizes and
+asserts every observable (spans, priced costs, byte counters, collective
+records, arena high-water) is identical.
+"""
+
+from repro.plan.capacity import (
+    COPY_STRATEGIES,
+    MACHINES,
+    CapacityPlanner,
+    CostQuote,
+    bench_payload,
+    machine_by_name,
+)
+from repro.plan.validate import (
+    ParityReport,
+    RunCapture,
+    capture_run,
+    validate_matrix,
+    validate_parity,
+)
+
+__all__ = [
+    "COPY_STRATEGIES",
+    "MACHINES",
+    "CapacityPlanner",
+    "CostQuote",
+    "ParityReport",
+    "RunCapture",
+    "bench_payload",
+    "capture_run",
+    "machine_by_name",
+    "validate_matrix",
+    "validate_parity",
+]

@@ -1,0 +1,189 @@
+"""Property tests for the payload/metadata seam (Hypothesis).
+
+The metadata cost plane is only as trustworthy as
+:class:`~repro.core.payload.ArrayDescriptor`'s view arithmetic: every byte
+counter and arena gauge downstream is a pure function of descriptor shape,
+dtype and strides.  These properties pin descriptor behaviour to the ground
+truth — a real ndarray undergoing the same operations — and assert the
+arena's payload-mode allocations never exceed what the descriptor predicts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.payload import (
+    ArrayDescriptor,
+    PayloadPolicy,
+    empty_array,
+    is_descriptor,
+)
+
+DTYPES = (np.float32, np.float64, np.complex64, np.complex128, np.uint8)
+
+shapes = st.lists(st.integers(1, 8), min_size=1, max_size=4).map(tuple)
+dtypes = st.sampled_from(DTYPES)
+
+
+@st.composite
+def arrays_with_basic_index(draw):
+    """A small ndarray plus a random basic (slice/int) index tuple."""
+    shape = draw(shapes)
+    dtype = draw(dtypes)
+    arr = np.zeros(shape, dtype=dtype)
+    index = []
+    for extent in shape[: draw(st.integers(0, len(shape)))]:
+        if draw(st.booleans()):
+            index.append(draw(st.integers(-extent, extent - 1)))
+        else:
+            start = draw(st.one_of(st.none(), st.integers(-extent - 1, extent + 1)))
+            stop = draw(st.one_of(st.none(), st.integers(-extent - 1, extent + 1)))
+            step = draw(st.sampled_from((None, 1, 2, 3, -1, -2)))
+            index.append(slice(start, stop, step))
+    return arr, tuple(index)
+
+
+class TestDescriptorMirrorsNumpy:
+    @given(shape=shapes, dtype=dtypes)
+    def test_of_matches_ndarray_geometry(self, shape, dtype):
+        arr = np.zeros(shape, dtype=dtype)
+        d = ArrayDescriptor.of(arr)
+        assert d.shape == arr.shape
+        assert d.strides == arr.strides
+        assert d.dtype == arr.dtype
+        assert d.nbytes == arr.nbytes
+        assert d.size == arr.size
+        assert d.ndim == arr.ndim
+        assert d.is_contiguous == arr.flags.c_contiguous
+
+    @given(case=arrays_with_basic_index())
+    def test_basic_indexing_matches_ndarray(self, case):
+        arr, index = case
+        view = arr[index]
+        d = ArrayDescriptor.of(arr)[index]
+        assert d.shape == view.shape
+        assert d.nbytes == view.nbytes
+        # NumPy canonicalizes strides of extent<=1 axes (they are
+        # meaningless); compare only where the stride is load-bearing.
+        for extent, got, want in zip(d.shape, d.strides, view.strides):
+            if extent > 1:
+                assert got == want
+
+    @given(shape=shapes, dtype=dtypes, new_dtype=dtypes)
+    def test_view_matches_ndarray(self, shape, dtype, new_dtype):
+        arr = np.zeros(shape, dtype=dtype)
+        d = ArrayDescriptor.of(arr)
+        try:
+            expected = arr.view(new_dtype)
+        except (TypeError, ValueError):
+            with pytest.raises(ValueError):
+                d.view(new_dtype)
+            return
+        got = d.view(new_dtype)
+        assert got.shape == expected.shape
+        assert got.strides == expected.strides
+        assert got.nbytes == expected.nbytes
+
+    @given(shape=shapes, dtype=dtypes)
+    def test_flat_byte_reviewing_roundtrip(self, shape, dtype):
+        """The ring-slot idiom: flat[:nbytes].view(dtype).reshape(shape)."""
+        arr = np.zeros(shape, dtype=dtype)
+        nbytes = arr.nbytes
+        flat = ArrayDescriptor.empty((max(nbytes, 1) * 2,), np.uint8)
+        got = flat[:nbytes].view(dtype).reshape(shape)
+        assert got.shape == arr.shape
+        assert got.nbytes == nbytes
+        assert got.is_contiguous
+
+    @given(shape=shapes, dtype=dtypes)
+    def test_copy_is_fresh_contiguous(self, shape, dtype):
+        arr = np.zeros(shape, dtype=dtype)[::2]
+        d = ArrayDescriptor.of(arr).copy()
+        assert d.shape == arr.copy().shape
+        assert d.strides == arr.copy().strides
+
+    @given(case=arrays_with_basic_index())
+    def test_setitem_accepts_what_ndarray_accepts(self, case):
+        arr, index = case
+        view = arr[index]
+        d = ArrayDescriptor.of(arr)
+        # Exact-shape assignment and scalar broadcast must both pass.
+        d[index] = ArrayDescriptor.empty(view.shape, arr.dtype)
+        d[index] = 0.0
+        # A wrong trailing extent must fail like NumPy's broadcast error.
+        if view.ndim and view.shape[-1] > 0:
+            bad = view.shape[:-1] + (view.shape[-1] + 1,)
+            with pytest.raises(ValueError):
+                d[index] = ArrayDescriptor.empty(bad, arr.dtype)
+
+
+class TestDescriptorErrors:
+    def test_too_many_indices(self):
+        with pytest.raises(IndexError):
+            ArrayDescriptor.empty((4,), np.float32)[0, 0]
+
+    def test_out_of_bounds_integer(self):
+        with pytest.raises(IndexError):
+            ArrayDescriptor.empty((4,), np.float32)[4]
+
+    def test_fancy_indexing_rejected(self):
+        with pytest.raises(TypeError):
+            ArrayDescriptor.empty((4,), np.float32)[[0, 1]]
+
+    def test_reshape_size_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDescriptor.empty((4, 4), np.float32).reshape(3, 3)
+
+    def test_reshape_noncontiguous_rejected(self):
+        d = ArrayDescriptor.empty((8, 8), np.float32)[:, ::2]
+        with pytest.raises(ValueError):
+            d.reshape(32)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDescriptor((-1, 2), np.float32)
+
+    def test_policy_coercion(self):
+        assert PayloadPolicy.coerce("metadata") is PayloadPolicy.METADATA
+        assert PayloadPolicy.coerce(PayloadPolicy.PAYLOAD).moves_bytes
+        with pytest.raises(ValueError):
+            PayloadPolicy.coerce("both")
+
+    def test_empty_array_dispatch(self):
+        assert isinstance(empty_array((2,), np.float32, "payload"), np.ndarray)
+        assert is_descriptor(empty_array((2,), np.float32, "metadata"))
+
+
+class TestArenaByteContract:
+    """No allocation may exceed the descriptor-predicted bytes."""
+
+    @settings(max_examples=40)
+    @given(shape=shapes, dtype=dtypes)
+    def test_payload_allocation_matches_descriptor_prediction(
+        self, shape, dtype
+    ):
+        from repro.dist.outofcore import DeviceArena
+
+        predicted = ArrayDescriptor.empty(shape, dtype).nbytes
+        arena = DeviceArena(max(predicted, 1) * 1.01 + 1)
+        buf = arena.allocate(shape, dtype)
+        assert isinstance(buf, np.ndarray)
+        assert buf.nbytes == predicted
+        assert arena.in_use == predicted
+        arena.free(buf)
+        assert arena.in_use == 0
+
+    @settings(max_examples=40)
+    @given(shape=shapes, dtype=dtypes)
+    def test_metadata_accounting_identical_to_payload(self, shape, dtype):
+        from repro.dist.outofcore import DeviceArena
+
+        gauges = []
+        for policy in ("payload", "metadata"):
+            arena = DeviceArena(10 * 1024**2, payload_policy=policy)
+            buf = arena.allocate(shape, dtype)
+            assert is_descriptor(buf) == (policy == "metadata")
+            arena.free(buf)
+            gauges.append((arena.high_water, arena.in_use))
+        assert gauges[0] == gauges[1]

@@ -1,0 +1,127 @@
+"""Payload-vs-metadata parity: the cost plane must match the data plane.
+
+The capacity planner prices Summit-scale runs from metadata alone; these
+tests are the contract that makes those prices trustworthy.  Every cell of
+the (grid x ranks x copy strategy) matrix runs the identical out-of-core
+schedule under both payload policies and requires bit-identical accounting:
+copy spans (name, engine, bytes, Fig. 7 model cost), metric counters,
+collective records, and the arena's high-water gauge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.payload import ArrayDescriptor, PayloadPolicy
+from repro.dist.virtual_mpi import VirtualComm
+from repro.mpi.costmodel import alltoall_p2p_bytes
+from repro.plan.validate import capture_run, validate_matrix, validate_parity
+
+STRATEGIES = ("memcpy2d", "per_chunk", "zero_copy")
+
+
+class TestParityMatrix:
+    """Satellite 1: the full grid x ranks x strategy matrix."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize(
+        "n,ranks,npencils",
+        [(24, 2, 2), (24, 4, 3), (32, 2, 4), (32, 4, 2), (48, 3, 2), (64, 4, 2)],
+    )
+    def test_sync_parity(self, n, ranks, npencils, strategy):
+        report = validate_parity(n, ranks, npencils, strategy, "sync")
+        assert report.matched, report.report()
+
+    @pytest.mark.parametrize("strategy", ("memcpy2d", "zero_copy"))
+    def test_threads_parity(self, strategy):
+        report = validate_parity(32, 2, 2, strategy, "threads")
+        assert report.matched, report.report()
+
+    def test_auto_strategy_bytes_parity(self):
+        """``auto`` may pick different engines (probe vs model) but the
+        byte-level accounting cannot differ."""
+        report = validate_parity(24, 2, 3, "auto", "sync")
+        assert report.matched, report.report()
+
+    def test_matrix_helper_all_matched(self):
+        reports = validate_matrix(grids=(24,), ranks=(2,),
+                                  copy_strategies=("memcpy2d",))
+        assert reports and all(r.matched for r in reports)
+
+
+class TestCaptureDetails:
+    """What exactly is compared, and why it's the right set."""
+
+    def test_model_costs_priced_identically(self):
+        pay = capture_run(24, 2, 2, "memcpy2d", "sync", PayloadPolicy.PAYLOAD)
+        meta = capture_run(24, 2, 2, "memcpy2d", "sync", PayloadPolicy.METADATA)
+        costs_pay = [s[3] for s in pay.copy_spans]
+        costs_meta = [s[3] for s in meta.copy_spans]
+        assert costs_pay == costs_meta
+        assert all(c > 0 for c in costs_pay)
+
+    def test_metadata_outputs_are_descriptors(self):
+        meta = capture_run(24, 2, 2, "memcpy2d", "sync", PayloadPolicy.METADATA)
+        pay = capture_run(24, 2, 2, "memcpy2d", "sync", PayloadPolicy.PAYLOAD)
+        assert meta.output_shapes == pay.output_shapes
+
+    def test_high_water_positive_and_equal(self):
+        pay = capture_run(32, 4, 2, "zero_copy", "sync", PayloadPolicy.PAYLOAD)
+        meta = capture_run(32, 4, 2, "zero_copy", "sync", PayloadPolicy.METADATA)
+        assert pay.high_water == meta.high_water > 0
+
+    def test_pool_counters_only_differ_in_payload_mode(self):
+        """The exclusion list is exactly the pool: metadata-mode runs never
+        touch the host staging pool (descriptors have no backing memory)."""
+        from repro.obs import Observability
+        from repro.dist.outofcore import OutOfCoreSlabFFT
+        from repro.spectral.grid import SpectralGrid
+
+        obs = Observability.create()
+        ooc = OutOfCoreSlabFFT(
+            SpectralGrid(24), VirtualComm(2), npencils=2, obs=obs,
+            payload_policy="metadata",
+        )
+        locals_ = [
+            ArrayDescriptor.of(x)
+            for x in ooc.decomp.scatter_physical(np.zeros((24, 24, 24)))
+        ]
+        ooc.forward(locals_)
+        ooc.close()
+        pool_hits = [
+            rec for rec in obs.metrics.snapshot()
+            if rec["name"].startswith("pool.") and rec.get("value")
+        ]
+        assert pool_hits == []
+
+
+class TestCostmodelCrossCheck:
+    """Metadata collective accounting equals the analytic message-size model."""
+
+    @pytest.mark.parametrize("n,P,npencils,nv,q", [
+        (16, 4, 2, 3, 2), (24, 2, 3, 3, 1), (32, 4, 4, 6, 4),
+    ])
+    def test_descriptor_alltoall_matches_costmodel(self, n, P, npencils, nv, q):
+        comm = VirtualComm(P)
+        block = ArrayDescriptor.empty(
+            (nv, q, n // npencils, n // P, n // P), np.float32
+        )
+        comm.alltoall([[block] * P for _ in range(P)])
+        rec = comm.stats.records[-1]
+        model = alltoall_p2p_bytes(n, P, npencils, nv=nv, q=q, wordsize=4)
+        assert rec.p2p_bytes == model
+        assert rec.p2p_min_bytes == rec.p2p_max_bytes == model
+        assert rec.total_bytes == P * P * model
+        assert rec.messages == P * P
+
+    def test_payload_and_metadata_records_identical(self):
+        n, P = 16, 4
+        recs = []
+        for make in (
+            lambda shape: np.zeros(shape, dtype=np.float32),
+            lambda shape: ArrayDescriptor.empty(shape, np.float32),
+        ):
+            comm = VirtualComm(P)
+            block = make((3, n // P, n // P))
+            comm.alltoall([[block] * P for _ in range(P)])
+            recs.append(comm.stats.records[-1])
+        assert recs[0] == recs[1]
