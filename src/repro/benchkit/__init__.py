@@ -18,12 +18,21 @@ analyzing the full DNS:
   Fig. 7 chunk sizes — :mod:`repro.benchkit.copybench`;
 * a wall-clock strong-scaling sweep of the distributed solver on the
   process-pool comm backend vs the in-process reference —
-  :mod:`repro.benchkit.realranks` (emits ``BENCH_real_ranks.json``).
+  :mod:`repro.benchkit.realranks` (emits ``BENCH_real_ranks.json``);
+* a skew sweep pricing how much of the efficiency lost to a slow rank
+  the DLB lend/reclaim schedule recovers — :mod:`repro.benchkit.imbalance`
+  (emits ``BENCH_imbalance.json``).
 """
 
 from repro.benchkit.a2a_kernel import StandaloneA2AKernel
 from repro.benchkit.copybench import CopyBenchPoint, run_copybench
 from repro.benchkit.hotpath import HotpathResult, benchmark_solver, run_suite
+from repro.benchkit.imbalance import (
+    ImbalanceModelPoint,
+    ImbalanceWallPoint,
+    model_priced_point,
+    run_imbalance_suite,
+)
 from repro.benchkit.realranks import (
     RealRanksResult,
     benchmark_comm_backend,
@@ -39,6 +48,8 @@ from repro.benchkit.stride_kernel import StridedCopyStudy, ZeroCopyBlockStudy
 __all__ = [
     "CopyBenchPoint",
     "HotpathResult",
+    "ImbalanceModelPoint",
+    "ImbalanceWallPoint",
     "OverlapResult",
     "RealRanksResult",
     "StandaloneA2AKernel",
@@ -47,7 +58,9 @@ __all__ = [
     "benchmark_comm_backend",
     "benchmark_overlap",
     "benchmark_solver",
+    "model_priced_point",
     "run_copybench",
+    "run_imbalance_suite",
     "run_overlap_suite",
     "run_realranks_suite",
     "run_suite",

@@ -140,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --npencils: host<->device strided-copy "
                         "strategy (Sec. 4.2 / Fig. 7); auto probes all "
                         "three on the first pencil of each layout")
+    p.add_argument("--heights", default=None, metavar="H0,H1,...",
+                   help="with --ranks: explicit per-rank slab heights "
+                        "(uneven decomposition; must sum to N)")
+    p.add_argument("--skew", type=float, default=None, metavar="X",
+                   help="with --ranks: give rank 0 ~X times the fair slab "
+                        "share (deterministic uneven partition)")
+    p.add_argument("--dlb", default="off", choices=["off", "pinned", "lend"],
+                   help="with --npencils: per-rank compute lanes — off "
+                        "(single stream), pinned (one lane per rank), or "
+                        "lend (DLB lend/reclaim of unstarted pencils; "
+                        "bit-identical results either way)")
 
     p = sub.add_parser(
         "tune",
@@ -184,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "per_chunk", "memcpy2d", "zero_copy"],
                    help="strided-copy engine used by every case (all "
                         "strategies must be bit-identical)")
+    p.add_argument("--heights", default=None, metavar="H0,H1,...",
+                   help="uneven per-rank slab heights for the whole matrix "
+                        "(must sum to N)")
+    p.add_argument("--dlb", default="off", choices=["off", "pinned", "lend"],
+                   help="per-rank compute lanes for every fuzz case "
+                        "(results must stay bit-identical)")
 
     p = sub.add_parser(
         "obs",
@@ -437,6 +454,40 @@ def _flight_recording(run, events_level: str = "info"):
             uninstall_flight()
 
 
+def _parse_heights(spec: str) -> tuple:
+    """``"10,6,8"`` -> ``(10, 6, 8)``; raises ValueError on non-integers."""
+    try:
+        return tuple(int(h) for h in spec.split(",") if h.strip() != "")
+    except ValueError:
+        raise ValueError(
+            f"--heights must be a comma-separated list of integers, "
+            f"got {spec!r}"
+        ) from None
+
+
+def _report_bad_heights(exc: Exception, n: int, ranks: int) -> int:
+    """Reasoned quote for an infeasible slab partition (clean exit 2).
+
+    Mirrors the CapacityPlanner's INFEASIBLE quote shape — configuration
+    header, reason, feasible alternative — instead of surfacing a raw
+    assertion: the user learns *why* the partition is rejected and what
+    the planner would hand out for the same grid and rank count.
+    """
+    import numpy as np
+
+    bounds = np.linspace(0, n, ranks + 1).astype(int)
+    balanced = ",".join(str(int(b - a)) for a, b in zip(bounds[:-1], bounds[1:]))
+    print(f"slab partition quote: N={n} over {ranks} rank(s)", file=sys.stderr)
+    print(f"  INFEASIBLE: {exc}", file=sys.stderr)
+    print(
+        f"  feasible: --heights {balanced} (any non-negative per-rank "
+        f"heights summing to {n}), or --skew X for a deterministic "
+        f"uneven split",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_dns(args) -> int:
     from repro.spectral import SpectralGrid
 
@@ -446,6 +497,7 @@ def _cmd_dns(args) -> int:
         "ranks": args.ranks, "comm": args.comm, "npencils": args.npencils,
         "pipeline": args.pipeline, "inflight": args.inflight,
         "copy_strategy": args.copy_strategy,
+        "heights": args.heights, "skew": args.skew, "dlb": args.dlb,
     }
     seeds = [args.fuzz] if args.fuzz is not None else []
     with _registered_run("dns", config, seeds=seeds) as run:
@@ -556,6 +608,23 @@ def _cmd_dns_distributed(args, grid, rng, obs, run=None) -> int:
     if args.forced:
         print("error: --forced is not supported with --ranks", file=sys.stderr)
         return 2
+    if args.heights is not None and args.skew is not None:
+        print("error: pass either --heights or --skew, not both",
+              file=sys.stderr)
+        return 2
+    if args.dlb != "off" and args.npencils is None:
+        print("error: --dlb requires --npencils (out-of-core engine)",
+              file=sys.stderr)
+        return 2
+    heights = None
+    if args.heights is not None:
+        from repro.dist.decomp import normalize_heights
+
+        try:
+            heights = _parse_heights(args.heights)
+            normalize_heights(grid.n, args.ranks, heights)
+        except ValueError as exc:
+            return _report_bad_heights(exc, grid.n, args.ranks)
     fuzz = monitor = plan = None
     if args.fuzz is not None:
         if args.npencils is None:
@@ -584,19 +653,28 @@ def _cmd_dns_distributed(args, grid, rng, obs, run=None) -> int:
         return 2
     if plan is not None:
         comm.fault_injector = plan
-    solver = DistributedNavierStokesSolver(
-        grid,
-        comm,
-        random_isotropic_field(grid, rng, energy=1.0),
-        SolverConfig(nu=args.nu, fft_backend=args.fft_backend),
-        obs=obs,
-        npencils=args.npencils,
-        pipeline=args.pipeline,
-        inflight=args.inflight,
-        fuzz=fuzz,
-        monitor=monitor,
-        copy_strategy=args.copy_strategy,
-    )
+    try:
+        solver = DistributedNavierStokesSolver(
+            grid,
+            comm,
+            random_isotropic_field(grid, rng, energy=1.0),
+            SolverConfig(nu=args.nu, fft_backend=args.fft_backend),
+            obs=obs,
+            npencils=args.npencils,
+            pipeline=args.pipeline,
+            inflight=args.inflight,
+            fuzz=fuzz,
+            monitor=monitor,
+            copy_strategy=args.copy_strategy,
+            heights=heights,
+            skew=args.skew,
+            dlb=args.dlb,
+        )
+    except ValueError as exc:
+        closer = getattr(comm, "close", None)
+        if closer is not None:
+            closer()
+        return _report_bad_heights(exc, grid.n, args.ranks)
     dt = args.dt if args.dt is not None else 0.25 * grid.dx
     engine = (
         f"out-of-core np={args.npencils} pipeline={args.pipeline} "
@@ -605,6 +683,10 @@ def _cmd_dns_distributed(args, grid, rng, obs, run=None) -> int:
     )
     if fuzz is not None:
         engine += f" fuzz={fuzz.name}@{fuzz.seed}"
+    if solver.fft.decomp.heights is not None:
+        engine += f" heights={','.join(map(str, solver.fft.decomp.rank_heights))}"
+    if args.dlb != "off":
+        engine += f" dlb={args.dlb}"
     print(f"distributed dns: P={args.ranks} ranks, comm={args.comm}, {engine}")
     if args.comm == "procs":
         print(f"worker pids: {comm.worker_pids} "
@@ -631,6 +713,11 @@ def _cmd_dns_distributed(args, grid, rng, obs, run=None) -> int:
         total_cpu = sum(comm.worker_cpu_seconds)
         print(f"worker cpu: {total_cpu:.2f}s across "
               f"{len(comm.worker_cpu_seconds)} rank processes")
+    policy = getattr(solver.fft, "_dlb_policy", None)
+    if policy is not None:
+        print(f"dlb: {policy.pencils_lent} pencil(s) lent, "
+              f"{policy.pencils_reclaimed} reclaimed "
+              f"(lane weights {list(policy.costs)})")
     if monitor is not None:
         stats = getattr(solver.fft._backend, "stats", {})
         comm_faults = plan.injected if plan is not None else 0
@@ -785,14 +872,26 @@ def _cmd_verify(args) -> int:
             return 2
     else:
         profiles = None
+    heights = None
+    if args.heights is not None:
+        from repro.dist.decomp import normalize_heights
+
+        try:
+            heights = _parse_heights(args.heights)
+            normalize_heights(args.n, args.ranks, heights)
+        except ValueError as exc:
+            return _report_bad_heights(exc, args.n, args.ranks)
     kwargs = {} if profiles is None else {"profiles": profiles}
     print(f"verify: n={args.n} P={args.ranks} np={args.npencils} "
-          f"inflight={args.inflight} seeds={list(seeds)}")
+          f"inflight={args.inflight} seeds={list(seeds)}"
+          + (f" heights={list(heights)}" if heights else "")
+          + (f" dlb={args.dlb}" if args.dlb != "off" else ""))
     config = {
         "n": args.n, "ranks": args.ranks, "npencils": args.npencils,
         "inflight": args.inflight, "steps": args.steps,
         "profiles": list(profiles) if profiles else list(PROFILES),
         "orders": args.orders, "copy_strategy": args.copy_strategy,
+        "heights": list(heights) if heights else None, "dlb": args.dlb,
     }
     with _registered_run("verify", config, seeds=seeds) as run:
         report = run_verification(
@@ -808,6 +907,8 @@ def _cmd_verify(args) -> int:
             copy_strategy=args.copy_strategy,
             artifact_dir=str(run.dir),
             run_id=run.run_id,
+            heights=heights,
+            dlb=args.dlb,
             **kwargs,
         )
         print()

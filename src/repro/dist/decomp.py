@@ -6,9 +6,16 @@ reproduction.  Conventions follow the paper's Fig. 2:
 * **Slab decomposition** over P ranks:
 
   - *spectral* state is distributed in kz-slabs: rank r owns kz indices
-    ``[r*mz, (r+1)*mz)`` with ``mz = N/P``; local shape ``(mz, N, N//2+1)``;
-  - *physical* state is distributed in y-slabs: local shape ``(N, my, N)``
-    with ``my = N/P``.
+    ``[off_r, off_r + h_r)``; local shape ``(h_r, N, N//2+1)``;
+  - *physical* state is distributed in y-slabs: local shape ``(N, h_r, N)``.
+
+  With the default balanced partition every ``h_r = N/P``; an explicit
+  ``heights=[...]`` (or a ``skew=`` factor via :func:`skewed_heights`)
+  produces *uneven* slabs — the load-imbalance regime of ROADMAP item 3,
+  where the paper's asynchronous schedule actually earns its keep.  The
+  same per-rank heights are used for both the kz- and y-slabs so the
+  slab transpose stays symmetric.  Zero-height ranks are legal (an
+  idle rank still participates in collectives).
 
   One all-to-all transposes between the two (z <-> y exchange).
 
@@ -21,40 +28,145 @@ reproduction.  Conventions follow the paper's Fig. 2:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.spectral.grid import SpectralGrid
 
-__all__ = ["PencilDecomposition", "SlabDecomposition", "SlabGridView"]
+__all__ = [
+    "PencilDecomposition",
+    "SlabDecomposition",
+    "SlabGridView",
+    "normalize_heights",
+    "skewed_heights",
+]
 
 
 def _check_divides(n: int, p: int, what: str) -> None:
     if p < 1:
         raise ValueError(f"{what} must be >= 1")
     if n % p != 0:
-        raise ValueError(f"{what}={p} must divide N={n} for load balance")
+        raise ValueError(
+            f"{what}={p} does not divide N={n}: a balanced partition needs "
+            f"N % {what} == 0 — pass explicit per-rank heights summing to "
+            f"N={n} for an uneven decomposition"
+        )
+
+
+def normalize_heights(n: int, ranks: int, heights: Sequence[int]) -> tuple[int, ...]:
+    """Validate an explicit per-rank slab partition of ``n`` planes.
+
+    Raises :class:`ValueError` with a reasoned message (not a bare
+    assertion) for every way a partition can be infeasible, so the CLI
+    can surface it cleanly.
+    """
+    hs = tuple(int(h) for h in heights)
+    if len(hs) != ranks:
+        raise ValueError(
+            f"heights has {len(hs)} entries but the communicator has "
+            f"{ranks} ranks — provide one slab height per rank"
+        )
+    bad = [h for h in hs if h < 0]
+    if bad:
+        raise ValueError(f"heights must be >= 0, got {hs}")
+    total = sum(hs)
+    if total != n:
+        raise ValueError(
+            f"heights {hs} sum to {total} but the grid has N={n} planes "
+            f"per axis — the per-rank slab extents must partition N exactly"
+        )
+    return hs
+
+
+def skewed_heights(n: int, ranks: int, skew: float) -> tuple[int, ...]:
+    """Deterministic uneven partition: rank 0 gets ~``skew``x the fair share.
+
+    ``skew=1.0`` reproduces the near-balanced linspace partition; larger
+    skews grow rank 0's slab at the expense of the others (mirroring the
+    ``cluster-dlb-benchmarks`` unbalanced sweeps, where one node per pair
+    is deliberately overloaded).  Always sums to ``n`` and never leaves a
+    negative height.
+    """
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    if skew < 1.0:
+        raise ValueError(f"skew must be >= 1.0, got {skew}")
+    if ranks == 1:
+        return (n,)
+    h0 = int(round(n * skew / (skew + ranks - 1)))
+    h0 = max(0, min(n, h0))
+    bounds = np.linspace(0, n - h0, ranks).astype(int)
+    rest = tuple(int(b - a) for a, b in zip(bounds[:-1], bounds[1:]))
+    return (h0,) + rest
 
 
 @dataclass(frozen=True)
 class SlabDecomposition:
-    """1-D slab decomposition of an N^3 domain over ``ranks`` processes."""
+    """1-D slab decomposition of an N^3 domain over ``ranks`` processes.
+
+    ``heights`` (optional) gives each rank's slab thickness along kz (and,
+    symmetrically, along y); when omitted the balanced ``N/P`` partition is
+    used and ``N % P`` must be 0.
+    """
 
     n: int
     ranks: int
+    heights: Optional[tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
-        _check_divides(self.n, self.ranks, "ranks")
+        if self.heights is None:
+            _check_divides(self.n, self.ranks, "ranks")
+        else:
+            if self.ranks < 1:
+                raise ValueError("ranks must be >= 1")
+            hs = normalize_heights(self.n, self.ranks, self.heights)
+            object.__setattr__(self, "heights", hs)
+
+    # -- per-rank geometry ----------------------------------------------------
+
+    @property
+    def uniform(self) -> bool:
+        """True when every rank owns the same slab thickness."""
+        return self.heights is None or len(set(self.heights)) <= 1
+
+    @property
+    def rank_heights(self) -> tuple[int, ...]:
+        """Resolved per-rank slab thicknesses (balanced or explicit)."""
+        if self.heights is None:
+            m = self.n // self.ranks
+            return (m,) * self.ranks
+        return self.heights
+
+    def height(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self.rank_heights[rank]
+
+    def offset(self, rank: int) -> int:
+        self._check_rank(rank)
+        return sum(self.rank_heights[:rank])
+
+    @property
+    def max_height(self) -> int:
+        return max(self.rank_heights)
 
     @property
     def mz(self) -> int:
-        """Thickness of each spectral kz-slab (N/P planes)."""
-        return self.n // self.ranks
+        """Thickness of each spectral kz-slab — balanced partitions only."""
+        return self._uniform_height("mz")
 
     @property
     def my(self) -> int:
-        """Thickness of each physical y-slab."""
-        return self.n // self.ranks
+        """Thickness of each physical y-slab — balanced partitions only."""
+        return self._uniform_height("my")
+
+    def _uniform_height(self, what: str) -> int:
+        if not self.uniform:
+            raise ValueError(
+                f"{what} is undefined for uneven heights {self.rank_heights} "
+                f"— use height(rank) / max_height"
+            )
+        return self.rank_heights[0]
 
     @property
     def nx_half(self) -> int:
@@ -62,19 +174,21 @@ class SlabDecomposition:
 
     def spectral_slice(self, rank: int) -> slice:
         """kz index range owned by ``rank``."""
-        self._check_rank(rank)
-        return slice(rank * self.mz, (rank + 1) * self.mz)
+        off = self.offset(rank)
+        return slice(off, off + self.rank_heights[rank])
 
     def physical_slice(self, rank: int) -> slice:
         """y index range owned by ``rank``."""
-        self._check_rank(rank)
-        return slice(rank * self.my, (rank + 1) * self.my)
+        off = self.offset(rank)
+        return slice(off, off + self.rank_heights[rank])
 
-    def local_spectral_shape(self) -> tuple[int, int, int]:
-        return (self.mz, self.n, self.nx_half)
+    def local_spectral_shape(self, rank: Optional[int] = None) -> tuple[int, int, int]:
+        h = self._uniform_height("local slab") if rank is None else self.height(rank)
+        return (h, self.n, self.nx_half)
 
-    def local_physical_shape(self) -> tuple[int, int, int]:
-        return (self.n, self.my, self.n)
+    def local_physical_shape(self, rank: Optional[int] = None) -> tuple[int, int, int]:
+        h = self._uniform_height("local slab") if rank is None else self.height(rank)
+        return (self.n, h, self.n)
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.ranks:
@@ -93,7 +207,7 @@ class SlabDecomposition:
 
     def gather_spectral(self, locals_: list[np.ndarray]) -> np.ndarray:
         """Inverse of :meth:`scatter_spectral`."""
-        self._check_locals(locals_, self.local_spectral_shape())
+        self._check_locals(locals_, self.local_spectral_shape)
         return np.concatenate(locals_, axis=0)
 
     def scatter_physical(self, global_u: np.ndarray) -> list[np.ndarray]:
@@ -107,15 +221,16 @@ class SlabDecomposition:
 
     def gather_physical(self, locals_: list[np.ndarray]) -> np.ndarray:
         """Inverse of :meth:`scatter_physical`."""
-        self._check_locals(locals_, self.local_physical_shape())
+        self._check_locals(locals_, self.local_physical_shape)
         return np.concatenate(locals_, axis=1)
 
-    def _check_locals(self, locals_: list[np.ndarray], shape: tuple[int, ...]) -> None:
+    def _check_locals(self, locals_, shape_of) -> None:
         if len(locals_) != self.ranks:
             raise ValueError(f"expected {self.ranks} local pieces, got {len(locals_)}")
         for r, piece in enumerate(locals_):
-            if piece.shape != shape:
-                raise ValueError(f"rank {r}: expected {shape}, got {piece.shape}")
+            want = shape_of(r)
+            if piece.shape != want:
+                raise ValueError(f"rank {r}: expected {want}, got {piece.shape}")
 
     # -- pencils within a slab (the out-of-core batching of paper Fig. 3) ----
 
@@ -177,7 +292,8 @@ class SlabGridView:
 
     @property
     def owns_mean_mode(self) -> bool:
-        return self.rank == 0
+        """True iff this rank's (non-empty) kz-slab contains the kz=0 plane."""
+        return self._zslice.start == 0 and self._zslice.stop > 0
 
 
 @dataclass(frozen=True)

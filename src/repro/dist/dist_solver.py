@@ -75,6 +75,21 @@ class DistributedNavierStokesSolver:
         ``zero_copy``, or ``auto`` for the runtime autotuner); forwarded
         to :class:`~repro.dist.outofcore.OutOfCoreSlabFFT`.  All
         strategies are bit-identical.
+    heights, skew:
+        Uneven slab decomposition: ``heights`` pins each rank's slab
+        extent explicitly; ``skew`` derives one via
+        :func:`~repro.dist.decomp.skewed_heights` (rank 0 gets ~skew x the
+        fair share).  Mutually exclusive; both default to the balanced
+        partition.
+    dlb:
+        Out-of-core compute-lane policy: ``"off"`` (single compute
+        stream), ``"pinned"`` (one lane per rank) or ``"lend"``
+        (deterministic lend/reclaim of pencils between lanes); forwarded
+        to :class:`~repro.dist.outofcore.OutOfCoreSlabFFT`.
+    rank_weights:
+        Per-rank compute slowdown factors pricing the DLB lane clocks.
+        Defaults to the ``fuzz`` profile's imbalance plan factors when an
+        imbalance is injected, else all-1.
     """
 
     def __init__(
@@ -91,19 +106,40 @@ class DistributedNavierStokesSolver:
         fuzz=None,
         monitor=None,
         copy_strategy: str = "memcpy2d",
+        heights: Optional[Sequence[int]] = None,
+        skew: Optional[float] = None,
+        dlb: str = "off",
+        rank_weights: Optional[Sequence[float]] = None,
     ):
         self.grid = grid
         self.comm = comm
         self.config = config or SolverConfig()
         self.obs = obs if obs is not None else NULL_OBS
+        if heights is not None and skew is not None:
+            raise ValueError("pass either heights or skew, not both")
+        if skew is not None:
+            from repro.dist.decomp import skewed_heights
+
+            heights = skewed_heights(grid.n, comm.size, skew)
+        if rank_weights is None and fuzz is not None:
+            from repro.verify.imbalance import ImbalancePlan
+
+            plan = ImbalancePlan.from_profile(fuzz, comm.size)
+            if plan is not None:
+                rank_weights = [plan.factor(r) for r in range(comm.size)]
         if npencils is None:
             if fuzz is not None or monitor is not None:
                 raise ValueError(
                     "fuzz/monitor verification hooks require the "
                     "out-of-core engine (set npencils)"
                 )
+            if dlb != "off":
+                raise ValueError(
+                    "dlb lanes require the out-of-core engine (set npencils)"
+                )
             self.fft = SlabDistributedFFT(
-                grid, comm, obs=self.obs, fft_backend=self.config.fft_backend
+                grid, comm, obs=self.obs, fft_backend=self.config.fft_backend,
+                heights=heights,
             )
         else:
             from repro.dist.outofcore import OutOfCoreSlabFFT
@@ -119,6 +155,9 @@ class DistributedNavierStokesSolver:
                 fuzz=fuzz,
                 monitor=monitor,
                 copy_strategy=copy_strategy,
+                heights=heights,
+                dlb=dlb,
+                rank_weights=rank_weights,
             )
         self.decomp: SlabDecomposition = self.fft.decomp
         self.views = [SlabGridView(grid, self.decomp, r) for r in range(comm.size)]

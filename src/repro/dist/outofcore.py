@@ -348,6 +348,22 @@ class OutOfCoreSlabFFT:
         copy costs (the capacity planner's validation seam; parity with
         the payload path is asserted by ``tests/plan``).  Inputs must then
         be descriptors of the per-rank slab shapes.
+    heights:
+        Optional per-rank slab extents (uneven decomposition); every
+        rank still contributes ``npencils`` pencil slots per phase (empty
+        ones for height-0 ranks), so the Fig. 4 item structure
+        ``i = ip * P + r`` — and with it the collective cadence — is
+        unchanged.
+    dlb:
+        ``"off"`` (default) — the legacy single compute stream;
+        ``"pinned"`` — one compute lane per rank, every pencil pinned to
+        its owner; ``"lend"`` — per-rank lanes with the deterministic
+        :class:`~repro.exec.DlbPolicy` lend/reclaim assignment, so idle
+        peers' compute lanes claim a slow rank's unstarted pencils.  All
+        three produce bit-identical results.
+    rank_weights:
+        Relative per-rank compute slowdown factors pricing the DLB lane
+        clocks (e.g. an imbalance plan's factors); default all-1.
     """
 
     def __init__(
@@ -366,13 +382,17 @@ class OutOfCoreSlabFFT:
         retry_backoff: float = 0.002,
         copy_strategy: str = "memcpy2d",
         payload_policy: "PayloadPolicy | str" = PayloadPolicy.PAYLOAD,
+        heights: Sequence[int] | None = None,
+        dlb: str = "off",
+        rank_weights: Sequence[float] | None = None,
     ):
         self.grid = grid
         self.comm = comm
         self.payload_policy = PayloadPolicy.coerce(payload_policy)
         self._payload = self.payload_policy.moves_bytes
         self.obs = obs if obs is not None else NULL_OBS
-        self.decomp = SlabDecomposition(grid.n, comm.size)
+        hs = tuple(int(h) for h in heights) if heights is not None else None
+        self.decomp = SlabDecomposition(grid.n, comm.size, heights=hs)
         if npencils < 1 or grid.n % npencils != 0:
             raise ValueError(f"npencils={npencils} must divide N={grid.n}")
         if backend is None and pipeline not in ("sync", "threads"):
@@ -383,6 +403,9 @@ class OutOfCoreSlabFFT:
             raise ValueError(f"inflight={inflight} must be >= 1")
         if comm_retries < 0:
             raise ValueError(f"comm_retries={comm_retries} must be >= 0")
+        if dlb not in ("off", "pinned", "lend"):
+            raise ValueError(f"dlb={dlb!r} must be 'off', 'pinned' or 'lend'")
+        self.dlb = dlb
         self.npencils = npencils
         self.pipeline = pipeline if backend is None else backend.kind
         self.inflight = (
@@ -402,10 +425,12 @@ class OutOfCoreSlabFFT:
         ci = np.dtype(grid.cdtype).itemsize
         ri = np.dtype(grid.dtype).itemsize
         # Largest pencil of each stage family (array_split is uneven: the
-        # first slices carry the ceil).
+        # first slices carry the ceil).  Ring slots are sized for the
+        # tallest rank's slab so one ring serves every (pencil, rank) item.
+        hmax = d.max_height
         cx = math.ceil(nxh / npencils)  # x-split width (y-FFT stages)
-        wy = math.ceil(d.my / npencils)  # y-split width (z/x-FFT stages)
-        self._bytes_xpencil = d.mz * n * cx * ci
+        wy = math.ceil(hmax / npencils)  # y-split width (z/x-FFT stages)
+        self._bytes_xpencil = hmax * n * cx * ci
         self._bytes_ycpx = n * wy * nxh * ci
         self._bytes_yreal = n * wy * n * ri
         per_item = max(self._bytes_xpencil, self._bytes_ycpx + self._bytes_yreal)
@@ -429,6 +454,26 @@ class OutOfCoreSlabFFT:
             self._backend = make_backend(
                 pipeline, obs=self.obs, fuzz=fuzz, monitor=monitor
             )
+        # Fuzz backends map per-rank imbalance factors onto items once they
+        # know the communicator size (item i belongs to rank i % P).
+        configure_imbalance = getattr(
+            self._backend, "configure_imbalance", None
+        )
+        if configure_imbalance is not None:
+            configure_imbalance(comm.size)
+        if self.dlb == "off":
+            self._dlb_policy = None
+        else:
+            from repro.exec.dlb import DlbPolicy
+
+            if rank_weights is not None and len(rank_weights) != comm.size:
+                raise ValueError(
+                    f"expected {comm.size} rank weights, got {len(rank_weights)}"
+                )
+            self._dlb_policy = DlbPolicy(
+                comm.size, mode=self.dlb, costs=rank_weights
+            )
+        self._dlb_synced = [0, 0]
         # Metric instruments are pre-created on the constructing thread so
         # stream workers only ever mutate existing counters.
         if self.obs.enabled:
@@ -441,12 +486,15 @@ class OutOfCoreSlabFFT:
             self._m_comm_faults = m.counter("comm.faults.transient")
             self._m_comm_retries = m.counter("comm.retries")
             self._m_comm_recovered = m.counter("comm.faults.recovered")
+            self._m_dlb_lent = m.counter("dlb.pencils_lent")
+            self._m_dlb_reclaimed = m.counter("dlb.pencils_reclaimed")
             m.gauge("arena.high_water_bytes")
         else:
             self._m_h2d = self._m_d2h = None
             self._m_xpose = self._m_chunks = self._m_xcount = None
             self._m_comm_faults = None
             self._m_comm_retries = self._m_comm_recovered = None
+            self._m_dlb_lent = self._m_dlb_reclaimed = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -475,6 +523,30 @@ class OutOfCoreSlabFFT:
         edges = np.linspace(0, extent, self.npencils + 1).astype(int)
         return [slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a]
 
+    def _splits_keep(self, extent: int) -> list[slice]:
+        """Like :meth:`_splits`, but keeps empty slices so every rank has
+        exactly ``npencils`` entries — uneven slabs (including height-0
+        ranks) then preserve the ``i = ip * P + r`` item structure."""
+        edges = np.linspace(0, extent, self.npencils + 1).astype(int)
+        return [slice(a, b) for a, b in zip(edges[:-1], edges[1:])]
+
+    def _rank_ysplits(self) -> "list[list[slice]] | None":
+        """Per-rank y-pencil slices for uneven slabs (None when balanced)."""
+        d = self.decomp
+        if d.heights is None:
+            return None
+        return [self._splits_keep(d.height(r)) for r in range(self.comm.size)]
+
+    @property
+    def _heights(self) -> "tuple[int, ...] | None":
+        d = self.decomp
+        return None if d.heights is None else d.rank_heights
+
+    @property
+    def _offsets(self) -> list[int]:
+        d = self.decomp
+        return [d.offset(r) for r in range(self.comm.size)]
+
     def _empty(self, shape: tuple[int, ...], dtype):
         """A host work array (payload) or its descriptor (metadata)."""
         if self._payload:
@@ -483,8 +555,14 @@ class OutOfCoreSlabFFT:
 
     def _run(self, stages: list[PipelineStage], nitems: int) -> None:
         PencilPipeline(
-            self._backend, stages, window=self.inflight
+            self._backend, stages, window=self.inflight, dlb=self._dlb_policy
         ).run(nitems)
+        if self._dlb_policy is not None and self._m_dlb_lent is not None:
+            lent = self._dlb_policy.pencils_lent
+            reclaimed = self._dlb_policy.pencils_reclaimed
+            self._m_dlb_lent.inc(lent - self._dlb_synced[0])
+            self._m_dlb_reclaimed.inc(reclaimed - self._dlb_synced[1])
+            self._dlb_synced = [lent, reclaimed]
 
     def _stream_spans(self, name: str):
         """The stream's own span tracer, when the backend records one.
@@ -518,6 +596,9 @@ class OutOfCoreSlabFFT:
         chunk: slice,
         chunk_axis: int,
         block_extent: int,
+        pack_sizes: "Sequence[int] | None" = None,
+        src_chunks: "Sequence[slice] | None" = None,
+        unpack_offsets: "Sequence[int] | None" = None,
     ) -> None:
         """Post + complete one pencil's all-to-all (runs on the comm stream).
 
@@ -543,11 +624,13 @@ class OutOfCoreSlabFFT:
                     with spans.span("transpose.pack", category="pack"):
                         handle, send = post_chunk_exchange(
                             self.comm, sources, pack_axis, chunk, chunk_axis,
-                            pool=_PACK_POOL,
+                            pool=_PACK_POOL, pack_sizes=pack_sizes,
+                            src_chunks=src_chunks,
                         )
                 nbytes = complete_chunk_exchange(
                     handle, send, outs, unpack_axis, chunk, chunk_axis,
                     block_extent, pool=_PACK_POOL,
+                    src_chunks=src_chunks, unpack_offsets=unpack_offsets,
                 )
                 break
             except TransientCommFault as fault:
@@ -578,6 +661,24 @@ class OutOfCoreSlabFFT:
             self._m_xpose.inc(nbytes)
             self._m_chunks.inc()
 
+    def _compute_stage(self, name: str, fn, volume) -> PipelineStage:
+        """The compute stage: single stream (legacy) or per-rank DLB lanes.
+
+        With DLB enabled the stage is *owned*: item ``i`` belongs to rank
+        ``i % P`` and the pipeline's :class:`~repro.exec.DlbPolicy` picks
+        the lane from model-priced costs (``volume(i)`` element counts), so
+        the assignment — and the lent/reclaimed counters — are deterministic
+        on every backend.
+        """
+        if self._dlb_policy is None:
+            return PipelineStage(name, "compute", "fft", fn=fn)
+        P = self.comm.size
+        return PipelineStage(
+            name, "compute", "fft", fn=fn,
+            owner=lambda i: i % P,
+            cost=lambda i: float(volume(i)),
+        )
+
     # -- full transforms -----------------------------------------------------
 
     def inverse(self, spectral_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -592,12 +693,14 @@ class OutOfCoreSlabFFT:
         P = self.comm.size
         cdtype = self.grid.cdtype
         for r, loc in enumerate(spectral_locals):
-            if loc.shape != d.local_spectral_shape():
+            if loc.shape != d.local_spectral_shape(r):
                 raise ValueError(f"rank {r}: bad shape {loc.shape}")
         nxh = n // 2 + 1
+        heights = self._heights
+        offsets = self._offsets
         xsplits = self._splits(nxh)
-        work = [self._empty(d.local_spectral_shape(), cdtype) for _ in range(P)]
-        t_out = [self._empty((n, d.my, nxh), cdtype) for _ in range(P)]
+        work = [self._empty(d.local_spectral_shape(r), cdtype) for r in range(P)]
+        t_out = [self._empty((n, d.height(r), nxh), cdtype) for r in range(P)]
 
         # Phase 1 (Fig. 4): per (x-pencil, rank) — H2D, y-iFFT, D2H — and
         # per pencil, the s2p exchange of that x-chunk on the comm stream.
@@ -609,27 +712,33 @@ class OutOfCoreSlabFFT:
                 ip, r = divmod(i, P)
                 return r, xsplits[ip]
 
-            def shape_of(xs: slice) -> tuple[int, int, int]:
-                return (d.mz, n, xs.stop - xs.start)
+            def shape_of(r: int, xs: slice) -> tuple[int, int, int]:
+                return (d.height(r), n, xs.stop - xs.start)
 
             def h2d(i: int) -> None:
                 r, xs = pencil(i)
+                if d.height(r) == 0:
+                    return
                 slot = rings.load(
-                    "cpx", i, shape_of(xs), cdtype,
+                    "cpx", i, shape_of(r, xs), cdtype,
                     spectral_locals[r][:, :, xs], spans=sp_h2d,
                 )
                 self._note_h2d(slot.nbytes)
 
             def fft(i: int) -> None:
                 r, xs = pencil(i)
-                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                if d.height(r) == 0:
+                    return
+                slot = rings.view("cpx", i, shape_of(r, xs), cdtype)
                 if self._payload:
                     np.multiply(np.fft.ifft(slot, axis=_Y_AXIS), n, out=slot)
 
             def d2h(i: int) -> None:
                 r, xs = pencil(i)
+                if d.height(r) == 0:
+                    return
                 slot = rings.store(
-                    "cpx", i, shape_of(xs), cdtype,
+                    "cpx", i, shape_of(r, xs), cdtype,
                     work[r][:, :, xs], spans=sp_d2h,
                 )
                 self._note_d2h(slot.nbytes)
@@ -638,13 +747,18 @@ class OutOfCoreSlabFFT:
                 xs = xsplits[i // P]
                 self._exchange_pencil(
                     work, t_out, pack_axis=_Y_AXIS, unpack_axis=_KZ_AXIS,
-                    chunk=xs, chunk_axis=_X_AXIS, block_extent=d.my,
+                    chunk=xs, chunk_axis=_X_AXIS, block_extent=d.max_height,
+                    pack_sizes=heights, unpack_offsets=offsets,
                 )
+
+            def volume(i: int) -> int:
+                r, xs = pencil(i)
+                return d.height(r) * n * (xs.stop - xs.start)
 
             self._run(
                 [
                     PipelineStage("h2d", "h2d", "h2d", fn=h2d),
-                    PipelineStage("fft.y", "compute", "fft", fn=fft),
+                    self._compute_stage("fft.y", fft, volume),
                     PipelineStage("d2h", "d2h", "d2h", fn=d2h),
                     PipelineStage(
                         "a2a", "comm", "mpi", fn=comm_op,
@@ -659,10 +773,13 @@ class OutOfCoreSlabFFT:
             self._m_xcount.inc()
 
         # Phase 2: per (y-pencil, rank) — z-iFFT then the c2r x transform,
-        # fused on-device (one H2D/D2H round trip per pencil).
-        ysplits = self._splits(d.my)
+        # fused on-device (one H2D/D2H round trip per pencil).  Uneven
+        # slabs cut each rank's own y extent into npencils (possibly
+        # empty) slices so the item structure is preserved.
+        rank_ysplits = self._rank_ysplits()
+        ysplits = self._splits(d.my) if rank_ysplits is None else None
         out = [
-            self._empty((n, d.my, n), self.grid.dtype) for _ in range(P)
+            self._empty((n, d.height(r), n), self.grid.dtype) for r in range(P)
         ]
         rings = self._rings(
             {"cpx": self._bytes_ycpx, "real": self._bytes_yreal}
@@ -672,10 +789,13 @@ class OutOfCoreSlabFFT:
         try:
             def pencil2(i: int) -> tuple[int, slice]:
                 ip, r = divmod(i, P)
-                return r, ysplits[ip]
+                ys = ysplits[ip] if rank_ysplits is None else rank_ysplits[r][ip]
+                return r, ys
 
             def h2d2(i: int) -> None:
                 r, ys = pencil2(i)
+                if ys.stop == ys.start:
+                    return
                 slot = rings.load(
                     "cpx", i, (n, ys.stop - ys.start, nxh), cdtype,
                     t_out[r][:, ys, :], spans=sp_h2d,
@@ -685,6 +805,8 @@ class OutOfCoreSlabFFT:
             def fft2(i: int) -> None:
                 r, ys = pencil2(i)
                 w = ys.stop - ys.start
+                if w == 0:
+                    return
                 slot = rings.view("cpx", i, (n, w, nxh), cdtype)
                 if self._payload:
                     np.multiply(np.fft.ifft(slot, axis=_KZ_AXIS), n, out=slot)
@@ -696,19 +818,28 @@ class OutOfCoreSlabFFT:
 
             def d2h2(i: int) -> None:
                 r, ys = pencil2(i)
+                if ys.stop == ys.start:
+                    return
                 real = rings.store(
                     "real", i, (n, ys.stop - ys.start, n), self.grid.dtype,
                     out[r][:, ys, :], spans=sp_d2h,
                 )
                 self._note_d2h(real.nbytes)
 
+            def volume2(i: int) -> int:
+                r, ys = pencil2(i)
+                return n * (ys.stop - ys.start) * n
+
+            nitems2 = (
+                len(ysplits) * P if rank_ysplits is None else self.npencils * P
+            )
             self._run(
                 [
                     PipelineStage("h2d", "h2d", "h2d", fn=h2d2),
-                    PipelineStage("fft.zx", "compute", "fft", fn=fft2),
+                    self._compute_stage("fft.zx", fft2, volume2),
                     PipelineStage("d2h", "d2h", "d2h", fn=d2h2),
                 ],
-                len(ysplits) * P,
+                nitems2,
             )
         finally:
             rings.close()
@@ -721,12 +852,16 @@ class OutOfCoreSlabFFT:
         P = self.comm.size
         cdtype = self.grid.cdtype
         for r, loc in enumerate(physical_locals):
-            if loc.shape != d.local_physical_shape():
+            if loc.shape != d.local_physical_shape(r):
                 raise ValueError(f"rank {r}: bad shape {loc.shape}")
         nxh = n // 2 + 1
-        ysplits = self._splits(d.my)
-        half = [self._empty((n, d.my, nxh), cdtype) for _ in range(P)]
-        t_out = [self._empty((d.mz, n, nxh), cdtype) for _ in range(P)]
+        heights = self._heights
+        offsets = self._offsets
+        rank_ysplits = self._rank_ysplits()
+        ysplits = self._splits(d.my) if rank_ysplits is None else None
+        npitems = len(ysplits) if rank_ysplits is None else self.npencils
+        half = [self._empty((n, d.height(r), nxh), cdtype) for r in range(P)]
+        t_out = [self._empty(d.local_spectral_shape(r), cdtype) for r in range(P)]
 
         # Phase 1 (Fig. 4): per (y-pencil, rank) — H2D, fused r2c-x + c2c-z
         # FFTs, D2H — and per pencil, its p2s exchange (a y-sub-range of
@@ -739,10 +874,13 @@ class OutOfCoreSlabFFT:
         try:
             def pencil(i: int) -> tuple[int, slice]:
                 ip, r = divmod(i, P)
-                return r, ysplits[ip]
+                ys = ysplits[ip] if rank_ysplits is None else rank_ysplits[r][ip]
+                return r, ys
 
             def h2d(i: int) -> None:
                 r, ys = pencil(i)
+                if ys.stop == ys.start:
+                    return
                 slot = rings.load(
                     "real", i, (n, ys.stop - ys.start, n), self.grid.dtype,
                     physical_locals[r][:, ys, :], spans=sp_h2d,
@@ -752,6 +890,8 @@ class OutOfCoreSlabFFT:
             def fft(i: int) -> None:
                 r, ys = pencil(i)
                 w = ys.stop - ys.start
+                if w == 0:
+                    return
                 real = rings.view("real", i, (n, w, n), self.grid.dtype)
                 cpx = rings.view("cpx", i, (n, w, nxh), cdtype)
                 if self._payload:
@@ -760,6 +900,8 @@ class OutOfCoreSlabFFT:
 
             def d2h(i: int) -> None:
                 r, ys = pencil(i)
+                if ys.stop == ys.start:
+                    return
                 cpx = rings.store(
                     "cpx", i, (n, ys.stop - ys.start, nxh), cdtype,
                     half[r][:, ys, :], spans=sp_d2h,
@@ -767,23 +909,35 @@ class OutOfCoreSlabFFT:
                 self._note_d2h(cpx.nbytes)
 
             def comm_op(i: int) -> None:
-                ys = ysplits[i // P]
+                ip = i // P
+                if rank_ysplits is None:
+                    src_chunks = None
+                    chunk = ysplits[ip]
+                else:
+                    src_chunks = tuple(rank_ysplits[r][ip] for r in range(P))
+                    chunk = src_chunks[0]
                 self._exchange_pencil(
                     half, t_out, pack_axis=_KZ_AXIS, unpack_axis=_Y_AXIS,
-                    chunk=ys, chunk_axis=_Y_AXIS, block_extent=d.my,
+                    chunk=chunk, chunk_axis=_Y_AXIS, block_extent=d.max_height,
+                    pack_sizes=heights, src_chunks=src_chunks,
+                    unpack_offsets=offsets,
                 )
+
+            def volume(i: int) -> int:
+                r, ys = pencil(i)
+                return n * (ys.stop - ys.start) * n
 
             self._run(
                 [
                     PipelineStage("h2d", "h2d", "h2d", fn=h2d),
-                    PipelineStage("fft.xz", "compute", "fft", fn=fft),
+                    self._compute_stage("fft.xz", fft, volume),
                     PipelineStage("d2h", "d2h", "d2h", fn=d2h),
                     PipelineStage(
                         "a2a", "comm", "mpi", fn=comm_op,
                         when=lambda i: i % P == P - 1,
                     ),
                 ],
-                len(ysplits) * P,
+                npitems * P,
             )
         finally:
             rings.close()
@@ -793,7 +947,7 @@ class OutOfCoreSlabFFT:
         # Phase 2: per (x-pencil, rank) — the final y-FFT + normalization.
         xsplits = self._splits(nxh)
         out = [
-            self._empty(d.local_spectral_shape(), cdtype) for _ in range(P)
+            self._empty(d.local_spectral_shape(r), cdtype) for r in range(P)
         ]
         rings = self._rings({"cpx": self._bytes_xpencil})
         sp_h2d = self._stream_spans("h2d")
@@ -805,35 +959,45 @@ class OutOfCoreSlabFFT:
                 ip, r = divmod(i, P)
                 return r, xsplits[ip]
 
-            def shape_of(xs: slice) -> tuple[int, int, int]:
-                return (d.mz, n, xs.stop - xs.start)
+            def shape_of(r: int, xs: slice) -> tuple[int, int, int]:
+                return (d.height(r), n, xs.stop - xs.start)
 
             def h2d2(i: int) -> None:
                 r, xs = pencil2(i)
+                if d.height(r) == 0:
+                    return
                 slot = rings.load(
-                    "cpx", i, shape_of(xs), cdtype,
+                    "cpx", i, shape_of(r, xs), cdtype,
                     t_out[r][:, :, xs], spans=sp_h2d,
                 )
                 self._note_h2d(slot.nbytes)
 
             def fft2(i: int) -> None:
                 r, xs = pencil2(i)
-                slot = rings.view("cpx", i, shape_of(xs), cdtype)
+                if d.height(r) == 0:
+                    return
+                slot = rings.view("cpx", i, shape_of(r, xs), cdtype)
                 if self._payload:
                     np.divide(np.fft.fft(slot, axis=_Y_AXIS), norm, out=slot)
 
             def d2h2(i: int) -> None:
                 r, xs = pencil2(i)
+                if d.height(r) == 0:
+                    return
                 slot = rings.store(
-                    "cpx", i, shape_of(xs), cdtype,
+                    "cpx", i, shape_of(r, xs), cdtype,
                     out[r][:, :, xs], spans=sp_d2h,
                 )
                 self._note_d2h(slot.nbytes)
 
+            def volume2(i: int) -> int:
+                r, xs = pencil2(i)
+                return d.height(r) * n * (xs.stop - xs.start)
+
             self._run(
                 [
                     PipelineStage("h2d", "h2d", "h2d", fn=h2d2),
-                    PipelineStage("fft.y", "compute", "fft", fn=fft2),
+                    self._compute_stage("fft.y", fft2, volume2),
                     PipelineStage("d2h", "d2h", "d2h", fn=d2h2),
                 ],
                 len(xsplits) * P,

@@ -73,10 +73,12 @@ class SlabDistributedFFT:
         comm: VirtualComm,
         obs: "Observability | None" = None,
         fft_backend: str = "numpy",
+        heights: "Sequence[int] | None" = None,
     ):
         self.grid = grid
         self.comm = comm
-        self.decomp = SlabDecomposition(grid.n, comm.size)
+        hs = tuple(int(h) for h in heights) if heights is not None else None
+        self.decomp = SlabDecomposition(grid.n, comm.size, heights=hs)
         self.obs = obs if obs is not None else NULL_OBS
         self.fft_backend = fft_backend
         resolve_line_fft(fft_backend)  # fail fast on unavailable backends
@@ -86,17 +88,23 @@ class SlabDistributedFFT:
         """Whether the comm offers the fused worker-side transpose."""
         return getattr(self.comm, "rank_transpose", None) is not None
 
+    @property
+    def _heights(self) -> "tuple[int, ...] | None":
+        """Per-rank slab extents to thread through exchanges (None = even)."""
+        return None if self.decomp.heights is None else self.decomp.rank_heights
+
     # -- inverse: Fourier -> physical (y, transpose, z, x) --------------------
 
     def inverse(self, spectral_locals: Sequence[np.ndarray]) -> list[np.ndarray]:
         """kz-slabs of coefficients -> y-slabs of the real field."""
         n = self.grid.n
         d = self.decomp
-        shaped = d.local_spectral_shape()
         for r, loc in enumerate(spectral_locals):
+            shaped = d.local_spectral_shape(r)
             if loc.shape != shaped:
                 raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
         if self._fused:
+            kwargs = {} if self._heights is None else {"pack_sizes": self._heights}
             out = self.comm.rank_transpose(
                 spectral_locals,
                 pack_axis=_Y_AXIS,
@@ -107,6 +115,7 @@ class SlabDistributedFFT:
                 out_dtype=self.grid.dtype,
                 fft=self.fft_backend,
                 obs=self.obs,
+                **kwargs,
             )
             if self.obs.enabled:
                 self.obs.metrics.counter("fft.calls").inc()
@@ -117,7 +126,9 @@ class SlabDistributedFFT:
         with spans.span("fft.y", category="fft"):
             work = [lf.ifft(loc, axis=_Y_AXIS) * n for loc in spectral_locals]
         # Global transpose to y-slabs (complete z lines).
-        work = slab_transpose_spectral_to_physical(self.comm, work, obs=self.obs)
+        work = slab_transpose_spectral_to_physical(
+            self.comm, work, obs=self.obs, heights=self._heights
+        )
         # z, then the complex-to-real x transform.
         with spans.span("fft.zx", category="fft"):
             work = [lf.ifft(loc, axis=_KZ_AXIS) * n for loc in work]
@@ -132,11 +143,12 @@ class SlabDistributedFFT:
         """y-slabs of the real field -> kz-slabs of coefficients."""
         n = self.grid.n
         d = self.decomp
-        shaped = d.local_physical_shape()
         for r, loc in enumerate(physical_locals):
+            shaped = d.local_physical_shape(r)
             if loc.shape != shaped:
                 raise ValueError(f"rank {r}: expected {shaped}, got {loc.shape}")
         if self._fused:
+            kwargs = {} if self._heights is None else {"pack_sizes": self._heights}
             out = self.comm.rank_transpose(
                 physical_locals,
                 pack_axis=_KZ_AXIS,
@@ -147,6 +159,7 @@ class SlabDistributedFFT:
                 out_dtype=self.grid.cdtype,
                 fft=self.fft_backend,
                 obs=self.obs,
+                **kwargs,
             )
             if self.obs.enabled:
                 self.obs.metrics.counter("fft.calls").inc()
@@ -156,7 +169,9 @@ class SlabDistributedFFT:
         with spans.span("fft.xz", category="fft"):
             work = [lf.rfft(loc, axis=_X_AXIS) for loc in physical_locals]
             work = [lf.fft(loc, axis=_KZ_AXIS) for loc in work]
-        work = slab_transpose_physical_to_spectral(self.comm, work, obs=self.obs)
+        work = slab_transpose_physical_to_spectral(
+            self.comm, work, obs=self.obs, heights=self._heights
+        )
         with spans.span("fft.y", category="fft"):
             out = [lf.fft(loc, axis=_Y_AXIS) / n**3 for loc in work]
         if self.obs.enabled:

@@ -58,34 +58,57 @@ def pack_blocks(
     axis: int,
     parts: int,
     pool: Optional[BufferPool] = None,
+    sizes: Optional[Sequence[int]] = None,
 ) -> list[np.ndarray]:
-    """Split ``local`` into ``parts`` equal contiguous blocks along ``axis``.
+    """Split ``local`` into ``parts`` contiguous blocks along ``axis``.
 
     This is the "pack" of the paper's Sec. 3.3: the blocks are made
     contiguous (the GPU does this with a strided D2H copy so packing and the
     device-to-host move are a single operation).  With ``pool``, block
     storage is recycled across exchanges — return the blocks via
     ``pool.give`` once the collective that consumed them completed.
+
+    By default the blocks are equal (``extent % parts`` must be 0); with
+    ``sizes`` each block ``p`` gets ``sizes[p]`` planes — the alltoallv-style
+    pack for uneven slab decompositions.  Zero-size blocks are legal (a
+    height-0 peer still receives an array, just an empty one).
     """
     extent = local.shape[axis]
-    if extent % parts != 0:
+    if sizes is not None:
+        sizes = tuple(int(s) for s in sizes)
+        if len(sizes) != parts:
+            raise ValueError(f"expected {parts} pack sizes, got {len(sizes)}")
+        if any(s < 0 for s in sizes):
+            raise ValueError(f"pack sizes must be >= 0, got {sizes}")
+        if sum(sizes) != extent:
+            raise ValueError(
+                f"pack sizes {sizes} sum to {sum(sizes)} but axis extent "
+                f"is {extent} — the per-peer blocks must partition the axis"
+            )
+    elif extent % parts != 0:
         raise ValueError(f"axis extent {extent} not divisible by {parts}")
     if is_descriptor(local):
         # Metadata mode: the "packed" block is a contiguous descriptor of
         # the split view — same shape, dtype and nbytes as the staged
         # ndarray block, but no pool storage is drawn (there are no bytes
         # to stage).
-        step = extent // parts
         sl = [slice(None)] * local.ndim
         out = []
+        off = 0
         for p in range(parts):
-            sl[axis] = slice(p * step, (p + 1) * step)
+            step = sizes[p] if sizes is not None else extent // parts
+            sl[axis] = slice(off, off + step)
+            off += step
             out.append(local[tuple(sl)].copy())
         return out
+    if sizes is not None:
+        views = np.split(local, np.cumsum(sizes[:-1]), axis=axis)
+    else:
+        views = np.split(local, parts, axis=axis)
     if pool is None:
-        return [np.ascontiguousarray(b) for b in np.split(local, parts, axis=axis)]
+        return [np.ascontiguousarray(b) for b in views]
     out = []
-    for view in np.split(local, parts, axis=axis):
+    for view in views:
         buf = pool.take(view.shape, view.dtype)
         np.copyto(buf, view)
         out.append(buf)
@@ -109,6 +132,7 @@ def transpose_exchange(
     unpack_axis: int,
     obs: "Observability | None" = None,
     pool: Optional[BufferPool] = None,
+    pack_sizes: Optional[Sequence[int]] = None,
 ) -> list[np.ndarray]:
     """One full distributed transpose over ``comm``.
 
@@ -116,7 +140,9 @@ def transpose_exchange(
     ``pack_axis``, exchanges them all-to-all, and unpacks the received
     blocks along ``unpack_axis``.  With ``obs``, the pack / all-to-all /
     unpack phases record wall-clock spans and the exchanged bytes feed the
-    ``transpose.bytes_moved`` counter.
+    ``transpose.bytes_moved`` counter.  ``pack_sizes`` gives peer ``r``'s
+    block extent along ``pack_axis`` (uneven slab heights); omitted, the
+    pack is the balanced even split.
     """
     obs = obs if obs is not None else NULL_OBS
     pool = pool if pool is not None else _PACK_POOL
@@ -125,8 +151,10 @@ def transpose_exchange(
         # Process-pool comms fuse pack -> exchange -> unpack worker-side
         # (shared-memory rings); pure data movement, bit-identical to the
         # in-process path below.
+        kwargs = {} if pack_sizes is None else {"pack_sizes": tuple(pack_sizes)}
         out = rank_transpose(
-            locals_, pack_axis=pack_axis, unpack_axis=unpack_axis, obs=obs
+            locals_, pack_axis=pack_axis, unpack_axis=unpack_axis, obs=obs,
+            **kwargs,
         )
         if obs.enabled:
             rec = comm.stats.records[-1]
@@ -135,7 +163,10 @@ def transpose_exchange(
         return out
     spans = obs.spans
     with spans.span("transpose.pack", category="pack"):
-        send = [pack_blocks(loc, pack_axis, comm.size, pool=pool) for loc in locals_]
+        send = [
+            pack_blocks(loc, pack_axis, comm.size, pool=pool, sizes=pack_sizes)
+            for loc in locals_
+        ]
     with spans.span("transpose.a2a", category="mpi"):
         recv = comm.alltoall(send)
     for bufs in send:  # the collective copied them; recycle the staging
@@ -161,20 +192,30 @@ def post_chunk_exchange(
     chunk: slice,
     chunk_axis: int,
     pool: Optional[BufferPool] = None,
+    pack_sizes: Optional[Sequence[int]] = None,
+    src_chunks: Optional[Sequence[slice]] = None,
 ) -> tuple[PendingAlltoall, list[list[np.ndarray]]]:
     """Pack one chunk on every rank and post its non-blocking all-to-all.
 
     Returns the pending handle plus the pooled send blocks (which must be
     handed to :func:`complete_chunk_exchange` so they are recycled only
     after the exchange completed — the MPI aliasing rule).
+
+    ``pack_sizes`` gives uneven per-peer block extents along ``pack_axis``;
+    ``src_chunks`` gives each *source* rank its own chunk slice (needed when
+    the chunked axis is rank-local and the slabs are uneven, so rank ``r``
+    cuts its own extent rather than a globally shared one).
     """
     pool = pool if pool is not None else _PACK_POOL
-    sl = [slice(None)] * locals_[0].ndim
-    sl[chunk_axis] = chunk
-    send = [
-        pack_blocks(loc[tuple(sl)], pack_axis, comm.size, pool=pool)
-        for loc in locals_
-    ]
+    send = []
+    for r, loc in enumerate(locals_):
+        sl = [slice(None)] * loc.ndim
+        sl[chunk_axis] = src_chunks[r] if src_chunks is not None else chunk
+        send.append(
+            pack_blocks(
+                loc[tuple(sl)], pack_axis, comm.size, pool=pool, sizes=pack_sizes
+            )
+        )
     return comm.ialltoall(send), send
 
 
@@ -187,6 +228,8 @@ def complete_chunk_exchange(
     chunk_axis: int,
     block_extent: int,
     pool: Optional[BufferPool] = None,
+    src_chunks: Optional[Sequence[slice]] = None,
+    unpack_offsets: Optional[Sequence[int]] = None,
 ) -> int:
     """Wait one posted chunk exchange and scatter it into ``outs``.
 
@@ -196,6 +239,10 @@ def complete_chunk_exchange(
     ``chunk_axis == unpack_axis`` each peer ``r``'s block lands at offset
     ``r * block_extent + chunk.start`` — the chunk is a sub-range of every
     peer's contribution to the unpacked axis.  Returns the exchanged bytes.
+
+    For uneven slabs, ``unpack_offsets[r]`` replaces ``r * block_extent``
+    (the cumulative start of peer ``r``'s contribution) and ``src_chunks[r]``
+    replaces the shared ``chunk`` when the chunked axis is rank-local.
     """
     pool = pool if pool is not None else _PACK_POOL
     recv = handle.wait()
@@ -209,14 +256,20 @@ def complete_chunk_exchange(
             nbytes += block.nbytes
             sl = [slice(None)] * outs[s].ndim
             if chunk_axis == unpack_axis:
-                sl[unpack_axis] = slice(
-                    r * block_extent + chunk.start,
-                    r * block_extent + chunk.stop,
+                ck = src_chunks[r] if src_chunks is not None else chunk
+                base = (
+                    unpack_offsets[r]
+                    if unpack_offsets is not None
+                    else r * block_extent
                 )
+                sl[unpack_axis] = slice(base + ck.start, base + ck.stop)
             else:
-                sl[unpack_axis] = slice(
-                    r * block.shape[unpack_axis], (r + 1) * block.shape[unpack_axis]
+                start = (
+                    unpack_offsets[r]
+                    if unpack_offsets is not None
+                    else r * block.shape[unpack_axis]
                 )
+                sl[unpack_axis] = slice(start, start + block.shape[unpack_axis])
                 sl[chunk_axis] = chunk
             outs[s][tuple(sl)] = block
     return nbytes
@@ -232,6 +285,7 @@ def chunked_transpose_exchange(
     obs: "Observability | None" = None,
     pool: Optional[BufferPool] = None,
     window: int = 2,
+    pack_sizes: Optional[Sequence[int]] = None,
 ) -> list[np.ndarray]:
     """The full transpose as ``nchunks`` pipelined non-blocking exchanges.
 
@@ -239,49 +293,79 @@ def chunked_transpose_exchange(
     values), but posts at most ``window`` outstanding requests: packing
     chunk ``j+1`` overlaps the in-flight exchange of chunk ``j``, the
     paper's batched-all-to-all structure on real data.
+
+    ``pack_sizes`` enables uneven slab partitions: peer ``r`` receives
+    ``pack_sizes[r]`` planes of every rank's ``pack_axis``, and each rank's
+    own ``unpack_axis`` contribution (its local extent) lands at its
+    cumulative offset.  When the chunked axis coincides with the unpack
+    axis, every source rank cuts its *own* extent into ``nchunks`` slices
+    (empty slices kept so the chunk count stays aligned across ranks).
     """
     obs = obs if obs is not None else NULL_OBS
     pool = pool if pool is not None else _PACK_POOL
     first = locals_[0]
-    out_shape = list(first.shape)
-    out_shape[pack_axis] = first.shape[pack_axis] // comm.size
-    out_shape[unpack_axis] = first.shape[unpack_axis] * comm.size
-    if is_descriptor(first):
-        outs = [
-            ArrayDescriptor.empty(tuple(out_shape), first.dtype)
-            for _ in locals_
-        ]
-    else:
-        outs = [np.empty(tuple(out_shape), dtype=first.dtype) for _ in locals_]
+    size = comm.size
+
+    unpack_extents = [loc.shape[unpack_axis] for loc in locals_]
+    unpack_offsets: list[int] = []
+    off = 0
+    for e in unpack_extents:
+        unpack_offsets.append(off)
+        off += e
+    total_unpack = off
+
+    outs = []
+    for s, loc in enumerate(locals_):
+        out_shape = list(loc.shape)
+        out_shape[pack_axis] = (
+            pack_sizes[s] if pack_sizes is not None else loc.shape[pack_axis] // size
+        )
+        out_shape[unpack_axis] = total_unpack
+        if is_descriptor(first):
+            outs.append(ArrayDescriptor.empty(tuple(out_shape), loc.dtype))
+        else:
+            outs.append(np.empty(tuple(out_shape), dtype=loc.dtype))
     block_extent = first.shape[unpack_axis]
 
-    edges = np.linspace(0, first.shape[chunk_axis], nchunks + 1).astype(int)
-    chunks = [slice(a, b) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+    per_rank_cut = chunk_axis == unpack_axis and len(set(unpack_extents)) > 1
+    if per_rank_cut:
+        per_rank = []
+        for e in unpack_extents:
+            edges = np.linspace(0, e, nchunks + 1).astype(int)
+            per_rank.append([slice(a, b) for a, b in zip(edges[:-1], edges[1:])])
+        steps = [(srcs[0], tuple(srcs)) for srcs in zip(*per_rank)]
+    else:
+        edges = np.linspace(0, first.shape[chunk_axis], nchunks + 1).astype(int)
+        steps = [
+            (slice(a, b), None) for a, b in zip(edges[:-1], edges[1:]) if b > a
+        ]
 
-    pending: list[tuple[PendingAlltoall, list, slice]] = []
+    pending: list[tuple[PendingAlltoall, list, slice, object]] = []
     nbytes_total = 0
-    for chunk in chunks:
+
+    def _complete(entry) -> int:
+        handle, send, done_chunk, done_srcs = entry
+        with obs.spans.span("transpose.a2a", category="mpi"):
+            return complete_chunk_exchange(
+                handle, send, outs, unpack_axis, done_chunk,
+                chunk_axis, block_extent, pool=pool,
+                src_chunks=done_srcs, unpack_offsets=unpack_offsets,
+            )
+
+    for chunk, src_chunks in steps:
         with obs.spans.span("transpose.pack", category="pack"):
             handle, send = post_chunk_exchange(
-                comm, locals_, pack_axis, chunk, chunk_axis, pool=pool
+                comm, locals_, pack_axis, chunk, chunk_axis, pool=pool,
+                pack_sizes=pack_sizes, src_chunks=src_chunks,
             )
-        pending.append((handle, send, chunk))
+        pending.append((handle, send, chunk, src_chunks))
         if len(pending) > window:
-            handle, send, done_chunk = pending.pop(0)
-            with obs.spans.span("transpose.a2a", category="mpi"):
-                nbytes_total += complete_chunk_exchange(
-                    handle, send, outs, unpack_axis, done_chunk,
-                    chunk_axis, block_extent, pool=pool,
-                )
-    for handle, send, chunk in pending:
-        with obs.spans.span("transpose.a2a", category="mpi"):
-            nbytes_total += complete_chunk_exchange(
-                handle, send, outs, unpack_axis, chunk,
-                chunk_axis, block_extent, pool=pool,
-            )
+            nbytes_total += _complete(pending.pop(0))
+    for entry in pending:
+        nbytes_total += _complete(entry)
     if obs.enabled:
         obs.metrics.counter("transpose.count").inc()
-        obs.metrics.counter("transpose.chunks").inc(len(chunks))
+        obs.metrics.counter("transpose.chunks").inc(len(steps))
         obs.metrics.counter("transpose.bytes_moved").inc(nbytes_total)
     return outs
 
@@ -295,16 +379,19 @@ def slab_transpose_spectral_to_physical(
     comm: VirtualComm,
     locals_: Sequence[np.ndarray],
     obs: "Observability | None" = None,
+    heights: Optional[Sequence[int]] = None,
 ) -> list[np.ndarray]:
-    """kz-slabs (mz, N, nxh) -> y-slabs (N, my, nxh).
+    """kz-slabs (h_r, N, nxh) -> y-slabs (N, h_r, nxh).
 
     Used mid-way through the inverse transform: after the local y-FFTs the
     data must be re-divided so every rank holds complete z lines
     (paper Fig. 2: "transpose these partially-transformed quantities into
-    slabs of x-z planes").
+    slabs of x-z planes").  ``heights`` carries the per-rank slab extents
+    for uneven decompositions (the same vector serves kz and y).
     """
     return transpose_exchange(
-        comm, locals_, pack_axis=_Y_AXIS, unpack_axis=_KZ_AXIS, obs=obs
+        comm, locals_, pack_axis=_Y_AXIS, unpack_axis=_KZ_AXIS, obs=obs,
+        pack_sizes=heights,
     )
 
 
@@ -312,8 +399,10 @@ def slab_transpose_physical_to_spectral(
     comm: VirtualComm,
     locals_: Sequence[np.ndarray],
     obs: "Observability | None" = None,
+    heights: Optional[Sequence[int]] = None,
 ) -> list[np.ndarray]:
-    """y-slabs (N, my, nxh) -> kz-slabs (mz, N, nxh); the reverse exchange."""
+    """y-slabs (N, h_r, nxh) -> kz-slabs (h_r, N, nxh); the reverse exchange."""
     return transpose_exchange(
-        comm, locals_, pack_axis=_KZ_AXIS, unpack_axis=_Y_AXIS, obs=obs
+        comm, locals_, pack_axis=_KZ_AXIS, unpack_axis=_Y_AXIS, obs=obs,
+        pack_sizes=heights,
     )

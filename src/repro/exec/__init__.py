@@ -22,12 +22,14 @@ from repro.exec.api import (
     ExecError,
     Stream,
 )
+from repro.exec.dlb import DlbPolicy
 from repro.exec.pipeline import PencilPipeline, PipelineStage
 from repro.exec.sync import SyncBackend, SyncEvent, SyncStream
 from repro.exec.threads import ThreadBackend, ThreadEvent, ThreadStream
 
 __all__ = [
     "DependencyFailed",
+    "DlbPolicy",
     "Event",
     "ExecBackend",
     "ExecError",

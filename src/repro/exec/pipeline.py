@@ -50,6 +50,14 @@ class PipelineStage:
         Optional filter: the stage is submitted only for items where
         ``when(i)`` is true (e.g. one comm operation per pencil when items
         are (pencil, rank) pairs).
+    owner:
+        Optional ``owner(i) -> lane``: the stage runs on per-lane streams
+        named ``"{stream}[{lane}]"`` instead of the single shared stream.
+        By default an item is pinned to its owner's lane; with a
+        :class:`~repro.exec.dlb.DlbPolicy` on the pipeline the lane is the
+        policy's lend/reclaim assignment.  The per-item event chain and the
+        in-flight window are identical either way, so results match the
+        single-stream schedule bit-for-bit.
     """
 
     name: str
@@ -58,6 +66,7 @@ class PipelineStage:
     fn: Optional[Callable[[int], object]] = None
     cost: Optional[Callable[[int], float]] = None
     when: Optional[Callable[[int], bool]] = None
+    owner: Optional[Callable[[int], int]] = None
 
 
 class PencilPipeline:
@@ -69,6 +78,7 @@ class PencilPipeline:
         stages: list[PipelineStage],
         window: int = 2,
         name: str = "pipeline",
+        dlb=None,
     ):
         if not stages:
             raise ValueError("pipeline needs at least one stage")
@@ -78,6 +88,10 @@ class PencilPipeline:
         self.stages = list(stages)
         self.window = int(window)
         self.name = name
+        #: Optional :class:`repro.exec.dlb.DlbPolicy` deciding the lane of
+        #: every owned stage submission (lend/reclaim); None pins owned
+        #: stages to their owner's lane.
+        self.dlb = dlb
 
     def run(self, nitems: int) -> None:
         """Submit all items, drain every stream, propagate the first error.
@@ -101,7 +115,20 @@ class PencilPipeline:
                 for stage in self.stages:
                     if stage.when is not None and not stage.when(i):
                         continue
-                    stream = streams[stage.stream]
+                    cost = float(stage.cost(i)) if stage.cost is not None else 0.0
+                    if stage.owner is not None:
+                        owner = int(stage.owner(i))
+                        lane = (
+                            self.dlb.assign(
+                                i, owner,
+                                cost if stage.cost is not None else 1.0,
+                            )
+                            if self.dlb is not None
+                            else owner
+                        )
+                        stream = backend.stream(f"{stage.stream}[{lane}]")
+                    else:
+                        stream = streams[stage.stream]
                     if gate is not None:
                         stream.wait_event(gate)
                         gate = None  # only the item's first stage gates
@@ -110,7 +137,6 @@ class PencilPipeline:
                     fn = None
                     if stage.fn is not None:
                         fn = (lambda f=stage.fn, j=i: f(j))
-                    cost = float(stage.cost(i)) if stage.cost is not None else 0.0
                     prev_event = stream.submit(
                         f"{stage.name}[{i}]",
                         stage.category or stage.name,

@@ -229,15 +229,15 @@ def _worker_main(rank: int, size: int, conn, start_method: str,
                 pre = msg["pre"]
                 mid = _KERNELS[pre](src, n, lf) if pre else src
                 t1 = time.perf_counter()
-                bshape = tuple(msg["block_shape"])
-                bdtype = np.dtype(msg["block_dtype"])
-                bbytes = int(np.prod(bshape)) * bdtype.itemsize
                 base = msg["ring_off"]
+                stride = msg["slot_stride"]
+                exts = msg["dst_extents"]
+                cuts = np.cumsum(exts[:-1]) if len(exts) > 1 else []
                 for dst, block in enumerate(
-                    np.split(mid, size, axis=msg["pack_axis"])
+                    np.split(mid, cuts, axis=msg["pack_axis"])
                 ):
-                    slot = _view(segs[rank], bshape, bdtype,
-                                 base + dst * _aligned(bbytes))
+                    slot = _view(segs[rank], block.shape, block.dtype,
+                                 base + dst * stride)
                     np.copyto(slot, block)
                 t2 = time.perf_counter()
                 if pre:
@@ -245,14 +245,18 @@ def _worker_main(rank: int, size: int, conn, start_method: str,
                 spans.append(("proc.pack", "pack", t1, t2))
             elif op == "stage2":
                 t0 = time.perf_counter()
-                bshape = tuple(msg["block_shape"])
+                bshape = list(msg["block_shape"])
                 bdtype = np.dtype(msg["block_dtype"])
-                bbytes = int(np.prod(bshape)) * bdtype.itemsize
-                slot_off = msg["ring_off"] + rank * _aligned(bbytes)
-                gathered = np.concatenate(
-                    [_view(segs[r], bshape, bdtype, slot_off) for r in range(size)],
-                    axis=msg["unpack_axis"],
-                )
+                ua = msg["unpack_axis"]
+                slot_off = msg["ring_off"] + rank * msg["slot_stride"]
+                views = []
+                # Peer r's slot for this rank holds a block whose unpack
+                # extent is r's own slab height (uneven decompositions).
+                for r, ext in enumerate(msg["src_extents"]):
+                    shp = list(bshape)
+                    shp[ua] = int(ext)
+                    views.append(_view(segs[r], shp, bdtype, slot_off))
+                gathered = np.concatenate(views, axis=ua)
                 t1 = time.perf_counter()
                 post = msg["post"]
                 out = _KERNELS[post](gathered, n, lf) if post else gathered
@@ -584,6 +588,7 @@ class ProcsComm(VirtualComm):
         fft: Optional[str] = None,
         kind: str = "alltoall",
         obs: "Observability | None" = None,
+        pack_sizes: Optional[Sequence[int]] = None,
     ) -> list[np.ndarray]:
         """Pack -> shared-memory all-to-all -> unpack, executed on the pool.
 
@@ -593,16 +598,35 @@ class ProcsComm(VirtualComm):
         :func:`repro.dist.transpose.pack_blocks` and exchanging through
         :meth:`VirtualComm.alltoall` — pure data movement plus the exact
         inline kernel sequence.
+
+        ``pack_sizes`` (per-rank slab heights) generalizes the exchange to
+        uneven decompositions: rank r's input carries ``pack_sizes[r]``
+        planes along ``unpack_axis``, the pack split along ``pack_axis``
+        follows the same extents, and every ring slot is sized for the
+        largest block.  ``None`` keeps the balanced even-split layout.
         """
         if not self._workers:
             raise RuntimeError(f"{self.name}: communicator is closed")
         self._check_per_rank(locals_)
         first = locals_[0]
+        ps: Optional[tuple[int, ...]] = None
+        if pack_sizes is not None:
+            ps = tuple(int(x) for x in pack_sizes)
+            if len(ps) != self.size:
+                raise ValueError(
+                    f"{self.name}: pack_sizes has {len(ps)} entries for "
+                    f"{self.size} ranks"
+                )
+            if any(x < 0 for x in ps):
+                raise ValueError(f"{self.name}: pack_sizes must be >= 0, got {ps}")
         for r, loc in enumerate(locals_):
-            if loc.shape != first.shape or loc.dtype != first.dtype:
+            exp = list(first.shape)
+            if ps is not None:
+                exp[unpack_axis] = ps[r]
+            if list(loc.shape) != exp or loc.dtype != first.dtype:
                 raise ValueError(
                     f"{self.name}: rank {r} local {loc.shape}/{loc.dtype} "
-                    f"differs from rank 0 {first.shape}/{first.dtype}"
+                    f"differs from expected {tuple(exp)}/{first.dtype}"
                 )
         if n is None:
             n = first.shape[pack_axis]
@@ -611,61 +635,96 @@ class ProcsComm(VirtualComm):
 
         lf = resolve_line_fft(fft_name)
         mid_shape, mid_dtype = _pre_meta(pre, first.shape, first.dtype, n, lf)
-        if mid_shape[pack_axis] % self.size != 0:
-            raise ValueError(
-                f"pack axis extent {mid_shape[pack_axis]} not divisible by "
-                f"{self.size}"
+        mid_dtype = np.dtype(mid_dtype)
+        if ps is None:
+            if mid_shape[pack_axis] % self.size != 0:
+                raise ValueError(
+                    f"pack axis extent {mid_shape[pack_axis]} not divisible "
+                    f"by {self.size}"
+                )
+            pack_exts = (mid_shape[pack_axis] // self.size,) * self.size
+            unpack_exts = (mid_shape[unpack_axis],) * self.size
+        else:
+            if sum(ps) != mid_shape[pack_axis]:
+                raise ValueError(
+                    f"pack_sizes {ps} sum to {sum(ps)} but the pack axis "
+                    f"extent is {mid_shape[pack_axis]}"
+                )
+            pack_exts = ps
+            unpack_exts = ps
+        # Bytes of the (src=r -> dst=s) block: the mid-shape template with
+        # the pack extent of s and the unpack extent of r.
+        base_bytes = mid_dtype.itemsize
+        for ax, ext in enumerate(mid_shape):
+            if ax not in (pack_axis, unpack_axis):
+                base_bytes *= int(ext)
+        slot_stride = _aligned(base_bytes * max(unpack_exts) * max(pack_exts))
+        total_unpack = sum(unpack_exts)
+
+        out_shapes, out_dts, out_bytes = [], [], 0
+        for s in range(self.size):
+            gathered_shape = list(mid_shape)
+            gathered_shape[pack_axis] = pack_exts[s]
+            gathered_shape[unpack_axis] = total_unpack
+            o_shape, o_dt = _post_meta(
+                post, gathered_shape, mid_dtype, n, out_dtype
             )
-        block_shape = list(mid_shape)
-        block_shape[pack_axis] //= self.size
-        block_shape = tuple(block_shape)
-        block_bytes = int(np.prod(block_shape)) * np.dtype(mid_dtype).itemsize
-        gathered_shape = list(block_shape)
-        gathered_shape[unpack_axis] *= self.size
-        out_shape, out_dt = _post_meta(
-            post, gathered_shape, mid_dtype, n, out_dtype
-        )
-        out_bytes = int(np.prod(out_shape)) * out_dt.itemsize
+            out_shapes.append(o_shape)
+            out_dts.append(o_dt)
+            out_bytes = max(out_bytes, int(np.prod(o_shape)) * o_dt.itemsize)
 
         in_off = 0
-        out_off = _aligned(first.nbytes)
+        in_bytes = max(loc.nbytes for loc in locals_)
+        out_off = _aligned(in_bytes)
         ring_off = out_off + _aligned(out_bytes)
-        self._ensure_capacity(ring_off + self.size * _aligned(block_bytes))
+        self._ensure_capacity(ring_off + self.size * slot_stride)
 
         trace = obs is not None and obs.enabled
         common = {
             "fft": fft_name,
             "n": int(n),
-            "block_shape": block_shape,
-            "block_dtype": np.dtype(mid_dtype).str,
+            "block_dtype": mid_dtype.str,
             "ring_off": ring_off,
+            "slot_stride": slot_stride,
             "trace": trace,
         }
-        stage1 = {
-            "op": "stage1",
-            "pre": pre,
-            "in_off": in_off,
-            "in_shape": first.shape,
-            "in_dtype": first.dtype.str,
-            "pack_axis": pack_axis,
-            **common,
-        }
-        stage2 = {
-            "op": "stage2",
-            "post": post,
-            "unpack_axis": unpack_axis,
-            "out_off": out_off,
-            "out_shape": out_shape,
-            "out_dtype": out_dt.str,
-            **common,
-        }
+        stage1 = [
+            {
+                "op": "stage1",
+                "pre": pre,
+                "in_off": in_off,
+                "in_shape": loc.shape,
+                "in_dtype": loc.dtype.str,
+                "pack_axis": pack_axis,
+                "dst_extents": list(pack_exts),
+                **common,
+            }
+            for loc in locals_
+        ]
+        stage2 = []
+        for s in range(self.size):
+            block_shape = list(mid_shape)
+            block_shape[pack_axis] = pack_exts[s]
+            stage2.append(
+                {
+                    "op": "stage2",
+                    "post": post,
+                    "unpack_axis": unpack_axis,
+                    "block_shape": tuple(block_shape),
+                    "src_extents": list(unpack_exts),
+                    "out_off": out_off,
+                    "out_shape": out_shapes[s],
+                    "out_dtype": out_dts[s].str,
+                    **common,
+                }
+            )
 
         for r, loc in enumerate(locals_):
             dst = np.ndarray(loc.shape, dtype=loc.dtype,
                              buffer=self._segments[r].buf, offset=in_off)
             np.copyto(dst, loc)
 
-        replies = self._broadcast_wait([stage1] * self.size)
+        replies = self._broadcast_wait(stage1)
         # The barrier between pack and unpack is where the collective
         # "happens": consult the fault injector here, exactly where the
         # in-process comm does.  A dropped exchange re-dispatches the pack
@@ -682,25 +741,29 @@ class ProcsComm(VirtualComm):
                     raise
                 self.fault_retries += 1
                 if fault.dropped:
-                    replies = self._broadcast_wait([stage1] * self.size)
+                    replies = self._broadcast_wait(stage1)
 
-        sizes = [block_bytes] * (self.size * self.size)
+        sizes = [
+            base_bytes * unpack_exts[r] * pack_exts[s]
+            for r in range(self.size)
+            for s in range(self.size)
+        ]
         self.stats.records.append(
             CollectiveRecord(
                 kind,
                 total_bytes=sum(sizes),
-                p2p_bytes=block_bytes,
+                p2p_bytes=max(sizes),
                 ranks=self.size,
-                p2p_min_bytes=block_bytes,
-                p2p_max_bytes=block_bytes,
+                p2p_min_bytes=min(sizes),
+                p2p_max_bytes=max(sizes),
                 messages=len(sizes),
             )
         )
 
-        replies2 = self._broadcast_wait([stage2] * self.size)
+        replies2 = self._broadcast_wait(stage2)
         outs = []
         for r in range(self.size):
-            src = np.ndarray(out_shape, dtype=out_dt,
+            src = np.ndarray(out_shapes[r], dtype=out_dts[r],
                              buffer=self._segments[r].buf, offset=out_off)
             outs.append(np.array(src, copy=True))
         if trace:
@@ -793,16 +856,23 @@ class Mpi4pyComm(VirtualComm):
 
     def rank_transpose(  # pragma: no cover - requires mpi4py
         self, locals_, pack_axis, unpack_axis, pre=None, post=None, n=None,
-        out_dtype=None, fft=None, kind="alltoall", obs=None,
+        out_dtype=None, fft=None, kind="alltoall", obs=None, pack_sizes=None,
     ):
         self._check_per_rank(locals_)
         if n is None:
             n = locals_[0].shape[pack_axis]
         fft_name = fft if fft is not None else self.fft_backend
+        # np.split accepts either a section count (balanced) or explicit
+        # cut indices (uneven per-rank heights).
+        parts = (
+            self.size
+            if pack_sizes is None
+            else [int(c) for c in np.cumsum(list(pack_sizes)[:-1])]
+        )
         packed = list(self._pool.map(
             _mpi_stage1, locals_,
             [pre] * self.size, [n] * self.size, [pack_axis] * self.size,
-            [self.size] * self.size, [fft_name] * self.size,
+            [parts] * self.size, [fft_name] * self.size,
         ))
         if self.fault_injector is not None:
             for attempt in range(4):
@@ -816,7 +886,7 @@ class Mpi4pyComm(VirtualComm):
                         packed = list(self._pool.map(
                             _mpi_stage1, locals_,
                             [pre] * self.size, [n] * self.size,
-                            [pack_axis] * self.size, [self.size] * self.size,
+                            [pack_axis] * self.size, [parts] * self.size,
                             [fft_name] * self.size,
                         ))
         sizes = [int(b.nbytes) for bufs in packed for b in bufs]

@@ -11,6 +11,9 @@ This package stress-tests that claim from three directions:
 * :mod:`repro.verify.faults` — :class:`CommFaultPlan` makes the virtual
   communicator drop or delay all-to-all chunks, exercising the out-of-core
   engine's retry/backoff path;
+* :mod:`repro.verify.imbalance` — :class:`ImbalancePlan` slows seeded
+  victim ranks multiplicatively on chosen stage categories, the regime the
+  DLB lend/reclaim schedule must absorb without changing a byte;
 * :mod:`repro.verify.explorer` — :class:`ReplayBackend` records the
   pipeline's event graph and re-executes it in sampled legal topological
   orders, proving determinism over interleavings the OS scheduler would
@@ -40,10 +43,12 @@ from repro.verify.fuzz import (
 from repro.verify.harness import (
     DEFAULT_PROFILES,
     DEFAULT_SEEDS,
+    IMBALANCE_PROFILES,
     FuzzCase,
     VerificationReport,
     run_verification,
 )
+from repro.verify.imbalance import ImbalancePlan
 from repro.verify.invariants import InvariantMonitor, InvariantViolation
 from repro.verify.watchdog import DeadlockTimeout, watchdog
 
@@ -55,6 +60,8 @@ __all__ = [
     "FuzzBackend",
     "FuzzCase",
     "FuzzProfile",
+    "IMBALANCE_PROFILES",
+    "ImbalancePlan",
     "InvariantMonitor",
     "InvariantViolation",
     "PROFILES",

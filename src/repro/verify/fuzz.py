@@ -74,6 +74,14 @@ class FuzzProfile:
     ``comm_drop_rate``/``comm_late_rate`` parameterize the fault-capable
     comm shim (:class:`repro.verify.faults.CommFaultPlan`) built for runs
     under this profile.
+
+    ``imbalance_skew`` > 1.0 turns on per-rank load imbalance: the seeded
+    slow ranks (``imbalance_ranks``, or one seeded victim when None) run
+    every op in ``imbalance_categories`` ``imbalance_skew`` x slower (the
+    op's own measured duration is stretched multiplicatively).  The plan
+    itself lives in :class:`repro.verify.imbalance.ImbalancePlan`; the
+    backend materializes it once the rank count is known (see
+    :meth:`FuzzBackend.configure_imbalance`).
     """
 
     name: str = "inert"
@@ -88,6 +96,9 @@ class FuzzProfile:
     reorder_window: int = 1
     comm_drop_rate: float = 0.0
     comm_late_rate: float = 0.0
+    imbalance_skew: float = 1.0
+    imbalance_categories: tuple[str, ...] = ("fft",)
+    imbalance_ranks: Optional[tuple[int, ...]] = None
 
     def rng_for(self, stream_name: str) -> np.random.Generator:
         """Deterministic per-stream generator: independent of thread timing."""
@@ -125,6 +136,24 @@ PROFILES: dict[str, FuzzProfile] = {
         reorder_window=4,
         comm_drop_rate=0.05,
         comm_late_rate=0.08,
+    ),
+    # Load-imbalance profiles: one seeded slow rank per run, skewing a
+    # different stage category each — the regimes the DLB lend/reclaim
+    # schedule (repro.exec.dlb) is meant to absorb.
+    "imbalance_compute": FuzzProfile(
+        name="imbalance_compute",
+        imbalance_skew=2.0,
+        imbalance_categories=("fft",),
+    ),
+    "imbalance_copy": FuzzProfile(
+        name="imbalance_copy",
+        imbalance_skew=1.75,
+        imbalance_categories=("h2d", "d2h"),
+    ),
+    "imbalance_comm": FuzzProfile(
+        name="imbalance_comm",
+        imbalance_skew=1.5,
+        imbalance_categories=("mpi",),
     ),
 }
 
@@ -235,6 +264,26 @@ class FuzzStream(Stream):
         stream_name = self.name
         item = meta.get("item")
 
+        plan = backend.imbalance
+        imb = 1.0
+        if plan is not None and plan.applies(category):
+            if category == "mpi":
+                # A collective is as slow as its slowest participant.
+                imb = plan.max_factor
+            elif item is not None:
+                imb = plan.factor(int(item) % plan.ranks)
+        if imb > 1.0:
+            inner_fn, slowdown = fn, imb - 1.0
+
+            def fn():  # noqa: F811 - deliberate rebind of the wrapped op
+                t0 = time.perf_counter()
+                result = inner_fn()
+                extra = (time.perf_counter() - t0) * slowdown
+                if extra > 0.0:
+                    backend._note_imbalance(extra)
+                    time.sleep(extra)
+                return result
+
         def fuzzed():
             if pre > 0.0:
                 backend._note_delay(pre)
@@ -323,6 +372,9 @@ class FuzzBackend(ExecBackend):
         self.profile = profile if profile is not None else FuzzProfile()
         self.obs = obs if obs is not None else NULL_OBS
         self.monitor = monitor
+        #: Optional :class:`repro.verify.imbalance.ImbalancePlan`; set by
+        #: :meth:`configure_imbalance` once the engine knows its rank count.
+        self.imbalance = None
         self._streams: dict[str, FuzzStream] = {}
         self._lock = threading.Lock()
         self._held: list[tuple[FuzzStream, _HeldOp]] = []
@@ -339,6 +391,7 @@ class FuzzBackend(ExecBackend):
             "retried": 0,
             "recovered": 0,
             "delay_seconds": 0.0,
+            "imbalance_seconds": 0.0,
             "reordered": 0,
         }
         # Instruments pre-created here: workers only mutate existing ones.
@@ -351,9 +404,11 @@ class FuzzBackend(ExecBackend):
                 "reordered": m.counter("verify.dispatch.reordered"),
             }
             self._delay_counter = m.counter("verify.delay.seconds")
+            self._imbalance_counter = m.counter("verify.imbalance.seconds")
         else:
             self._counters = None
             self._delay_counter = None
+            self._imbalance_counter = None
 
     @property
     def kind(self) -> str:
@@ -372,6 +427,23 @@ class FuzzBackend(ExecBackend):
             self.stats["delay_seconds"] += seconds
         if self._delay_counter is not None:
             self._delay_counter.inc(seconds)
+
+    def _note_imbalance(self, seconds: float) -> None:
+        with self._lock:
+            self.stats["imbalance_seconds"] += seconds
+        if self._imbalance_counter is not None:
+            self._imbalance_counter.inc(seconds)
+
+    def configure_imbalance(self, ranks: int) -> None:
+        """Materialize the profile's imbalance plan for ``ranks`` lanes.
+
+        Called by engines (e.g. the out-of-core FFT) once the virtual rank
+        count is known.  No-op for profiles without imbalance; idempotent
+        for a fixed rank count.
+        """
+        from repro.verify.imbalance import ImbalancePlan
+
+        self.imbalance = ImbalancePlan.from_profile(self.profile, ranks)
 
     # -- reorder buffer ------------------------------------------------------
 

@@ -51,10 +51,19 @@ from repro.verify.fuzz import FuzzProfile, fuzz_profile
 from repro.verify.invariants import InvariantMonitor
 from repro.verify.watchdog import DeadlockTimeout, watchdog
 
-__all__ = ["FuzzCase", "VerificationReport", "run_verification"]
+__all__ = [
+    "FuzzCase",
+    "IMBALANCE_PROFILES",
+    "VerificationReport",
+    "run_verification",
+]
 
 DEFAULT_SEEDS = (101, 202, 303)
 DEFAULT_PROFILES = ("calm", "jittery", "stormy", "faulty", "flaky-net")
+#: The load-imbalance tier (`repro verify --profiles imbalance_...`): a
+#: seeded slow rank per run, one stage category per profile.  Typically
+#: combined with uneven ``heights`` and ``dlb="lend"``.
+IMBALANCE_PROFILES = ("imbalance_compute", "imbalance_copy", "imbalance_comm")
 
 
 @dataclass
@@ -73,15 +82,29 @@ class FuzzCase:
     invariant_checks: int = 0
     wall_seconds: float = 0.0
     flight_dump: Optional[str] = None
+    imbalance_seconds: float = 0.0
+    pencils_lent: int = 0
+    pencils_reclaimed: int = 0
 
     def describe(self) -> str:
         status = "ok" if self.ok else f"FAIL ({self.error})"
+        dlb = (
+            f" dlb={self.pencils_lent}lent/{self.pencils_reclaimed}recl"
+            if self.pencils_lent or self.pencils_reclaimed
+            else ""
+        )
+        imb = (
+            f" imb={self.imbalance_seconds:.3f}s"
+            if self.imbalance_seconds > 0.0
+            else ""
+        )
         return (
             f"seed={self.seed} profile={self.profile:<10s} {status}  "
             f"op-faults={self.faults_injected}/{self.faults_recovered}rec "
             f"comm-faults={self.comm_faults} "
             f"(drop {self.comm_dropped}, late {self.comm_late}) "
-            f"checks={self.invariant_checks} {self.wall_seconds:.2f}s"
+            f"checks={self.invariant_checks}{dlb}{imb} "
+            f"{self.wall_seconds:.2f}s"
         )
 
 
@@ -131,10 +154,13 @@ class VerificationReport:
             f"({len(self.cases)} fuzz case(s), "
             f"{self.total_faults} fault(s) injected)"
         )
-        if self.passed and self.total_faults == 0:
+        perturbed = self.total_faults > 0 or any(
+            c.imbalance_seconds > 0.0 for c in self.cases
+        )
+        if self.passed and not perturbed:
             lines.append(
-                "  warning: no faults were injected — raise rates or add "
-                "seeds for a meaningful run"
+                "  warning: no faults or imbalance were injected — raise "
+                "rates or add seeds for a meaningful run"
             )
         return "\n".join(lines)
 
@@ -148,11 +174,13 @@ def _reference_trajectory(
     steps: int,
     dt: float,
     copy_strategy: str = "memcpy2d",
+    heights: Optional[Sequence[int]] = None,
 ) -> np.ndarray:
     """The sync-backend oracle state after ``steps`` steps."""
     with DistributedNavierStokesSolver(
         grid, VirtualComm(ranks), u0, config=config,
         npencils=npencils, pipeline="sync", copy_strategy=copy_strategy,
+        heights=heights,
     ) as solver:
         for _ in range(steps):
             solver.step(dt)
@@ -182,8 +210,16 @@ def run_verification(
     copy_strategy: str = "memcpy2d",
     artifact_dir: Optional[str] = None,
     run_id: Optional[str] = None,
+    heights: Optional[Sequence[int]] = None,
+    dlb: str = "off",
 ) -> VerificationReport:
     """Run the full fuzz matrix plus schedule exploration; see module doc.
+
+    ``heights`` (uneven per-rank slab extents) and ``dlb`` (``off`` /
+    ``pinned`` / ``lend``) extend the matrix to the load-imbalance tier:
+    the unfuzzed sync reference runs on the same decomposition (DLB off —
+    lanes never change bytes, which is exactly what the comparison
+    proves), and every fuzzed case must still match it bit-for-bit.
 
     ``copy_strategy`` selects the strided host<->device copy engine for
     both the reference and every fuzzed run (all strategies are
@@ -201,7 +237,7 @@ def run_verification(
     u0 = _initial_condition(grid)
     reference = _reference_trajectory(
         grid, u0, config, ranks, npencils, steps, dt,
-        copy_strategy=copy_strategy,
+        copy_strategy=copy_strategy, heights=heights,
     )
     report = VerificationReport()
     flight = FlightRecorder(capacity=512, run_id=run_id,
@@ -216,6 +252,7 @@ def run_verification(
                     grid, u0, config, reference, ranks, npencils, inflight,
                     steps, dt, profile, watchdog_seconds, report,
                     copy_strategy=copy_strategy, flight=flight,
+                    heights=heights, dlb=dlb,
                 )
                 report.cases.append(case)
                 if verbose:
@@ -248,6 +285,8 @@ def _run_fuzz_case(
     report: VerificationReport,
     copy_strategy: str = "memcpy2d",
     flight: Optional[FlightRecorder] = None,
+    heights: Optional[Sequence[int]] = None,
+    dlb: str = "off",
 ) -> FuzzCase:
     case = FuzzCase(seed=profile.seed, profile=profile.name, ok=False)
     comm = VirtualComm(ranks)
@@ -273,6 +312,7 @@ def _run_fuzz_case(
                 npencils=npencils, pipeline="threads", inflight=inflight,
                 fuzz=profile, monitor=monitor,
                 copy_strategy=copy_strategy,
+                heights=heights, dlb=dlb,
             )
             for _ in range(steps):
                 solver.step(dt)
@@ -307,6 +347,11 @@ def _run_fuzz_case(
             if stats is not None:
                 case.faults_injected = stats["injected"]
                 case.faults_recovered = stats["recovered"]
+                case.imbalance_seconds = stats.get("imbalance_seconds", 0.0)
+            policy = getattr(solver.fft, "_dlb_policy", None)
+            if policy is not None:
+                case.pencils_lent = policy.pencils_lent
+                case.pencils_reclaimed = policy.pencils_reclaimed
             solver.close()
         if plan is not None:
             case.comm_faults = plan.injected

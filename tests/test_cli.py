@@ -156,6 +156,66 @@ class TestDnsDistributed:
                      "--forced"]) == 2
 
 
+class TestUnevenHeightsCli:
+    def test_dns_uneven_heights_run(self, capsys):
+        assert main(["dns", "--n", "24", "--steps", "1", "--ranks", "3",
+                     "--heights", "10,6,8"]) == 0
+        assert "heights=10,6,8" in capsys.readouterr().out
+
+    def test_dns_skew_run(self, capsys):
+        assert main(["dns", "--n", "24", "--steps", "1", "--ranks", "3",
+                     "--skew", "2.0"]) == 0
+        assert "heights=12,6,6" in capsys.readouterr().out
+
+    def test_dns_dlb_lend_prints_counters(self, capsys):
+        assert main(["dns", "--n", "24", "--steps", "1", "--ranks", "3",
+                     "--heights", "10,6,8", "--npencils", "2",
+                     "--pipeline", "threads", "--dlb", "lend"]) == 0
+        out = capsys.readouterr().out
+        assert "dlb=lend" in out
+        assert "pencil(s) lent" in out
+
+    def test_dns_bad_heights_quotes_feasible_partition(self, capsys):
+        assert main(["dns", "--n", "24", "--steps", "1", "--ranks", "3",
+                     "--heights", "10,6,9"]) == 2
+        err = capsys.readouterr().err
+        assert "INFEASIBLE" in err
+        assert "slab partition quote: N=24 over 3 rank(s)" in err
+        assert "--heights 8,8,8" in err
+
+    def test_dns_non_integer_heights_rejected(self, capsys):
+        assert main(["dns", "--n", "24", "--steps", "1", "--ranks", "3",
+                     "--heights", "10,six,8"]) == 2
+        assert "INFEASIBLE" in capsys.readouterr().err
+
+    def test_dns_heights_and_skew_conflict(self, capsys):
+        assert main(["dns", "--n", "24", "--steps", "1", "--ranks", "3",
+                     "--heights", "10,6,8", "--skew", "1.5"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_dns_dlb_requires_npencils(self, capsys):
+        assert main(["dns", "--n", "24", "--steps", "1", "--ranks", "3",
+                     "--dlb", "lend"]) == 2
+        assert "--npencils" in capsys.readouterr().err
+
+    def test_verify_bad_heights_quotes_feasible_partition(self, capsys):
+        assert main(["verify", "--n", "8", "--ranks", "2", "--npencils", "2",
+                     "--seeds", "7", "--profiles", "calm",
+                     "--heights", "5,4"]) == 2
+        err = capsys.readouterr().err
+        assert "INFEASIBLE" in err
+        assert "--heights 4,4" in err
+
+    def test_verify_imbalance_profile_with_dlb(self, capsys):
+        assert main(["verify", "--n", "8", "--ranks", "2", "--npencils", "2",
+                     "--steps", "1", "--seeds", "7", "--orders", "0",
+                     "--profiles", "imbalance_compute",
+                     "--heights", "5,3", "--dlb", "lend"]) == 0
+        out = capsys.readouterr().out
+        assert "heights=[5, 3]" in out
+        assert "PASS" in out
+
+
 class TestStudies:
     def test_validation_command_exit_code(self, capsys):
         assert main(["validation", "--n", "16"]) == 0
