@@ -12,6 +12,7 @@ Subcommands expose the reproduction's main entry points:
 ``projection``   the exascale what-if study
 ``verify``       fuzz + schedule-exploration verification of the pipeline
 ``tune``         probe the strided-copy engines on real pencil layouts
+``serve``        multi-tenant job service: queue, schedule, and run jobs
 ``obs``          run registry, live event tail, and the perf-regression gate
 ===============  ==========================================================
 
@@ -201,6 +202,101 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dlb", default="off", choices=["off", "pinned", "lend"],
                    help="per-rank compute lanes for every fuzz case "
                         "(results must stay bit-identical)")
+    p.add_argument("--scheduler", action="store_true",
+                   help="instead of the pipeline fuzz matrix: conformance-"
+                        "fuzz the serve scheduler (determinism, capacity, "
+                        "fairness) over seeded random workloads")
+    p.add_argument("--workloads", type=int, default=12,
+                   help="with --scheduler: number of seeded workloads "
+                        "(default 12; --seeds/--seed-base override)")
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant DNS job service: queue, schedule, and run jobs",
+    )
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    def _serve_common(q):
+        q.add_argument("--root", default=None, metavar="DIR",
+                       help="service state directory (default .repro/serve "
+                            "or $REPRO_SERVE_DIR)")
+
+    q = serve_sub.add_parser("submit", help="queue a job from a spec")
+    _serve_common(q)
+    q.add_argument("--spec", metavar="FILE", default=None,
+                   help="JobSpec JSON file ('-' for stdin); inline flags "
+                        "below override nothing when given")
+    q.add_argument("--name", default=None, help="job name (required "
+                                                "without --spec)")
+    q.add_argument("--tenant", default="default")
+    q.add_argument("--priority", type=int, default=0,
+                   help="fair-share priority; weight doubles per step "
+                        "(default 0)")
+    q.add_argument("--n", type=int, default=24)
+    q.add_argument("--steps", type=int, default=2)
+    q.add_argument("--dt", type=float, default=None)
+    q.add_argument("--nu", type=float, default=0.02)
+    q.add_argument("--scheme", default="rk2", choices=["rk2", "rk4"])
+    q.add_argument("--ic", default="taylor-green",
+                   choices=["taylor-green", "random"])
+    q.add_argument("--ic-seed", type=int, default=0)
+    q.add_argument("--ranks", type=int, default=None,
+                   help="distributed run over this many virtual ranks")
+    q.add_argument("--comm", default="virtual",
+                   choices=["virtual", "procs", "mpi"])
+    q.add_argument("--npencils", type=int, default=None,
+                   help="out-of-core pencils per slab (enables the GPU "
+                        "pipeline model)")
+    q.add_argument("--pipeline", default="sync", choices=["sync", "threads"])
+    q.add_argument("--inflight", type=int, default=3)
+    q.add_argument("--copy-strategy", default="memcpy2d",
+                   choices=["auto", "per_chunk", "memcpy2d", "zero_copy"])
+    q.add_argument("--heights", default=None, metavar="H0,H1,...",
+                   help="uneven per-rank slab heights (must sum to N)")
+    q.add_argument("--skew", type=float, default=None,
+                   help="geometric slab-height skew factor")
+    q.add_argument("--dlb", default="off", choices=["off", "pinned", "lend"])
+    q.add_argument("--fuzz", type=int, default=None, metavar="SEED",
+                   dest="fuzz_seed", help="run under the fuzz backend")
+    q.add_argument("--fuzz-profile", default="calm")
+    q.add_argument("--quote", action="store_true",
+                   help="print the admission quote after submitting")
+
+    q = serve_sub.add_parser("status", help="one job's record")
+    _serve_common(q)
+    q.add_argument("job_id")
+
+    q = serve_sub.add_parser("list", help="every job, oldest first")
+    _serve_common(q)
+    q.add_argument("--state", default=None,
+                   help="only jobs in this state (PENDING|RUNNING|...)")
+
+    q = serve_sub.add_parser("cancel", help="evict a queued/admitted job")
+    _serve_common(q)
+    q.add_argument("job_id")
+
+    q = serve_sub.add_parser(
+        "run-scheduler",
+        help="reconcile, then pack and execute the queue deterministically",
+    )
+    _serve_common(q)
+    q.add_argument("--seed", type=int, default=0,
+                   help="scheduler tiebreak seed (default 0); same "
+                        "(job set, seed, capacity) => same placement trace")
+    q.add_argument("--device-bytes", type=float, default=None,
+                   help="shared device arena capacity in bytes "
+                        "(default 2 GiB)")
+    q.add_argument("--max-jobs", type=int, default=4,
+                   help="max concurrently running jobs (default 4)")
+    q.add_argument("--plan-only", action="store_true",
+                   help="write the placement trace without executing")
+
+    q = serve_sub.add_parser("api", help="serve the HTTP JSON API")
+    _serve_common(q)
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=8642)
+    q.add_argument("--device-bytes", type=float, default=None)
+    q.add_argument("--max-jobs", type=int, default=4)
 
     p = sub.add_parser(
         "obs",
@@ -857,6 +953,8 @@ def _cmd_verify(args) -> int:
     """
     from repro.verify import DEFAULT_SEEDS, PROFILES, run_verification
 
+    if args.scheduler:
+        return _cmd_verify_scheduler(args)
     if args.seeds is not None:
         seeds = tuple(int(s) for s in args.seeds.split(",") if s)
     elif args.seed_base is not None:
@@ -925,12 +1023,182 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_verify_scheduler(args) -> int:
+    """``repro verify --scheduler``: conformance-fuzz the serve scheduler.
+
+    Plans each seeded workload twice in fresh stores and checks trace
+    determinism plus the capacity and fairness invariants — the CI face
+    of the ``pytest -m serve`` conformance tier.
+    """
+    from repro.verify import run_scheduler_fuzz
+
+    if args.seeds is not None:
+        seeds = [int(s) for s in args.seeds.split(",") if s]
+    elif args.seed_base is not None:
+        seeds = list(range(args.seed_base, args.seed_base + args.workloads))
+    else:
+        seeds = list(range(args.workloads))
+    print(f"verify --scheduler: {len(seeds)} seeded workloads")
+    config = {"scheduler": True, "workloads": len(seeds)}
+    with _registered_run("verify", config, seeds=seeds) as run:
+        report = run_scheduler_fuzz(seeds=seeds)
+        print(report.render())
+        run.manifest.status = "ok" if report.ok else "fail"
+    return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: the multi-tenant job service front door."""
+    import json
+    from pathlib import Path
+
+    from repro.serve import JobService, JobSpec, ServeCapacity
+
+    def _service(**kwargs) -> JobService:
+        return JobService(root=args.root, **kwargs)
+
+    def _show(record) -> None:
+        quote = record.quote or {}
+        placement = record.placement or {}
+        extra = ""
+        if quote:
+            extra += f" bytes={quote.get('device_bytes', 0):.0f}"
+        if placement.get("final_energy") is not None:
+            extra += f" E={placement['final_energy']:.6g}"
+        if record.error:
+            extra += f"  ({record.error})"
+        print(f"  {record.id:<28} {record.state:<9} "
+              f"tenant={record.spec.tenant:<10} restarts={record.restarts}"
+              + extra)
+
+    if args.serve_command == "submit":
+        if args.spec:
+            text = (sys.stdin.read() if args.spec == "-"
+                    else Path(args.spec).read_text(encoding="utf-8"))
+            spec = JobSpec.from_json(text)
+        elif args.name:
+            heights = (_parse_heights(args.heights)
+                       if args.heights is not None else None)
+            spec = JobSpec(
+                name=args.name, tenant=args.tenant, priority=args.priority,
+                n=args.n, steps=args.steps, dt=args.dt, nu=args.nu,
+                scheme=args.scheme, ic=args.ic, ic_seed=args.ic_seed,
+                ranks=args.ranks, comm=args.comm, npencils=args.npencils,
+                pipeline=args.pipeline, inflight=args.inflight,
+                copy_strategy=args.copy_strategy, heights=heights,
+                skew=args.skew, dlb=args.dlb, fuzz_seed=args.fuzz_seed,
+                fuzz_profile=args.fuzz_profile,
+            )
+        else:
+            print("error: submit needs --spec FILE or --name (plus flags)",
+                  file=sys.stderr)
+            return 2
+        service = _service()
+        try:
+            record = service.submit(spec)
+        except ValueError as exc:
+            print(f"error: invalid spec: {exc}", file=sys.stderr)
+            return 2
+        print(f"submitted {record.id} ({record.state}) "
+              f"under {service.store.root}")
+        if args.quote:
+            print(service.quote(spec).report())
+        return 0
+
+    if args.serve_command == "status":
+        service = _service()
+        try:
+            record = service.status(args.job_id)
+        except KeyError:
+            print(f"error: no job {args.job_id!r} under {service.store.root}",
+                  file=sys.stderr)
+            return 1
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.serve_command == "list":
+        service = _service()
+        records = service.list()
+        if args.state:
+            records = [r for r in records if r.state == args.state.upper()]
+        if not records:
+            print(f"no jobs under {service.store.root}")
+            return 0
+        print(f"jobs under {service.store.root}:")
+        for record in records:
+            _show(record)
+        return 0
+
+    if args.serve_command == "cancel":
+        service = _service()
+        try:
+            record = service.cancel(args.job_id)
+        except KeyError:
+            print(f"error: no job {args.job_id!r} under {service.store.root}",
+                  file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"cancelled {record.id} -> {record.state}")
+        return 0
+
+    if args.serve_command == "run-scheduler":
+        capacity = ServeCapacity(
+            **({} if args.device_bytes is None
+               else {"device_bytes": args.device_bytes}),
+            max_jobs=args.max_jobs,
+        )
+        service = _service(capacity=capacity, seed=args.seed)
+        if service.last_reconcile and service.last_reconcile.readmitted:
+            print(service.last_reconcile.render())
+        result = service.run_scheduler(execute=not args.plan_only)
+        print(result.render())
+        for record in service.list():
+            _show(record)
+        return 0 if not result.failed else 1
+
+    if args.serve_command == "api":
+        from repro.serve.http_api import make_server, serve_forever
+
+        capacity = ServeCapacity(
+            **({} if args.device_bytes is None
+               else {"device_bytes": args.device_bytes}),
+            max_jobs=args.max_jobs,
+        )
+        service = _service(capacity=capacity)
+        server = make_server(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(f"repro serve api on http://{host}:{port} "
+              f"(store: {service.store.root}) — Ctrl-C to stop")
+        try:
+            serve_forever(server)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.server_close()
+        return 0
+
+    raise AssertionError(
+        f"unhandled serve command {args.serve_command}"
+    )  # pragma: no cover
+
+
 def _cmd_obs_report(args) -> int:
-    """``repro obs report``: one line per saved run, newest last."""
+    """``repro obs report``: one line per saved run, newest last.
+
+    Exits 2 when the registry holds a corrupted manifest — a run that
+    exists but can't be trusted is a worse signal than "no runs yet"
+    (exit 1), and CI must distinguish them.
+    """
     from repro.obs.runs import RunRegistry
 
     registry = RunRegistry(args.runs_dir)
-    runs = registry.runs()
+    runs, errors = registry.scan()
+    if errors:
+        for err in errors:
+            print(f"error: corrupted manifest: {err}", file=sys.stderr)
+        return 2
     if args.kind:
         runs = [h for h in runs if h.manifest.kind == args.kind]
     if not runs:
@@ -968,12 +1236,15 @@ def _cmd_obs_tail(args) -> int:
     new lines until the manifest leaves the ``running`` state."""
     import time as _time
 
-    from repro.obs.runs import RunRegistry
+    from repro.obs.runs import ManifestError, RunRegistry
 
     registry = RunRegistry(args.runs_dir)
     if args.run_id:
         try:
             run = registry.get(args.run_id)
+        except ManifestError as exc:
+            print(f"error: corrupted manifest: {exc}", file=sys.stderr)
+            return 2
         except (OSError, ValueError):
             print(f"error: no run {args.run_id!r} under {registry.root}",
                   file=sys.stderr)
@@ -1060,6 +1331,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "projection":

@@ -37,16 +37,74 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 __all__ = [
+    "ManifestError",
     "RunHandle",
     "RunManifest",
     "RunRegistry",
     "default_runs_root",
     "git_sha",
     "run_provenance",
+    "validate_manifest",
 ]
 
 MANIFEST_NAME = "manifest.json"
 EVENTS_NAME = "events.jsonl"
+
+
+class ManifestError(ValueError):
+    """A manifest that exists but cannot be trusted.
+
+    Distinct from FileNotFoundError (no run) so callers can report
+    *corruption* — ``repro obs`` exits 2 on it, vs 1 for "no runs yet".
+    """
+
+
+# Field name -> (required, accepted types).  The schema is deliberately a
+# flat table, not a validator framework: the registry reads its own writes,
+# so the only realistic failures are truncated/hand-edited JSON — exactly
+# what a type check over required fields catches.
+_MANIFEST_SCHEMA: dict = {
+    "run_id": (True, str),
+    "kind": (True, str),
+    "status": (True, str),
+    "created_unix": (True, (int, float)),
+    "created_iso": (False, str),
+    "finished_unix": (False, (int, float, type(None))),
+    "error": (False, (str, type(None))),
+    "argv": (False, list),
+    "config": (False, dict),
+    "seeds": (False, list),
+    "artifacts": (False, dict),
+    "provenance": (False, dict),
+}
+
+
+def validate_manifest(doc, source: str = "manifest") -> dict:
+    """Check a parsed manifest document against the schema.
+
+    Returns ``doc`` on success; raises :class:`ManifestError` naming every
+    problem at once (missing required fields, wrong types, non-object
+    root) so a corrupted manifest produces one actionable message.
+    """
+    if not isinstance(doc, dict):
+        raise ManifestError(
+            f"{source}: manifest root must be a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    problems = []
+    for name, (required, types) in _MANIFEST_SCHEMA.items():
+        if name not in doc:
+            if required:
+                problems.append(f"missing required field {name!r}")
+            continue
+        if not isinstance(doc[name], types):
+            problems.append(
+                f"field {name!r} has type {type(doc[name]).__name__}, "
+                f"expected {types.__name__ if isinstance(types, type) else '/'.join(t.__name__ for t in types)}"
+            )
+    if problems:
+        raise ManifestError(f"{source}: " + "; ".join(problems))
+    return doc
 
 
 def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
@@ -230,17 +288,40 @@ class RunRegistry:
             if p.is_dir() and (p / MANIFEST_NAME).is_file()
         )
 
-    def runs(self) -> list[RunHandle]:
-        """Every readable run, oldest first (unreadable manifests skipped)."""
+    def scan(self) -> tuple[list[RunHandle], list[ManifestError]]:
+        """Load every run, validating manifests against the schema.
+
+        Returns ``(runs, errors)``: readable runs oldest first, plus one
+        :class:`ManifestError` per corrupted manifest (unparseable JSON,
+        missing required fields, wrong types).  ``repro obs`` surfaces the
+        errors and exits 2; :meth:`runs` keeps the old skip-silently
+        contract for callers that only want the good ones.
+        """
         out: list[RunHandle] = []
+        errors: list[ManifestError] = []
         for p in self.run_dirs():
+            source = str(p / MANIFEST_NAME)
             try:
                 doc = json.loads((p / MANIFEST_NAME).read_text(encoding="utf-8"))
-                out.append(RunHandle(p, RunManifest.from_dict(doc)))
-            except (OSError, ValueError, TypeError):
+            except OSError as exc:
+                errors.append(ManifestError(f"{source}: unreadable ({exc})"))
                 continue
+            except ValueError as exc:
+                errors.append(ManifestError(f"{source}: invalid JSON ({exc})"))
+                continue
+            try:
+                validate_manifest(doc, source=source)
+                out.append(RunHandle(p, RunManifest.from_dict(doc)))
+            except ManifestError as exc:
+                errors.append(exc)
+            except TypeError as exc:
+                errors.append(ManifestError(f"{source}: {exc}"))
         out.sort(key=lambda h: h.manifest.created_unix)
-        return out
+        return out, errors
+
+    def runs(self) -> list[RunHandle]:
+        """Every readable run, oldest first (unreadable manifests skipped)."""
+        return self.scan()[0]
 
     def latest(self, kind: Optional[str] = None) -> Optional[RunHandle]:
         """The most recently created run (optionally of one kind)."""
@@ -252,5 +333,9 @@ class RunRegistry:
 
     def get(self, run_id: str) -> RunHandle:
         path = self.root / run_id / MANIFEST_NAME
-        doc = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ManifestError(f"{path}: invalid JSON ({exc})") from exc
+        validate_manifest(doc, source=str(path))
         return RunHandle(self.root / run_id, RunManifest.from_dict(doc))

@@ -10,6 +10,11 @@ asserts every observable (spans, priced costs, byte counters, collective
 records, arena high-water) is identical.
 """
 
+from repro.plan.admission import (
+    AdmissionPricer,
+    AdmissionQuote,
+    job_device_bytes,
+)
 from repro.plan.capacity import (
     COPY_STRATEGIES,
     MACHINES,
@@ -29,8 +34,11 @@ from repro.plan.validate import (
 __all__ = [
     "COPY_STRATEGIES",
     "MACHINES",
+    "AdmissionPricer",
+    "AdmissionQuote",
     "CapacityPlanner",
     "CostQuote",
+    "job_device_bytes",
     "ParityReport",
     "RunCapture",
     "bench_payload",

@@ -1,0 +1,53 @@
+"""Multi-tenant DNS job service: the control plane over the solver library.
+
+Everything below this package is a library call — one run per process.
+:mod:`repro.serve` turns the repo into a *service*: durable job specs
+(:mod:`~repro.serve.spec`), a persistent store with an enforced lifecycle
+state machine (:mod:`~repro.serve.store`), a deterministic weighted
+fair-share scheduler with model-priced admission control
+(:mod:`~repro.serve.scheduler`), the executor that gives every job its own
+observability artifacts (:mod:`~repro.serve.runner`), crash recovery
+(:mod:`~repro.serve.reconcile`), and two thin front doors — ``repro
+serve`` and the stdlib HTTP API (:mod:`~repro.serve.http_api`) — over the
+:class:`~repro.serve.service.JobService` facade.
+
+The design contract, in one line: **placement is a pure function of
+(job set, seed, capacity)** — every scheduling decision comes from
+:class:`~repro.plan.admission.AdmissionPricer` model quotes and
+deterministic tags, never wall-clock — and **execution is bit-identical
+to standalone** because scheduled and standalone runs share one code
+path.  The scheduler-conformance test tier (``pytest -m serve``) holds
+both halves of that contract under Hypothesis.
+"""
+
+from repro.serve.reconcile import ReconcileReport, Reconciler
+from repro.serve.runner import JobResult, make_store_runner, run_job
+from repro.serve.scheduler import (
+    FairShareScheduler,
+    PlacementTrace,
+    ScheduleResult,
+    SchedulerCrash,
+    ServeCapacity,
+)
+from repro.serve.service import JobService
+from repro.serve.spec import JobSpec
+from repro.serve.store import JobRecord, JobState, JobStore, default_serve_root
+
+__all__ = [
+    "FairShareScheduler",
+    "JobRecord",
+    "JobResult",
+    "JobService",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "PlacementTrace",
+    "ReconcileReport",
+    "Reconciler",
+    "ScheduleResult",
+    "SchedulerCrash",
+    "ServeCapacity",
+    "default_serve_root",
+    "make_store_runner",
+    "run_job",
+]

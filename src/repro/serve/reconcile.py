@@ -1,0 +1,57 @@
+"""Crash recovery: re-admit the jobs an interrupted scheduler left behind.
+
+The store is the source of truth; the scheduler process is disposable.
+If it dies mid-run (OOM-kill, node failure, ``SchedulerCrash`` in tests),
+the store still holds rows in ``ADMITTED`` or ``RUNNING`` — states only a
+live scheduler may own.  On restart the reconciler walks the store and
+moves exactly those rows back to ``PENDING`` (bumping ``restarts`` and
+recording the interruption in the history), so the next scheduling pass
+re-admits them through normal admission control.
+
+Run directories are keyed by job id, so a re-run lands in the *same*
+directory: artifacts are overwritten, events append, and no duplicate run
+directory is ever created — the invariant the crash-recovery tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.store import JobState, JobStore
+
+__all__ = ["ReconcileReport", "Reconciler"]
+
+
+@dataclass
+class ReconcileReport:
+    """What one reconcile pass found and did."""
+
+    readmitted: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        if not self.readmitted:
+            return "reconcile: store clean, nothing to re-admit"
+        return (
+            f"reconcile: re-admitted {len(self.readmitted)} interrupted "
+            f"job(s): {', '.join(self.readmitted)}"
+        )
+
+
+class Reconciler:
+    """One-shot (or loop-driven) store repair."""
+
+    def __init__(self, store: JobStore):
+        self.store = store
+
+    def reconcile(self) -> ReconcileReport:
+        """Move every ``ADMITTED``/``RUNNING`` row back to ``PENDING``."""
+        report = ReconcileReport()
+        for record in self.store.interrupted():
+            interrupted_state = record.state
+            self.store.transition(
+                record, JobState.PENDING,
+                error=f"interrupted while {interrupted_state}; re-admitted",
+            )
+            report.readmitted.append(record.id)
+        return report

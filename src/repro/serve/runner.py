@@ -1,0 +1,237 @@
+"""Execute one service job and leave its artifacts behind.
+
+:func:`run_job` is the *only* code path that turns a
+:class:`~repro.serve.spec.JobSpec` into a DNS run — the scheduler calls
+it through :func:`make_store_runner`, and the bit-exactness tests call it
+directly as the standalone oracle.  Because both routes are literally the
+same function with the same seeds, "service energies == standalone
+energies" is an identity, not a tolerance.
+
+Every job gets its own run-registry entry (under the store's
+``runs/<job_id>/`` by default — reusing the PR 7 registry, so ``repro obs
+report --runs-dir .repro/serve/runs`` works unchanged) holding:
+
+* ``manifest.json`` — RunManifest with the spec as config;
+* ``events.jsonl`` — the job's EventLog stream (start/step/finish);
+* ``trace.json`` — chrome-trace of the job's spans;
+* ``metrics.jsonl`` — metrics snapshot;
+* ``energies.json`` — the per-step energy/dissipation series the
+  bit-exactness tests compare (JSON floats round-trip exactly).
+
+Restarted jobs reuse the same run id, hence the same directory — the
+crash-recovery guarantee that a reconciled job never forks a duplicate
+run directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.serve.spec import JobSpec
+from repro.serve.store import JobRecord, JobStore
+
+__all__ = ["JobResult", "make_store_runner", "run_job"]
+
+ENERGIES_NAME = "energies.json"
+
+
+@dataclass
+class JobResult:
+    """The per-step series and summary of one executed job."""
+
+    times: list[float] = field(default_factory=list)
+    energies: list[float] = field(default_factory=list)
+    dissipations: list[float] = field(default_factory=list)
+    steps: int = 0
+    run_dir: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "job-energies",
+            "steps": self.steps,
+            "times": self.times,
+            "energies": self.energies,
+            "dissipations": self.dissipations,
+        }
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobResult":
+        doc = json.loads(text)
+        return cls(times=doc["times"], energies=doc["energies"],
+                   dissipations=doc["dissipations"], steps=doc["steps"])
+
+
+def _initial_field(spec: JobSpec, grid):
+    import numpy as np
+
+    from repro.spectral import random_isotropic_field, taylor_green_field
+
+    if spec.ic == "taylor-green":
+        return taylor_green_field(grid)
+    rng = np.random.default_rng(spec.ic_seed)
+    return random_isotropic_field(grid, rng, energy=1.0)
+
+
+def _solver_config(spec: JobSpec):
+    from repro.spectral import SolverConfig
+
+    return SolverConfig(
+        nu=spec.nu,
+        scheme=spec.scheme,
+        fft_backend=spec.fft_backend,
+        diagnostics_every=spec.diagnostics_every,
+    )
+
+
+def run_job(
+    spec: JobSpec,
+    registry_root: Optional[Union[str, Path]] = None,
+    run_id: Optional[str] = None,
+    device_bytes: Optional[float] = None,
+    obs_artifacts: bool = True,
+) -> JobResult:
+    """Run one job to completion; returns the per-step series.
+
+    ``registry_root=None`` skips the registry entirely (pure in-memory
+    standalone run — what the oracle side of the bit-exactness tests
+    uses).  ``device_bytes`` caps the out-of-core engine's arena at the
+    admission quote, making the scheduler's byte ledger an enforced
+    contract.
+    """
+    spec.validate()
+    if registry_root is None:
+        return _run_job_inner(spec, None, None, device_bytes)
+
+    from repro.obs import EventLog, FlightRecorder, Observability
+    from repro.obs.runs import RunRegistry
+
+    registry = RunRegistry(registry_root)
+    run = registry.start(
+        kind="serve-job", config=spec.to_dict(),
+        run_id=run_id or f"serve-{spec.name}",
+        argv=[],
+    )
+    events = EventLog(run_id=run.run_id, sink=run.events_path)
+    flight = FlightRecorder(run_id=run.run_id, artifact_dir=run.dir)
+    obs = Observability.create(events=events, flight=flight)
+    try:
+        events.info("job.start", n=spec.n, steps=spec.steps,
+                    scheme=spec.scheme, tenant=spec.tenant)
+        result = _run_job_inner(spec, obs, events, device_bytes)
+        events.info("job.finish", steps=result.steps,
+                    final_energy=result.energies[-1] if result.energies
+                    else None)
+    except BaseException as exc:
+        run.add_artifact("flight_dump",
+                         flight.dump(reason=f"job-{type(exc).__name__}"))
+        run.finish(status="error", error=f"{type(exc).__name__}: {exc}")
+        events.close()
+        raise
+    result.run_dir = str(run.dir)
+    if obs_artifacts:
+        from repro.core.trace_export import write_chrome_trace
+        from repro.obs import write_jsonl
+
+        energies_path = run.dir / ENERGIES_NAME
+        energies_path.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        run.add_artifact("energies", energies_path)
+        trace_path = write_chrome_trace(
+            obs.spans.to_tracer(), run.dir / "trace.json",
+            metadata={"job": spec.name, "n": spec.n},
+        )
+        run.add_artifact("chrome_trace", trace_path)
+        metrics_path = run.dir / "metrics.jsonl"
+        write_jsonl(obs.metrics.snapshot(), metrics_path)
+        run.add_artifact("metrics", metrics_path)
+    run.finish(status="ok")
+    events.close()
+    return result
+
+
+def _run_job_inner(spec, obs, events, device_bytes) -> JobResult:
+    from repro.obs import NULL_OBS
+    from repro.spectral import SpectralGrid
+
+    if obs is None:
+        obs = NULL_OBS
+    grid = SpectralGrid(spec.n)
+    u0 = _initial_field(spec, grid)
+    config = _solver_config(spec)
+    dt = spec.dt if spec.dt is not None else 0.25 * grid.dx
+    result = JobResult(steps=spec.steps)
+
+    if spec.ranks is None:
+        from repro.spectral import NavierStokesSolver
+
+        solver = NavierStokesSolver(grid, u0, config, obs=obs)
+        closer = None
+        comm = None
+    else:
+        from repro.dist import DistributedNavierStokesSolver
+        from repro.mpi.procs import make_comm
+
+        fuzz = monitor = None
+        if spec.fuzz_seed is not None:
+            from repro.verify import InvariantMonitor, fuzz_profile
+
+            fuzz = fuzz_profile(spec.fuzz_profile, spec.fuzz_seed)
+            monitor = InvariantMonitor()
+        comm = make_comm(spec.comm, spec.ranks, fft_backend=spec.fft_backend)
+        solver = DistributedNavierStokesSolver(
+            grid, comm, u0, config=config, obs=obs,
+            npencils=spec.npencils, pipeline=spec.pipeline,
+            inflight=spec.inflight, copy_strategy=spec.copy_strategy,
+            heights=spec.heights, skew=spec.skew, dlb=spec.dlb,
+            fuzz=fuzz, monitor=monitor,
+            device_bytes=device_bytes if spec.npencils is not None else None,
+        )
+        closer = solver.close
+    try:
+        for step in range(1, spec.steps + 1):
+            step_result = solver.step(dt)
+            result.times.append(step_result.time)
+            result.energies.append(step_result.energy)
+            result.dissipations.append(step_result.dissipation)
+            if events is not None:
+                events.debug("job.step", step=step, t=step_result.time,
+                             energy=step_result.energy)
+    finally:
+        if closer is not None:
+            closer()
+        if comm is not None:
+            comm_close = getattr(comm, "close", None)
+            if comm_close is not None:
+                comm_close()
+    return result
+
+
+def make_store_runner() -> Callable[[JobRecord, JobStore], dict]:
+    """The scheduler's default runner: execute + persist artifacts.
+
+    Returns a summary dict merged into the job record's ``placement``:
+    the run directory and the final energy (a cheap sanity handle for
+    ``serve status``).
+    """
+
+    def _runner(record: JobRecord, store: JobStore) -> dict:
+        quote = record.quote or {}
+        result = run_job(
+            record.spec,
+            registry_root=store.runs_dir,
+            run_id=record.id,
+            device_bytes=quote.get("device_bytes"),
+        )
+        record.run_dir = result.run_dir
+        return {
+            "run_dir": result.run_dir,
+            "final_energy": result.energies[-1] if result.energies else None,
+            "steps_run": result.steps,
+        }
+
+    return _runner

@@ -1,0 +1,501 @@
+"""Deterministic weighted fair-share scheduling over a virtual clock.
+
+The scheduler packs concurrent DNS jobs onto a shared device budget the
+way the paper packs pencils onto a GPU: decisions come from *priced
+models*, never from measurements, so a given (job set, seed, capacity)
+always yields the same placement trace — byte-identical JSON, diffable in
+CI, replayable by the conformance tier.
+
+Two phases:
+
+1. **Plan** — a discrete-event simulation on the virtual clock.  Every
+   pending job is priced by :class:`~repro.plan.admission.AdmissionPricer`
+   (infeasible or over-capacity specs are *rejected with the quote*);
+   admitted jobs receive start-time-fair-queuing finish tags
+   (``tag = max(tenant's last tag, now) + virtual_seconds / weight``, one
+   virtual queue per tenant) and are packed lowest-tag-first into the
+   device-byte budget, with a bounded concurrent-job window.  The DES
+   emits the placement trace: admit/finish events with virtual times and
+   the free-capacity ledger.
+
+2. **Execute** — real job runs on a thread pool, *following the trace*:
+   an admission only fires once every job the DES finished before it has
+   actually completed, so the live byte ledger can never exceed the
+   planned one (and therefore never the capacity).  Results are
+   bit-identical to standalone runs because each job runs the exact same
+   :func:`~repro.serve.runner.run_job` code path with its own solver,
+   RNGs, and observability bundle.
+
+Determinism argument (DESIGN §17): every quantity entering an ordering
+decision — quotes, weights, tags, the seeded tie-break — is a pure
+function of (spec, seed, capacity); ties end at the monotonic submit
+``seq``.  Wall-clock appears only in job-record timestamps, never in the
+trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.plan.admission import AdmissionPricer
+from repro.serve.store import JobRecord, JobState, JobStore
+
+__all__ = [
+    "FairShareScheduler",
+    "PlacementTrace",
+    "ScheduleResult",
+    "SchedulerCrash",
+    "ServeCapacity",
+]
+
+
+class SchedulerCrash(RuntimeError):
+    """Deliberate mid-run abort (the crash-recovery tests' kill switch).
+
+    Raised out of a job hook, it propagates through the scheduler without
+    any state cleanup — exactly like ``kill -9`` from the store's point
+    of view: ``RUNNING`` rows stay ``RUNNING`` for the reconciler.
+    """
+
+
+@dataclass(frozen=True)
+class ServeCapacity:
+    """The shared budget jobs are packed into."""
+
+    #: Total device bytes across concurrently admitted jobs (the shared
+    #: DeviceArena stand-in; each job's engine arena is capped to its
+    #: quoted share, so the sum is enforced, not advisory).
+    device_bytes: float = 2.0 * 1024**3
+    #: Maximum concurrently running jobs (thread-pool width).
+    max_jobs: int = 4
+
+    def __post_init__(self):
+        if self.device_bytes <= 0:
+            raise ValueError("device_bytes must be positive")
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {"device_bytes": float(self.device_bytes),
+                "max_jobs": int(self.max_jobs)}
+
+
+@dataclass
+class PlacementTrace:
+    """The deterministic artifact of one planning pass.
+
+    ``jobs`` carries each job's pricing inputs (demand, duration, tag,
+    tie-break, weight, seq); ``events`` the admit/finish/reject sequence
+    with virtual times and the free-byte ledger.  ``to_json`` is
+    byte-stable: sorted keys, no wall-clock, floats via ``repr``.
+    """
+
+    seed: int
+    capacity: dict
+    jobs: dict[str, dict] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"kind": "placement-trace", "seed": self.seed,
+             "capacity": self.capacity, "jobs": self.jobs,
+             "events": self.events},
+            indent=2, sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlacementTrace":
+        doc = json.loads(text)
+        return cls(seed=doc["seed"], capacity=doc["capacity"],
+                   jobs=doc["jobs"], events=doc["events"])
+
+    # -- conformance checks (shared by tests and the verify harness) --------
+
+    def admitted_ids(self) -> list[str]:
+        return [e["job"] for e in self.events if e["event"] == "admit"]
+
+    def rejected_ids(self) -> list[str]:
+        return [e["job"] for e in self.events if e["event"] == "reject"]
+
+    def verify_capacity(self) -> None:
+        """Admitted-set demand never exceeds the device budget or job cap."""
+        budget = self.capacity["device_bytes"]
+        max_jobs = self.capacity["max_jobs"]
+        in_use = 0.0
+        live = 0
+        for ev in self.events:
+            if ev["event"] == "admit":
+                in_use += self.jobs[ev["job"]]["device_bytes"]
+                live += 1
+                if in_use > budget * (1.0 + 1e-12):
+                    raise AssertionError(
+                        f"capacity exceeded at admit of {ev['job']}: "
+                        f"{in_use} B live > {budget} B budget"
+                    )
+                if live > max_jobs:
+                    raise AssertionError(
+                        f"job window exceeded at admit of {ev['job']}: "
+                        f"{live} > {max_jobs}"
+                    )
+            elif ev["event"] == "finish":
+                in_use -= self.jobs[ev["job"]]["device_bytes"]
+                live -= 1
+        if live != 0 or abs(in_use) > 1e-6:
+            raise AssertionError(
+                f"ledger did not return to zero ({live} live, {in_use} B)"
+            )
+
+    def verify_fairness(self) -> None:
+        """Every admission is the fitting pending job with the lowest tag.
+
+        This is the no-starvation invariant in checkable form: a job can
+        only be passed over while it does not fit the free budget, never
+        because a higher-tag job was preferred — so as capacity frees,
+        the lowest-tag waiter is always next.
+        """
+        budget = self.capacity["device_bytes"]
+        max_jobs = self.capacity["max_jobs"]
+        pending = {jid for jid, j in self.jobs.items() if j["admitted"]}
+        free = budget
+        live = 0
+
+        def key(jid):
+            j = self.jobs[jid]
+            return (j["finish_tag"], j["tiebreak"], j["seq"])
+
+        for ev in self.events:
+            if ev["event"] == "admit":
+                jid = ev["job"]
+                fitting = [
+                    p for p in pending
+                    if self.jobs[p]["device_bytes"] <= free * (1.0 + 1e-12)
+                ]
+                if live >= max_jobs:
+                    raise AssertionError(
+                        f"admit of {jid} with window full ({live})"
+                    )
+                best = min(fitting, key=key)
+                if key(jid) != key(best):
+                    raise AssertionError(
+                        f"unfair admission: {jid} admitted while {best} "
+                        f"had a lower tag and fit"
+                    )
+                pending.discard(jid)
+                free -= self.jobs[jid]["device_bytes"]
+                live += 1
+            elif ev["event"] == "finish":
+                free += self.jobs[ev["job"]]["device_bytes"]
+                live -= 1
+        if pending:
+            raise AssertionError(
+                f"queue not drained: {sorted(pending)} never admitted"
+            )
+
+
+@dataclass
+class ScheduleResult:
+    """What one ``run-scheduler`` invocation did."""
+
+    trace: PlacementTrace
+    trace_path: Optional[str] = None
+    admitted: list[str] = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+    done: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"schedule: {len(self.admitted)} admitted, "
+            f"{len(self.rejected)} rejected, {len(self.done)} done, "
+            f"{len(self.failed)} failed",
+        ]
+        if self.trace_path:
+            lines.append(f"  placement trace: {self.trace_path}")
+        for jid in self.rejected:
+            lines.append(f"  EVICTED {jid}")
+        for jid in self.failed:
+            lines.append(f"  FAILED  {jid}")
+        return "\n".join(lines)
+
+
+class FairShareScheduler:
+    """Plans deterministically, executes concurrently, persists every step.
+
+    Parameters
+    ----------
+    store:
+        The persistent :class:`JobStore`.
+    capacity:
+        Shared :class:`ServeCapacity` budget.
+    seed:
+        Tie-break seed; part of the determinism triple (job set, seed,
+        capacity).
+    machine:
+        Machine model backing admission quotes.
+    runner:
+        ``runner(record, store) -> dict`` executing one job (defaults to
+        :func:`repro.serve.runner.make_store_runner`); injectable so the
+        conformance tier can schedule thousands of virtual jobs without
+        integrating Navier-Stokes.
+    on_job_start:
+        Optional hook called with the record just after it turns
+        ``RUNNING`` — the crash-recovery tests raise
+        :class:`SchedulerCrash` from here.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        capacity: ServeCapacity = ServeCapacity(),
+        seed: int = 0,
+        machine: str = "summit",
+        pricer: Optional[AdmissionPricer] = None,
+        runner: Optional[Callable[[JobRecord, JobStore], dict]] = None,
+        on_job_start: Optional[Callable[[JobRecord], None]] = None,
+    ):
+        self.store = store
+        self.capacity = capacity
+        self.seed = int(seed)
+        self.pricer = pricer if pricer is not None else AdmissionPricer(machine)
+        self._owns_pricer = pricer is None
+        if runner is None:
+            from repro.serve.runner import make_store_runner
+
+            runner = make_store_runner()
+        self.runner = runner
+        self.on_job_start = on_job_start
+
+    def close(self) -> None:
+        if self._owns_pricer:
+            self.pricer.close()
+
+    def __enter__(self) -> "FairShareScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- planning (pure virtual time) ---------------------------------------
+
+    def plan(self, records: Optional[list[JobRecord]] = None) -> PlacementTrace:
+        """The DES pass: price, tag, pack.  Mutates nothing.
+
+        ``records`` defaults to the store's PENDING queue in seq order.
+        """
+        if records is None:
+            records = self.store.pending()
+        records = sorted(records, key=lambda r: r.seq)
+        trace = PlacementTrace(seed=self.seed, capacity=self.capacity.to_dict())
+        rng = random.Random(self.seed)
+        tenant_tag: dict[str, float] = {}
+        runnable: list[JobRecord] = []
+        for rec in records:
+            quote = self.pricer.quote(rec.spec)
+            # Tie-breaks are drawn for every job in seq order so the
+            # stream is a function of (job set, seed) alone.
+            tiebreak = rng.random()
+            entry = {
+                "seq": rec.seq,
+                "tenant": rec.spec.tenant,
+                "weight": rec.spec.weight,
+                "tiebreak": tiebreak,
+                "device_bytes": float(quote.device_bytes),
+                "virtual_seconds": float(quote.virtual_seconds),
+                "admitted": False,
+                "finish_tag": 0.0,
+            }
+            if not quote.feasible:
+                entry["reason"] = quote.reason
+                trace.jobs[rec.id] = entry
+                trace.events.append(
+                    {"event": "reject", "job": rec.id, "vtime": 0.0,
+                     "reason": quote.reason}
+                )
+                continue
+            if quote.device_bytes > self.capacity.device_bytes:
+                reason = (
+                    f"quoted device demand {quote.device_bytes:.0f} B "
+                    f"exceeds service capacity "
+                    f"{self.capacity.device_bytes:.0f} B"
+                )
+                entry["reason"] = reason
+                trace.jobs[rec.id] = entry
+                trace.events.append(
+                    {"event": "reject", "job": rec.id, "vtime": 0.0,
+                     "reason": reason}
+                )
+                continue
+            # Start-time fair queuing: one virtual queue per tenant; a
+            # tenant's next job queues behind its previous one, scaled by
+            # the job's weight.  All tags are assigned at plan time
+            # (batch semantics), so the tag set is deterministic.
+            tenant = rec.spec.tenant
+            start = tenant_tag.get(tenant, 0.0)
+            tag = start + quote.virtual_seconds / rec.spec.weight
+            tenant_tag[tenant] = tag
+            entry["admitted"] = True
+            entry["finish_tag"] = tag
+            trace.jobs[rec.id] = entry
+            runnable.append(rec)
+
+        # Pack: lowest (tag, tiebreak, seq) first among jobs that fit the
+        # free budget; when nothing fits, retire the earliest virtual
+        # finisher and retry.  This is the Fig. 4 window discipline lifted
+        # one level: jobs instead of pencils, bytes instead of ring slots.
+        def key(rec: JobRecord):
+            j = trace.jobs[rec.id]
+            return (j["finish_tag"], j["tiebreak"], j["seq"])
+
+        waiting = sorted(runnable, key=key)
+        free = self.capacity.device_bytes
+        vnow = 0.0
+        running: list[tuple[float, float, int, str]] = []  # (vend, tb, seq, id)
+        while waiting or running:
+            admitted_one = False
+            if len(running) < self.capacity.max_jobs:
+                for rec in waiting:
+                    j = trace.jobs[rec.id]
+                    if j["device_bytes"] <= free:
+                        free -= j["device_bytes"]
+                        vend = vnow + j["virtual_seconds"]
+                        heapq.heappush(
+                            running, (vend, j["tiebreak"], j["seq"], rec.id)
+                        )
+                        trace.events.append(
+                            {"event": "admit", "job": rec.id, "vtime": vnow,
+                             "free_bytes_after": free,
+                             "running_after": len(running)}
+                        )
+                        waiting.remove(rec)
+                        admitted_one = True
+                        break
+            if admitted_one:
+                continue
+            if not running:  # pragma: no cover - every runnable job fits alone
+                raise AssertionError(
+                    "planner wedged: waiting jobs but nothing running"
+                )
+            vend, _tb, _seq, jid = heapq.heappop(running)
+            vnow = max(vnow, vend)
+            free += trace.jobs[jid]["device_bytes"]
+            trace.events.append(
+                {"event": "finish", "job": jid, "vtime": vnow,
+                 "free_bytes_after": free, "running_after": len(running)}
+            )
+        return trace
+
+    # -- execution (real time, trace-ordered) --------------------------------
+
+    def run(self, execute: bool = True) -> ScheduleResult:
+        """Plan the current queue, persist the trace, optionally execute."""
+        records = {r.id: r for r in self.store.pending()}
+        trace = self.plan(list(records.values()))
+        trace_path = self._write_trace(trace)
+        result = ScheduleResult(trace=trace, trace_path=str(trace_path))
+
+        for ev in trace.events:
+            if ev["event"] == "reject":
+                rec = records[ev["job"]]
+                rec.quote = {"feasible": False, "reason": ev["reason"]}
+                self.store.save(rec)
+                self.store.transition(rec, JobState.EVICTED,
+                                      error=f"INFEASIBLE: {ev['reason']}")
+                result.rejected.append(rec.id)
+
+        if not execute:
+            # Plan-only still reports what the DES would admit, so
+            # ``run-scheduler --plan-only`` renders a meaningful summary.
+            result.admitted = trace.admitted_ids()
+            return result
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        futures: dict[str, object] = {}
+        crash: Optional[BaseException] = None
+        pool = ThreadPoolExecutor(
+            max_workers=self.capacity.max_jobs,
+            thread_name_prefix="serve-job",
+        )
+        try:
+            for ev in trace.events:
+                if ev["event"] == "finish":
+                    # The DES retired this job before the next admission;
+                    # real execution honors the same edge, so live demand
+                    # is always <= the planned ledger.
+                    fut = futures.get(ev["job"])
+                    if fut is not None:
+                        try:
+                            fut.result()
+                        except SchedulerCrash as exc:
+                            crash = exc
+                            break
+                        except Exception:
+                            pass  # recorded as FAILED by the worker
+                elif ev["event"] == "admit":
+                    rec = records[ev["job"]]
+                    j = trace.jobs[rec.id]
+                    rec.quote = {
+                        "feasible": True,
+                        "device_bytes": j["device_bytes"],
+                        "virtual_seconds": j["virtual_seconds"],
+                    }
+                    rec.placement = {
+                        "vstart": ev["vtime"],
+                        "finish_tag": j["finish_tag"],
+                        "schedule_seed": self.seed,
+                    }
+                    self.store.save(rec)
+                    self.store.transition(rec, JobState.ADMITTED)
+                    result.admitted.append(rec.id)
+                    futures[rec.id] = pool.submit(self._run_one, rec)
+            if crash is None:
+                for jid, fut in futures.items():
+                    try:
+                        fut.result()
+                    except SchedulerCrash as exc:
+                        crash = exc
+                        break
+                    except Exception:
+                        pass
+        finally:
+            # On a crash, abandon (not wait for) unfinished work — the
+            # store must keep its RUNNING rows, like a killed process.
+            pool.shutdown(wait=crash is None, cancel_futures=crash is not None)
+        if crash is not None:
+            raise crash
+        for jid in result.admitted:
+            state = self.store.get(jid).state
+            if state == JobState.DONE:
+                result.done.append(jid)
+            elif state == JobState.FAILED:
+                result.failed.append(jid)
+        return result
+
+    def _run_one(self, rec: JobRecord) -> dict:
+        self.store.transition(rec, JobState.RUNNING)
+        if self.on_job_start is not None:
+            self.on_job_start(rec)  # may raise SchedulerCrash
+        try:
+            summary = self.runner(rec, self.store)
+        except SchedulerCrash:
+            raise
+        except Exception as exc:
+            self.store.transition(
+                rec, JobState.FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        rec.placement = {**rec.placement, **(summary or {})}
+        self.store.transition(rec, JobState.DONE)
+        return summary
+
+    def _write_trace(self, trace: PlacementTrace) -> Path:
+        self.store.traces_dir.mkdir(parents=True, exist_ok=True)
+        index = len(list(self.store.traces_dir.glob("placement-*.json")))
+        path = self.store.traces_dir / f"placement-{index:04d}.json"
+        path.write_text(trace.to_json() + "\n", encoding="utf-8")
+        return path

@@ -1,0 +1,89 @@
+"""The service facade: one object tying store, scheduler, and reconciler.
+
+:class:`JobService` is what both front doors (the ``repro serve`` CLI and
+the HTTP API) talk to.  Construction reconciles the store — the
+"reconciler loop on restart" contract: any process that picks the store
+up first heals it, then serves — and every operation is a thin, testable
+method.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.serve.reconcile import ReconcileReport, Reconciler
+from repro.serve.scheduler import (
+    FairShareScheduler,
+    ScheduleResult,
+    ServeCapacity,
+)
+from repro.serve.spec import JobSpec
+from repro.serve.store import JobRecord, JobStore
+
+__all__ = ["JobService"]
+
+
+class JobService:
+    """Submit / status / list / cancel / run-scheduler over one store."""
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        capacity: ServeCapacity = ServeCapacity(),
+        machine: str = "summit",
+        seed: int = 0,
+        runner=None,
+        on_job_start=None,
+        reconcile: bool = True,
+    ):
+        self.store = JobStore(root)
+        self.capacity = capacity
+        self.machine = machine
+        self.seed = int(seed)
+        self._runner = runner
+        self._on_job_start = on_job_start
+        self.last_reconcile: Optional[ReconcileReport] = None
+        if reconcile:
+            self.last_reconcile = Reconciler(self.store).reconcile()
+
+    # -- queue operations ----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        return self.store.submit(spec)
+
+    def status(self, job_id: str) -> JobRecord:
+        return self.store.get(job_id)
+
+    def list(self) -> list[JobRecord]:
+        return self.store.jobs()
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return self.store.cancel(job_id)
+
+    def quote(self, spec: JobSpec):
+        """Admission preview (the quote scheduling would use)."""
+        from repro.plan.admission import AdmissionPricer
+
+        with AdmissionPricer(self.machine) as pricer:
+            return pricer.quote(spec)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def scheduler(self, seed: Optional[int] = None) -> FairShareScheduler:
+        return FairShareScheduler(
+            self.store,
+            capacity=self.capacity,
+            seed=self.seed if seed is None else int(seed),
+            machine=self.machine,
+            runner=self._runner,
+            on_job_start=self._on_job_start,
+        )
+
+    def run_scheduler(
+        self, seed: Optional[int] = None, execute: bool = True
+    ) -> ScheduleResult:
+        """Reconcile, then plan + (optionally) execute the current queue."""
+        self.last_reconcile = Reconciler(self.store).reconcile()
+        with self.scheduler(seed) as sched:
+            return sched.run(execute=execute)

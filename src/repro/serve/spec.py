@@ -1,0 +1,194 @@
+"""Job specifications for the multi-tenant DNS service.
+
+A :class:`JobSpec` is the complete, serializable description of one DNS
+run — the same knobs ``repro dns`` exposes (grid, scheme, steps, comm
+backend, out-of-core engine, copy strategy, uneven heights / skew / DLB,
+fuzz profile) plus the *service* dimensions the scheduler consumes: which
+tenant submitted it and at what priority.  Specs round-trip through JSON
+byte-for-byte (``from_json(to_json(spec)) == spec``), which is what makes
+the job store durable and the HTTP API thin.
+
+Validation is deliberately the same set of rules the solver constructors
+enforce (partition divisibility, scheme / pipeline / dlb vocabularies), so
+a spec that validates here either runs or is rejected *at admission* with
+a priced, reasoned quote — never with a traceback mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional, Sequence
+
+__all__ = ["JobSpec", "slugify"]
+
+_SCHEMES = ("rk2", "rk4")
+_ICS = ("taylor-green", "random")
+_COMMS = ("virtual", "procs", "mpi")
+_PIPELINES = ("sync", "threads")
+_DLB = ("off", "pinned", "lend")
+_COPY = ("auto", "per_chunk", "memcpy2d", "zero_copy")
+
+
+def slugify(name: str) -> str:
+    """A filesystem-safe slug of a job name (``"TG 24^3!" -> "tg-24-3"``)."""
+    slug = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+    return slug[:40] or "job"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One DNS job: physics + engine + service parameters.
+
+    Attributes
+    ----------
+    name, tenant, priority:
+        Service identity.  ``priority`` feeds the weighted fair-share
+        scheduler (weight ``2**priority``); higher priorities receive a
+        proportionally larger share of the virtual timeline, they do
+        **not** preempt.
+    n, steps, dt, nu, scheme, ic, ic_seed, diagnostics_every:
+        The physics problem: grid size, step count, time step (``None``
+        means the solver default ``0.25 * dx``), viscosity, RK scheme,
+        initial condition (``taylor-green`` or seeded ``random``).
+    ranks, comm, npencils, pipeline, inflight, copy_strategy:
+        Engine placement: ``ranks=None`` runs the serial solver;
+        otherwise the slab-distributed solver over the chosen comm
+        backend, optionally out-of-core (``npencils``) with the Fig. 4
+        pipeline and a strided-copy strategy.
+    heights, skew, dlb:
+        Uneven decomposition and DLB lanes (PR 9); mutually-exclusive
+        ``heights``/``skew`` exactly as ``dns --heights/--skew``.
+    fuzz_seed, fuzz_profile:
+        Optional adversarial execution (PR 4) — results must stay
+        bit-identical, so a service job may run fuzzed for free.
+    """
+
+    name: str = "job"
+    tenant: str = "default"
+    priority: int = 0
+    n: int = 24
+    steps: int = 2
+    dt: Optional[float] = None
+    nu: float = 0.02
+    scheme: str = "rk2"
+    ic: str = "taylor-green"
+    ic_seed: int = 0
+    diagnostics_every: int = 1
+    fft_backend: str = "numpy"
+    ranks: Optional[int] = None
+    comm: str = "virtual"
+    npencils: Optional[int] = None
+    pipeline: str = "sync"
+    inflight: int = 3
+    copy_strategy: str = "memcpy2d"
+    heights: Optional[tuple[int, ...]] = None
+    skew: Optional[float] = None
+    dlb: str = "off"
+    fuzz_seed: Optional[int] = None
+    fuzz_profile: str = "calm"
+
+    def __post_init__(self):
+        if self.heights is not None:
+            object.__setattr__(self, "heights", tuple(int(h) for h in self.heights))
+
+    # -- service currency ---------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        """Fair-share weight: ``2**priority`` (priority 0 -> 1.0)."""
+        return 2.0 ** self.priority
+
+    @property
+    def substeps(self) -> int:
+        """RK substages per step (the virtual-cost multiplier)."""
+        return 2 if self.scheme == "rk2" else 4
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> "JobSpec":
+        """Raise :class:`ValueError` with every problem found, or return self."""
+        problems: list[str] = []
+        if not self.name or not isinstance(self.name, str):
+            problems.append("name must be a non-empty string")
+        if not self.tenant or not isinstance(self.tenant, str):
+            problems.append("tenant must be a non-empty string")
+        if not isinstance(self.priority, int) or not -8 <= self.priority <= 8:
+            problems.append(f"priority={self.priority!r} must be an int in [-8, 8]")
+        if not isinstance(self.n, int) or self.n < 4 or self.n % 2 != 0:
+            problems.append(f"n={self.n!r} must be an even int >= 4")
+        if not isinstance(self.steps, int) or self.steps < 1:
+            problems.append(f"steps={self.steps!r} must be a positive int")
+        if self.dt is not None and not self.dt > 0:
+            problems.append(f"dt={self.dt!r} must be positive (or null)")
+        if not self.nu > 0:
+            problems.append(f"nu={self.nu!r} must be positive")
+        if self.scheme not in _SCHEMES:
+            problems.append(f"scheme={self.scheme!r} not in {_SCHEMES}")
+        if self.ic not in _ICS:
+            problems.append(f"ic={self.ic!r} not in {_ICS}")
+        if self.comm not in _COMMS:
+            problems.append(f"comm={self.comm!r} not in {_COMMS}")
+        if self.pipeline not in _PIPELINES:
+            problems.append(f"pipeline={self.pipeline!r} not in {_PIPELINES}")
+        if self.dlb not in _DLB:
+            problems.append(f"dlb={self.dlb!r} not in {_DLB}")
+        if self.copy_strategy not in _COPY:
+            problems.append(f"copy_strategy={self.copy_strategy!r} not in {_COPY}")
+        if self.inflight < 1:
+            problems.append(f"inflight={self.inflight} must be >= 1")
+        if self.ranks is not None and (not isinstance(self.ranks, int)
+                                       or self.ranks < 1):
+            problems.append(f"ranks={self.ranks!r} must be a positive int")
+        if self.npencils is not None:
+            if self.ranks is None:
+                problems.append("npencils requires ranks (the distributed engine)")
+            elif self.npencils < 1 or self.n % self.npencils != 0:
+                problems.append(
+                    f"npencils={self.npencils} must divide N={self.n}"
+                )
+        if self.heights is not None and self.skew is not None:
+            problems.append("pass either heights or skew, not both")
+        if (self.heights is not None or self.skew is not None) and self.ranks is None:
+            problems.append("heights/skew require ranks")
+        if self.dlb != "off" and self.npencils is None:
+            problems.append("dlb lanes require npencils (out-of-core engine)")
+        if self.fuzz_seed is not None and self.npencils is None:
+            problems.append("fuzz_seed requires npencils (out-of-core engine)")
+        if problems:
+            raise ValueError("; ".join(problems))
+        return self
+
+    # -- JSON round-trip ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        doc = asdict(self)
+        if doc["heights"] is not None:
+            doc["heights"] = list(doc["heights"])
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "JobSpec":
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown JobSpec field(s): {sorted(unknown)}")
+        kwargs = dict(doc)
+        if kwargs.get("heights") is not None:
+            kwargs["heights"] = tuple(int(h) for h in kwargs["heights"])
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ValueError("JobSpec JSON must be an object")
+        return cls.from_dict(doc)
+
+    def with_(self, **changes) -> "JobSpec":
+        """A copy with fields replaced (frozen-dataclass helper)."""
+        return replace(self, **changes)

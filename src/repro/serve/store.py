@@ -1,0 +1,236 @@
+"""Persistent job store: one JSON document per job under ``.repro/serve/``.
+
+The store reuses the run-registry idioms (PR 7): a directory of
+self-describing JSON documents, every mutation an atomic
+write-then-replace, unreadable documents skipped on scan rather than
+crashing the reader.  A :class:`JobRecord` is a
+:class:`~repro.serve.spec.JobSpec` plus the service's view of it — the
+lifecycle state, the admission quote, the placement, error text, and the
+per-job run directory.
+
+State machine (enforced; illegal transitions raise)::
+
+    PENDING ──> ADMITTED ──> RUNNING ──> DONE
+       │            │           │   └──> FAILED
+       └──> EVICTED └──> EVICTED│
+            (rejected/cancel)   └──> EVICTED
+    ADMITTED/RUNNING ──> PENDING   (reconciler re-admission only)
+
+Queue order is deterministic: jobs carry a monotonic ``seq`` assigned at
+submit; FIFO within a tenant, and the scheduler's fair-share tags break
+every remaining tie by ``seq`` — no wall-clock enters ordering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.serve.spec import JobSpec, slugify
+
+__all__ = [
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "TRANSITIONS",
+    "default_serve_root",
+]
+
+JOBS_DIRNAME = "jobs"
+TRACES_DIRNAME = "traces"
+RUNS_DIRNAME = "runs"
+
+
+class JobState:
+    """The lifecycle vocabulary (plain strings so records stay JSON-first)."""
+
+    PENDING = "PENDING"
+    ADMITTED = "ADMITTED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    EVICTED = "EVICTED"
+
+    ALL = (PENDING, ADMITTED, RUNNING, DONE, FAILED, EVICTED)
+    TERMINAL = (DONE, FAILED, EVICTED)
+
+
+#: Legal transitions.  ``ADMITTED/RUNNING -> PENDING`` exists solely for
+#: the reconciler: a restart re-admits interrupted jobs through the same
+#: front door as fresh ones.
+TRANSITIONS: dict[str, tuple[str, ...]] = {
+    JobState.PENDING: (JobState.ADMITTED, JobState.EVICTED),
+    JobState.ADMITTED: (JobState.RUNNING, JobState.EVICTED, JobState.PENDING),
+    JobState.RUNNING: (JobState.DONE, JobState.FAILED, JobState.EVICTED,
+                       JobState.PENDING),
+    JobState.DONE: (),
+    JobState.FAILED: (),
+    JobState.EVICTED: (),
+}
+
+
+def default_serve_root() -> Path:
+    """``$REPRO_SERVE_DIR`` or ``.repro/serve`` under the working directory."""
+    env = os.environ.get("REPRO_SERVE_DIR")
+    return Path(env) if env else Path(".repro") / "serve"
+
+
+@dataclass
+class JobRecord:
+    """One job as the store persists it."""
+
+    id: str
+    seq: int
+    spec: JobSpec
+    state: str = JobState.PENDING
+    submitted_unix: float = 0.0
+    updated_unix: float = 0.0
+    #: Admission quote (``AdmissionQuote.to_record()``) once priced.
+    quote: dict = field(default_factory=dict)
+    #: Deterministic placement from the last schedule that admitted it.
+    placement: dict = field(default_factory=dict)
+    error: Optional[str] = None
+    #: Per-job run directory (manifest / events / trace / metrics / energies).
+    run_dir: Optional[str] = None
+    #: Reconciler re-admissions survived.
+    restarts: int = 0
+    #: ``(state, unix)`` pairs, submit onward.
+    history: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        doc = asdict(self)
+        doc["spec"] = self.spec.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "JobRecord":
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        kwargs = {k: v for k, v in doc.items() if k in known}
+        kwargs["spec"] = JobSpec.from_dict(doc["spec"])
+        return cls(**kwargs)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+
+class JobStore:
+    """The ``.repro/serve`` directory as an object (single-writer)."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_serve_root()
+        self.jobs_dir = self.root / JOBS_DIRNAME
+        self.traces_dir = self.root / TRACES_DIRNAME
+        self.runs_dir = self.root / RUNS_DIRNAME
+
+    # -- persistence --------------------------------------------------------
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def save(self, record: JobRecord) -> JobRecord:
+        """Atomic write-then-replace, exactly like the run registry."""
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        record.updated_unix = time.time()
+        path = self._job_path(record.id)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(record.to_dict(), indent=2, sort_keys=True,
+                       default=str) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(path)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        path = self._job_path(job_id)
+        if not path.is_file():
+            raise KeyError(f"no job {job_id!r} under {self.jobs_dir}")
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        return JobRecord.from_dict(doc)
+
+    def jobs(self) -> list[JobRecord]:
+        """Every readable job, submit order (unreadable documents skipped)."""
+        if not self.jobs_dir.is_dir():
+            return []
+        out: list[JobRecord] = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                out.append(JobRecord.from_dict(
+                    json.loads(path.read_text(encoding="utf-8"))
+                ))
+            except (OSError, ValueError, TypeError, KeyError):
+                continue
+        out.sort(key=lambda r: r.seq)
+        return out
+
+    def in_state(self, *states: str) -> list[JobRecord]:
+        return [r for r in self.jobs() if r.state in states]
+
+    def pending(self) -> list[JobRecord]:
+        return self.in_state(JobState.PENDING)
+
+    def interrupted(self) -> list[JobRecord]:
+        """Jobs a crashed scheduler left mid-flight (the reconciler's input)."""
+        return self.in_state(JobState.ADMITTED, JobState.RUNNING)
+
+    # -- submission ---------------------------------------------------------
+
+    def next_seq(self) -> int:
+        jobs = self.jobs()
+        return (max(r.seq for r in jobs) + 1) if jobs else 0
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Validate, assign a deterministic id, persist as ``PENDING``.
+
+        Ids are ``j<seq>-<slug>`` — a pure function of submission order
+        and the spec's name — so re-playing the same workload into a
+        fresh store reproduces the same ids (and therefore byte-identical
+        placement traces).
+        """
+        spec.validate()
+        seq = self.next_seq()
+        now = time.time()
+        record = JobRecord(
+            id=f"j{seq:04d}-{slugify(spec.name)}",
+            seq=seq,
+            spec=spec,
+            state=JobState.PENDING,
+            submitted_unix=now,
+            history=[[JobState.PENDING, now]],
+        )
+        return self.save(record)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def transition(self, record: JobRecord, new_state: str, *,
+                   error: Optional[str] = None) -> JobRecord:
+        """Move a job along the state machine; illegal edges raise."""
+        if new_state not in JobState.ALL:
+            raise ValueError(f"unknown job state {new_state!r}")
+        if new_state not in TRANSITIONS[record.state]:
+            raise ValueError(
+                f"illegal transition {record.state} -> {new_state} "
+                f"for job {record.id}"
+            )
+        record.state = new_state
+        if error is not None:
+            record.error = error
+        if new_state == JobState.PENDING:  # reconciler re-admission
+            record.restarts += 1
+            record.placement = {}
+        record.history.append([new_state, time.time()])
+        return self.save(record)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Evict a not-yet-terminal job (the CLI/HTTP ``cancel``)."""
+        record = self.get(job_id)
+        if record.terminal:
+            raise ValueError(
+                f"job {job_id} is already terminal ({record.state})"
+            )
+        return self.transition(record, JobState.EVICTED, error="cancelled")

@@ -49,6 +49,12 @@ from repro.verify.harness import (
     run_verification,
 )
 from repro.verify.imbalance import ImbalancePlan
+from repro.verify.schedfuzz import (
+    SchedFuzzCase,
+    SchedFuzzReport,
+    random_workload,
+    run_scheduler_fuzz,
+)
 from repro.verify.invariants import InvariantMonitor, InvariantViolation
 from repro.verify.watchdog import DeadlockTimeout, watchdog
 
@@ -68,11 +74,15 @@ __all__ = [
     "ReplayBackend",
     "ReplayEvent",
     "ReplayStream",
+    "SchedFuzzCase",
+    "SchedFuzzReport",
     "ScheduleDeadlock",
     "ScheduleGraph",
     "TransientFault",
     "VerificationReport",
     "fuzz_profile",
+    "random_workload",
+    "run_scheduler_fuzz",
     "run_verification",
     "watchdog",
 ]

@@ -1,0 +1,114 @@
+"""Manifest schema validation + the ``repro obs`` exit-2 corruption path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.runs import (
+    ManifestError,
+    RunRegistry,
+    validate_manifest,
+)
+
+
+def _good_doc(run_id="dns-1"):
+    return {
+        "run_id": run_id,
+        "kind": "dns",
+        "status": "ok",
+        "created_unix": 1000.0,
+        "artifacts": {},
+    }
+
+
+class TestValidateManifest:
+    def test_valid_doc_passes_through(self):
+        doc = _good_doc()
+        assert validate_manifest(doc) is doc
+
+    def test_written_manifests_validate(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        handle = registry.start(kind="dns", config={"n": 8})
+        handle.finish(status="ok")
+        doc = json.loads(handle.manifest_path.read_text())
+        assert validate_manifest(doc)["run_id"] == handle.run_id
+
+    def test_missing_required_fields_all_named(self):
+        with pytest.raises(ManifestError) as exc:
+            validate_manifest({"kind": "dns"})
+        for name in ("run_id", "status", "created_unix"):
+            assert name in str(exc.value)
+
+    def test_wrong_types_rejected(self):
+        doc = _good_doc()
+        doc["artifacts"] = ["a", "b"]
+        doc["created_unix"] = "yesterday"
+        with pytest.raises(ManifestError) as exc:
+            validate_manifest(doc)
+        assert "artifacts" in str(exc.value)
+        assert "created_unix" in str(exc.value)
+
+    def test_non_object_root_rejected(self):
+        with pytest.raises(ManifestError, match="JSON object"):
+            validate_manifest([1, 2, 3])
+
+
+class TestRegistryScan:
+    def _corrupt(self, root, run_id, text):
+        run_dir = root / run_id
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text(text)
+
+    def test_scan_separates_good_from_corrupt(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.start(kind="dns", run_id="good-run").finish()
+        self._corrupt(tmp_path, "bad-json", "not json{")
+        self._corrupt(tmp_path, "bad-schema", json.dumps({"kind": "dns"}))
+        runs, errors = registry.scan()
+        assert [h.run_id for h in runs] == ["good-run"]
+        assert len(errors) == 2
+        assert all(isinstance(e, ManifestError) for e in errors)
+
+    def test_runs_keeps_skip_silently_contract(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.start(kind="dns", run_id="good-run").finish()
+        self._corrupt(tmp_path, "bad", "{{{")
+        assert [h.run_id for h in registry.runs()] == ["good-run"]
+
+    def test_get_raises_manifest_error_on_corruption(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        self._corrupt(tmp_path, "bad", json.dumps({"run_id": 7}))
+        with pytest.raises(ManifestError):
+            registry.get("bad")
+
+
+class TestCliExitCodes:
+    def test_report_exits_2_on_corrupted_manifest(self, tmp_path, capsys):
+        registry = RunRegistry(tmp_path)
+        registry.start(kind="dns", run_id="good-run").finish()
+        bad = tmp_path / "bad-run"
+        bad.mkdir()
+        (bad / "manifest.json").write_text(json.dumps({"kind": "dns"}))
+        assert main(["obs", "report", "--runs-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupted manifest" in err and "run_id" in err
+
+    def test_report_exits_1_when_empty(self, tmp_path, capsys):
+        assert main(["obs", "report", "--runs-dir", str(tmp_path)]) == 1
+
+    def test_report_exits_0_when_clean(self, tmp_path, capsys):
+        RunRegistry(tmp_path).start(kind="dns", run_id="good-run").finish()
+        assert main(["obs", "report", "--runs-dir", str(tmp_path)]) == 0
+
+    def test_tail_exits_2_on_corrupted_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad-run"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("truncated{")
+        assert main(["obs", "tail", "bad-run",
+                     "--runs-dir", str(tmp_path)]) == 2
+        assert "corrupted manifest" in capsys.readouterr().err
+
+    def test_tail_exits_1_on_missing_run(self, tmp_path, capsys):
+        assert main(["obs", "tail", "nope",
+                     "--runs-dir", str(tmp_path)]) == 1

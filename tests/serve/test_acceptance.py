@@ -1,0 +1,76 @@
+"""The PR's acceptance criteria, verbatim (``-m serve`` tier).
+
+1. A seeded 5-job workload scheduled twice yields byte-identical
+   placement traces, and each job's energies are bit-identical to a
+   standalone run of the same spec.
+2. A JobSpec that over-subscribes the arena is rejected at admission
+   with the planner's reasoned infeasible quote — not a traceback.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serve import JobService, JobSpec, JobState, ServeCapacity, run_job
+
+pytestmark = pytest.mark.serve
+
+
+FIVE_JOBS = [
+    JobSpec(name="f0", tenant="alice", n=16, steps=2, scheme="rk2"),
+    JobSpec(name="f1", tenant="bob", n=16, steps=1, scheme="rk4",
+            priority=2),
+    JobSpec(name="f2", tenant="alice", n=16, steps=2, scheme="rk2",
+            ranks=2, comm="virtual", npencils=4),
+    JobSpec(name="f3", tenant="carol", n=16, steps=1, scheme="rk2",
+            priority=-1),
+    JobSpec(name="f4", tenant="bob", n=16, steps=2, scheme="rk4",
+            ranks=2, comm="virtual", npencils=2, pipeline="threads",
+            inflight=2),
+]
+
+
+def _run_workload(root, seed=42):
+    service = JobService(root=root, capacity=ServeCapacity(max_jobs=2),
+                         seed=seed)
+    for spec in FIVE_JOBS:
+        service.submit(spec)
+    result = service.run_scheduler()
+    return service, result
+
+
+def test_five_job_workload_twice_is_byte_identical(tmp_path):
+    service_a, result_a = _run_workload(tmp_path / "a")
+    service_b, result_b = _run_workload(tmp_path / "b")
+
+    trace_a = Path(result_a.trace_path).read_bytes()
+    trace_b = Path(result_b.trace_path).read_bytes()
+    assert trace_a == trace_b
+    assert result_a.admitted == result_b.admitted
+    assert len(result_a.done) == 5
+
+    for record in service_a.list():
+        served = json.loads(
+            (Path(record.run_dir) / "energies.json").read_text()
+        )
+        oracle = run_job(record.spec)
+        assert served["energies"] == oracle.energies, record.id
+
+
+def test_over_capacity_spec_rejected_with_reasoned_quote(tmp_path):
+    service = JobService(
+        root=tmp_path / "serve",
+        capacity=ServeCapacity(device_bytes=50_000.0, max_jobs=2),
+    )
+    service.submit(JobSpec(name="fits", tenant="t", n=8, steps=1))
+    service.submit(JobSpec(name="too-big", tenant="t", n=32, steps=1,
+                           ranks=2, npencils=2))
+    result = service.run_scheduler()  # must not raise
+
+    assert result.rejected == ["j0001-too-big"]
+    rec = service.status("j0001-too-big")
+    assert rec.state == JobState.EVICTED
+    assert rec.quote["feasible"] is False
+    assert "exceeds service capacity" in rec.quote["reason"]
+    assert service.status("j0000-fits").state == JobState.DONE

@@ -1,0 +1,109 @@
+"""Scheduler-conformance property tests (``-m serve`` tier, Hypothesis).
+
+Three properties over randomized workloads and capacities, all
+plan-only so hundreds of examples cost seconds:
+
+* the admitted set never exceeds the quoted capacity at any trace point;
+* fair-share never starves a feasible job (every admission is the
+  lowest-tag fitting waiter; the queue drains);
+* placement traces are bit-identical given the same (job set, seed,
+  capacity) triple.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import JobSpec, ServeCapacity
+from repro.verify import run_scheduler_fuzz
+from repro.verify.schedfuzz import plan_workload, random_workload
+
+pytestmark = pytest.mark.serve
+
+_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _capacity(budget_kb, max_jobs):
+    return ServeCapacity(device_bytes=float(budget_kb) * 1000.0,
+                         max_jobs=max_jobs)
+
+
+class TestProperties:
+    @settings(max_examples=30, **_SETTINGS)
+    @given(workload_seed=st.integers(0, 10_000),
+           sched_seed=st.integers(0, 1_000),
+           budget_kb=st.sampled_from([48, 256, 4096, 2**21]),
+           max_jobs=st.integers(1, 4))
+    def test_admitted_set_never_exceeds_capacity(
+        self, tmp_path_factory, workload_seed, sched_seed, budget_kb, max_jobs
+    ):
+        specs = random_workload(workload_seed)
+        trace = plan_workload(
+            specs, _capacity(budget_kb, max_jobs), sched_seed,
+            tmp_path_factory.mktemp("cap"),
+        )
+        trace.verify_capacity()
+
+    @settings(max_examples=30, **_SETTINGS)
+    @given(workload_seed=st.integers(0, 10_000),
+           sched_seed=st.integers(0, 1_000),
+           budget_kb=st.sampled_from([48, 256, 4096, 2**21]),
+           max_jobs=st.integers(1, 4))
+    def test_fair_share_never_starves(
+        self, tmp_path_factory, workload_seed, sched_seed, budget_kb, max_jobs
+    ):
+        specs = random_workload(workload_seed)
+        trace = plan_workload(
+            specs, _capacity(budget_kb, max_jobs), sched_seed,
+            tmp_path_factory.mktemp("fair"),
+        )
+        trace.verify_fairness()
+        # every feasible job is either admitted or rejected with a reason,
+        # never silently dropped
+        assert len(trace.admitted_ids()) + len(trace.rejected_ids()) == \
+            len(specs)
+
+    @settings(max_examples=20, **_SETTINGS)
+    @given(workload_seed=st.integers(0, 10_000),
+           sched_seed=st.integers(0, 1_000),
+           max_jobs=st.integers(1, 4))
+    def test_traces_bit_identical_from_same_seed(
+        self, tmp_path_factory, workload_seed, sched_seed, max_jobs
+    ):
+        specs = random_workload(workload_seed)
+        cap = _capacity(4096, max_jobs)
+        root = tmp_path_factory.mktemp("det")
+        t1 = plan_workload(specs, cap, sched_seed, root / "a")
+        t2 = plan_workload(specs, cap, sched_seed, root / "b")
+        assert t1.to_json() == t2.to_json()
+
+    @settings(max_examples=20, **_SETTINGS)
+    @given(workload_seed=st.integers(0, 10_000))
+    def test_rejections_carry_reasons(self, tmp_path_factory, workload_seed):
+        specs = random_workload(workload_seed)
+        trace = plan_workload(
+            specs, _capacity(48, 2), 0, tmp_path_factory.mktemp("rej"),
+        )
+        for ev in trace.events:
+            if ev["event"] == "reject":
+                assert ev["reason"]
+
+
+class TestHarness:
+    def test_run_scheduler_fuzz_green(self):
+        report = run_scheduler_fuzz(seeds=list(range(16)))
+        assert report.ok, report.render()
+        # the sweep must actually exercise both admission outcomes
+        assert any(c.admitted for c in report.cases)
+        assert any(c.rejected for c in report.cases)
+
+    def test_random_workload_is_pure(self):
+        a = random_workload(123)
+        b = random_workload(123)
+        assert a == b
+        assert all(isinstance(s, JobSpec) for s in a)
+        for spec in a:
+            spec.validate()

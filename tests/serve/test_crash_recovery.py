@@ -1,0 +1,111 @@
+"""Crash recovery: interrupted jobs are re-admitted, never duplicated.
+
+A :class:`SchedulerCrash` raised from the ``on_job_start`` hook aborts
+the scheduler with no cleanup — the store keeps its ``RUNNING`` rows,
+exactly like a killed process.  A fresh :class:`JobService` over the
+same root must then re-admit exactly those rows and finish the queue in
+the *same* per-job run directories.
+"""
+
+import os
+
+import pytest
+
+from repro.serve import (
+    JobService,
+    JobSpec,
+    JobState,
+    SchedulerCrash,
+    ServeCapacity,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _submit_three(service):
+    for i in range(3):
+        service.submit(JobSpec(name=f"c{i}", tenant="t", n=8, steps=1))
+
+
+def test_crash_restart_readmits_exactly_interrupted(tmp_path):
+    root = tmp_path / "serve"
+    calls = {"n": 0}
+
+    def bomb(record):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise SchedulerCrash("injected power loss")
+
+    crashy = JobService(root=root, capacity=ServeCapacity(max_jobs=1),
+                        on_job_start=bomb)
+    _submit_three(crashy)
+    with pytest.raises(SchedulerCrash):
+        crashy.run_scheduler()
+
+    # the wreckage: one finished, one abandoned RUNNING, one still queued
+    states = {r.spec.name: r.state for r in crashy.store.jobs()}
+    assert states["c0"] == JobState.DONE
+    assert states["c1"] == JobState.RUNNING
+    assert states["c2"] in (JobState.PENDING, JobState.ADMITTED)
+    runs_before = set(os.listdir(root / "runs"))
+
+    # restart: a fresh service over the same root heals on construction
+    healed = JobService(root=root, capacity=ServeCapacity(max_jobs=1))
+    assert healed.last_reconcile.readmitted == ["j0001-c1"] or \
+        sorted(healed.last_reconcile.readmitted) == ["j0001-c1", "j0002-c2"]
+    readmitted = {
+        r.spec.name for r in healed.store.jobs()
+        if r.state == JobState.PENDING and r.restarts > 0
+    }
+    assert "c1" in readmitted
+    assert "c0" not in readmitted  # DONE rows untouched
+
+    result = healed.run_scheduler()
+    final = {r.spec.name: r for r in healed.list()}
+    assert all(r.state == JobState.DONE for r in final.values())
+    assert final["c1"].restarts == 1
+    assert result.failed == []
+
+    # re-run landed in the same directory — no duplicate run dirs
+    runs_after = set(os.listdir(root / "runs"))
+    assert runs_after == {"j0000-c0", "j0001-c1", "j0002-c2"}
+    assert runs_before <= runs_after
+
+
+def test_double_crash_bumps_restarts_twice(tmp_path):
+    root = tmp_path / "serve"
+
+    def always_bomb(record):
+        raise SchedulerCrash("flaky node")
+
+    for expected_restarts in (1, 2):
+        service = JobService(root=root, capacity=ServeCapacity(max_jobs=1),
+                             on_job_start=always_bomb)
+        if expected_restarts == 1:
+            service.submit(JobSpec(name="only", n=8, steps=1))
+        with pytest.raises(SchedulerCrash):
+            service.run_scheduler()
+        healed = JobService(root=root)
+        rec = healed.store.jobs()[0]
+        assert rec.state == JobState.PENDING
+        assert rec.restarts == expected_restarts
+
+    finisher = JobService(root=root, capacity=ServeCapacity(max_jobs=1))
+    finisher.run_scheduler()
+    assert finisher.list()[0].state == JobState.DONE
+
+
+def test_plain_job_failure_is_not_a_crash(tmp_path):
+    """A job that *fails* (vs a scheduler that dies) must not trip recovery."""
+
+    def failing_runner(record, store):
+        raise RuntimeError("numerical blow-up")
+
+    service = JobService(root=tmp_path / "serve", runner=failing_runner)
+    service.submit(JobSpec(name="doomed", n=8, steps=1))
+    result = service.run_scheduler()
+    assert result.failed == ["j0000-doomed"]
+
+    healed = JobService(root=tmp_path / "serve")
+    assert healed.last_reconcile.readmitted == []
+    assert healed.list()[0].state == JobState.FAILED

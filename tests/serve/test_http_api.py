@@ -1,0 +1,89 @@
+"""HTTP API tests over an in-process server (tier-1; tiny n=8 jobs)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import JobService, JobSpec, ServeCapacity
+from repro.serve.http_api import make_server, serve_forever
+
+
+@pytest.fixture()
+def api(tmp_path):
+    service = JobService(root=tmp_path / "serve",
+                         capacity=ServeCapacity(max_jobs=2))
+    server = make_server(service)
+    serve_forever(server, background=True)
+    host, port = server.server_address[:2]
+
+    def call(method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            f"http://{host}:{port}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    yield call, service
+    server.shutdown()
+    server.server_close()
+
+
+def test_healthz(api):
+    call, _ = api
+    status, doc = call("GET", "/v1/healthz")
+    assert status == 200
+    assert doc["ok"] is True and doc["jobs"] == 0
+
+
+def test_submit_list_status(api):
+    call, _ = api
+    status, doc = call("POST", "/v1/jobs",
+                       JobSpec(name="h1", tenant="t", n=8, steps=1).to_dict())
+    assert status == 201
+    assert doc["id"] == "j0000-h1" and doc["state"] == "PENDING"
+
+    status, doc = call("GET", "/v1/jobs")
+    assert status == 200 and len(doc["jobs"]) == 1
+
+    status, doc = call("GET", "/v1/jobs/j0000-h1")
+    assert status == 200 and doc["spec"]["name"] == "h1"
+
+
+def test_invalid_spec_is_400(api):
+    call, _ = api
+    status, doc = call("POST", "/v1/jobs", {"name": "bad", "n": 7})
+    assert status == 400
+    assert "n=7" in doc["error"]
+
+
+def test_unknown_job_is_404(api):
+    call, _ = api
+    assert call("GET", "/v1/jobs/j9999-nope")[0] == 404
+    assert call("POST", "/v1/jobs/j9999-nope/cancel")[0] == 404
+    assert call("GET", "/v1/bogus")[0] == 404
+
+
+def test_cancel(api):
+    call, _ = api
+    call("POST", "/v1/jobs", JobSpec(name="c", n=8, steps=1).to_dict())
+    status, doc = call("POST", "/v1/jobs/j0000-c/cancel")
+    assert status == 200 and doc["state"] == "EVICTED"
+
+
+def test_scheduler_run_executes_jobs(api):
+    call, service = api
+    for name in ("r1", "r2"):
+        call("POST", "/v1/jobs", JobSpec(name=name, n=8, steps=1).to_dict())
+    status, doc = call("POST", "/v1/scheduler/run", {"seed": 5})
+    assert status == 200
+    assert sorted(doc["done"]) == ["j0000-r1", "j0001-r2"]
+    assert doc["trace_path"].endswith("placement-0000.json")
+    states = {r.id: r.state for r in service.list()}
+    assert set(states.values()) == {"DONE"}

@@ -1,0 +1,185 @@
+"""FairShareScheduler unit tests with a stub runner (tier-1).
+
+The stub runner lets these tests exercise planning, admission control,
+trace determinism, and failure bookkeeping without integrating a single
+Navier-Stokes step; the real-solver paths live in the ``serve`` tier.
+"""
+
+from repro.serve import (
+    FairShareScheduler,
+    JobSpec,
+    JobState,
+    JobStore,
+    PlacementTrace,
+    ServeCapacity,
+)
+
+
+def _stub_runner(record, store):
+    return {"stub": True}
+
+
+def _sched(store, **kwargs):
+    kwargs.setdefault("runner", _stub_runner)
+    return FairShareScheduler(store, **kwargs)
+
+
+def _submit_mix(store):
+    store.submit(JobSpec(name="a", tenant="t1", n=8, steps=2))
+    store.submit(JobSpec(name="b", tenant="t2", n=8, steps=1, priority=2))
+    store.submit(JobSpec(name="c", tenant="t1", n=12, steps=1,
+                         ranks=2, npencils=2))
+    store.submit(JobSpec(name="d", tenant="t3", n=8, steps=3, priority=-1))
+
+
+class TestPlanning:
+    def test_plan_is_deterministic_and_pure(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        _submit_mix(store)
+        with _sched(store, seed=11) as sched:
+            t1 = sched.plan()
+            t2 = sched.plan()
+        assert t1.to_json() == t2.to_json()
+        # plan() must not mutate the store
+        assert all(r.state == JobState.PENDING for r in store.jobs())
+
+    def test_same_workload_fresh_store_same_trace(self, tmp_path):
+        traces = []
+        for name in ("x", "y"):
+            store = JobStore(tmp_path / name)
+            _submit_mix(store)
+            with _sched(store, seed=11) as sched:
+                traces.append(sched.plan().to_json())
+        assert traces[0] == traces[1]
+
+    def test_different_seed_may_differ_but_stays_conformant(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        _submit_mix(store)
+        with _sched(store, seed=1) as sched:
+            trace = sched.plan()
+        trace.verify_capacity()
+        trace.verify_fairness()
+
+    def test_trace_json_round_trip(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        _submit_mix(store)
+        with _sched(store) as sched:
+            trace = sched.plan()
+        again = PlacementTrace.from_json(trace.to_json())
+        assert again.to_json() == trace.to_json()
+
+    def test_higher_priority_same_tenant_cost_wins(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        store.submit(JobSpec(name="lo", tenant="a", n=8, steps=2, priority=0))
+        store.submit(JobSpec(name="hi", tenant="b", n=8, steps=2, priority=3))
+        with _sched(store, capacity=ServeCapacity(max_jobs=1)) as sched:
+            trace = sched.plan()
+        # same virtual cost, 8x weight => the priority-3 job's tag is lower
+        assert trace.admitted_ids()[0] == "j0001-hi"
+
+    def test_no_wall_clock_in_trace(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        _submit_mix(store)
+        with _sched(store) as sched:
+            text = sched.plan().to_json()
+        assert "unix" not in text and "timestamp" not in text
+
+
+class TestAdmissionControl:
+    def test_over_capacity_rejected_with_reason(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        store.submit(JobSpec(name="huge", n=16, ranks=2, npencils=2))
+        cap = ServeCapacity(device_bytes=1000.0)
+        with _sched(store, capacity=cap) as sched:
+            result = sched.run(execute=False)
+        assert result.rejected == ["j0000-huge"]
+        rec = store.get("j0000-huge")
+        assert rec.state == JobState.EVICTED
+        assert "exceeds service capacity" in rec.error
+        assert rec.quote["feasible"] is False
+
+    def test_infeasible_spec_rejected_not_raised(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        # heights that don't sum to N validate per-field but fail pricing
+        store.submit(JobSpec(name="bad-heights", n=24, ranks=2,
+                             heights=(10, 10)))
+        with _sched(store) as sched:
+            result = sched.run(execute=False)
+        assert result.rejected == ["j0000-bad-heights"]
+        rec = store.get("j0000-bad-heights")
+        assert rec.state == JobState.EVICTED
+        assert rec.error.startswith("INFEASIBLE")
+
+    def test_capacity_invariant_holds_under_tight_budget(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        for i in range(6):
+            store.submit(JobSpec(name=f"j{i}", tenant=f"t{i % 2}",
+                                 n=8, steps=1))
+        # budget fits roughly two serial 8^3 jobs at a time
+        cap = ServeCapacity(device_bytes=40_000.0, max_jobs=3)
+        with _sched(store, capacity=cap) as sched:
+            trace = sched.plan()
+        trace.verify_capacity()
+        trace.verify_fairness()
+        assert len(trace.admitted_ids()) == 6
+
+    def test_max_jobs_window_respected(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        for i in range(5):
+            store.submit(JobSpec(name=f"j{i}", n=8, steps=1))
+        with _sched(store, capacity=ServeCapacity(max_jobs=2)) as sched:
+            trace = sched.plan()
+        live = 0
+        for ev in trace.events:
+            live += {"admit": 1, "finish": -1}.get(ev["event"], 0)
+            assert live <= 2
+
+
+class TestExecution:
+    def test_execute_reaches_done(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        _submit_mix(store)
+        with _sched(store) as sched:
+            result = sched.run()
+        assert sorted(result.done) == sorted(result.admitted)
+        assert result.failed == []
+        assert all(r.state == JobState.DONE for r in store.jobs())
+
+    def test_failing_job_marked_failed_others_finish(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        store.submit(JobSpec(name="ok", n=8))
+        store.submit(JobSpec(name="bad", n=8))
+
+        def runner(record, store_):
+            if record.spec.name == "bad":
+                raise RuntimeError("boom")
+            return {}
+
+        with _sched(store, runner=runner) as sched:
+            result = sched.run()
+        assert result.failed == ["j0001-bad"]
+        rec = store.get("j0001-bad")
+        assert rec.state == JobState.FAILED
+        assert "boom" in rec.error
+        assert store.get("j0000-ok").state == JobState.DONE
+
+    def test_trace_persisted_and_indexed(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        store.submit(JobSpec(name="a", n=8))
+        with _sched(store) as sched:
+            first = sched.run(execute=False)
+        store.submit(JobSpec(name="b", n=8))
+        with _sched(store) as sched:
+            second = sched.run(execute=False)
+        assert first.trace_path.endswith("placement-0000.json")
+        assert second.trace_path.endswith("placement-0001.json")
+
+    def test_admitted_quote_and_placement_recorded(self, tmp_path):
+        store = JobStore(tmp_path / "s")
+        store.submit(JobSpec(name="a", n=8))
+        with _sched(store, seed=9) as sched:
+            sched.run()
+        rec = store.get("j0000-a")
+        assert rec.quote["feasible"] is True
+        assert rec.quote["device_bytes"] > 0
+        assert rec.placement["schedule_seed"] == 9

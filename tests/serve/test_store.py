@@ -1,0 +1,125 @@
+"""JobStore persistence + state machine + reconciler tests (tier-1)."""
+
+import json
+
+import pytest
+
+from repro.serve import JobSpec, JobState, JobStore, Reconciler
+
+
+def _store(tmp_path):
+    return JobStore(tmp_path / "serve")
+
+
+class TestSubmit:
+    def test_deterministic_ids(self, tmp_path):
+        store = _store(tmp_path)
+        a = store.submit(JobSpec(name="TG demo"))
+        b = store.submit(JobSpec(name="TG demo"))
+        assert a.id == "j0000-tg-demo"
+        assert b.id == "j0001-tg-demo"
+        assert (a.seq, b.seq) == (0, 1)
+
+    def test_replay_reproduces_ids(self, tmp_path):
+        specs = [JobSpec(name="x"), JobSpec(name="y"), JobSpec(name="z")]
+        ids1 = [_store(tmp_path / "a").submit(s).id for s in specs]
+        ids2 = [_store(tmp_path / "b").submit(s).id for s in specs]
+        assert ids1 == ids2
+
+    def test_invalid_spec_rejected_at_submit(self, tmp_path):
+        with pytest.raises(ValueError):
+            _store(tmp_path).submit(JobSpec(name="bad", n=7))
+
+    def test_round_trip_through_disk(self, tmp_path):
+        store = _store(tmp_path)
+        rec = store.submit(JobSpec(name="p", ranks=2, heights=(10, 14), n=24))
+        again = store.get(rec.id)
+        assert again.spec == rec.spec
+        assert again.state == JobState.PENDING
+        assert again.history[0][0] == JobState.PENDING
+
+    def test_unreadable_document_skipped(self, tmp_path):
+        store = _store(tmp_path)
+        store.submit(JobSpec(name="good"))
+        (store.jobs_dir / "j9999-bad.json").write_text("not json{")
+        assert [r.id for r in store.jobs()] == ["j0000-good"]
+
+    def test_get_missing_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError):
+            _store(tmp_path).get("j0000-nope")
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        store = _store(tmp_path)
+        store.submit(JobSpec(name="a"))
+        assert not list(store.jobs_dir.glob("*.tmp"))
+        doc = json.loads(
+            (store.jobs_dir / "j0000-a.json").read_text()
+        )
+        assert doc["state"] == "PENDING"
+
+
+class TestStateMachine:
+    def test_full_happy_path(self, tmp_path):
+        store = _store(tmp_path)
+        rec = store.submit(JobSpec(name="a"))
+        for state in (JobState.ADMITTED, JobState.RUNNING, JobState.DONE):
+            store.transition(rec, state)
+        assert store.get(rec.id).state == JobState.DONE
+        assert [h[0] for h in store.get(rec.id).history] == [
+            "PENDING", "ADMITTED", "RUNNING", "DONE"]
+
+    def test_illegal_transition_raises(self, tmp_path):
+        store = _store(tmp_path)
+        rec = store.submit(JobSpec(name="a"))
+        with pytest.raises(ValueError, match="illegal transition"):
+            store.transition(rec, JobState.DONE)
+
+    def test_terminal_states_are_terminal(self, tmp_path):
+        store = _store(tmp_path)
+        rec = store.submit(JobSpec(name="a"))
+        store.transition(rec, JobState.EVICTED)
+        with pytest.raises(ValueError, match="illegal transition"):
+            store.transition(rec, JobState.ADMITTED)
+
+    def test_unknown_state_raises(self, tmp_path):
+        store = _store(tmp_path)
+        rec = store.submit(JobSpec(name="a"))
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.transition(rec, "PAUSED")
+
+    def test_cancel_evicts_pending(self, tmp_path):
+        store = _store(tmp_path)
+        rec = store.submit(JobSpec(name="a"))
+        assert store.cancel(rec.id).state == JobState.EVICTED
+        with pytest.raises(ValueError, match="already terminal"):
+            store.cancel(rec.id)
+
+
+class TestReconciler:
+    def test_readmits_exactly_the_interrupted(self, tmp_path):
+        store = _store(tmp_path)
+        done = store.submit(JobSpec(name="done"))
+        running = store.submit(JobSpec(name="running"))
+        admitted = store.submit(JobSpec(name="admitted"))
+        queued = store.submit(JobSpec(name="queued"))
+        store.transition(done, JobState.ADMITTED)
+        store.transition(done, JobState.RUNNING)
+        store.transition(done, JobState.DONE)
+        store.transition(running, JobState.ADMITTED)
+        store.transition(running, JobState.RUNNING)
+        store.transition(admitted, JobState.ADMITTED)
+
+        report = Reconciler(store).reconcile()
+        assert sorted(report.readmitted) == sorted([admitted.id, running.id])
+        assert store.get(running.id).state == JobState.PENDING
+        assert store.get(running.id).restarts == 1
+        assert store.get(admitted.id).restarts == 1
+        assert store.get(done.id).state == JobState.DONE
+        assert store.get(queued.id).restarts == 0
+
+    def test_clean_store_is_noop(self, tmp_path):
+        store = _store(tmp_path)
+        store.submit(JobSpec(name="a"))
+        report = Reconciler(store).reconcile()
+        assert report.readmitted == []
+        assert "clean" in report.render()
